@@ -1,0 +1,146 @@
+//! The NT font-cache purge module of paper §4.2.
+//!
+//! The paper: *"One of the keys in the registry directory specifies a file
+//! name for a font. It seems pretty safe to give everybody the right to
+//! modify this registry key until we have found a module in the system that
+//! invokes a function call to actually delete this file."*
+//!
+//! `fontpurge` walks the five `HKLM/Software/Fonts/Cache*` keys — all
+//! world-writable in the NT world — and deletes the stale cache file each
+//! names. Because anyone may rewrite those keys, a value perturbation that
+//! points one at `system.ini` (or the SAM) makes the administrator's next
+//! purge delete a security-critical file.
+
+use epa_sandbox::app::Application;
+use epa_sandbox::data::PathArg;
+use epa_sandbox::os::Os;
+use epa_sandbox::process::Pid;
+use epa_sandbox::trace::InputSemantic;
+
+/// Number of font-cache registry keys the module consumes.
+pub const FONT_KEYS: usize = 5;
+
+/// Registry key path for cache slot `i`.
+pub fn font_key(i: usize) -> String {
+    format!("HKLM/Software/Fonts/Cache{i}")
+}
+
+/// The vulnerable font-cache purge module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FontPurge;
+
+impl Application for FontPurge {
+    fn name(&self) -> &'static str {
+        "fontpurge"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        let mut purged = 0;
+        for i in 0..FONT_KEYS {
+            let key = font_key(i);
+            let read_site = format!("fontpurge:read_key{i}");
+            let purge_site = format!("fontpurge:purge{i}");
+            let path = match os.sys_reg_read(pid, &read_site, &key, "Path", InputSemantic::FsFileName) {
+                Ok(d) => d,
+                Err(_) => {
+                    let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: {key} missing\n"));
+                    continue;
+                }
+            };
+            // Flaw: the file named by an anyone-writable key is deleted with
+            // no check of what it actually is.
+            match os.sys_unlink(pid, &purge_site, PathArg::from(&path)) {
+                Ok(()) => purged += 1,
+                Err(_) => {
+                    let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: cannot purge {}\n", path.text()));
+                }
+            }
+        }
+        let _ = os.sys_print(pid, "fontpurge:done", format!("fontpurge: {purged} cache files purged\n"));
+        0
+    }
+}
+
+/// The patched module: only deletes regular files inside the font
+/// directory, never elsewhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FontPurgeFixed;
+
+impl Application for FontPurgeFixed {
+    fn name(&self) -> &'static str {
+        "fontpurge-fixed"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        let mut purged = 0;
+        for i in 0..FONT_KEYS {
+            let key = font_key(i);
+            let read_site = format!("fontpurge:read_key{i}");
+            let purge_site = format!("fontpurge:purge{i}");
+            let path = match os.sys_reg_read(pid, &read_site, &key, "Path", InputSemantic::FsFileName) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let text = path.text();
+            // Fix: confine deletions to the font directory, refuse
+            // traversal and symlinks.
+            if !text.starts_with("/winnt/fonts/") || text.contains("..") {
+                let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: refusing {text}\n"));
+                continue;
+            }
+            match os.sys_lstat(pid, &purge_site, PathArg::from(&path)) {
+                Ok(st) if st.file_type == epa_sandbox::fs::FileType::Regular => {}
+                _ => {
+                    let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: refusing {text}\n"));
+                    continue;
+                }
+            }
+            if os.sys_unlink(pid, &purge_site, PathArg::from(&path)).is_ok() {
+                purged += 1;
+            }
+        }
+        let _ = os.sys_print(pid, "fontpurge:done", format!("fontpurge: {purged} cache files purged\n"));
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds;
+    use epa_core::campaign::run_once;
+
+    #[test]
+    fn clean_purge_is_violation_free() {
+        let setup = worlds::fontpurge_world();
+        let out = run_once(&setup, &FontPurge, None);
+        assert_eq!(out.exit, Some(0));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(!out.os.fs.exists("/winnt/fonts/cache0.fon"), "caches really purged");
+    }
+
+    #[test]
+    fn planted_value_deletes_system_ini() {
+        let mut setup = worlds::fontpurge_world();
+        // The attack an unprotected key invites: anyone rewrites the value.
+        setup.world.registry.god_set_value(&font_key(2), "Path", "/winnt/system.ini");
+        let out = run_once(&setup, &FontPurge, None);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.kind == epa_sandbox::policy::ViolationKind::TaintedPrivilegedOp),
+            "{:?}",
+            out.violations
+        );
+        assert!(!out.os.fs.exists("/winnt/system.ini"), "the critical file really is gone");
+    }
+
+    #[test]
+    fn fixed_module_refuses_the_attack() {
+        let mut setup = worlds::fontpurge_world();
+        setup.world.registry.god_set_value(&font_key(2), "Path", "/winnt/system.ini");
+        let out = run_once(&setup, &FontPurgeFixed, None);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.os.fs.exists("/winnt/system.ini"));
+    }
+}

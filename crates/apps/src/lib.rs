@@ -1,0 +1,41 @@
+//! # epa-apps — the model applications and worlds of the paper's case studies
+//!
+//! Every application the paper tests (plus the breadth the EAI model
+//! implies), reimplemented against the [`epa_sandbox`] syscall API with the
+//! published flaws seeded, and a `*Fixed` variant demonstrating the repairs:
+//!
+//! | module | paper section | flaw family |
+//! |---|---|---|
+//! | [`lpr`] | §3.4 | naive `creat` of the spool file |
+//! | [`turnin`] | §4.1 | config/list trust, `../` member names, PATH |
+//! | [`fontpurge`] | §4.2 | privileged delete named by an unprotected registry key |
+//! | [`ntlogon`] | §4.2 | profile-directory / script trust at logon |
+//! | [`fingerd`] | §5 (Fuzz discussion) | overflow, fail-open allowlist, authenticity |
+//! | [`authd`] | Table 6 network rows | protocol-step and authenticity handling |
+//! | [`mailnotify`] | Table 6 process rows | mailbox integrity, IPC trust, PATH |
+//! | [`backupd`] | Table 5 permission-mask row | environment-supplied creation mask |
+//!
+//! [`worlds`] builds the matching initial environments as
+//! [`epa_core::campaign::TestSetup`]s.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod authd;
+pub mod backupd;
+pub mod fingerd;
+pub mod fontpurge;
+pub mod lpr;
+pub mod mailnotify;
+pub mod ntlogon;
+pub mod turnin;
+pub mod worlds;
+
+pub use authd::{Authd, AuthdFixed};
+pub use backupd::{Backupd, BackupdFixed};
+pub use fingerd::{Fingerd, FingerdFixed};
+pub use fontpurge::{FontPurge, FontPurgeFixed};
+pub use lpr::{Lpr, LprFixed};
+pub use mailnotify::{MailNotify, MailNotifyFixed};
+pub use ntlogon::{NtLogon, NtLogonFixed};
+pub use turnin::{Turnin, TurninFixed};

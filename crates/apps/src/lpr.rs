@@ -1,0 +1,145 @@
+//! The BSD `lpr` fragment of paper §3.4.
+//!
+//! `lpr` is set-UID root. It reads the user's file name, reads the job
+//! content, and spools it with `creat(n, 0660)` followed by `write` — the
+//! exact code the paper quotes. The vulnerable version performs no
+//! existence/ownership/symlink checks before `creat`, so all four
+//! applicable Table 6 file perturbations defeat it; [`LprFixed`] uses the
+//! exclusive-create idiom and survives all of them.
+
+use epa_sandbox::app::Application;
+use epa_sandbox::data::PathArg;
+use epa_sandbox::os::Os;
+use epa_sandbox::process::Pid;
+use epa_sandbox::trace::InputSemantic;
+
+/// Spool file path used by the model printer daemon.
+pub const SPOOL_FILE: &str = "/var/spool/lpd/cfA100";
+
+/// The vulnerable `lpr` of paper §3.4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lpr;
+
+impl Application for Lpr {
+    fn name(&self) -> &'static str {
+        "lpr"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        // Which file does the user want printed?
+        let job_name = match os.sys_arg(pid, "lpr:read_args", 0, InputSemantic::UserFileName) {
+            Ok(a) => a,
+            Err(_) => {
+                let _ = os.sys_print(pid, "lpr:usage", "usage: lpr file\n");
+                return 2;
+            }
+        };
+        // Read the job content.
+        let job = match os.sys_read_file(pid, "lpr:read_input", PathArg::from(&job_name)) {
+            Ok(d) => d,
+            Err(e) => {
+                let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: cannot open\n", job_name.text()));
+                let _ = e;
+                return 1;
+            }
+        };
+        // f = creat(n, 0660); ... write(f, buf, i)
+        // No O_EXCL, no lstat: the paper's flaw, verbatim.
+        if os.sys_write_file(pid, "lpr:create_spool", SPOOL_FILE, job, 0o660).is_err() {
+            let _ = os.sys_print(pid, "lpr:err", "lpr: cannot create spool file\n");
+            return 1;
+        }
+        let _ = os.sys_print(pid, "lpr:done", "lpr: job queued\n");
+        0
+    }
+}
+
+/// The patched `lpr`: exclusive creation, refusing pre-existing spool
+/// entries of any kind (including symlinks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LprFixed;
+
+impl Application for LprFixed {
+    fn name(&self) -> &'static str {
+        "lpr-fixed"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        let job_name = match os.sys_arg(pid, "lpr:read_args", 0, InputSemantic::UserFileName) {
+            Ok(a) => a,
+            Err(_) => {
+                let _ = os.sys_print(pid, "lpr:usage", "usage: lpr file\n");
+                return 2;
+            }
+        };
+        // Fix: the access(2) pattern — the *real* uid must be able to read
+        // the job file; the SUID program must not become a read oracle.
+        let me = os.procs.get(pid).map(|p| p.cred).expect("own credentials");
+        match os.sys_stat(pid, "lpr:read_input", PathArg::from(&job_name)) {
+            Ok(st) => {
+                if !st.mode.grants(st.owner, st.group, &me.invoker(), epa_sandbox::mode::Access::Read) {
+                    let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: permission denied\n", job_name.text()));
+                    return 1;
+                }
+            }
+            Err(_) => {
+                let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: cannot open\n", job_name.text()));
+                return 1;
+            }
+        }
+        let job = match os.sys_read_file(pid, "lpr:read_input", PathArg::from(&job_name)) {
+            Ok(d) => d,
+            Err(_) => {
+                let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: cannot open\n", job_name.text()));
+                return 1;
+            }
+        };
+        // open(n, O_CREAT|O_EXCL|O_WRONLY, 0660): refuses anything that
+        // already occupies the name, dangling symlinks included.
+        if os.sys_create_excl(pid, "lpr:create_spool", SPOOL_FILE, 0o660).is_err() {
+            let _ = os.sys_print(pid, "lpr:err", "lpr: spool name taken, try again\n");
+            return 1;
+        }
+        if os.sys_append(pid, "lpr:create_spool", SPOOL_FILE, job, 0o660).is_err() {
+            let _ = os.sys_print(pid, "lpr:err", "lpr: temp file write error\n");
+            return 1;
+        }
+        let _ = os.sys_print(pid, "lpr:done", "lpr: job queued\n");
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds;
+    use epa_core::campaign::run_once;
+
+    #[test]
+    fn vulnerable_lpr_queues_cleanly() {
+        let setup = worlds::lpr_world();
+        let out = run_once(&setup, &Lpr, None);
+        assert_eq!(out.exit, Some(0));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.os.fs.exists(SPOOL_FILE));
+    }
+
+    #[test]
+    fn fixed_lpr_queues_cleanly() {
+        let setup = worlds::lpr_world();
+        let out = run_once(&setup, &LprFixed, None);
+        assert_eq!(out.exit, Some(0));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn symlink_swap_defeats_vulnerable_but_not_fixed() {
+        let mut setup = worlds::lpr_world();
+        setup.world.fs.god_symlink(SPOOL_FILE, "/etc/passwd").unwrap();
+        let vuln = run_once(&setup, &Lpr, None);
+        assert!(!vuln.violations.is_empty(), "vulnerable lpr must clobber the passwd file");
+        let fixed = run_once(&setup, &LprFixed, None);
+        assert!(fixed.violations.is_empty(), "{:?}", fixed.violations);
+        assert_eq!(fixed.exit, Some(1), "fixed lpr refuses and reports");
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion performance benches: engine overhead and substrate hot paths.
+//!
+//! Absolute numbers are machine-local; the benches exist so regressions in
+//! the injection engine or the VFS resolver are visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use epa_apps::{worlds, Lpr, Turnin};
+use epa_core::campaign::{run_once, Campaign, CampaignOptions};
+use epa_sandbox::cred::{Credentials, Gid, Uid};
+use epa_sandbox::mode::Mode;
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(20);
+    let lpr_setup = worlds::lpr_world();
+    g.bench_function("lpr_full_campaign", |b| {
+        b.iter(|| Campaign::new(&Lpr, &lpr_setup).execute())
+    });
+    let turnin_setup = worlds::turnin_world();
+    g.bench_function("turnin_full_campaign", |b| {
+        b.iter(|| Campaign::new(&Turnin, &turnin_setup).execute())
+    });
+    g.bench_function("turnin_full_campaign_parallel", |b| {
+        b.iter(|| {
+            Campaign::new(&Turnin, &turnin_setup)
+                .with_options(CampaignOptions { parallel: true, ..Default::default() })
+                .execute()
+        })
+    });
+    g.finish();
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run");
+    let setup = worlds::turnin_world();
+    g.bench_function("turnin_clean_run", |b| b.iter(|| run_once(&setup, &Turnin, None)));
+    g.bench_function("world_clone", |b| {
+        b.iter_batched(|| (), |_| setup.world.clone(), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+fn bench_vfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vfs");
+    let mut fs = epa_sandbox::fs::Vfs::new();
+    for d in 0..50 {
+        for f in 0..10 {
+            fs.put_file(
+                &format!("/srv/data/dir{d}/file{f}"),
+                "content",
+                Uid::ROOT,
+                Gid::ROOT,
+                Mode::new(0o644),
+            )
+            .unwrap();
+        }
+    }
+    fs.god_symlink("/srv/link", "/srv/data/dir25").unwrap();
+    let cred = Credentials::user(Uid(1001), Gid(100));
+    g.bench_function("resolve_deep_path", |b| {
+        b.iter(|| fs.walk("/srv/data/dir25/file5", true, Some(&cred)).unwrap())
+    });
+    g.bench_function("resolve_through_symlink", |b| {
+        b.iter(|| fs.walk("/srv/link/file5", true, Some(&cred)).unwrap())
+    });
+    g.bench_function("stat", |b| b.iter(|| fs.stat("/srv/data/dir10/file1", None).unwrap()));
+    g.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vulndb");
+    let db = epa_vulndb::entries();
+    g.bench_function("classify_195_entries", |b| b.iter(|| epa_vulndb::compute(&db)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaigns, bench_single_run, bench_vfs, bench_classifier);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! `cargo bench` target that regenerates every table and figure of the
+//! paper (non-criterion, `harness = false`): the reproduction output lands
+//! in the bench log alongside the performance numbers.
+
+fn main() {
+    println!("==== EPA paper reproduction (all tables and figures) ====\n");
+    print!("{}", epa_bench::experiments::table1());
+    println!();
+    print!("{}", epa_bench::experiments::table2());
+    println!();
+    print!("{}", epa_bench::experiments::table3());
+    println!();
+    print!("{}", epa_bench::experiments::table4());
+    println!();
+    print!("{}", epa_bench::experiments::table5());
+    println!();
+    print!("{}", epa_bench::experiments::table6());
+    println!();
+    print!("{}", epa_bench::experiments::figure1().render());
+    println!();
+    print!("{}", epa_bench::experiments::figure2().render());
+    println!();
+    print!("{}", epa_bench::experiments::lpr_34().render());
+    println!();
+    print!("{}", epa_bench::experiments::turnin_41().render());
+    println!();
+    print!("{}", epa_bench::experiments::registry_42().render());
+    println!();
+    print!("{}", epa_bench::experiments::comparison().render());
+    println!();
+    print!("{}", epa_bench::experiments::placement().render());
+    println!();
+    print!("{}", epa_bench::experiments::patterns().render());
+}

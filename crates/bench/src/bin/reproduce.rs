@@ -1,0 +1,61 @@
+//! `reproduce` — regenerate any table, figure or case study of the paper.
+//!
+//! ```text
+//! cargo run -p epa-bench --bin reproduce -- all
+//! cargo run -p epa-bench --bin reproduce -- table1 turnin figure2
+//! ```
+
+use epa_bench::experiments;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "figure1", "figure2", "lpr",
+    "turnin", "registry", "comparison", "placement", "patterns", "clean",
+];
+
+fn run(name: &str) -> Result<(), String> {
+    match name {
+        "table1" => print!("{}", experiments::table1()),
+        "table2" => print!("{}", experiments::table2()),
+        "table3" => print!("{}", experiments::table3()),
+        "table4" => print!("{}", experiments::table4()),
+        "table5" => print!("{}", experiments::table5()),
+        "table6" => print!("{}", experiments::table6()),
+        "figure1" => print!("{}", experiments::figure1().render()),
+        "figure2" => print!("{}", experiments::figure2().render()),
+        "lpr" => print!("{}", experiments::lpr_34().render()),
+        "turnin" => print!("{}", experiments::turnin_41().render()),
+        "registry" => print!("{}", experiments::registry_42().render()),
+        "comparison" => print!("{}", experiments::comparison().render()),
+        "placement" => print!("{}", experiments::placement().render()),
+        "patterns" => print!("{}", experiments::patterns().render()),
+        "clean" => {
+            println!("Clean-run baseline (violations in unperturbed runs):");
+            for (app, n) in experiments::clean_baseline() {
+                println!("  {app:<16} {n}");
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    println!();
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for name in selected {
+        if let Err(e) = run(name) {
+            eprintln!("reproduce: {e}");
+            eprintln!("available: {}", EXPERIMENTS.join(", "));
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

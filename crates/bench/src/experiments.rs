@@ -1,0 +1,672 @@
+//! Experiment runners: every table and figure of the paper.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use epa_apps::{worlds, Authd, Backupd, Fingerd, FontPurge, Lpr, MailNotify, NtLogon, Turnin, TurninFixed};
+use epa_core::baselines::ava::{run_ava, AvaOptions};
+use epa_core::baselines::fuzz::{run_fuzz, FuzzOptions, FuzzTarget};
+use epa_core::baselines::BaselineReport;
+use epa_core::campaign::{run_once, Campaign, CampaignOptions, TestSetup};
+use epa_core::coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds};
+use epa_core::inject::InjectionPlan;
+use epa_core::model::FsAttribute;
+use epa_core::perturb::{ConcreteFault, FaultPayload};
+use epa_core::report::CampaignReport;
+use epa_core::{table5_rows, table6_rows};
+use epa_sandbox::app::Application;
+use epa_sandbox::error::SysResult;
+use epa_sandbox::os::Os;
+use epa_sandbox::policy::PolicyEngine;
+use epa_sandbox::syscall::{InteractionRef, Interceptor, Syscall, SysReturn};
+use epa_sandbox::trace::SiteId;
+
+// ----------------------------------------------------------------------
+// Tables 1–4: the vulnerability-database classification
+// ----------------------------------------------------------------------
+
+/// Computes and renders paper Table 1.
+pub fn table1() -> String {
+    epa_vulndb::compute(&epa_vulndb::entries()).table1.render()
+}
+
+/// Computes and renders paper Table 2.
+pub fn table2() -> String {
+    epa_vulndb::compute(&epa_vulndb::entries()).table2.render()
+}
+
+/// Computes and renders paper Table 3.
+pub fn table3() -> String {
+    epa_vulndb::compute(&epa_vulndb::entries()).table3.render()
+}
+
+/// Computes and renders paper Table 4.
+pub fn table4() -> String {
+    epa_vulndb::compute(&epa_vulndb::entries()).table4.render()
+}
+
+fn render_catalog(title: &str, rows: &[epa_core::catalog::CatalogRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let mut last_entity = String::new();
+    for row in rows {
+        let entity = if row.entity == last_entity { String::new() } else { row.entity.clone() };
+        last_entity = row.entity.clone();
+        let _ = writeln!(s, "{:<24} {:<28} {}", entity, row.item, row.injections.join("; "));
+    }
+    s
+}
+
+/// Renders paper Table 5 (the indirect-fault catalog).
+pub fn table5() -> String {
+    render_catalog(
+        "Table 5: indirect environment faults and environment perturbations",
+        &table5_rows(),
+    )
+}
+
+/// Renders paper Table 6 (the direct-fault catalog).
+pub fn table6() -> String {
+    render_catalog(
+        "Table 6: direct environment faults and environment perturbations",
+        &table6_rows(),
+    )
+}
+
+// ----------------------------------------------------------------------
+// Figure 1: indirect vs direct propagation, measured
+// ----------------------------------------------------------------------
+
+/// Measured split of detected violations by propagation path.
+#[derive(Debug, Clone)]
+pub struct Figure1Result {
+    /// Violations triggered by faults that propagated through internal
+    /// entities (indirect).
+    pub via_internal_entity: usize,
+    /// Violations triggered by faults acting through environment entities
+    /// (direct).
+    pub via_environment_entity: usize,
+    /// Total faults injected.
+    pub injected: usize,
+}
+
+impl Figure1Result {
+    /// Renders the figure as annotated ASCII.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 1: interaction model (measured on `turnin`, {} faults)", self.injected);
+        let _ = writeln!(s, "  (a) environment ──input──> internal entity ──use──> violation");
+        let _ = writeln!(s, "      indirect-path violations: {}", self.via_internal_entity);
+        let _ = writeln!(s, "  (b) environment entity ──interaction──> violation");
+        let _ = writeln!(s, "      direct-path violations:   {}", self.via_environment_entity);
+        s
+    }
+}
+
+/// Runs the turnin campaign and splits its violations by propagation path.
+pub fn figure1() -> Figure1Result {
+    let setup = worlds::turnin_world();
+    let report = Campaign::new(&Turnin, &setup).execute();
+    let via_internal_entity = report.violations().filter(|r| r.category.is_indirect()).count();
+    let via_environment_entity = report.violations().filter(|r| r.category.is_direct()).count();
+    Figure1Result { via_internal_entity, via_environment_entity, injected: report.injected() }
+}
+
+// ----------------------------------------------------------------------
+// Figure 2: the two-dimensional adequacy metric
+// ----------------------------------------------------------------------
+
+/// One measured Figure 2 sample point.
+#[derive(Debug, Clone)]
+pub struct Figure2Point {
+    /// What was run.
+    pub label: String,
+    /// The coverage point.
+    pub point: AdequacyPoint,
+    /// Its region.
+    pub region: AdequacyRegion,
+}
+
+/// The four measured sample points of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Figure2Result {
+    /// Points 1–4, in the paper's numbering.
+    pub points: Vec<Figure2Point>,
+}
+
+impl Figure2Result {
+    /// Renders the measured points.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 2: test adequacy metric (measured sample points)");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  point {}: {:<34} interaction={:.2} fault={:.2} -> {}",
+                i + 1,
+                p.label,
+                p.point.interaction,
+                p.point.fault,
+                p.region
+            );
+        }
+        s
+    }
+}
+
+/// Runs four campaigns reproducing the four sample points of Figure 2.
+pub fn figure2() -> Figure2Result {
+    let thresholds = AdequacyThresholds::default();
+    let setup = worlds::turnin_world();
+    let restricted = CampaignOptions { max_sites: Some(3), max_faults_per_site: Some(2), ..Default::default() };
+
+    let mk = |label: &str, report: &CampaignReport| {
+        let point = report.adequacy();
+        Figure2Point { label: label.to_string(), point, region: point.region(thresholds) }
+    };
+    let p1 = Campaign::new(&Turnin, &setup).with_options(restricted.clone()).execute();
+    let p2 = Campaign::new(&TurninFixed, &setup).with_options(restricted).execute();
+    let p3 = Campaign::new(&Turnin, &setup).execute();
+    let p4 = Campaign::new(&TurninFixed, &setup).execute();
+    Figure2Result {
+        points: vec![
+            mk("turnin, 3 sites x 2 faults", &p1),
+            mk("turnin-fixed, 3 sites x 2 faults", &p2),
+            mk("turnin, full campaign", &p3),
+            mk("turnin-fixed, full campaign", &p4),
+        ],
+    }
+}
+
+// ----------------------------------------------------------------------
+// §3.4: the lpr example
+// ----------------------------------------------------------------------
+
+/// The measured §3.4 lpr experiment.
+#[derive(Debug, Clone)]
+pub struct LprResult {
+    /// Table 6 file-system attributes considered (the paper's list of 7).
+    pub candidate_attributes: usize,
+    /// Attributes applicable at the `create` interaction.
+    pub applicable: usize,
+    /// Faults injected.
+    pub injected: usize,
+    /// Faults that caused a violation.
+    pub violations: usize,
+    /// Per-fault outcome lines.
+    pub outcomes: Vec<String>,
+}
+
+impl LprResult {
+    /// Renders the experiment.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Paper §3.4 — lpr `create` interaction point");
+        let _ = writeln!(
+            s,
+            "  candidate file attributes: {}   applicable: {}   injected: {}   violations: {}",
+            self.candidate_attributes, self.applicable, self.injected, self.violations
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(s, "  {o}");
+        }
+        s
+    }
+}
+
+/// Reproduces the paper's §3.4 walkthrough: perturb only the `create`
+/// interaction of `lpr` and observe which attributes it tolerates.
+pub fn lpr_34() -> LprResult {
+    let setup = worlds::lpr_world();
+    let mut filter = BTreeSet::new();
+    filter.insert(SiteId::new("lpr:create_spool"));
+    let report = Campaign::new(&Lpr, &setup)
+        .with_options(CampaignOptions { site_filter: Some(filter), ..Default::default() })
+        .execute();
+    let outcomes = report
+        .records
+        .iter()
+        .map(|r| {
+            let verdict = if r.tolerated() { "tolerated" } else { "VIOLATION" };
+            format!("{:<55} -> {verdict}", r.fault_id)
+        })
+        .collect();
+    LprResult {
+        candidate_attributes: FsAttribute::ALL.len(),
+        applicable: report.injected(),
+        injected: report.injected(),
+        violations: report.violated(),
+        outcomes,
+    }
+}
+
+// ----------------------------------------------------------------------
+// §4.1: turnin
+// ----------------------------------------------------------------------
+
+/// The measured §4.1 turnin experiment.
+#[derive(Debug, Clone)]
+pub struct TurninResult {
+    /// The full campaign report (vulnerable turnin).
+    pub report: CampaignReport,
+    /// The fixed variant's report.
+    pub fixed: CampaignReport,
+}
+
+impl TurninResult {
+    /// Renders the experiment against the paper's numbers.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Paper §4.1 — turnin");
+        let _ = writeln!(
+            s,
+            "  interaction points: {} (paper: 8)   perturbations: {} (paper: 41)   violations: {} (paper: 9)",
+            self.report.total_sites,
+            self.report.injected(),
+            self.report.violated()
+        );
+        for (site, injected, violated) in self.report.by_site() {
+            let _ = writeln!(s, "    {site:<28} {injected:>2} injected  {violated} violations");
+        }
+        for r in self.report.violations() {
+            let _ = writeln!(s, "  VIOLATION {:<50} @ {}", r.fault_id, r.site);
+        }
+        let _ = writeln!(
+            s,
+            "  turnin-fixed: {} injected, {} violations (fault coverage {})",
+            self.fixed.injected(),
+            self.fixed.violated(),
+            self.fixed.fault_coverage()
+        );
+        s
+    }
+}
+
+/// Runs the full turnin campaign (and the fixed variant).
+pub fn turnin_41() -> TurninResult {
+    let setup = worlds::turnin_world();
+    TurninResult {
+        report: Campaign::new(&Turnin, &setup).execute(),
+        fixed: Campaign::new(&TurninFixed, &setup).execute(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// §4.2: the NT registry
+// ----------------------------------------------------------------------
+
+/// The measured §4.2 registry experiment.
+#[derive(Debug, Clone)]
+pub struct RegistryResult {
+    /// Unprotected keys in the registry (paper: 29).
+    pub unprotected: usize,
+    /// Keys consumed by the modeled modules (paper: 9 exercised).
+    pub exercised: usize,
+    /// Exercised keys whose perturbation produced a violation (paper: 9).
+    pub exploited: usize,
+    /// Per-key outcome lines.
+    pub per_key: Vec<String>,
+}
+
+impl RegistryResult {
+    /// Renders the experiment.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Paper §4.2 — Windows NT registry");
+        let _ = writeln!(
+            s,
+            "  unprotected keys: {} (paper: 29)   exercised by modules: {}   exploited: {} (paper: 9)",
+            self.unprotected, self.exercised, self.exploited
+        );
+        for k in &self.per_key {
+            let _ = writeln!(s, "  {k}");
+        }
+        let _ = writeln!(
+            s,
+            "  remaining {} unprotected keys are consumed by no modeled module (the paper's speculation set)",
+            self.unprotected - self.exercised
+        );
+        s
+    }
+}
+
+/// Runs the fontpurge and ntlogon campaigns and counts exploited keys.
+pub fn registry_42() -> RegistryResult {
+    let font_setup = worlds::fontpurge_world();
+    let unprotected = font_setup.world.registry.unprotected_keys().len();
+    let font_report = Campaign::new(&FontPurge, &font_setup).execute();
+    let logon_setup = worlds::ntlogon_world();
+    let logon_report = Campaign::new(&NtLogon, &logon_setup).execute();
+
+    let mut per_key = Vec::new();
+    let mut exploited = 0usize;
+    let mut exercised = 0usize;
+    // The five font keys map to fontpurge's read sites.
+    for i in 0..epa_apps::fontpurge::FONT_KEYS {
+        exercised += 1;
+        let site = format!("fontpurge:read_key{i}");
+        let violated = font_report
+            .records
+            .iter()
+            .filter(|r| r.site == site && !r.tolerated())
+            .count();
+        if violated > 0 {
+            exploited += 1;
+        }
+        per_key.push(format!(
+            "HKLM/Software/Fonts/Cache{i:<2} -> {violated} violating perturbations ({})",
+            if violated > 0 { "EXPLOITED" } else { "held" }
+        ));
+    }
+    // The four logon keys map to ntlogon's read sites.
+    for name in epa_apps::ntlogon::LOGON_KEYS {
+        exercised += 1;
+        let site = format!("ntlogon:read_{}", name.to_lowercase());
+        let violated = logon_report
+            .records
+            .iter()
+            .filter(|r| r.site == site && !r.tolerated())
+            .count();
+        if violated > 0 {
+            exploited += 1;
+        }
+        per_key.push(format!(
+            "HKLM/Software/Logon/{name:<10} -> {violated} violating perturbations ({})",
+            if violated > 0 { "EXPLOITED" } else { "held" }
+        ));
+    }
+    RegistryResult { unprotected, exercised, exploited, per_key }
+}
+
+// ----------------------------------------------------------------------
+// §5: comparison against Fuzz and AVA
+// ----------------------------------------------------------------------
+
+/// One application's comparison row.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Application name.
+    pub app: String,
+    /// Distinct violation rules EPA (this paper's method) surfaced.
+    pub epa_rules: BTreeSet<String>,
+    /// Distinct rules Fuzz surfaced.
+    pub fuzz_rules: BTreeSet<String>,
+    /// Distinct rules AVA surfaced.
+    pub ava_rules: BTreeSet<String>,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonResult {
+    /// Rows, one per application.
+    pub rows: Vec<ComparisonRow>,
+    /// Runs used per baseline.
+    pub baseline_runs: usize,
+}
+
+impl ComparisonResult {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Paper §5 — what each technique surfaces ({} runs per baseline; distinct violated policy rules)",
+            self.baseline_runs
+        );
+        let _ = writeln!(s, "  {:<12} {:>5} {:>5} {:>5}   EPA-only rules", "app", "EPA", "Fuzz", "AVA");
+        for row in &self.rows {
+            let epa_only: Vec<&String> = row
+                .epa_rules
+                .iter()
+                .filter(|r| !row.fuzz_rules.contains(*r) && !row.ava_rules.contains(*r))
+                .collect();
+            let _ = writeln!(
+                s,
+                "  {:<12} {:>5} {:>5} {:>5}   {}",
+                row.app,
+                row.epa_rules.len(),
+                row.fuzz_rules.len(),
+                row.ava_rules.len(),
+                epa_only.iter().map(|r| r.as_str()).collect::<Vec<_>>().join(", ")
+            );
+        }
+        s
+    }
+}
+
+fn rules_of(report: &BaselineReport) -> BTreeSet<String> {
+    report.distinct_rules()
+}
+
+/// Runs EPA, Fuzz and AVA over three applications with a shared budget.
+pub fn comparison() -> ComparisonResult {
+    let runs = 60;
+    let mut rows = Vec::new();
+
+    let cases: Vec<(&dyn Application, TestSetup, FuzzTarget)> = vec![
+        (&Turnin, worlds::turnin_world(), FuzzTarget::Args),
+        (
+            &Fingerd,
+            worlds::fingerd_world(),
+            FuzzTarget::Net { port: epa_apps::fingerd::FINGER_PORT, from: "trusted.cs.example.edu".into() },
+        ),
+        (
+            &MailNotify,
+            worlds::mailnotify_world(),
+            FuzzTarget::Ipc { channel: epa_apps::mailnotify::CHANNEL.into(), from: "maild".into() },
+        ),
+    ];
+    for (app, setup, target) in cases {
+        let epa_report = Campaign::new(app, &setup).execute();
+        let epa_rules: BTreeSet<String> = epa_report
+            .violations()
+            .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
+            .collect();
+        let fuzz = run_fuzz(&setup, app, &FuzzOptions { runs, seed: 17, max_len: 6000, target });
+        let ava = run_ava(&setup, app, &AvaOptions { runs, seed: 17, intensity: 0.8 });
+        rows.push(ComparisonRow {
+            app: app.name().to_string(),
+            epa_rules,
+            fuzz_rules: rules_of(&fuzz),
+            ava_rules: rules_of(&ava),
+        });
+    }
+    ComparisonResult { rows, baseline_runs: runs }
+}
+
+// ----------------------------------------------------------------------
+// Ablation: injection placement (paper §3.3 step 6)
+// ----------------------------------------------------------------------
+
+/// A deliberately wrong hook: applies direct faults *after* the interaction.
+struct AfterPlacementHook {
+    plan: InjectionPlan,
+    fired: bool,
+}
+
+impl Interceptor for AfterPlacementHook {
+    fn before(&mut self, _os: &mut Os, _point: &InteractionRef, _call: &Syscall) {}
+
+    fn after(&mut self, os: &mut Os, point: &InteractionRef, _result: &mut SysResult<SysReturn>) {
+        if self.fired || point.site != self.plan.site || point.occurrence != self.plan.occurrence {
+            return;
+        }
+        if let FaultPayload::Direct(df) = &self.plan.fault.payload {
+            if df.apply(os, point.pid).is_ok() {
+                self.fired = true;
+            }
+        }
+    }
+}
+
+/// Placement-ablation outcome.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// Violations when direct faults are injected before the point (correct).
+    pub before_violations: usize,
+    /// Violations when the same faults land after the point (wrong).
+    pub after_violations: usize,
+    /// Faults used.
+    pub injected: usize,
+}
+
+impl PlacementResult {
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Ablation — direct-fault injection placement (paper §3.3 step 6)");
+        let _ = writeln!(
+            s,
+            "  {} direct faults at lpr's create: before-point -> {} violations; after-point -> {} violations",
+            self.injected, self.before_violations, self.after_violations
+        );
+        let _ = writeln!(s, "  (a perturbation that arrives after the interaction has already happened misses it)");
+        s
+    }
+}
+
+/// Injects lpr's create-site faults before vs after the interaction point.
+pub fn placement() -> PlacementResult {
+    let setup = worlds::lpr_world();
+    let mut filter = BTreeSet::new();
+    filter.insert(SiteId::new("lpr:create_spool"));
+    let campaign = Campaign::new(&Lpr, &setup)
+        .with_options(CampaignOptions { site_filter: Some(filter), ..Default::default() });
+    let plan = campaign.plan();
+    let faults: Vec<ConcreteFault> = plan
+        .sites
+        .iter()
+        .filter(|s| s.included)
+        .flat_map(|s| s.faults.clone())
+        .collect();
+    let before = campaign.execute_plan(&plan);
+
+    let mut after_violations = 0usize;
+    for fault in &faults {
+        let hook = AfterPlacementHook {
+            plan: InjectionPlan { site: SiteId::new("lpr:create_spool"), occurrence: 0, fault: fault.clone() },
+            fired: false,
+        };
+        let outcome = run_once(&setup, &Lpr, Some(Box::new(hook)));
+        if !outcome.violations.is_empty() {
+            after_violations += 1;
+        }
+    }
+    PlacementResult {
+        before_violations: before.violated(),
+        after_violations,
+        injected: faults.len(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ablation: semantic patterns vs random mutation (paper §3.1)
+// ----------------------------------------------------------------------
+
+/// Pattern-vs-random ablation outcome.
+#[derive(Debug, Clone)]
+pub struct PatternsResult {
+    /// Catalog faults injected and the violations they produced.
+    pub catalog: (usize, usize),
+    /// Random-input runs and the runs that produced violations.
+    pub random: (usize, usize),
+    /// Distinct rules the catalog surfaced that random input did not.
+    pub catalog_only_rules: BTreeSet<String>,
+}
+
+impl PatternsResult {
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Ablation — semantic fault patterns vs random input (paper §3.1)");
+        let _ = writeln!(
+            s,
+            "  catalog: {} faults -> {} violations   random: {} runs -> {} detecting runs",
+            self.catalog.0, self.catalog.1, self.random.0, self.random.1
+        );
+        let _ = writeln!(
+            s,
+            "  rules only the semantic catalog surfaced: {}",
+            self.catalog_only_rules.iter().cloned().collect::<Vec<_>>().join(", ")
+        );
+        s
+    }
+}
+
+/// Compares the 41-fault turnin catalog against an equal-budget random
+/// argument fuzz.
+pub fn patterns() -> PatternsResult {
+    let setup = worlds::turnin_world();
+    let report = Campaign::new(&Turnin, &setup).execute();
+    let catalog_rules: BTreeSet<String> = report
+        .violations()
+        .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
+        .collect();
+    let budget = report.injected();
+    let fuzz = run_fuzz(
+        &setup,
+        &Turnin,
+        &FuzzOptions { runs: budget, seed: 5, max_len: 6000, target: FuzzTarget::Args },
+    );
+    let fuzz_rules = fuzz.distinct_rules();
+    PatternsResult {
+        catalog: (report.injected(), report.violated()),
+        random: (fuzz.runs(), fuzz.detections()),
+        catalog_only_rules: catalog_rules.difference(&fuzz_rules).cloned().collect(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sanity: every clean world is violation-free
+// ----------------------------------------------------------------------
+
+/// Checks that every model application runs violation-free unperturbed —
+/// the precondition for attributing campaign violations to injected faults.
+pub fn clean_baseline() -> Vec<(String, usize)> {
+    let engine = PolicyEngine::new();
+    let cases: Vec<(&dyn Application, TestSetup)> = vec![
+        (&Lpr, worlds::lpr_world()),
+        (&Turnin, worlds::turnin_world()),
+        (&FontPurge, worlds::fontpurge_world()),
+        (&NtLogon, worlds::ntlogon_world()),
+        (&Fingerd, worlds::fingerd_world()),
+        (&Authd, worlds::authd_world()),
+        (&MailNotify, worlds::mailnotify_world()),
+        (&Backupd, worlds::backupd_world()),
+    ];
+    cases
+        .into_iter()
+        .map(|(app, setup)| {
+            let out = run_once(&setup, app, None);
+            let n = engine.evaluate(&out.os.audit).len();
+            (app.name().to_string(), n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_baselines_are_all_zero() {
+        for (app, violations) in clean_baseline() {
+            assert_eq!(violations, 0, "{app} must be violation-free unperturbed");
+        }
+    }
+
+    #[test]
+    fn lpr_34_matches_paper() {
+        let r = lpr_34();
+        assert_eq!(r.candidate_attributes, 7);
+        assert_eq!(r.injected, 4);
+        assert_eq!(r.violations, 4);
+    }
+
+    #[test]
+    fn placement_ablation_shows_the_asymmetry() {
+        let r = placement();
+        assert_eq!(r.before_violations, 4);
+        assert_eq!(r.after_violations, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Comparator techniques from the paper's related-work discussion (§5).
+//!
+//! * [`fuzz`] — Miller et al.'s random-input testing: no environment
+//!   perturbation, no semantics; just random bytes at the program.
+//! * [`ava`] — Ghosh et al.'s Adaptive Vulnerability Analysis: perturb the
+//!   *internal state* the program computes from its inputs, rather than the
+//!   environment itself.
+//!
+//! Both share the sandbox, oracle, and worlds with the EAI campaigns, so the
+//! comparison bench isolates exactly one variable: *what gets perturbed*.
+
+pub mod ava;
+pub mod fuzz;
+
+use serde::{Deserialize, Serialize};
+
+use epa_sandbox::policy::Violation;
+
+/// One baseline run's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRecord {
+    /// Short description of the perturbation/input used.
+    pub input: String,
+    /// Exit status (`None` = panic).
+    pub exit: Option<i32>,
+    /// Whether the application panicked.
+    pub crashed: bool,
+    /// Oracle-detected violations.
+    pub violations: Vec<Violation>,
+}
+
+impl BaselineRecord {
+    /// True when the run produced at least one violation.
+    pub fn detected(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// A baseline technique's report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Technique name (`"fuzz"` / `"ava"`).
+    pub technique: String,
+    /// Application under test.
+    pub app: String,
+    /// All runs.
+    pub records: Vec<BaselineRecord>,
+}
+
+impl BaselineReport {
+    /// Number of runs.
+    pub fn runs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Runs that detected a violation.
+    pub fn detections(&self) -> usize {
+        self.records.iter().filter(|r| r.detected()).count()
+    }
+
+    /// Runs that crashed the application.
+    pub fn crashes(&self) -> usize {
+        self.records.iter().filter(|r| r.crashed).count()
+    }
+
+    /// The distinct violation rules detected across all runs — the measure
+    /// used to compare *which flaws* a technique can surface.
+    pub fn distinct_rules(&self) -> std::collections::BTreeSet<String> {
+        self.records
+            .iter()
+            .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let rep = BaselineReport {
+            technique: "fuzz".into(),
+            app: "demo".into(),
+            records: vec![
+                BaselineRecord { input: "a".into(), exit: Some(0), crashed: false, violations: vec![] },
+                BaselineRecord {
+                    input: "b".into(),
+                    exit: None,
+                    crashed: true,
+                    violations: vec![epa_sandbox::policy::Violation {
+                        kind: epa_sandbox::policy::ViolationKind::MemoryCorruption,
+                        rule: "R4-memory-safety".into(),
+                        description: "overflow".into(),
+                        event_index: 0,
+                    }],
+                },
+            ],
+        };
+        assert_eq!(rep.runs(), 2);
+        assert_eq!(rep.detections(), 1);
+        assert_eq!(rep.crashes(), 1);
+        assert!(rep.distinct_rules().contains("R4-memory-safety"));
+    }
+}

@@ -1,0 +1,520 @@
+//! The testing procedure of paper §3.3, as an engine.
+//!
+//! A [`Campaign`] takes an application, a pristine world, and options, then:
+//!
+//! 1. runs the application unperturbed and records the execution trace
+//!    (steps 1–3: enumerate interaction points and whether they take input);
+//! 2. builds the applicable fault list per interaction point from the
+//!    catalog (steps 4–5);
+//! 3. re-runs the application once per fault from a fresh clone of the
+//!    world, injecting the fault before/after the targeted point (steps
+//!    6–7) and asking the policy oracle for violations (step 8);
+//! 4. reports interaction coverage, fault coverage, and the vulnerability
+//!    assessment score (steps 9–10).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::AssertUnwindSafe;
+
+use epa_sandbox::app::Application;
+use epa_sandbox::audit::AuditEvent;
+use epa_sandbox::cred::Uid;
+use epa_sandbox::os::Os;
+use epa_sandbox::policy::{PolicyEngine, Violation};
+use epa_sandbox::process::Pid;
+use epa_sandbox::syscall::Interceptor;
+use epa_sandbox::trace::{SiteId, SiteSummary};
+
+use crate::catalog::{faults_for_site, DirectContext};
+use crate::inject::{InjectionHook, InjectionPlan};
+use crate::perturb::ConcreteFault;
+use crate::report::{CampaignReport, FaultRecord};
+
+/// Everything needed to (re)start the application under test: the pristine
+/// world plus the spawn parameters.
+#[derive(Debug, Clone)]
+pub struct TestSetup {
+    /// The pristine world; cloned for every run.
+    pub world: Os,
+    /// Path of the program file to spawn from (SUID semantics apply); `None`
+    /// spawns with the invoker's plain credentials.
+    pub program: Option<String>,
+    /// Who invokes the program.
+    pub invoker: Uid,
+    /// Argument vector.
+    pub args: Vec<String>,
+    /// Environment variables.
+    pub env: BTreeMap<String, String>,
+    /// Initial working directory.
+    pub cwd: String,
+}
+
+impl TestSetup {
+    /// Builds a setup with the world's scenario invoker, no program file,
+    /// empty args/env, and `/` as the working directory.
+    pub fn new(world: Os) -> Self {
+        let invoker = world.scenario.invoker;
+        TestSetup {
+            world,
+            program: None,
+            invoker,
+            args: Vec::new(),
+            env: BTreeMap::new(),
+            cwd: "/".to_string(),
+        }
+    }
+
+    /// Sets the program file (enabling SUID).
+    pub fn program(mut self, path: impl Into<String>) -> Self {
+        self.program = Some(path.into());
+        self
+    }
+
+    /// Sets the argument vector.
+    pub fn args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.args = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets one environment variable.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.env.insert(key.into(), value.into());
+        self
+    }
+
+    /// Sets the working directory.
+    pub fn cwd(mut self, dir: impl Into<String>) -> Self {
+        self.cwd = dir.into();
+        self
+    }
+
+    /// Sets the invoking user (defaults to the world's scenario invoker).
+    /// System services are spawned by root while the scenario invoker stays
+    /// the user on whose behalf the oracle judges outcomes.
+    pub fn invoker(mut self, uid: Uid) -> Self {
+        self.invoker = uid;
+        self
+    }
+}
+
+/// The observable outcome of one run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The world after the run (trace + audit included).
+    pub os: Os,
+    /// The spawned process, if the spawn succeeded.
+    pub pid: Option<Pid>,
+    /// Exit status (`None` when the application panicked or never spawned).
+    pub exit: Option<i32>,
+    /// Whether the application panicked.
+    pub crashed: bool,
+    /// Violations detected by the oracle.
+    pub violations: Vec<Violation>,
+}
+
+/// Runs the application once against a clone of the setup's world, with an
+/// optional injection hook installed.
+pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn Interceptor>>) -> RunOutcome {
+    let mut os = setup.world.clone();
+    if let Some(h) = hook {
+        os.set_interceptor(h);
+    }
+    let pid = match os.spawn(
+        setup.invoker,
+        setup.program.as_deref(),
+        setup.args.clone(),
+        setup.env.clone(),
+        &setup.cwd,
+    ) {
+        Ok(p) => p,
+        Err(_) => {
+            let violations = PolicyEngine::new().evaluate(&os.audit);
+            return RunOutcome { os, pid: None, exit: None, crashed: false, violations };
+        }
+    };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| app.run(&mut os, pid)));
+    let (exit, crashed) = match result {
+        Ok(code) => (Some(code), false),
+        Err(_) => (None, true),
+    };
+    if let Some(c) = exit {
+        os.set_exit(pid, c);
+    }
+    let violations = PolicyEngine::new().evaluate(&os.audit);
+    RunOutcome { os, pid: Some(pid), exit, crashed, violations }
+}
+
+/// Campaign tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Perturb only these sites (by id); `None` perturbs all.
+    pub site_filter: Option<BTreeSet<SiteId>>,
+    /// Perturb at most this many sites (in first-execution order).
+    pub max_sites: Option<usize>,
+    /// Inject at most this many faults per site.
+    pub max_faults_per_site: Option<usize>,
+    /// Run injected experiments on worker threads.
+    pub parallel: bool,
+}
+
+/// One interaction point with its planned fault list.
+#[derive(Debug, Clone)]
+pub struct PlannedSite {
+    /// The traced site.
+    pub summary: SiteSummary,
+    /// Whether the options include it in the perturbation set.
+    pub included: bool,
+    /// The applicable faults (already truncated to any per-site limit).
+    pub faults: Vec<ConcreteFault>,
+}
+
+/// The campaign plan: the clean run plus the per-site fault lists.
+#[derive(Debug)]
+pub struct CampaignPlan {
+    /// The unperturbed run.
+    pub clean: RunOutcome,
+    /// Every traced site, included or not.
+    pub sites: Vec<PlannedSite>,
+}
+
+impl CampaignPlan {
+    /// Total faults across included sites.
+    pub fn total_faults(&self) -> usize {
+        self.sites.iter().filter(|s| s.included).map(|s| s.faults.len()).sum()
+    }
+
+    /// The flat list of injections to perform.
+    pub fn jobs(&self) -> Vec<InjectionPlan> {
+        self.sites
+            .iter()
+            .filter(|s| s.included)
+            .flat_map(|s| {
+                s.faults.iter().map(|f| InjectionPlan {
+                    site: s.summary.site.clone(),
+                    occurrence: 0,
+                    fault: f.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// The methodology engine.
+pub struct Campaign<'a> {
+    app: &'a dyn Application,
+    setup: &'a TestSetup,
+    options: CampaignOptions,
+}
+
+impl<'a> Campaign<'a> {
+    /// Builds a campaign with default options.
+    pub fn new(app: &'a dyn Application, setup: &'a TestSetup) -> Self {
+        Campaign { app, setup, options: CampaignOptions::default() }
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: CampaignOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Steps 1–5: trace the application and build the fault plan.
+    pub fn plan(&self) -> CampaignPlan {
+        let clean = run_once(self.setup, self.app, None);
+        let summaries = clean.os.trace.sites();
+        let reaccessed = clean.os.trace.reaccessed_files();
+        let mut exec_resolutions: BTreeMap<String, String> = BTreeMap::new();
+        for ev in clean.os.audit.events() {
+            if let AuditEvent::Exec { requested, resolved, .. } = ev {
+                exec_resolutions.entry(requested.clone()).or_insert_with(|| resolved.clone());
+            }
+        }
+        let ctx = DirectContext {
+            scenario: &self.setup.world.scenario,
+            reaccessed: &reaccessed,
+            exec_resolutions: &exec_resolutions,
+            cwd: &self.setup.cwd,
+        };
+        let mut sites = Vec::new();
+        let mut taken = 0usize;
+        for summary in summaries {
+            let mut included = match &self.options.site_filter {
+                Some(filter) => filter.contains(&summary.site),
+                None => true,
+            };
+            if included {
+                if let Some(max) = self.options.max_sites {
+                    if taken >= max {
+                        included = false;
+                    }
+                }
+            }
+            let mut faults = faults_for_site(&summary, &ctx);
+            if let Some(limit) = self.options.max_faults_per_site {
+                faults.truncate(limit);
+            }
+            if included && !faults.is_empty() {
+                taken += 1;
+            }
+            sites.push(PlannedSite { summary, included, faults });
+        }
+        CampaignPlan { clean, sites }
+    }
+
+    fn run_job(&self, job: &InjectionPlan) -> FaultRecord {
+        let (hook, fired) = InjectionHook::new(job.clone());
+        let outcome = run_once(self.setup, self.app, Some(Box::new(hook)));
+        FaultRecord {
+            site: job.site.to_string(),
+            occurrence: job.occurrence,
+            fault_id: job.fault.id.clone(),
+            category: job.fault.category,
+            description: job.fault.description.clone(),
+            applied: fired.get(),
+            exit: outcome.exit,
+            crashed: outcome.crashed,
+            violations: outcome.violations,
+        }
+    }
+
+    /// Steps 6–10: execute the plan and report.
+    pub fn execute(&self) -> CampaignReport {
+        let plan = self.plan();
+        self.execute_plan(&plan)
+    }
+
+    /// The paper's §3.3 step 9: inject site by site, stopping as soon as
+    /// the interaction-coverage criterion is satisfied.
+    ///
+    /// Returns the report of the incremental campaign; its interaction
+    /// coverage is the smallest prefix coverage `>= criterion` (or the full
+    /// campaign when the criterion is unreachable).
+    pub fn execute_until(&self, min_interaction_coverage: f64) -> CampaignReport {
+        let full = self.plan();
+        let perturbable: Vec<&PlannedSite> =
+            full.sites.iter().filter(|s| s.included && !s.faults.is_empty()).collect();
+        let total = full.sites.iter().filter(|s| !s.faults.is_empty()).count();
+        let mut records = Vec::new();
+        let mut covered = 0usize;
+        for site in &perturbable {
+            for fault in &site.faults {
+                let job = InjectionPlan { site: site.summary.site.clone(), occurrence: 0, fault: fault.clone() };
+                records.push(self.run_job(&job));
+            }
+            covered += 1;
+            if total > 0 && covered as f64 / total as f64 >= min_interaction_coverage {
+                break;
+            }
+        }
+        CampaignReport {
+            app: self.app.name().to_string(),
+            total_sites: total,
+            perturbed_sites: covered,
+            clean_violations: full.clean.violations.len(),
+            records,
+        }
+    }
+
+    /// Executes a pre-built plan (lets callers inspect or prune it first).
+    pub fn execute_plan(&self, plan: &CampaignPlan) -> CampaignReport {
+        let jobs = plan.jobs();
+        let records: Vec<FaultRecord> = if self.options.parallel && jobs.len() > 1 {
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len());
+            let mut indexed: Vec<(usize, FaultRecord)> = crossbeam::thread::scope(|scope| {
+                let (tx, rx) = std::sync::mpsc::channel::<(usize, FaultRecord)>();
+                let jobs_ref = &jobs;
+                for w in 0..workers {
+                    let tx = tx.clone();
+                    let this = &*self;
+                    scope.spawn(move |_| {
+                        for (i, job) in jobs_ref.iter().enumerate() {
+                            if i % workers == w {
+                                let _ = tx.send((i, this.run_job(job)));
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                rx.iter().collect()
+            })
+            .expect("campaign worker panicked");
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        } else {
+            jobs.iter().map(|j| self.run_job(j)).collect()
+        };
+
+        // Interaction points, in the paper's sense, are the places where the
+        // catalog has something to perturb — pure-output sites (prints) have
+        // no applicable faults and do not count against coverage.
+        let perturbable = plan.sites.iter().filter(|s| !s.faults.is_empty()).count();
+        let perturbed_sites = plan.sites.iter().filter(|s| s.included && !s.faults.is_empty()).count();
+        CampaignReport {
+            app: self.app.name().to_string(),
+            total_sites: perturbable,
+            perturbed_sites,
+            clean_violations: plan.clean.violations.len(),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sandbox::cred::Gid;
+    use epa_sandbox::mode::Mode;
+    use epa_sandbox::trace::InputSemantic;
+
+    /// A tiny lpr-like program: create a spool file, write the job to it.
+    struct MiniLpr;
+    impl Application for MiniLpr {
+        fn name(&self) -> &'static str {
+            "mini-lpr"
+        }
+        fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+            let job = match os.sys_arg(pid, "lpr:arg", 0, InputSemantic::UserFileName) {
+                Ok(j) => j,
+                Err(_) => return 2,
+            };
+            // Vulnerable: creat without O_EXCL, like the BSD lpr of §3.4.
+            if os.sys_write_file(pid, "lpr:create", "/var/spool/lpd/job", job, 0o660).is_err() {
+                let _ = os.sys_print(pid, "lpr:err", "lpr: cannot create spool file\n");
+                return 1;
+            }
+            0
+        }
+    }
+
+    fn setup() -> TestSetup {
+        let mut os = Os::new();
+        os.users.add("root", Uid::ROOT, Gid::ROOT, "/root");
+        os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+        os.users.add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
+        os.fs.mkdir_p("/var/spool/lpd", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        os.fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        os.fs.put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
+        os.fs.put_file("/usr/bin/lpr", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755)).unwrap();
+        crate::perturb::tag_standard_targets(&mut os);
+        TestSetup::new(os).program("/usr/bin/lpr").args(["report.txt"])
+    }
+
+    #[test]
+    fn clean_run_is_violation_free() {
+        let s = setup();
+        let out = run_once(&s, &MiniLpr, None);
+        assert_eq!(out.exit, Some(0));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.os.trace.sites().len(), 2);
+    }
+
+    #[test]
+    fn plan_enumerates_sites_and_faults() {
+        let s = setup();
+        let c = Campaign::new(&MiniLpr, &s);
+        let plan = c.plan();
+        assert_eq!(plan.sites.len(), 2);
+        // Site 1 (arg): 5 user-file-name indirect faults.
+        assert_eq!(plan.sites[0].faults.len(), 5);
+        // Site 2 (create): 4 direct file faults, as in §3.4.
+        assert_eq!(plan.sites[1].faults.len(), 4);
+        assert_eq!(plan.total_faults(), 9);
+    }
+
+    #[test]
+    fn execute_detects_the_lpr_vulnerabilities() {
+        let s = setup();
+        let report = Campaign::new(&MiniLpr, &s).execute();
+        assert_eq!(report.clean_violations, 0);
+        assert_eq!(report.injected(), 9);
+        // The four create-site perturbations all defeat the naive creat.
+        let create_violations: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.site == "lpr:create" && !r.tolerated())
+            .map(|r| r.fault_id.clone())
+            .collect();
+        assert_eq!(create_violations.len(), 4, "{create_violations:?}");
+        assert_eq!(report.perturbed_sites, 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let s = setup();
+        let seq = Campaign::new(&MiniLpr, &s).execute();
+        let par = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions { parallel: true, ..Default::default() })
+            .execute();
+        assert_eq!(seq.injected(), par.injected());
+        assert_eq!(seq.violated(), par.violated());
+        let seq_ids: Vec<_> = seq.records.iter().map(|r| &r.fault_id).collect();
+        let par_ids: Vec<_> = par.records.iter().map(|r| &r.fault_id).collect();
+        assert_eq!(seq_ids, par_ids, "records must come back in plan order");
+    }
+
+    #[test]
+    fn options_limit_sites_and_faults() {
+        let s = setup();
+        let report = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                max_sites: Some(1),
+                max_faults_per_site: Some(2),
+                ..Default::default()
+            })
+            .execute();
+        assert_eq!(report.perturbed_sites, 1);
+        assert_eq!(report.injected(), 2);
+        assert!(report.interaction_coverage().value() < 1.0);
+    }
+
+    #[test]
+    fn site_filter_selects_specific_points() {
+        let s = setup();
+        let mut filter = BTreeSet::new();
+        filter.insert(SiteId::new("lpr:create"));
+        let report = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions { site_filter: Some(filter), ..Default::default() })
+            .execute();
+        assert!(report.records.iter().all(|r| r.site == "lpr:create"));
+        assert_eq!(report.injected(), 4);
+    }
+
+    #[test]
+    fn execute_until_stops_at_the_criterion() {
+        let s = setup();
+        // MiniLpr has two perturbable sites; 0.5 coverage stops after one.
+        let half = Campaign::new(&MiniLpr, &s).execute_until(0.5);
+        assert_eq!(half.perturbed_sites, 1);
+        assert_eq!(half.interaction_coverage().value(), 0.5);
+        assert!(half.injected() < 9);
+        // 1.0 coverage runs everything.
+        let full = Campaign::new(&MiniLpr, &s).execute_until(1.0);
+        assert_eq!(full.perturbed_sites, 2);
+        assert_eq!(full.injected(), 9);
+        // An unreachable criterion also runs everything (and reports < 1.0
+        // only if sites were excluded, which they are not here).
+        let over = Campaign::new(&MiniLpr, &s).execute_until(2.0);
+        assert_eq!(over.perturbed_sites, 2);
+    }
+
+    struct Panicker;
+    impl Application for Panicker {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+        fn run(&self, _os: &mut Os, _pid: Pid) -> i32 {
+            panic!("deliberate crash for harness robustness");
+        }
+    }
+
+    #[test]
+    fn harness_survives_a_panicking_application() {
+        let s = setup();
+        let out = run_once(&s, &Panicker, None);
+        assert!(out.crashed);
+        assert_eq!(out.exit, None);
+    }
+}

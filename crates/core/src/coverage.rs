@@ -1,0 +1,171 @@
+//! The two-dimensional test-adequacy metric (paper §3.2, Figure 2).
+//!
+//! * **Interaction coverage** — how many of the application's environment
+//!   interaction points were perturbed;
+//! * **Fault coverage** — what fraction of the injected faults the
+//!   application tolerated (no security violation).
+//!
+//! The paper's Figure 2 divides the plane into four regions around its four
+//! sample points: tests with low interaction coverage are *inadequate*
+//! regardless of fault coverage; high interaction coverage with low fault
+//! coverage marks an *insecure* application; high/high is the *safe* region.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A ratio with explicit numerator/denominator (so reports can show counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    /// Numerator.
+    pub hits: usize,
+    /// Denominator.
+    pub total: usize,
+}
+
+impl Ratio {
+    /// Builds a ratio.
+    pub fn new(hits: usize, total: usize) -> Self {
+        Ratio { hits, total }
+    }
+
+    /// The ratio as a float; 1.0 for an empty denominator (vacuous truth:
+    /// nothing to cover means fully covered).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.value() * 100.0)
+    }
+}
+
+/// A point on the paper's Figure 2 plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdequacyPoint {
+    /// Interaction coverage in `[0, 1]`.
+    pub interaction: f64,
+    /// Fault coverage in `[0, 1]`.
+    pub fault: f64,
+}
+
+impl AdequacyPoint {
+    /// Builds a point, clamping both coordinates into `[0, 1]`.
+    pub fn new(interaction: f64, fault: f64) -> Self {
+        AdequacyPoint { interaction: interaction.clamp(0.0, 1.0), fault: fault.clamp(0.0, 1.0) }
+    }
+
+    /// Classifies the point against thresholds.
+    pub fn region(&self, thresholds: AdequacyThresholds) -> AdequacyRegion {
+        let ic_high = self.interaction >= thresholds.interaction_high;
+        let fc_high = self.fault >= thresholds.fault_high;
+        match (ic_high, fc_high) {
+            (false, false) => AdequacyRegion::Inadequate,
+            (false, true) => AdequacyRegion::InadequateNarrow,
+            (true, false) => AdequacyRegion::Insecure,
+            (true, true) => AdequacyRegion::Safe,
+        }
+    }
+}
+
+impl fmt::Display for AdequacyPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(interaction={:.2}, fault={:.2})", self.interaction, self.fault)
+    }
+}
+
+/// Thresholds dividing Figure 2 into its four regions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdequacyThresholds {
+    /// Interaction coverage at or above this counts as "high".
+    pub interaction_high: f64,
+    /// Fault coverage at or above this counts as "high".
+    pub fault_high: f64,
+}
+
+impl Default for AdequacyThresholds {
+    fn default() -> Self {
+        AdequacyThresholds { interaction_high: 0.75, fault_high: 0.9 }
+    }
+}
+
+/// The four qualitative regions of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdequacyRegion {
+    /// Point 1: low interaction and fault coverage — the test says little.
+    Inadequate,
+    /// Point 2: high fault coverage but few interactions perturbed — the
+    /// unperturbed interactions remain unknown, so still inadequate.
+    InadequateNarrow,
+    /// Point 3: interactions well covered and many faults *not* tolerated —
+    /// the application is likely vulnerable.
+    Insecure,
+    /// Point 4: interactions well covered and faults tolerated.
+    Safe,
+}
+
+impl AdequacyRegion {
+    /// The paper's sample-point number for this region (Figure 2).
+    pub fn figure2_point(&self) -> u8 {
+        match self {
+            AdequacyRegion::Inadequate => 1,
+            AdequacyRegion::InadequateNarrow => 2,
+            AdequacyRegion::Insecure => 3,
+            AdequacyRegion::Safe => 4,
+        }
+    }
+}
+
+impl fmt::Display for AdequacyRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AdequacyRegion::Inadequate => "inadequate (low interaction, low fault coverage)",
+            AdequacyRegion::InadequateNarrow => "inadequate (few interactions perturbed)",
+            AdequacyRegion::Insecure => "insecure (faults not tolerated)",
+            AdequacyRegion::Safe => "safe (high interaction and fault coverage)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_empty_denominator() {
+        assert_eq!(Ratio::new(0, 0).value(), 1.0);
+        assert_eq!(Ratio::new(1, 2).value(), 0.5);
+        assert_eq!(Ratio::new(3, 4).to_string(), "3/4 (75.0%)");
+    }
+
+    #[test]
+    fn four_regions_match_figure2_points() {
+        let t = AdequacyThresholds::default();
+        assert_eq!(AdequacyPoint::new(0.2, 0.3).region(t), AdequacyRegion::Inadequate);
+        assert_eq!(AdequacyPoint::new(0.2, 0.95).region(t), AdequacyRegion::InadequateNarrow);
+        assert_eq!(AdequacyPoint::new(0.9, 0.5).region(t), AdequacyRegion::Insecure);
+        assert_eq!(AdequacyPoint::new(1.0, 1.0).region(t), AdequacyRegion::Safe);
+        assert_eq!(AdequacyPoint::new(1.0, 1.0).region(t).figure2_point(), 4);
+        assert_eq!(AdequacyPoint::new(0.1, 0.1).region(t).figure2_point(), 1);
+    }
+
+    #[test]
+    fn point_clamps() {
+        let p = AdequacyPoint::new(1.7, -0.3);
+        assert_eq!(p.interaction, 1.0);
+        assert_eq!(p.fault, 0.0);
+    }
+
+    #[test]
+    fn thresholds_are_inclusive() {
+        let t = AdequacyThresholds::default();
+        assert_eq!(AdequacyPoint::new(0.75, 0.9).region(t), AdequacyRegion::Safe);
+    }
+}

@@ -1,0 +1,76 @@
+//! # epa-core — the EAI fault model and environment fault-injection engine
+//!
+//! The primary contribution of Du & Mathur, *Testing for Software
+//! Vulnerability Using Environment Perturbation* (DSN 2000), as a library:
+//!
+//! * [`model`] — the Environment–Application Interaction (EAI) taxonomy
+//!   (paper §2, Tables 1–4 structure);
+//! * [`catalog`] — the fault catalog (paper Tables 5 and 6), both as
+//!   printable rows and as per-interaction-point fault generators;
+//! * [`perturb`] — executable perturbations (direct = environment mutation,
+//!   indirect = received-input mutation);
+//! * [`inject`] — the hook that delivers one fault at one interaction point
+//!   (paper §3.3 step 6 placement semantics);
+//! * [`campaign`] — the full testing procedure (paper §3.3 steps 1–10);
+//! * [`coverage`] — the two-dimensional adequacy metric (paper §3.2,
+//!   Figure 2);
+//! * [`report`] — per-fault records, coverage and vulnerability scores;
+//! * [`baselines`] — Fuzz and AVA comparators (paper §5).
+//!
+//! # Example: the paper's §3.4 `lpr` experiment in eight lines
+//!
+//! ```
+//! use epa_core::campaign::{Campaign, TestSetup};
+//! use epa_sandbox::app::Application;
+//! use epa_sandbox::cred::{Gid, Uid};
+//! use epa_sandbox::mode::Mode;
+//! use epa_sandbox::os::Os;
+//! use epa_sandbox::process::Pid;
+//!
+//! struct Lpr;
+//! impl Application for Lpr {
+//!     fn name(&self) -> &'static str { "lpr" }
+//!     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+//!         // creat(n, 0660) without O_EXCL — the flaw from the paper.
+//!         match os.sys_write_file(pid, "lpr:create", "/var/spool/lpd/job", "data", 0o660) {
+//!             Ok(()) => 0,
+//!             Err(_) => 1,
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut os = Os::new();
+//! os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+//! os.fs.mkdir_p("/var/spool/lpd", Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
+//! os.fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))?;
+//! os.fs.put_file("/usr/bin/lpr", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
+//! epa_core::perturb::tag_standard_targets(&mut os);
+//!
+//! let setup = TestSetup::new(os).program("/usr/bin/lpr");
+//! let report = Campaign::new(&Lpr, &setup).execute();
+//! assert_eq!(report.injected(), 4);      // existence, ownership, permission, symlink
+//! assert_eq!(report.violated(), 4);      // naive creat tolerates none of them
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod campaign;
+pub mod catalog;
+pub mod coverage;
+pub mod inject;
+pub mod model;
+pub mod perturb;
+pub mod report;
+
+pub use campaign::{run_once, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
+pub use catalog::{direct_faults_for, faults_for_site, indirect_faults_for, table5_rows, table6_rows};
+pub use coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds, Ratio};
+pub use inject::{InjectionHook, InjectionPlan};
+pub use model::{DirectKind, EaiCategory, FsAttribute, IndirectKind, NetAttribute, ProcAttribute};
+pub use perturb::{ConcreteFault, DirectFault, FaultPayload, IndirectFault};
+pub use report::{CampaignReport, FaultRecord};

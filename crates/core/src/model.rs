@@ -1,0 +1,312 @@
+//! The Environment–Application Interaction (EAI) taxonomy.
+//!
+//! The paper's fault model (§2.3) divides environment faults by *how they
+//! reach the application*:
+//!
+//! * **Indirect** faults enter as input and propagate through internal
+//!   entities — classified by input origin (paper §2.3.1, Table 2);
+//! * **Direct** faults stay in the environment and strike at interaction
+//!   time — classified by environment entity and attribute (paper §2.3.2,
+//!   Tables 3, 4 and 6);
+//! * **Other** covers code faults with no environmental trigger.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use epa_sandbox::trace::InputSemantic;
+
+/// Origin of an indirect environment fault (paper Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IndirectKind {
+    /// Input typed or passed by the user (argv, stdin).
+    UserInput,
+    /// Environment variables.
+    EnvironmentVariable,
+    /// Input read from the file system (configuration content).
+    FileSystemInput,
+    /// Input received from the network.
+    NetworkInput,
+    /// Input received from another process.
+    ProcessInput,
+}
+
+impl IndirectKind {
+    /// All kinds, in the paper's column order.
+    pub const ALL: [IndirectKind; 5] = [
+        IndirectKind::UserInput,
+        IndirectKind::EnvironmentVariable,
+        IndirectKind::FileSystemInput,
+        IndirectKind::NetworkInput,
+        IndirectKind::ProcessInput,
+    ];
+}
+
+impl fmt::Display for IndirectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IndirectKind::UserInput => "user input",
+            IndirectKind::EnvironmentVariable => "environment variable",
+            IndirectKind::FileSystemInput => "file system input",
+            IndirectKind::NetworkInput => "network input",
+            IndirectKind::ProcessInput => "process input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// File-system entity attributes (paper Tables 4 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FsAttribute {
+    /// Whether the file exists.
+    Existence,
+    /// Who owns it.
+    Ownership,
+    /// Its permission bits.
+    Permission,
+    /// Whether it is (or becomes) a symbolic link, and where that points.
+    SymbolicLink,
+    /// Whether its content stays what the program assumes (file invariance).
+    ContentInvariance,
+    /// Whether its name keeps denoting the same object (TOCTTOU).
+    NameInvariance,
+    /// The working directory the program runs in.
+    WorkingDirectory,
+}
+
+impl FsAttribute {
+    /// All attributes, in Table 6 row order.
+    pub const ALL: [FsAttribute; 7] = [
+        FsAttribute::Existence,
+        FsAttribute::Ownership,
+        FsAttribute::Permission,
+        FsAttribute::SymbolicLink,
+        FsAttribute::ContentInvariance,
+        FsAttribute::NameInvariance,
+        FsAttribute::WorkingDirectory,
+    ];
+
+    /// The Table 4 column this attribute is counted under (content and name
+    /// invariance share the "file invariance" column).
+    pub fn table4_column(self) -> &'static str {
+        match self {
+            FsAttribute::Existence => "file existence",
+            FsAttribute::SymbolicLink => "symbolic link",
+            FsAttribute::Permission => "permission",
+            FsAttribute::Ownership => "ownership",
+            FsAttribute::ContentInvariance | FsAttribute::NameInvariance => "file invariance",
+            FsAttribute::WorkingDirectory => "working directory",
+        }
+    }
+}
+
+impl fmt::Display for FsAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsAttribute::Existence => "existence",
+            FsAttribute::Ownership => "ownership",
+            FsAttribute::Permission => "permission",
+            FsAttribute::SymbolicLink => "symbolic link",
+            FsAttribute::ContentInvariance => "content invariance",
+            FsAttribute::NameInvariance => "name invariance",
+            FsAttribute::WorkingDirectory => "working directory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Network entity attributes (paper Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetAttribute {
+    /// Whether a message really comes from where it claims.
+    MessageAuthenticity,
+    /// Whether the peer follows the protocol (steps omitted/added/reordered).
+    Protocol,
+    /// Whether the socket is shared with another process.
+    Socket,
+    /// Whether the asked-for service is available.
+    ServiceAvailability,
+    /// Whether the interacting entity is trusted.
+    EntityTrust,
+}
+
+impl fmt::Display for NetAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetAttribute::MessageAuthenticity => "message authenticity",
+            NetAttribute::Protocol => "protocol",
+            NetAttribute::Socket => "socket",
+            NetAttribute::ServiceAvailability => "service availability",
+            NetAttribute::EntityTrust => "entity trustability",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Process entity attributes (paper Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcAttribute {
+    /// Whether an IPC message really comes from where it claims.
+    MessageAuthenticity,
+    /// Whether the peer process is trusted.
+    Trust,
+    /// Whether the peer service is available.
+    ServiceAvailability,
+}
+
+impl fmt::Display for ProcAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcAttribute::MessageAuthenticity => "message authenticity",
+            ProcAttribute::Trust => "process trustability",
+            ProcAttribute::ServiceAvailability => "service availability",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Registry entity attributes — the paper's §4.2 extension of the model to
+/// Windows NT. Not in Table 6 (which predates the NT study) but required to
+/// express the registry case study; documented in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegAttribute {
+    /// Whether the key's ACL protects it from arbitrary writers.
+    AclProtection,
+    /// Whether the stored value stays what the module assumes.
+    ValueInvariance,
+}
+
+impl fmt::Display for RegAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegAttribute::AclProtection => "ACL protection",
+            RegAttribute::ValueInvariance => "value invariance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Entity and attribute of a direct environment fault (paper Table 3
+/// columns, refined by Tables 4 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DirectKind {
+    /// File-system entity.
+    FileSystem(FsAttribute),
+    /// Network entity.
+    Network(NetAttribute),
+    /// Process entity.
+    Process(ProcAttribute),
+    /// Registry entity (NT extension).
+    Registry(RegAttribute),
+}
+
+impl DirectKind {
+    /// The Table 3 column this kind is counted under. The registry extension
+    /// is counted with the file system, as the paper's §4.2 treats registry
+    /// values as named persistent objects.
+    pub fn table3_column(self) -> &'static str {
+        match self {
+            DirectKind::FileSystem(_) | DirectKind::Registry(_) => "file system",
+            DirectKind::Network(_) => "network",
+            DirectKind::Process(_) => "process",
+        }
+    }
+}
+
+impl fmt::Display for DirectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectKind::FileSystem(a) => write!(f, "file system / {a}"),
+            DirectKind::Network(a) => write!(f, "network / {a}"),
+            DirectKind::Process(a) => write!(f, "process / {a}"),
+            DirectKind::Registry(a) => write!(f, "registry / {a}"),
+        }
+    }
+}
+
+/// Top-level EAI classification (paper Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EaiCategory {
+    /// Faults that propagate via internal entities.
+    Indirect(IndirectKind),
+    /// Faults that act through environment entities.
+    Direct(DirectKind),
+    /// Code faults with no environmental trigger.
+    Other,
+}
+
+impl EaiCategory {
+    /// True for indirect faults.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, EaiCategory::Indirect(_))
+    }
+
+    /// True for direct faults.
+    pub fn is_direct(&self) -> bool {
+        matches!(self, EaiCategory::Direct(_))
+    }
+}
+
+impl fmt::Display for EaiCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EaiCategory::Indirect(k) => write!(f, "indirect / {k}"),
+            EaiCategory::Direct(k) => write!(f, "direct / {k}"),
+            EaiCategory::Other => f.write_str("other"),
+        }
+    }
+}
+
+/// Maps an input's semantics to the indirect-fault origin it belongs to
+/// (the Table 5 leftmost column).
+pub fn indirect_kind_of(semantic: InputSemantic) -> IndirectKind {
+    match semantic {
+        InputSemantic::UserFileName | InputSemantic::UserCommand => IndirectKind::UserInput,
+        InputSemantic::EnvPathList | InputSemantic::EnvPermMask | InputSemantic::EnvValue => {
+            IndirectKind::EnvironmentVariable
+        }
+        InputSemantic::FsFileName | InputSemantic::FsFileExtension => IndirectKind::FileSystemInput,
+        InputSemantic::NetIpAddr
+        | InputSemantic::NetPacket
+        | InputSemantic::NetHostName
+        | InputSemantic::NetDnsReply => IndirectKind::NetworkInput,
+        InputSemantic::ProcMessage => IndirectKind::ProcessInput,
+        InputSemantic::Opaque => IndirectKind::UserInput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics_map_to_paper_columns() {
+        assert_eq!(indirect_kind_of(InputSemantic::UserFileName), IndirectKind::UserInput);
+        assert_eq!(indirect_kind_of(InputSemantic::EnvPathList), IndirectKind::EnvironmentVariable);
+        assert_eq!(indirect_kind_of(InputSemantic::FsFileName), IndirectKind::FileSystemInput);
+        assert_eq!(indirect_kind_of(InputSemantic::NetDnsReply), IndirectKind::NetworkInput);
+        assert_eq!(indirect_kind_of(InputSemantic::ProcMessage), IndirectKind::ProcessInput);
+    }
+
+    #[test]
+    fn table4_columns_cover_all_attributes() {
+        let mut cols: Vec<&str> = FsAttribute::ALL.iter().map(|a| a.table4_column()).collect();
+        cols.sort();
+        cols.dedup();
+        assert_eq!(cols.len(), 6, "Table 4 has six columns");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = EaiCategory::Direct(DirectKind::FileSystem(FsAttribute::SymbolicLink));
+        assert_eq!(c.to_string(), "direct / file system / symbolic link");
+        assert!(EaiCategory::Indirect(IndirectKind::UserInput).is_indirect());
+        assert!(c.is_direct());
+    }
+
+    #[test]
+    fn registry_counts_with_file_system_in_table3() {
+        assert_eq!(DirectKind::Registry(RegAttribute::AclProtection).table3_column(), "file system");
+        assert_eq!(DirectKind::Network(NetAttribute::Protocol).table3_column(), "network");
+    }
+}

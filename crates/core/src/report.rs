@@ -1,0 +1,257 @@
+//! Campaign reports: per-fault records, coverage, and the vulnerability
+//! assessment score of the paper's step 10.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use epa_sandbox::policy::Violation;
+
+use crate::coverage::{AdequacyPoint, AdequacyThresholds, Ratio};
+use crate::model::EaiCategory;
+
+/// The outcome of one injected run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The perturbed site.
+    pub site: String,
+    /// The occurrence that was struck.
+    pub occurrence: usize,
+    /// Fault identifier.
+    pub fault_id: String,
+    /// Fault classification.
+    pub category: EaiCategory,
+    /// Human-readable perturbation description.
+    pub description: String,
+    /// Whether the fault actually fired during the run.
+    pub applied: bool,
+    /// The application's exit status (`None` when it panicked).
+    pub exit: Option<i32>,
+    /// Whether the application panicked.
+    pub crashed: bool,
+    /// Violations the oracle detected.
+    pub violations: Vec<Violation>,
+}
+
+impl FaultRecord {
+    /// The paper's toleration criterion: no security violation occurred.
+    pub fn tolerated(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The full report of one campaign over one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The application under test.
+    pub app: String,
+    /// Perturbable interaction points the traced execution exposed (sites
+    /// with at least one applicable catalog fault).
+    pub total_sites: usize,
+    /// Interaction points actually perturbed.
+    pub perturbed_sites: usize,
+    /// Violations in the *unperturbed* run (must be zero for the campaign's
+    /// attribution to be sound; kept for transparency).
+    pub clean_violations: usize,
+    /// Every injected run.
+    pub records: Vec<FaultRecord>,
+}
+
+impl CampaignReport {
+    /// Number of faults injected (paper's `n`).
+    pub fn injected(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of injected runs that violated the policy (paper's `count`).
+    pub fn violated(&self) -> usize {
+        self.records.iter().filter(|r| !r.tolerated()).count()
+    }
+
+    /// Fault coverage: tolerated / injected.
+    pub fn fault_coverage(&self) -> Ratio {
+        Ratio::new(self.injected() - self.violated(), self.injected())
+    }
+
+    /// Interaction coverage: perturbed sites / total sites.
+    pub fn interaction_coverage(&self) -> Ratio {
+        Ratio::new(self.perturbed_sites, self.total_sites)
+    }
+
+    /// The paper's step-10 vulnerability assessment score: `count / n`.
+    pub fn vulnerability_score(&self) -> f64 {
+        if self.injected() == 0 {
+            0.0
+        } else {
+            self.violated() as f64 / self.injected() as f64
+        }
+    }
+
+    /// The Figure 2 adequacy point for this campaign.
+    pub fn adequacy(&self) -> AdequacyPoint {
+        AdequacyPoint::new(self.interaction_coverage().value(), self.fault_coverage().value())
+    }
+
+    /// Iterates all violating records.
+    pub fn violations(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter().filter(|r| !r.tolerated())
+    }
+
+    /// Per-category (injected, violated) counts.
+    pub fn by_category(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut out: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for r in &self.records {
+            let e = out.entry(r.category.to_string()).or_insert((0, 0));
+            e.0 += 1;
+            if !r.tolerated() {
+                e.1 += 1;
+            }
+        }
+        out
+    }
+
+    /// Per-site (injected, violated) counts, in record order.
+    pub fn by_site(&self) -> Vec<(String, usize, usize)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut map: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for r in &self.records {
+            if !map.contains_key(&r.site) {
+                order.push(r.site.clone());
+            }
+            let e = map.entry(r.site.clone()).or_insert((0, 0));
+            e.0 += 1;
+            if !r.tolerated() {
+                e.1 += 1;
+            }
+        }
+        order
+            .into_iter()
+            .map(|s| {
+                let (i, v) = map[&s];
+                (s, i, v)
+            })
+            .collect()
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "campaign: {}", self.app);
+        let _ = writeln!(
+            s,
+            "  interaction coverage: {}   fault coverage: {}",
+            self.interaction_coverage(),
+            self.fault_coverage()
+        );
+        let _ = writeln!(
+            s,
+            "  injected: {}   violations: {}   vulnerability score: {:.3}",
+            self.injected(),
+            self.violated(),
+            self.vulnerability_score()
+        );
+        let region = self.adequacy().region(AdequacyThresholds::default());
+        let _ = writeln!(s, "  adequacy: {} -> {}", self.adequacy(), region);
+        let _ = writeln!(s, "  per-site results:");
+        for (site, injected, violated) in self.by_site() {
+            let _ = writeln!(s, "    {site}: {injected} injected, {violated} violations");
+        }
+        for r in self.violations() {
+            let first = r.violations.first().map(|v| v.to_string()).unwrap_or_default();
+            let _ = writeln!(s, "  VIOLATION {} @ {}: {}", r.fault_id, r.site, first);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IndirectKind;
+    use epa_sandbox::policy::ViolationKind;
+
+    fn record(site: &str, fault: &str, violated: bool) -> FaultRecord {
+        FaultRecord {
+            site: site.into(),
+            occurrence: 0,
+            fault_id: fault.into(),
+            category: EaiCategory::Indirect(IndirectKind::UserInput),
+            description: String::new(),
+            applied: true,
+            exit: Some(0),
+            crashed: false,
+            violations: if violated {
+                vec![Violation {
+                    kind: ViolationKind::Disclosure,
+                    rule: "R2".into(),
+                    description: "leak".into(),
+                    event_index: 0,
+                }]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            app: "demo".into(),
+            total_sites: 8,
+            perturbed_sites: 8,
+            clean_violations: 0,
+            records: vec![
+                record("s1", "f1", false),
+                record("s1", "f2", true),
+                record("s2", "f3", false),
+                record("s2", "f4", false),
+            ],
+        }
+    }
+
+    #[test]
+    fn coverage_and_score() {
+        let r = report();
+        assert_eq!(r.injected(), 4);
+        assert_eq!(r.violated(), 1);
+        assert_eq!(r.fault_coverage().value(), 0.75);
+        assert_eq!(r.interaction_coverage().value(), 1.0);
+        assert!((r.vulnerability_score() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_site_preserves_order() {
+        let r = report();
+        let per = r.by_site();
+        assert_eq!(per[0], ("s1".to_string(), 2, 1));
+        assert_eq!(per[1], ("s2".to_string(), 2, 0));
+    }
+
+    #[test]
+    fn render_mentions_violation() {
+        let text = report().render_text();
+        assert!(text.contains("VIOLATION f2 @ s1"));
+        assert!(text.contains("vulnerability score: 0.250"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_report_is_safe_zeroes() {
+        let r = CampaignReport {
+            app: "x".into(),
+            total_sites: 0,
+            perturbed_sites: 0,
+            clean_violations: 0,
+            records: vec![],
+        };
+        assert_eq!(r.vulnerability_score(), 0.0);
+        assert_eq!(r.fault_coverage().value(), 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The memory-safety model: fixed-capacity buffers.
+//!
+//! Real buffer overflows corrupt memory and, in the attacks the paper
+//! catalogs, lead to arbitrary code execution. The sandbox models the
+//! *security decision* rather than the corruption itself: an application
+//! that copies environment-derived data into a [`FixedBuf`] chooses a
+//! [`CopyDiscipline`]; an `Unchecked` copy that exceeds capacity raises a
+//! `MemoryCorruption` audit event via [`crate::os::Os::mem_copy`], which the
+//! policy oracle treats as a violation. A `Checked` copy truncates safely —
+//! the fix a patched application would apply.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Data;
+
+/// Whether a copy validates its length against the destination capacity —
+/// `strncpy` vs `strcpy`, morally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyDiscipline {
+    /// Validate and truncate: never overflows.
+    Checked,
+    /// No validation: overflows when the source exceeds capacity.
+    Unchecked,
+}
+
+/// A fixed-capacity byte buffer, like a stack array in C.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedBuf {
+    name: String,
+    capacity: usize,
+    data: Vec<u8>,
+}
+
+/// Outcome of a copy into a [`FixedBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyOutcome {
+    /// The source fit.
+    Fit,
+    /// The source did not fit and was truncated (checked copy).
+    Truncated,
+    /// The source did not fit and the buffer was overrun (unchecked copy).
+    Overflowed {
+        /// Bytes the copy attempted to place.
+        attempted: usize,
+    },
+}
+
+impl FixedBuf {
+    /// Creates an empty buffer with a diagnostic name and capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use epa_sandbox::buffer::{CopyDiscipline, FixedBuf};
+    /// use epa_sandbox::data::Data;
+    /// let mut buf = FixedBuf::new("hostname", 8);
+    /// let out = buf.copy_from(&Data::from("short"), CopyDiscipline::Unchecked);
+    /// assert_eq!(out, epa_sandbox::buffer::CopyOutcome::Fit);
+    /// ```
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        FixedBuf { name: name.into(), capacity, data: Vec::new() }
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current contents (never longer than capacity).
+    pub fn contents(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Contents as lossy text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.data).into_owned()
+    }
+
+    /// Copies `src` into the buffer under the given discipline.
+    ///
+    /// On `Overflowed`, the stored bytes are clamped to capacity (the model
+    /// does not simulate what the overrun smashed), but the outcome reports
+    /// the attempted length so the runtime can raise the audit event.
+    pub fn copy_from(&mut self, src: &Data, discipline: CopyDiscipline) -> CopyOutcome {
+        let n = src.len();
+        if n <= self.capacity {
+            self.data = src.as_bytes().to_vec();
+            return CopyOutcome::Fit;
+        }
+        self.data = src.as_bytes()[..self.capacity].to_vec();
+        match discipline {
+            CopyDiscipline::Checked => CopyOutcome::Truncated,
+            CopyDiscipline::Unchecked => CopyOutcome::Overflowed { attempted: n },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_copies_everything() {
+        let mut b = FixedBuf::new("b", 16);
+        assert_eq!(b.copy_from(&Data::from("hello"), CopyDiscipline::Unchecked), CopyOutcome::Fit);
+        assert_eq!(b.text(), "hello");
+    }
+
+    #[test]
+    fn checked_truncates() {
+        let mut b = FixedBuf::new("b", 4);
+        let out = b.copy_from(&Data::from("overlong"), CopyDiscipline::Checked);
+        assert_eq!(out, CopyOutcome::Truncated);
+        assert_eq!(b.text(), "over");
+        assert_eq!(b.contents().len(), 4);
+    }
+
+    #[test]
+    fn unchecked_reports_overflow() {
+        let mut b = FixedBuf::new("b", 4);
+        let out = b.copy_from(&Data::from("overlong"), CopyDiscipline::Unchecked);
+        assert_eq!(out, CopyOutcome::Overflowed { attempted: 8 });
+        // Stored bytes stay clamped; the event is the model of the smash.
+        assert_eq!(b.contents().len(), 4);
+    }
+
+    #[test]
+    fn exact_fit_is_fit() {
+        let mut b = FixedBuf::new("b", 5);
+        assert_eq!(b.copy_from(&Data::from("12345"), CopyDiscipline::Unchecked), CopyOutcome::Fit);
+    }
+}

@@ -1,0 +1,986 @@
+//! The virtual file system.
+//!
+//! An in-memory UNIX-like file system with inodes, directories, symbolic
+//! links, permission bits, ownership, and sticky-bit deletion semantics —
+//! everything Table 6 of the paper perturbs. Resolution is *physical*:
+//! `..` follows the real parent chain even across symlinked directories,
+//! and `creat` follows a final symlink (the behaviour the classic
+//! symlink-swap attacks depend on).
+//!
+//! Two API layers coexist:
+//!
+//! * **Checked operations** take [`Credentials`] and enforce permissions the
+//!   way the real kernel would; these are what [`crate::os::Os`] dispatches
+//!   application syscalls through.
+//! * **God-mode helpers** (`mkdir_p`, `put_file`, `god_*`) bypass checks;
+//!   world builders use them for setup and the fault injector uses them to
+//!   perturb the environment ("the attacker could have arranged this").
+
+mod inode;
+
+pub use inode::{FileKind, FileTag, FileType, Inode, InodeId, Stat};
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cred::{Credentials, Gid, Uid};
+use crate::data::Data;
+use crate::error::{Errno, SysResult};
+use crate::mode::{Access, Mode};
+use crate::path;
+use crate::syserr;
+
+/// Maximum symlink expansions in a single resolution (mirrors `SYMLOOP_MAX`).
+const SYMLINK_BUDGET: usize = 40;
+
+/// Maximum length of a single path component (mirrors `NAME_MAX`) — the
+/// limit "change length" perturbations push file names past.
+pub const NAME_MAX: usize = 255;
+
+/// Result of a successful path walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walked {
+    /// The resolved inode.
+    pub id: InodeId,
+    /// Physical absolute path of the resolved inode (symlinks expanded).
+    pub physical: String,
+    /// The physical parent directory (root's parent is root).
+    pub parent: InodeId,
+}
+
+/// Result of resolving everything but the final component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParentWalk {
+    /// Inode of the parent directory.
+    pub dir: InodeId,
+    /// Physical path of the parent directory.
+    pub dir_physical: String,
+    /// The final path component, unresolved.
+    pub name: String,
+}
+
+/// The virtual file system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vfs {
+    inodes: BTreeMap<u64, Inode>,
+    root: InodeId,
+    next_id: u64,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// Creates a file system containing only `/` (root-owned, mode 0755).
+    pub fn new() -> Self {
+        let mut inodes = BTreeMap::new();
+        let root = InodeId(1);
+        inodes.insert(
+            1,
+            Inode {
+                id: root,
+                kind: FileKind::Directory(BTreeMap::new()),
+                owner: Uid::ROOT,
+                group: Gid::ROOT,
+                mode: Mode::new(0o755),
+                tags: BTreeSet::new(),
+            },
+        );
+        Vfs { inodes, root, next_id: 2 }
+    }
+
+    /// The root directory inode.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Borrow an inode.
+    pub fn inode(&self, id: InodeId) -> SysResult<&Inode> {
+        self.inodes.get(&id.0).ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
+    }
+
+    /// Mutably borrow an inode.
+    pub fn inode_mut(&mut self, id: InodeId) -> SysResult<&mut Inode> {
+        self.inodes.get_mut(&id.0).ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
+    }
+
+    /// Total number of live inodes.
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    fn alloc(&mut self, kind: FileKind, owner: Uid, group: Gid, mode: Mode) -> InodeId {
+        let id = InodeId(self.next_id);
+        self.next_id += 1;
+        self.inodes.insert(id.0, Inode { id, kind, owner, group, mode, tags: BTreeSet::new() });
+        id
+    }
+
+    /// Checks whether `cred` holds `access` on `id`.
+    pub fn grants(&self, id: InodeId, cred: &Credentials, access: Access) -> SysResult<bool> {
+        let ino = self.inode(id)?;
+        Ok(ino.mode.grants(ino.owner, ino.group, cred, access))
+    }
+
+    // ------------------------------------------------------------------
+    // Path resolution
+    // ------------------------------------------------------------------
+
+    /// Physically walks an absolute path.
+    ///
+    /// * `follow_last` — whether a final symlink is expanded (`stat` vs
+    ///   `lstat`, `open` vs `unlink`).
+    /// * `cred` — when given, directory traversal requires execute
+    ///   permission on each directory, as the kernel enforces.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for missing components, `ENOTDIR` when a non-directory is
+    /// used as one, `ELOOP` after 40 symlink expansions, `EACCES` on a
+    /// traversal-permission failure, `EINVAL` for relative paths.
+    pub fn walk(&self, abs_path: &str, follow_last: bool, cred: Option<&Credentials>) -> SysResult<Walked> {
+        if !path::is_absolute(abs_path) {
+            return Err(syserr!(Einval, "walk requires absolute path, got {abs_path}"));
+        }
+        let mut queue: VecDeque<String> = path::components(abs_path).map(str::to_string).collect();
+        // Parallel stacks of inodes and names from the root.
+        let mut inode_stack: Vec<InodeId> = vec![self.root];
+        let mut name_stack: Vec<String> = Vec::new();
+        let mut budget = SYMLINK_BUDGET;
+
+        while let Some(comp) = queue.pop_front() {
+            if comp.len() > NAME_MAX {
+                return Err(syserr!(Enametoolong, "component of {abs_path}"));
+            }
+            match comp.as_str() {
+                "." => continue,
+                ".." => {
+                    if inode_stack.len() > 1 {
+                        inode_stack.pop();
+                        name_stack.pop();
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            let cur = *inode_stack.last().expect("stack never empty");
+            let cur_ino = self.inode(cur)?;
+            let entries = cur_ino
+                .entries()
+                .ok_or_else(|| syserr!(Enotdir, "{}", self.render(&name_stack)))?;
+            if let Some(c) = cred {
+                if !cur_ino.mode.grants(cur_ino.owner, cur_ino.group, c, Access::Exec) {
+                    return Err(syserr!(Eacces, "search permission denied in {}", self.render(&name_stack)));
+                }
+            }
+            let child = *entries
+                .get(&comp)
+                .ok_or_else(|| syserr!(Enoent, "{}/{comp}", self.render(&name_stack)))?;
+            let child_ino = self.inode(child)?;
+            let is_last = queue.is_empty();
+            if child_ino.is_symlink() && (!is_last || follow_last) {
+                if budget == 0 {
+                    return Err(syserr!(Eloop, "{abs_path}"));
+                }
+                budget -= 1;
+                let target = match &child_ino.kind {
+                    FileKind::Symlink(t) => t.clone(),
+                    _ => unreachable!(),
+                };
+                let target_comps: Vec<String> = path::components(&target).map(str::to_string).collect();
+                if path::is_absolute(&target) {
+                    inode_stack.truncate(1);
+                    name_stack.clear();
+                }
+                for c in target_comps.into_iter().rev() {
+                    queue.push_front(c);
+                }
+                continue;
+            }
+            inode_stack.push(child);
+            name_stack.push(comp);
+        }
+
+        let id = *inode_stack.last().expect("stack never empty");
+        let parent = if inode_stack.len() >= 2 { inode_stack[inode_stack.len() - 2] } else { self.root };
+        Ok(Walked { id, physical: self.render(&name_stack), parent })
+    }
+
+    fn render(&self, names: &[String]) -> String {
+        if names.is_empty() {
+            "/".to_string()
+        } else {
+            format!("/{}", names.join("/"))
+        }
+    }
+
+    /// Resolves the parent directory of `abs_path`, leaving the final
+    /// component unresolved (for `creat`, `unlink`, `symlink`, `rename`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Vfs::walk`]; additionally `EINVAL` when the final component is
+    /// `.` or `..` or the path has no components.
+    pub fn walk_parent(&self, abs_path: &str, cred: Option<&Credentials>) -> SysResult<ParentWalk> {
+        if !path::is_absolute(abs_path) {
+            return Err(syserr!(Einval, "walk_parent requires absolute path, got {abs_path}"));
+        }
+        let comps: Vec<&str> = path::components(abs_path).collect();
+        let name = match comps.last() {
+            Some(n) if *n != "." && *n != ".." => (*n).to_string(),
+            _ => return Err(syserr!(Einval, "bad final component in {abs_path}")),
+        };
+        if name.len() > NAME_MAX {
+            return Err(syserr!(Enametoolong, "{abs_path}"));
+        }
+        let parent_path = if comps.len() == 1 {
+            "/".to_string()
+        } else {
+            format!("/{}", comps[..comps.len() - 1].join("/"))
+        };
+        let walked = self.walk(&parent_path, true, cred)?;
+        let dir_ino = self.inode(walked.id)?;
+        if !dir_ino.is_dir() {
+            return Err(syserr!(Enotdir, "{parent_path}"));
+        }
+        Ok(ParentWalk { dir: walked.id, dir_physical: walked.physical, name })
+    }
+
+    /// Reconstructs a physical path for an inode by searching from the root.
+    /// Intended for audit messages; cost is linear in tree size.
+    pub fn path_of(&self, id: InodeId) -> Option<String> {
+        if id == self.root {
+            return Some("/".to_string());
+        }
+        let mut stack: Vec<(InodeId, Vec<String>)> = vec![(self.root, Vec::new())];
+        while let Some((cur, trail)) = stack.pop() {
+            if let Ok(ino) = self.inode(cur) {
+                if let Some(entries) = ino.entries() {
+                    for (name, child) in entries {
+                        let mut t = trail.clone();
+                        t.push(name.clone());
+                        if *child == id {
+                            return Some(format!("/{}", t.join("/")));
+                        }
+                        if self.inode(*child).map(Inode::is_dir).unwrap_or(false) {
+                            stack.push((*child, t));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Checked operations (credential-enforcing)
+    // ------------------------------------------------------------------
+
+    /// Opens an existing file for reading (follows symlinks).
+    ///
+    /// # Errors
+    ///
+    /// `EACCES` without read permission; `EISDIR` for directories; plus any
+    /// resolution error.
+    pub fn open_read(&self, abs_path: &str, cred: &Credentials) -> SysResult<Walked> {
+        let w = self.walk(abs_path, true, Some(cred))?;
+        let ino = self.inode(w.id)?;
+        if ino.is_dir() {
+            return Err(syserr!(Eisdir, "{abs_path}"));
+        }
+        if !ino.mode.grants(ino.owner, ino.group, cred, Access::Read) {
+            return Err(syserr!(Eacces, "{abs_path}"));
+        }
+        Ok(w)
+    }
+
+    /// `creat(2)` semantics: follows a final symlink; truncates an existing
+    /// file (needs write permission on it); otherwise creates a fresh file
+    /// in the parent (needs write permission on the parent).
+    ///
+    /// Returns the walked target and whether it existed before.
+    ///
+    /// # Errors
+    ///
+    /// `EACCES`/`EISDIR`/resolution errors as appropriate.
+    pub fn creat(
+        &mut self,
+        abs_path: &str,
+        mode: Mode,
+        cred: &Credentials,
+        umask: u16,
+    ) -> SysResult<(Walked, bool)> {
+        self.creat_inner(abs_path, mode, cred, umask, SYMLINK_BUDGET)
+    }
+
+    fn creat_inner(
+        &mut self,
+        abs_path: &str,
+        mode: Mode,
+        cred: &Credentials,
+        umask: u16,
+        depth: usize,
+    ) -> SysResult<(Walked, bool)> {
+        match self.walk(abs_path, true, Some(cred)) {
+            Ok(w) => {
+                let ino = self.inode(w.id)?;
+                if ino.is_dir() {
+                    return Err(syserr!(Eisdir, "{abs_path}"));
+                }
+                if !ino.mode.grants(ino.owner, ino.group, cred, Access::Write) {
+                    return Err(syserr!(Eacces, "{abs_path}"));
+                }
+                let ino = self.inode_mut(w.id)?;
+                if let FileKind::Regular(d) = &mut ino.kind {
+                    *d = Data::new();
+                }
+                Ok((w, true))
+            }
+            Err(e) if e.errno == Errno::Enoent => {
+                // A dangling symlink at the final component: `creat` creates
+                // the *target* (POSIX `open(O_CREAT)` semantics) — the path
+                // the planted-symlink perturbations rely on.
+                if let Ok(lw) = self.walk(abs_path, false, Some(cred)) {
+                    if let FileKind::Symlink(target) = &self.inode(lw.id)?.kind {
+                        if depth == 0 {
+                            return Err(syserr!(Eloop, "{abs_path}"));
+                        }
+                        let target = target.clone();
+                        let target_abs = if path::is_absolute(&target) {
+                            target
+                        } else {
+                            let parent = path::parent(&lw.physical)
+                                .unwrap_or_else(|| "/".to_string());
+                            path::join(&parent, &target)
+                        };
+                        return self.creat_inner(&target_abs, mode, cred, umask, depth - 1);
+                    }
+                }
+                let (w, _) = self.create_in_parent(abs_path, mode, cred, umask)?;
+                Ok((w, false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `open(O_CREAT|O_EXCL)` semantics: fails with `EEXIST` if the final
+    /// component exists *at all*, including as a dangling symlink — the
+    /// secure temp-file idiom.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` when the path exists; otherwise as [`Vfs::creat`].
+    pub fn create_excl(
+        &mut self,
+        abs_path: &str,
+        mode: Mode,
+        cred: &Credentials,
+        umask: u16,
+    ) -> SysResult<Walked> {
+        if self.walk(abs_path, false, Some(cred)).is_ok() {
+            return Err(syserr!(Eexist, "{abs_path}"));
+        }
+        let (w, _) = self.create_in_parent(abs_path, mode, cred, umask)?;
+        Ok(w)
+    }
+
+    fn create_in_parent(
+        &mut self,
+        abs_path: &str,
+        mode: Mode,
+        cred: &Credentials,
+        umask: u16,
+    ) -> SysResult<(Walked, InodeId)> {
+        let pw = self.walk_parent(abs_path, Some(cred))?;
+        let dir_ino = self.inode(pw.dir)?;
+        if !dir_ino.mode.grants(dir_ino.owner, dir_ino.group, cred, Access::Write) {
+            return Err(syserr!(Eacces, "cannot create in {}", pw.dir_physical));
+        }
+        if dir_ino.entries().expect("parent checked to be a directory").contains_key(&pw.name) {
+            return Err(syserr!(Eexist, "{abs_path}"));
+        }
+        let id = self.alloc(
+            FileKind::Regular(Data::new()),
+            cred.euid,
+            cred.egid,
+            mode.apply_umask(umask),
+        );
+        let dir = self.inode_mut(pw.dir)?;
+        dir.entries_mut()
+            .expect("parent checked to be a directory")
+            .insert(pw.name.clone(), id);
+        let physical = path::join(&pw.dir_physical, &pw.name);
+        Ok((Walked { id, physical, parent: pw.dir }, id))
+    }
+
+    /// Reads a file's content (no permission check — callers check via
+    /// [`Vfs::open_read`] first, mirroring the fd model).
+    pub fn read(&self, id: InodeId) -> SysResult<Data> {
+        match &self.inode(id)?.kind {
+            FileKind::Regular(d) => Ok(d.clone()),
+            _ => Err(syserr!(Eisdir, "read on non-regular inode {id}")),
+        }
+    }
+
+    /// Overwrites or appends to a file's content.
+    pub fn write(&mut self, id: InodeId, data: &Data, append: bool) -> SysResult<()> {
+        match &mut self.inode_mut(id)?.kind {
+            FileKind::Regular(d) => {
+                if append {
+                    d.append(data);
+                } else {
+                    *d = data.clone();
+                }
+                Ok(())
+            }
+            _ => Err(syserr!(Eisdir, "write on non-regular inode {id}")),
+        }
+    }
+
+    /// Removes a directory entry (does not follow a final symlink).
+    ///
+    /// Enforces write permission on the parent directory and the sticky-bit
+    /// rule: in a sticky directory only the entry's owner, the directory's
+    /// owner, or root may unlink.
+    ///
+    /// Returns the `Stat` of the removed object.
+    pub fn unlink(&mut self, abs_path: &str, cred: &Credentials) -> SysResult<Stat> {
+        let pw = self.walk_parent(abs_path, Some(cred))?;
+        let dir_ino = self.inode(pw.dir)?;
+        if !dir_ino.mode.grants(dir_ino.owner, dir_ino.group, cred, Access::Write) {
+            return Err(syserr!(Eacces, "{abs_path}"));
+        }
+        let target = *dir_ino
+            .entries()
+            .expect("parent is a directory")
+            .get(&pw.name)
+            .ok_or_else(|| syserr!(Enoent, "{abs_path}"))?;
+        let target_ino = self.inode(target)?;
+        if target_ino.is_dir() {
+            return Err(syserr!(Eisdir, "{abs_path}"));
+        }
+        if dir_ino.mode.is_sticky()
+            && !cred.euid.is_root()
+            && cred.euid != target_ino.owner
+            && cred.euid != dir_ino.owner
+        {
+            return Err(syserr!(Eperm, "sticky: {abs_path}"));
+        }
+        let st = Stat::of(target_ino);
+        self.inode_mut(pw.dir)?
+            .entries_mut()
+            .expect("parent is a directory")
+            .remove(&pw.name);
+        self.inodes.remove(&target.0);
+        Ok(st)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, abs_path: &str, mode: Mode, cred: &Credentials, umask: u16) -> SysResult<Walked> {
+        if self.walk(abs_path, false, Some(cred)).is_ok() {
+            return Err(syserr!(Eexist, "{abs_path}"));
+        }
+        let pw = self.walk_parent(abs_path, Some(cred))?;
+        let dir_ino = self.inode(pw.dir)?;
+        if !dir_ino.mode.grants(dir_ino.owner, dir_ino.group, cred, Access::Write) {
+            return Err(syserr!(Eacces, "cannot mkdir in {}", pw.dir_physical));
+        }
+        let id = self.alloc(
+            FileKind::Directory(BTreeMap::new()),
+            cred.euid,
+            cred.egid,
+            mode.apply_umask(umask),
+        );
+        self.inode_mut(pw.dir)?
+            .entries_mut()
+            .expect("parent is a directory")
+            .insert(pw.name.clone(), id);
+        Ok(Walked { id, physical: path::join(&pw.dir_physical, &pw.name), parent: pw.dir })
+    }
+
+    /// Creates a symbolic link at `link` pointing at `target` (text).
+    pub fn symlink(&mut self, target: &str, link: &str, cred: &Credentials) -> SysResult<Walked> {
+        if self.walk(link, false, Some(cred)).is_ok() {
+            return Err(syserr!(Eexist, "{link}"));
+        }
+        let pw = self.walk_parent(link, Some(cred))?;
+        let dir_ino = self.inode(pw.dir)?;
+        if !dir_ino.mode.grants(dir_ino.owner, dir_ino.group, cred, Access::Write) {
+            return Err(syserr!(Eacces, "cannot symlink in {}", pw.dir_physical));
+        }
+        let id = self.alloc(FileKind::Symlink(target.to_string()), cred.euid, cred.egid, Mode::new(0o777));
+        self.inode_mut(pw.dir)?
+            .entries_mut()
+            .expect("parent is a directory")
+            .insert(pw.name.clone(), id);
+        Ok(Walked { id, physical: path::join(&pw.dir_physical, &pw.name), parent: pw.dir })
+    }
+
+    /// Reads a symlink's target text.
+    pub fn readlink(&self, abs_path: &str, cred: &Credentials) -> SysResult<String> {
+        let w = self.walk(abs_path, false, Some(cred))?;
+        match &self.inode(w.id)?.kind {
+            FileKind::Symlink(t) => Ok(t.clone()),
+            _ => Err(syserr!(Einval, "{abs_path} is not a symlink")),
+        }
+    }
+
+    /// Renames a file or symlink. Both parents need write permission.
+    pub fn rename(&mut self, from: &str, to: &str, cred: &Credentials) -> SysResult<()> {
+        let from_pw = self.walk_parent(from, Some(cred))?;
+        let to_pw = self.walk_parent(to, Some(cred))?;
+        for dirid in [from_pw.dir, to_pw.dir] {
+            let d = self.inode(dirid)?;
+            if !d.mode.grants(d.owner, d.group, cred, Access::Write) {
+                return Err(syserr!(Eacces, "rename {from} -> {to}"));
+            }
+        }
+        let moving = {
+            let d = self.inode(from_pw.dir)?;
+            *d.entries()
+                .expect("parent is a directory")
+                .get(&from_pw.name)
+                .ok_or_else(|| syserr!(Enoent, "{from}"))?
+        };
+        self.inode_mut(from_pw.dir)?
+            .entries_mut()
+            .expect("parent is a directory")
+            .remove(&from_pw.name);
+        self.inode_mut(to_pw.dir)?
+            .entries_mut()
+            .expect("parent is a directory")
+            .insert(to_pw.name, moving);
+        Ok(())
+    }
+
+    /// Changes permission bits; only the owner or root may do this.
+    pub fn chmod(&mut self, abs_path: &str, mode: Mode, cred: &Credentials) -> SysResult<()> {
+        let w = self.walk(abs_path, true, Some(cred))?;
+        let ino = self.inode_mut(w.id)?;
+        if !cred.euid.is_root() && cred.euid != ino.owner {
+            return Err(syserr!(Eperm, "{abs_path}"));
+        }
+        ino.mode = mode;
+        Ok(())
+    }
+
+    /// Changes ownership; only root may do this.
+    pub fn chown(&mut self, abs_path: &str, owner: Uid, group: Gid, cred: &Credentials) -> SysResult<()> {
+        if !cred.euid.is_root() {
+            return Err(syserr!(Eperm, "{abs_path}"));
+        }
+        let w = self.walk(abs_path, true, Some(cred))?;
+        let ino = self.inode_mut(w.id)?;
+        ino.owner = owner;
+        ino.group = group;
+        Ok(())
+    }
+
+    /// `stat` (follows symlinks).
+    pub fn stat(&self, abs_path: &str, cred: Option<&Credentials>) -> SysResult<Stat> {
+        let w = self.walk(abs_path, true, cred)?;
+        Ok(Stat::of(self.inode(w.id)?))
+    }
+
+    /// `lstat` (does not follow a final symlink).
+    pub fn lstat(&self, abs_path: &str, cred: Option<&Credentials>) -> SysResult<Stat> {
+        let w = self.walk(abs_path, false, cred)?;
+        Ok(Stat::of(self.inode(w.id)?))
+    }
+
+    /// Lists a directory's entry names (requires read permission).
+    pub fn list_dir(&self, abs_path: &str, cred: &Credentials) -> SysResult<Vec<String>> {
+        let w = self.walk(abs_path, true, Some(cred))?;
+        let ino = self.inode(w.id)?;
+        if !ino.mode.grants(ino.owner, ino.group, cred, Access::Read) {
+            return Err(syserr!(Eacces, "{abs_path}"));
+        }
+        ino.entries()
+            .map(|e| e.keys().cloned().collect())
+            .ok_or_else(|| syserr!(Enotdir, "{abs_path}"))
+    }
+
+    /// True when the path exists (lstat semantics, god-mode).
+    pub fn exists(&self, abs_path: &str) -> bool {
+        self.walk(abs_path, false, None).is_ok()
+    }
+
+    // ------------------------------------------------------------------
+    // God-mode helpers (world building & fault injection)
+    // ------------------------------------------------------------------
+
+    /// Creates every missing directory along `abs_path` with the given
+    /// owner and mode. Existing components are left untouched.
+    pub fn mkdir_p(&mut self, abs_path: &str, owner: Uid, group: Gid, mode: Mode) -> SysResult<InodeId> {
+        if !path::is_absolute(abs_path) {
+            return Err(syserr!(Einval, "{abs_path}"));
+        }
+        let mut cur = self.root;
+        let comps: Vec<String> = path::components(abs_path).map(str::to_string).collect();
+        for comp in comps {
+            let existing = {
+                let ino = self.inode(cur)?;
+                let entries = ino.entries().ok_or_else(|| syserr!(Enotdir, "{abs_path}"))?;
+                entries.get(&comp).copied()
+            };
+            cur = match existing {
+                Some(id) => id,
+                None => {
+                    let id = self.alloc(FileKind::Directory(BTreeMap::new()), owner, group, mode);
+                    self.inode_mut(cur)?
+                        .entries_mut()
+                        .expect("checked directory")
+                        .insert(comp, id);
+                    id
+                }
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Installs (or replaces) a regular file with the given content,
+    /// creating parents root-owned 0755 as needed.
+    pub fn put_file(
+        &mut self,
+        abs_path: &str,
+        content: impl Into<Data>,
+        owner: Uid,
+        group: Gid,
+        mode: Mode,
+    ) -> SysResult<InodeId> {
+        let parent_path = path::parent(abs_path).ok_or_else(|| syserr!(Einval, "{abs_path}"))?;
+        let dir = self.mkdir_p(&parent_path, Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
+        let name = path::file_name(abs_path)
+            .ok_or_else(|| syserr!(Einval, "{abs_path}"))?
+            .to_string();
+        // Replace any existing entry.
+        if let Some(old) = self.inode(dir)?.entries().and_then(|e| e.get(&name)).copied() {
+            self.inodes.remove(&old.0);
+        }
+        let id = self.alloc(FileKind::Regular(content.into()), owner, group, mode);
+        self.inode_mut(dir)?
+            .entries_mut()
+            .expect("checked directory")
+            .insert(name, id);
+        Ok(id)
+    }
+
+    /// Removes a path unconditionally (no permission checks). Directories
+    /// are removed recursively.
+    pub fn god_remove(&mut self, abs_path: &str) -> SysResult<()> {
+        let pw = self.walk_parent(abs_path, None)?;
+        let target = {
+            let d = self.inode(pw.dir)?;
+            *d.entries()
+                .expect("parent is a directory")
+                .get(&pw.name)
+                .ok_or_else(|| syserr!(Enoent, "{abs_path}"))?
+        };
+        self.inode_mut(pw.dir)?
+            .entries_mut()
+            .expect("parent is a directory")
+            .remove(&pw.name);
+        // Recursively drop unreachable children.
+        let mut stack = vec![target];
+        while let Some(id) = stack.pop() {
+            if let Some(ino) = self.inodes.remove(&id.0) {
+                if let FileKind::Directory(entries) = ino.kind {
+                    stack.extend(entries.values().copied());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces whatever is at `abs_path` with a symlink to `target`
+    /// (the symlink-swap perturbation).
+    pub fn god_symlink(&mut self, abs_path: &str, target: &str) -> SysResult<InodeId> {
+        if self.exists(abs_path) {
+            self.god_remove(abs_path)?;
+        }
+        let parent_path = path::parent(abs_path).ok_or_else(|| syserr!(Einval, "{abs_path}"))?;
+        let dir = self.mkdir_p(&parent_path, Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
+        let name = path::file_name(abs_path)
+            .ok_or_else(|| syserr!(Einval, "{abs_path}"))?
+            .to_string();
+        let id = self.alloc(FileKind::Symlink(target.to_string()), Uid::ROOT, Gid::ROOT, Mode::new(0o777));
+        self.inode_mut(dir)?
+            .entries_mut()
+            .expect("checked directory")
+            .insert(name, id);
+        Ok(id)
+    }
+
+    /// Changes owner unconditionally.
+    pub fn god_chown(&mut self, abs_path: &str, owner: Uid, group: Gid) -> SysResult<()> {
+        let w = self.walk(abs_path, false, None)?;
+        let ino = self.inode_mut(w.id)?;
+        ino.owner = owner;
+        ino.group = group;
+        Ok(())
+    }
+
+    /// Changes mode unconditionally.
+    pub fn god_chmod(&mut self, abs_path: &str, mode: Mode) -> SysResult<()> {
+        let w = self.walk(abs_path, false, None)?;
+        self.inode_mut(w.id)?.mode = mode;
+        Ok(())
+    }
+
+    /// Overwrites content unconditionally (follows symlinks).
+    pub fn god_write(&mut self, abs_path: &str, content: impl Into<Data>) -> SysResult<()> {
+        let w = self.walk(abs_path, true, None)?;
+        match &mut self.inode_mut(w.id)?.kind {
+            FileKind::Regular(d) => {
+                *d = content.into();
+                Ok(())
+            }
+            _ => Err(syserr!(Eisdir, "{abs_path}")),
+        }
+    }
+
+    /// Attaches an oracle tag to a path (follows symlinks).
+    pub fn tag(&mut self, abs_path: &str, tag: FileTag) -> SysResult<()> {
+        let w = self.walk(abs_path, true, None)?;
+        self.inode_mut(w.id)?.tags.insert(tag);
+        Ok(())
+    }
+
+    /// Reads content by path without permission checks (oracle/test use).
+    pub fn god_read(&self, abs_path: &str) -> SysResult<Data> {
+        let w = self.walk(abs_path, true, None)?;
+        self.read(w.id)
+    }
+
+    /// Verifies internal consistency: every directory entry points at a
+    /// live inode and every non-root inode is reachable. Used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut reachable: BTreeSet<u64> = BTreeSet::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if !reachable.insert(id.0) {
+                continue;
+            }
+            let ino = self.inodes.get(&id.0).ok_or(format!("dangling entry to {id}"))?;
+            if let Some(entries) = ino.entries() {
+                stack.extend(entries.values().copied());
+            }
+        }
+        for id in self.inodes.keys() {
+            if !reachable.contains(id) {
+                return Err(format!("orphan inode ino:{id}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cred(uid: u32) -> Credentials {
+        Credentials::user(Uid(uid), Gid(uid))
+    }
+
+    fn setup() -> Vfs {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/etc", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        fs.mkdir_p("/tmp", Uid::ROOT, Gid::ROOT, Mode::new(0o1777)).unwrap();
+        fs.mkdir_p("/home/alice", Uid(100), Gid(100), Mode::new(0o755)).unwrap();
+        fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        fs.put_file("/etc/shadow", "root:HASH:", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
+        fs
+    }
+
+    #[test]
+    fn walk_resolves_and_reports_physical_path() {
+        let fs = setup();
+        let w = fs.walk("/etc/passwd", true, None).unwrap();
+        assert_eq!(w.physical, "/etc/passwd");
+        assert!(fs.inode(w.id).unwrap().is_file());
+    }
+
+    #[test]
+    fn walk_missing_is_enoent() {
+        let fs = setup();
+        let e = fs.walk("/etc/nothing", true, None).unwrap_err();
+        assert_eq!(e.errno, Errno::Enoent);
+    }
+
+    #[test]
+    fn dotdot_is_physical_across_symlinks() {
+        let mut fs = setup();
+        // /home/alice/link -> /etc ; /home/alice/link/../shadow2 must be /etc/../shadow2 = /shadow2? No:
+        // physical `..` of /etc is /, so the path resolves under /, not under /home/alice.
+        fs.god_symlink("/home/alice/link", "/etc").unwrap();
+        fs.put_file("/probe", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        let w = fs.walk("/home/alice/link/../probe", true, None).unwrap();
+        assert_eq!(w.physical, "/probe");
+    }
+
+    #[test]
+    fn symlink_loop_detected() {
+        let mut fs = setup();
+        fs.god_symlink("/a", "/b").unwrap();
+        fs.god_symlink("/b", "/a").unwrap();
+        let e = fs.walk("/a", true, None).unwrap_err();
+        assert_eq!(e.errno, Errno::Eloop);
+    }
+
+    #[test]
+    fn creat_follows_final_symlink() {
+        let mut fs = setup();
+        fs.god_symlink("/tmp/spool", "/etc/passwd").unwrap();
+        let root = Credentials::root();
+        let (w, existed) = fs.creat("/tmp/spool", Mode::new(0o660), &root, 0).unwrap();
+        assert!(existed, "creat through symlink hits the existing target");
+        assert_eq!(w.physical, "/etc/passwd");
+        // Content was truncated — this is the lpr attack in miniature.
+        assert_eq!(fs.god_read("/etc/passwd").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn creat_through_dangling_symlink_creates_target() {
+        let mut fs = setup();
+        fs.mkdir_p("/etc/cron.d", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        fs.god_symlink("/tmp/spool", "/etc/cron.d/evil").unwrap();
+        let (w, existed) = fs.creat("/tmp/spool", Mode::new(0o660), &Credentials::root(), 0).unwrap();
+        assert!(!existed);
+        assert_eq!(w.physical, "/etc/cron.d/evil");
+        assert!(fs.exists("/etc/cron.d/evil"));
+    }
+
+    #[test]
+    fn create_excl_refuses_symlink() {
+        let mut fs = setup();
+        fs.god_symlink("/tmp/spool", "/etc/passwd").unwrap();
+        let e = fs.create_excl("/tmp/spool", Mode::new(0o600), &Credentials::root(), 0).unwrap_err();
+        assert_eq!(e.errno, Errno::Eexist);
+        // Target untouched.
+        assert_eq!(fs.god_read("/etc/passwd").unwrap().text(), "root:0:0:");
+    }
+
+    #[test]
+    fn unchecked_user_cannot_read_shadow() {
+        let fs = setup();
+        let e = fs.open_read("/etc/shadow", &cred(100)).unwrap_err();
+        assert_eq!(e.errno, Errno::Eacces);
+        assert!(fs.open_read("/etc/shadow", &Credentials::root()).is_ok());
+    }
+
+    #[test]
+    fn sticky_tmp_protects_other_users_files() {
+        let mut fs = setup();
+        fs.put_file("/tmp/victim", "data", Uid(200), Gid(200), Mode::new(0o666)).unwrap();
+        // /tmp is sticky: alice (100) cannot unlink bob's (200) file.
+        let e = fs.unlink("/tmp/victim", &cred(100)).unwrap_err();
+        assert_eq!(e.errno, Errno::Eperm);
+        assert!(fs.unlink("/tmp/victim", &cred(200)).is_ok());
+    }
+
+    #[test]
+    fn traversal_requires_exec_permission() {
+        let mut fs = setup();
+        fs.mkdir_p("/private", Uid(200), Gid(200), Mode::new(0o700)).unwrap();
+        fs.put_file("/private/f", "x", Uid(200), Gid(200), Mode::new(0o644)).unwrap();
+        let e = fs.walk("/private/f", true, Some(&cred(100))).unwrap_err();
+        assert_eq!(e.errno, Errno::Eacces);
+        assert!(fs.walk("/private/f", true, Some(&cred(200))).is_ok());
+    }
+
+    #[test]
+    fn create_needs_parent_write() {
+        let mut fs = setup();
+        let e = fs.creat("/etc/evil", Mode::new(0o644), &cred(100), 0o22).unwrap_err();
+        assert_eq!(e.errno, Errno::Eacces);
+        // /tmp is world-writable.
+        assert!(fs.creat("/tmp/ok", Mode::new(0o644), &cred(100), 0o22).is_ok());
+    }
+
+    #[test]
+    fn umask_applies_to_new_files() {
+        let mut fs = setup();
+        fs.creat("/tmp/masked", Mode::new(0o666), &cred(100), 0o077).unwrap();
+        assert_eq!(fs.stat("/tmp/masked", None).unwrap().mode.bits(), 0o600);
+    }
+
+    #[test]
+    fn rename_moves_entries() {
+        let mut fs = setup();
+        fs.put_file("/tmp/a", "x", Uid(100), Gid(100), Mode::new(0o644)).unwrap();
+        fs.rename("/tmp/a", "/tmp/b", &cred(100)).unwrap();
+        assert!(!fs.exists("/tmp/a"));
+        assert!(fs.exists("/tmp/b"));
+    }
+
+    #[test]
+    fn chmod_owner_only() {
+        let mut fs = setup();
+        fs.put_file("/tmp/mine", "x", Uid(100), Gid(100), Mode::new(0o644)).unwrap();
+        assert!(fs.chmod("/tmp/mine", Mode::new(0o600), &cred(200)).is_err());
+        assert!(fs.chmod("/tmp/mine", Mode::new(0o600), &cred(100)).is_ok());
+        assert!(fs.chmod("/tmp/mine", Mode::new(0o644), &Credentials::root()).is_ok());
+    }
+
+    #[test]
+    fn chown_root_only() {
+        let mut fs = setup();
+        fs.put_file("/tmp/mine", "x", Uid(100), Gid(100), Mode::new(0o644)).unwrap();
+        assert!(fs.chown("/tmp/mine", Uid(200), Gid(200), &cred(100)).is_err());
+        assert!(fs.chown("/tmp/mine", Uid(200), Gid(200), &Credentials::root()).is_ok());
+        assert_eq!(fs.stat("/tmp/mine", None).unwrap().owner, Uid(200));
+    }
+
+    #[test]
+    fn stat_vs_lstat_on_symlink() {
+        let mut fs = setup();
+        fs.god_symlink("/tmp/ln", "/etc/passwd").unwrap();
+        assert_eq!(fs.stat("/tmp/ln", None).unwrap().file_type, FileType::Regular);
+        assert_eq!(fs.lstat("/tmp/ln", None).unwrap().file_type, FileType::Symlink);
+    }
+
+    #[test]
+    fn god_remove_is_recursive_and_invariant_safe() {
+        let mut fs = setup();
+        fs.mkdir_p("/deep/a/b", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        fs.put_file("/deep/a/b/f", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        let before = fs.inode_count();
+        fs.god_remove("/deep").unwrap();
+        assert!(fs.inode_count() < before);
+        fs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn path_of_reconstructs() {
+        let fs = setup();
+        let w = fs.walk("/etc/shadow", true, None).unwrap();
+        assert_eq!(fs.path_of(w.id).as_deref(), Some("/etc/shadow"));
+        assert_eq!(fs.path_of(fs.root()).as_deref(), Some("/"));
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        let mut fs = setup();
+        fs.tag("/etc/shadow", FileTag::Secret).unwrap();
+        assert!(fs.stat("/etc/shadow", None).unwrap().tags.contains(&FileTag::Secret));
+    }
+
+    #[test]
+    fn invariants_hold_after_setup() {
+        setup().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn list_dir_requires_read() {
+        let mut fs = setup();
+        fs.mkdir_p("/secretdir", Uid(200), Gid(200), Mode::new(0o711)).unwrap();
+        assert!(fs.list_dir("/secretdir", &cred(100)).is_err());
+        let names = fs.list_dir("/etc", &cred(100)).unwrap();
+        assert!(names.contains(&"passwd".to_string()));
+    }
+}

@@ -1,0 +1,444 @@
+//! The security-policy oracle.
+//!
+//! The paper's methodology needs, at step 8, a decision procedure for
+//! "was the security policy violated?". This module provides it as a pure
+//! function over the [`crate::audit::AuditLog`]: a fixed rule set covering
+//! the four classic policy families the paper's case studies exercise —
+//! integrity, confidentiality, privilege/trust, and memory safety — plus
+//! scenario-declared custom invariants.
+//!
+//! The rules are deliberately written so that a **clean (unperturbed) run of
+//! a well-configured world produces zero violations**; campaign code asserts
+//! this before injecting any fault, so every reported violation is
+//! attributable to the injected perturbation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::fs::FileTag;
+
+/// The policy family a violation falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// A privileged process modified an object its invoker could not write.
+    IntegrityWrite,
+    /// A privileged process deleted a protected/critical object or one the
+    /// invoker could not remove.
+    IntegrityDelete,
+    /// Secret bytes the invoker may not read reached an invoker-visible sink.
+    Disclosure,
+    /// A privileged process executed an attacker-controllable program.
+    UntrustedExec,
+    /// A privileged operation's target was named by untrusted input.
+    TaintedPrivilegedOp,
+    /// An action was driven by a message whose origin was spoofed.
+    SpoofedAction,
+    /// A fixed-size buffer was overrun by an unchecked copy.
+    MemoryCorruption,
+    /// A scenario-declared invariant failed.
+    Custom,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::IntegrityWrite => "integrity-write",
+            ViolationKind::IntegrityDelete => "integrity-delete",
+            ViolationKind::Disclosure => "disclosure",
+            ViolationKind::UntrustedExec => "untrusted-exec",
+            ViolationKind::TaintedPrivilegedOp => "tainted-privileged-op",
+            ViolationKind::SpoofedAction => "spoofed-action",
+            ViolationKind::MemoryCorruption => "memory-corruption",
+            ViolationKind::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected security-policy violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The policy family.
+    pub kind: ViolationKind,
+    /// The rule that fired, e.g. `"R1-integrity-write"`.
+    pub rule: String,
+    /// Human-readable account of what happened.
+    pub description: String,
+    /// Index of the triggering event in the audit log.
+    pub event_index: usize,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} ({})", self.kind, self.description, self.rule)
+    }
+}
+
+/// The fixed rule set. Stateless; construct once and reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyEngine;
+
+impl PolicyEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        PolicyEngine
+    }
+
+    /// Evaluates every rule against the log, returning all violations in
+    /// event order.
+    pub fn evaluate(&self, log: &AuditLog) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (idx, ev) in log.iter() {
+            self.check_event(idx, ev, &mut out);
+        }
+        out
+    }
+
+    fn check_event(&self, idx: usize, ev: &AuditEvent, out: &mut Vec<Violation>) {
+        match ev {
+            AuditEvent::MemoryCorruption { buffer, capacity, attempted, .. } => {
+                out.push(Violation {
+                    kind: ViolationKind::MemoryCorruption,
+                    rule: "R4-memory-safety".into(),
+                    description: format!(
+                        "unchecked copy of {attempted} bytes into {capacity}-byte buffer `{buffer}`"
+                    ),
+                    event_index: idx,
+                });
+            }
+            AuditEvent::Emit { sink, labels, .. } => {
+                for label in labels {
+                    if label.is_protected_secret() {
+                        out.push(Violation {
+                            kind: ViolationKind::Disclosure,
+                            rule: "R2-confidentiality".into(),
+                            description: format!("{label} disclosed to {sink}"),
+                            event_index: idx,
+                        });
+                    }
+                }
+            }
+            AuditEvent::FileWrite(w) => {
+                // R1: privileged write to something the invoker couldn't touch.
+                let elevated = w.by.is_elevated();
+                let overwrote_foreign = w.existed_before && !w.invoker_could_write && !w.created_by_self;
+                let planted_in_protected = !w.existed_before
+                    && w.parent_tags.contains(&FileTag::Protected)
+                    && !w.invoker_could_write_parent;
+                if elevated && (overwrote_foreign || planted_in_protected) {
+                    let what = if overwrote_foreign {
+                        format!("overwrote {} which the invoker could not write", w.path)
+                    } else {
+                        format!("planted {} inside a protected directory", w.path)
+                    };
+                    out.push(Violation {
+                        kind: ViolationKind::IntegrityWrite,
+                        rule: "R1-integrity-write".into(),
+                        description: what,
+                        event_index: idx,
+                    });
+                }
+                // R5: untrusted input named the target of a privileged write.
+                if w.by.is_privileged() && w.path_taint.iter().any(|l| l.is_untrusted()) {
+                    out.push(Violation {
+                        kind: ViolationKind::TaintedPrivilegedOp,
+                        rule: "R5-tainted-write".into(),
+                        description: format!("privileged write to attacker-named path {}", w.path),
+                        event_index: idx,
+                    });
+                }
+                // R7: spoofed message drove a privileged write.
+                if (w.by.is_elevated() || w.by.is_privileged())
+                    && (w.data_labels.iter().any(|l| l.is_spoofed())
+                        || w.path_taint.iter().any(|l| l.is_spoofed()))
+                {
+                    out.push(Violation {
+                        kind: ViolationKind::SpoofedAction,
+                        rule: "R7-spoofed-write".into(),
+                        description: format!("write to {} driven by spoofed message", w.path),
+                        event_index: idx,
+                    });
+                }
+                // R2 (file sink): secret data written where the invoker can read it.
+                if w.invoker_could_read_after {
+                    for label in &w.data_labels {
+                        if label.is_protected_secret() {
+                            out.push(Violation {
+                                kind: ViolationKind::Disclosure,
+                                rule: "R2-confidentiality".into(),
+                                description: format!("{label} disclosed to file {}", w.path),
+                                event_index: idx,
+                            });
+                        }
+                    }
+                }
+            }
+            AuditEvent::FileDelete { path, tags, path_taint, invoker_could_delete, by, .. } => {
+                let sensitive = tags.contains(&FileTag::Protected)
+                    || tags.contains(&FileTag::Critical)
+                    || tags.contains(&FileTag::Secret);
+                if by.is_elevated() && sensitive && !invoker_could_delete {
+                    out.push(Violation {
+                        kind: ViolationKind::IntegrityDelete,
+                        rule: "R3-integrity-delete".into(),
+                        description: format!("privileged deletion of protected object {path}"),
+                        event_index: idx,
+                    });
+                }
+                // R5 (delete): a *sensitive* object was deleted because
+                // untrusted input named it — the NT font-key case study.
+                // Deleting attacker-named but harmless objects is the normal
+                // job of cleanup tools and does not fire.
+                if by.is_privileged() && sensitive && path_taint.iter().any(|l| l.is_untrusted()) {
+                    out.push(Violation {
+                        kind: ViolationKind::TaintedPrivilegedOp,
+                        rule: "R5-tainted-delete".into(),
+                        description: format!("privileged deletion of attacker-named sensitive path {path}"),
+                        event_index: idx,
+                    });
+                }
+            }
+            AuditEvent::Exec {
+                requested,
+                resolved,
+                owner,
+                world_writable,
+                dir_untrusted,
+                path_taint,
+                arg_labels,
+                by,
+            } => {
+                if by.is_elevated() || by.is_privileged() {
+                    // The binary itself must be attacker-controllable; a
+                    // root-owned binary reached via tainted input is the
+                    // program's (dangerous but distinct) design decision and
+                    // is caught by the write/delete rules when it matters.
+                    let untrusted_binary = (!owner.is_root() && *owner != by.ruid)
+                        || *world_writable
+                        || *dir_untrusted;
+                    let spoofed = path_taint.iter().any(|l| l.is_spoofed())
+                        || arg_labels.iter().any(|l| l.is_spoofed());
+                    if untrusted_binary {
+                        out.push(Violation {
+                            kind: ViolationKind::UntrustedExec,
+                            rule: "R6-untrusted-exec".into(),
+                            description: format!(
+                                "privileged exec of {resolved} (requested `{requested}`): attacker-controllable binary"
+                            ),
+                            event_index: idx,
+                        });
+                    }
+                    if spoofed {
+                        out.push(Violation {
+                            kind: ViolationKind::SpoofedAction,
+                            rule: "R7-spoofed-exec".into(),
+                            description: format!("exec of {resolved} driven by spoofed message"),
+                            event_index: idx,
+                        });
+                    }
+                }
+            }
+            AuditEvent::RegistryDelete { key, path_taint, by } => {
+                if by.is_privileged() && path_taint.iter().any(|l| l.is_untrusted()) {
+                    out.push(Violation {
+                        kind: ViolationKind::TaintedPrivilegedOp,
+                        rule: "R5-tainted-regdelete".into(),
+                        description: format!("privileged registry deletion of attacker-named key {key}"),
+                        event_index: idx,
+                    });
+                }
+            }
+            AuditEvent::Custom { rule, violated, detail } => {
+                if *violated {
+                    out.push(Violation {
+                        kind: ViolationKind::Custom,
+                        rule: format!("custom:{rule}"),
+                        description: detail.clone(),
+                        event_index: idx,
+                    });
+                }
+            }
+            AuditEvent::FileRead { .. }
+            | AuditEvent::Chdir { .. }
+            | AuditEvent::RegistryWrite { .. }
+            | AuditEvent::NetRecv { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{SinkKind, WriteInfo};
+    use crate::cred::{Credentials, Gid, Uid};
+    use crate::data::Label;
+    use std::collections::BTreeSet;
+
+    fn suid_cred() -> Credentials {
+        Credentials::user(Uid(100), Gid(100)).with_euid(Uid::ROOT)
+    }
+
+    fn clean_write(by: Credentials) -> WriteInfo {
+        WriteInfo {
+            path: "/var/spool/x".into(),
+            existed_before: false,
+            owner_before: None,
+            invoker_could_write: false,
+            target_tags: BTreeSet::new(),
+            parent_tags: BTreeSet::new(),
+            invoker_could_write_parent: false,
+            invoker_could_read_after: false,
+            created_by_self: false,
+            path_taint: BTreeSet::new(),
+            data_labels: BTreeSet::new(),
+            by,
+        }
+    }
+
+    #[test]
+    fn fresh_spool_write_is_clean() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::FileWrite(clean_write(suid_cred())));
+        assert!(PolicyEngine::new().evaluate(&log).is_empty());
+    }
+
+    #[test]
+    fn overwriting_foreign_file_is_integrity_violation() {
+        let mut log = AuditLog::new();
+        let mut w = clean_write(suid_cred());
+        w.path = "/etc/passwd".into();
+        w.existed_before = true;
+        w.owner_before = Some(Uid::ROOT);
+        log.push(AuditEvent::FileWrite(w));
+        let v = PolicyEngine::new().evaluate(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::IntegrityWrite);
+    }
+
+    #[test]
+    fn unelevated_process_may_overwrite_its_own_files() {
+        let mut log = AuditLog::new();
+        let mut w = clean_write(Credentials::user(Uid(100), Gid(100)));
+        w.existed_before = true;
+        w.invoker_could_write = true;
+        log.push(AuditEvent::FileWrite(w));
+        assert!(PolicyEngine::new().evaluate(&log).is_empty());
+    }
+
+    #[test]
+    fn planting_into_protected_dir_is_violation() {
+        let mut log = AuditLog::new();
+        let mut w = clean_write(suid_cred());
+        w.path = "/etc/cron.d/evil".into();
+        w.parent_tags = [FileTag::Protected].into_iter().collect();
+        log.push(AuditEvent::FileWrite(w));
+        let v = PolicyEngine::new().evaluate(&log);
+        assert_eq!(v[0].kind, ViolationKind::IntegrityWrite);
+    }
+
+    #[test]
+    fn secret_to_stdout_is_disclosure() {
+        let mut log = AuditLog::new();
+        let labels: BTreeSet<Label> =
+            [Label::Secret { path: "/etc/shadow".into(), invoker_may_read: false }].into_iter().collect();
+        log.push(AuditEvent::Emit { sink: SinkKind::Stdout, labels, by: suid_cred() });
+        let v = PolicyEngine::new().evaluate(&log);
+        assert_eq!(v[0].kind, ViolationKind::Disclosure);
+    }
+
+    #[test]
+    fn readable_secret_is_not_disclosure() {
+        let mut log = AuditLog::new();
+        let labels: BTreeSet<Label> =
+            [Label::Secret { path: "/home/me/own".into(), invoker_may_read: true }].into_iter().collect();
+        log.push(AuditEvent::Emit { sink: SinkKind::Stdout, labels, by: suid_cred() });
+        assert!(PolicyEngine::new().evaluate(&log).is_empty());
+    }
+
+    #[test]
+    fn tainted_delete_fires_for_privileged_process() {
+        let mut log = AuditLog::new();
+        let taint: BTreeSet<Label> =
+            [Label::Untrusted { source: "registry:Fonts".into() }].into_iter().collect();
+        log.push(AuditEvent::FileDelete {
+            path: "/winnt/system.ini".into(),
+            owner: Uid::ROOT,
+            tags: [FileTag::Critical].into_iter().collect(),
+            path_taint: taint,
+            invoker_could_delete: false,
+            by: Credentials::root(),
+        });
+        let v = PolicyEngine::new().evaluate(&log);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::TaintedPrivilegedOp));
+    }
+
+    #[test]
+    fn untrusted_exec_detected() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::Exec {
+            requested: "tar".into(),
+            resolved: "/tmp/evil/tar".into(),
+            owner: Uid(666),
+            world_writable: false,
+            dir_untrusted: true,
+            path_taint: BTreeSet::new(),
+            arg_labels: BTreeSet::new(),
+            by: suid_cred(),
+        });
+        let v = PolicyEngine::new().evaluate(&log);
+        assert_eq!(v[0].kind, ViolationKind::UntrustedExec);
+    }
+
+    #[test]
+    fn root_owned_binary_exec_is_clean() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::Exec {
+            requested: "tar".into(),
+            resolved: "/usr/bin/tar".into(),
+            owner: Uid::ROOT,
+            world_writable: false,
+            dir_untrusted: false,
+            path_taint: BTreeSet::new(),
+            arg_labels: BTreeSet::new(),
+            by: suid_cred(),
+        });
+        assert!(PolicyEngine::new().evaluate(&log).is_empty());
+    }
+
+    #[test]
+    fn spoofed_write_detected() {
+        let mut log = AuditLog::new();
+        let mut w = clean_write(suid_cred());
+        w.data_labels =
+            [Label::Spoofed { claimed_from: "ta-host".into(), actual_from: "evil".into() }].into_iter().collect();
+        log.push(AuditEvent::FileWrite(w));
+        let v = PolicyEngine::new().evaluate(&log);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::SpoofedAction));
+    }
+
+    #[test]
+    fn custom_rule_fires_only_when_violated() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::Custom { rule: "auth-before-cmd".into(), violated: false, detail: String::new() });
+        log.push(AuditEvent::Custom { rule: "auth-before-cmd".into(), violated: true, detail: "cmd without auth".into() });
+        let v = PolicyEngine::new().evaluate(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Custom);
+        assert_eq!(v[0].event_index, 1);
+    }
+
+    #[test]
+    fn memory_corruption_always_fires() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::MemoryCorruption {
+            buffer: "reqline".into(),
+            capacity: 64,
+            attempted: 5000,
+            by: Credentials::root(),
+        });
+        let v = PolicyEngine::new().evaluate(&log);
+        assert_eq!(v[0].kind, ViolationKind::MemoryCorruption);
+    }
+}

@@ -1,0 +1,258 @@
+//! A Windows NT-style registry: a hierarchical key/value store with
+//! per-key access control.
+//!
+//! The paper's §4.2 case study tests NT modules that trust values stored in
+//! *unprotected* (world-writable) registry keys. The substrate models
+//! exactly the properties those tests need: a key tree, string values, a
+//! per-key ACL reduced to its security-relevant essence (who may write),
+//! and an enumeration of unprotected keys matching the paper's "29
+//! unprotected keys" inventory.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cred::{Credentials, Uid};
+use crate::error::SysResult;
+use crate::syserr;
+
+/// Access control for one registry key, reduced to the write-control
+/// question the case study turns on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegAcl {
+    /// Owning user (Administrator == root in the sandbox's id space).
+    pub owner: Uid,
+    /// Whether *everyone* may write the key — the "unprotected" condition.
+    pub world_writable: bool,
+}
+
+impl Default for RegAcl {
+    fn default() -> Self {
+        RegAcl { owner: Uid::ROOT, world_writable: false }
+    }
+}
+
+/// One registry key: values, subkeys, ACL.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegKey {
+    /// Named string values.
+    pub values: BTreeMap<String, String>,
+    /// Child keys.
+    pub subkeys: BTreeMap<String, RegKey>,
+    /// Access control.
+    pub acl: RegAcl,
+}
+
+/// The registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registry {
+    root: RegKey,
+}
+
+/// Splits a `/`-separated key path into components.
+fn split(path: &str) -> Vec<&str> {
+    path.split('/').filter(|c| !c.is_empty()).collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows a key.
+    pub fn key(&self, path: &str) -> Option<&RegKey> {
+        let mut cur = &self.root;
+        for comp in split(path) {
+            cur = cur.subkeys.get(comp)?;
+        }
+        Some(cur)
+    }
+
+    fn key_mut(&mut self, path: &str) -> Option<&mut RegKey> {
+        let mut cur = &mut self.root;
+        for comp in split(path) {
+            cur = cur.subkeys.get_mut(comp)?;
+        }
+        Some(cur)
+    }
+
+    /// Creates a key (and any missing ancestors) with the given ACL,
+    /// leaving existing ancestors untouched.
+    pub fn ensure_key(&mut self, path: &str, acl: RegAcl) -> &mut RegKey {
+        let comps = split(path).into_iter().map(str::to_string).collect::<Vec<_>>();
+        let mut cur = &mut self.root;
+        for comp in comps {
+            cur = cur.subkeys.entry(comp).or_default();
+        }
+        cur.acl = acl;
+        cur
+    }
+
+    /// Sets a value, enforcing the ACL.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for a missing key; `EACCES` when `cred` is neither the
+    /// owner, an administrator, nor covered by world-write.
+    pub fn set_value(
+        &mut self,
+        path: &str,
+        name: &str,
+        value: impl Into<String>,
+        cred: &Credentials,
+    ) -> SysResult<()> {
+        let key = self.key_mut(path).ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
+        if !(key.acl.world_writable || cred.euid.is_root() || cred.euid == key.acl.owner) {
+            return Err(syserr!(Eacces, "registry key {path}"));
+        }
+        key.values.insert(name.to_string(), value.into());
+        Ok(())
+    }
+
+    /// Sets a value without ACL checks (world building / perturbation).
+    pub fn god_set_value(&mut self, path: &str, name: &str, value: impl Into<String>) {
+        let key = match self.key_mut(path) {
+            Some(k) => k,
+            None => self.ensure_key(path, RegAcl::default()),
+        };
+        key.values.insert(name.to_string(), value.into());
+    }
+
+    /// Reads a value together with the key's world-writability — the fact
+    /// the syscall layer folds into an `Untrusted` label.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for a missing key or value.
+    pub fn get_value(&self, path: &str, name: &str) -> SysResult<(String, bool)> {
+        let key = self.key(path).ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
+        let v = key
+            .values
+            .get(name)
+            .cloned()
+            .ok_or_else(|| syserr!(Enoent, "registry value {path}\\{name}"))?;
+        Ok((v, key.acl.world_writable))
+    }
+
+    /// Deletes a value, enforcing the ACL.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::set_value`].
+    pub fn delete_value(&mut self, path: &str, name: &str, cred: &Credentials) -> SysResult<()> {
+        let key = self.key_mut(path).ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
+        if !(key.acl.world_writable || cred.euid.is_root() || cred.euid == key.acl.owner) {
+            return Err(syserr!(Eacces, "registry key {path}"));
+        }
+        key.values
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| syserr!(Enoent, "registry value {path}\\{name}"))
+    }
+
+    /// Changes a key's ACL unconditionally (perturbation helper).
+    pub fn god_set_acl(&mut self, path: &str, acl: RegAcl) -> SysResult<()> {
+        self.key_mut(path)
+            .map(|k| k.acl = acl)
+            .ok_or_else(|| syserr!(Enoent, "registry key {path}"))
+    }
+
+    /// Every key path whose ACL is world-writable — the paper's
+    /// "unprotected keys" inventory.
+    pub fn unprotected_keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(key: &RegKey, path: &str, out: &mut Vec<String>) {
+            for (name, sub) in &key.subkeys {
+                let p = if path.is_empty() { name.clone() } else { format!("{path}/{name}") };
+                if sub.acl.world_writable {
+                    out.push(p.clone());
+                }
+                walk(sub, &p, out);
+            }
+        }
+        walk(&self.root, "", &mut out);
+        out
+    }
+
+    /// Total number of keys (excluding the implicit root).
+    pub fn key_count(&self) -> usize {
+        fn walk(key: &RegKey) -> usize {
+            key.subkeys.values().map(|k| 1 + walk(k)).sum()
+        }
+        walk(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::Gid;
+
+    fn admin() -> Credentials {
+        Credentials::root()
+    }
+
+    fn user(uid: u32) -> Credentials {
+        Credentials::user(Uid(uid), Gid(uid))
+    }
+
+    #[test]
+    fn ensure_and_get() {
+        let mut r = Registry::new();
+        r.ensure_key("HKLM/Software/Fonts", RegAcl { owner: Uid::ROOT, world_writable: true });
+        r.god_set_value("HKLM/Software/Fonts", "F0", "/winnt/fonts/arial.fon");
+        let (v, ww) = r.get_value("HKLM/Software/Fonts", "F0").unwrap();
+        assert_eq!(v, "/winnt/fonts/arial.fon");
+        assert!(ww);
+    }
+
+    #[test]
+    fn acl_enforced_for_users() {
+        let mut r = Registry::new();
+        r.ensure_key("HKLM/Secure", RegAcl { owner: Uid::ROOT, world_writable: false });
+        assert!(r.set_value("HKLM/Secure", "v", "x", &user(500)).is_err());
+        assert!(r.set_value("HKLM/Secure", "v", "x", &admin()).is_ok());
+        // World-writable key accepts anyone — the vulnerability precondition.
+        r.ensure_key("HKLM/Open", RegAcl { owner: Uid::ROOT, world_writable: true });
+        assert!(r.set_value("HKLM/Open", "v", "evil", &user(500)).is_ok());
+    }
+
+    #[test]
+    fn unprotected_inventory() {
+        let mut r = Registry::new();
+        r.ensure_key("HKLM/A", RegAcl { owner: Uid::ROOT, world_writable: true });
+        r.ensure_key("HKLM/A/Sub", RegAcl { owner: Uid::ROOT, world_writable: false });
+        r.ensure_key("HKLM/B", RegAcl { owner: Uid::ROOT, world_writable: true });
+        let keys = r.unprotected_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&"HKLM/A".to_string()));
+        assert!(keys.contains(&"HKLM/B".to_string()));
+        assert!(r.key_count() >= 4); // HKLM, A, A/Sub, B
+    }
+
+    #[test]
+    fn delete_value_respects_acl() {
+        let mut r = Registry::new();
+        r.ensure_key("HKLM/K", RegAcl { owner: Uid(7), world_writable: false });
+        r.god_set_value("HKLM/K", "v", "1");
+        assert!(r.delete_value("HKLM/K", "v", &user(8)).is_err());
+        assert!(r.delete_value("HKLM/K", "v", &user(7)).is_ok());
+    }
+
+    #[test]
+    fn missing_paths_are_enoent() {
+        let r = Registry::new();
+        assert!(r.get_value("HKLM/None", "v").is_err());
+        assert!(r.key("HKLM/None").is_none());
+    }
+
+    #[test]
+    fn god_set_acl_flips_protection() {
+        let mut r = Registry::new();
+        r.ensure_key("HKLM/K", RegAcl::default());
+        assert!(r.unprotected_keys().is_empty());
+        r.god_set_acl("HKLM/K", RegAcl { owner: Uid::ROOT, world_writable: true }).unwrap();
+        assert_eq!(r.unprotected_keys(), vec!["HKLM/K".to_string()]);
+    }
+}

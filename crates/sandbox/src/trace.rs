@@ -1,0 +1,395 @@
+//! Execution traces of environment–application interaction points.
+//!
+//! The paper's methodology (§3.3, step 3) walks "each interaction point in
+//! the execution trace". The sandbox builds that trace automatically: every
+//! syscall an application issues is stamped with a static [`SiteId`] (the
+//! source location of the interaction in the application), the kind of
+//! operation, the environment object it touches, and — when the application
+//! receives an input there — the *semantics* of that input, which selects
+//! the applicable Table 5 fault patterns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A static interaction site in an application, e.g. `"lpr:create_spool"`.
+///
+/// Sites are the unit of *interaction coverage*: the campaign perturbs
+/// sites, and coverage is sites-perturbed over sites-observed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub String);
+
+impl SiteId {
+    /// Creates a site id.
+    pub fn new(label: impl Into<String>) -> Self {
+        SiteId(label.into())
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SiteId {
+    fn from(s: &str) -> Self {
+        SiteId::new(s)
+    }
+}
+
+/// The kind of operation performed at an interaction point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read an environment variable.
+    Getenv,
+    /// Read a command-line argument.
+    ReadArg,
+    /// Bind an input value to an internal entity (post-parse).
+    InputBind,
+    /// Read a file's content.
+    ReadFile,
+    /// Create-or-truncate a file (`creat`).
+    CreateFile,
+    /// Exclusive creation (`O_CREAT|O_EXCL`).
+    CreateExcl,
+    /// Overwrite/append to a file.
+    WriteFile,
+    /// Remove a file.
+    Delete,
+    /// Make a directory.
+    Mkdir,
+    /// Change working directory.
+    Chdir,
+    /// `stat`/`lstat`.
+    Stat,
+    /// Create a symlink.
+    Symlink,
+    /// Read a symlink target.
+    Readlink,
+    /// Rename.
+    Rename,
+    /// Change mode bits.
+    Chmod,
+    /// Change ownership.
+    Chown,
+    /// List a directory.
+    ListDir,
+    /// Execute a program.
+    Exec,
+    /// Write to stdout.
+    Print,
+    /// Read a registry value.
+    RegRead,
+    /// Write a registry value.
+    RegWrite,
+    /// Delete a registry key/value.
+    RegDelete,
+    /// Connect to a network service.
+    NetConnect,
+    /// Send a network message.
+    NetSend,
+    /// Receive a network message.
+    NetRecv,
+    /// Resolve a host name.
+    DnsResolve,
+    /// Receive an IPC message from another process.
+    ProcRecv,
+}
+
+impl OpKind {
+    /// True when the operation *receives* data from the environment —
+    /// the precondition for indirect fault injection (paper step 3).
+    pub fn is_input(self) -> bool {
+        matches!(
+            self,
+            OpKind::Getenv
+                | OpKind::ReadArg
+                | OpKind::InputBind
+                | OpKind::ReadFile
+                | OpKind::RegRead
+                | OpKind::NetRecv
+                | OpKind::DnsResolve
+                | OpKind::ProcRecv
+                | OpKind::ListDir
+                | OpKind::Readlink
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The environment object an interaction touches.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjectRef {
+    /// A file-system object (path as named by the application).
+    File(String),
+    /// An environment variable.
+    EnvVar(String),
+    /// The argument vector.
+    Args,
+    /// A registry value (`key`, `value`).
+    RegValue(String, String),
+    /// A network port on this host.
+    NetPort(u16),
+    /// A remote host.
+    Host(String),
+    /// A remote service (`host`, `port`).
+    Service(String, u16),
+    /// An IPC channel.
+    IpcChannel(String),
+    /// The terminal.
+    Terminal,
+    /// An internal entity being initialized from environment input
+    /// (post-parse binding; named for diagnostics).
+    Value(String),
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectRef::File(p) => write!(f, "file:{p}"),
+            ObjectRef::EnvVar(n) => write!(f, "env:{n}"),
+            ObjectRef::Args => f.write_str("argv"),
+            ObjectRef::RegValue(k, v) => write!(f, "reg:{k}\\{v}"),
+            ObjectRef::NetPort(p) => write!(f, "port:{p}"),
+            ObjectRef::Host(h) => write!(f, "host:{h}"),
+            ObjectRef::Service(h, p) => write!(f, "service:{h}:{p}"),
+            ObjectRef::IpcChannel(c) => write!(f, "ipc:{c}"),
+            ObjectRef::Terminal => f.write_str("tty"),
+            ObjectRef::Value(v) => write!(f, "value:{v}"),
+        }
+    }
+}
+
+/// The semantics of an input an application receives — the paper's Table 5
+/// key. Semantics, not randomness, decide which fault patterns apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InputSemantic {
+    /// A file or directory name supplied by the user (argv, stdin).
+    UserFileName,
+    /// A command (or command fragment) supplied by the user.
+    UserCommand,
+    /// An execution/library search path list (`PATH`, `LD_LIBRARY_PATH`).
+    EnvPathList,
+    /// A permission mask (`UMASK`-style).
+    EnvPermMask,
+    /// A generic environment-variable value.
+    EnvValue,
+    /// A file/directory name read from file-system content (config files).
+    FsFileName,
+    /// A file extension read from file-system content.
+    FsFileExtension,
+    /// An IP address received from the network.
+    NetIpAddr,
+    /// A raw network packet.
+    NetPacket,
+    /// A host name received from the network.
+    NetHostName,
+    /// A DNS reply.
+    NetDnsReply,
+    /// A message from another process.
+    ProcMessage,
+    /// Input with no security-relevant structure.
+    Opaque,
+}
+
+impl fmt::Display for InputSemantic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One recorded interaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global sequence number within the run.
+    pub seq: usize,
+    /// The static site.
+    pub site: SiteId,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Environment object touched.
+    pub object: ObjectRef,
+    /// Input semantics, when the operation receives data.
+    pub semantic: Option<InputSemantic>,
+    /// How many times this site had executed before (0-based).
+    pub occurrence: usize,
+}
+
+/// The trace of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    site_hits: BTreeMap<SiteId, usize>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an interaction, assigning sequence and occurrence numbers.
+    /// Returns the event's occurrence index for the site.
+    pub fn record(
+        &mut self,
+        site: SiteId,
+        op: OpKind,
+        object: ObjectRef,
+        semantic: Option<InputSemantic>,
+    ) -> usize {
+        let occurrence = *self.site_hits.entry(site.clone()).or_insert(0);
+        *self.site_hits.get_mut(&site).expect("just inserted") += 1;
+        let seq = self.events.len();
+        self.events.push(TraceEvent { seq, site, op, object, semantic, occurrence });
+        occurrence
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Distinct sites in order of first execution, with their merged
+    /// descriptors — the paper's interaction-point list.
+    pub fn sites(&self) -> Vec<SiteSummary> {
+        let mut order: Vec<SiteId> = Vec::new();
+        let mut map: BTreeMap<SiteId, SiteSummary> = BTreeMap::new();
+        for ev in &self.events {
+            if !map.contains_key(&ev.site) {
+                order.push(ev.site.clone());
+                map.insert(
+                    ev.site.clone(),
+                    SiteSummary {
+                        site: ev.site.clone(),
+                        first_seq: ev.seq,
+                        hits: 0,
+                        ops: Vec::new(),
+                        inputs: Vec::new(),
+                    },
+                );
+            }
+            let s = map.get_mut(&ev.site).expect("inserted above");
+            s.hits = s.hits.max(ev.occurrence + 1);
+            if !s.ops.iter().any(|(op, obj)| *op == ev.op && *obj == ev.object) {
+                s.ops.push((ev.op, ev.object.clone()));
+            }
+            if let Some(sem) = ev.semantic {
+                if !s.inputs.contains(&sem) {
+                    s.inputs.push(sem);
+                }
+            }
+        }
+        order.into_iter().map(|s| map.remove(&s).expect("collected above")).collect()
+    }
+
+    /// Paths of file objects touched at two or more *distinct sites* — the
+    /// check-at-one-point, use-at-another shape that makes name/content
+    /// invariance (TOCTTOU) faults applicable. Multiple operations within a
+    /// single interaction point do not qualify.
+    pub fn reaccessed_files(&self) -> Vec<String> {
+        let mut sites_per_path: BTreeMap<&str, std::collections::BTreeSet<&SiteId>> = BTreeMap::new();
+        for ev in &self.events {
+            if let ObjectRef::File(p) = &ev.object {
+                sites_per_path.entry(p.as_str()).or_default().insert(&ev.site);
+            }
+        }
+        sites_per_path
+            .into_iter()
+            .filter(|(_, sites)| sites.len() >= 2)
+            .map(|(p, _)| p.to_string())
+            .collect()
+    }
+}
+
+/// Aggregated view of one site across a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteSummary {
+    /// The site.
+    pub site: SiteId,
+    /// Sequence number of its first execution.
+    pub first_seq: usize,
+    /// Number of times it executed.
+    pub hits: usize,
+    /// Distinct (operation, object) pairs observed.
+    pub ops: Vec<(OpKind, ObjectRef)>,
+    /// Distinct input semantics observed.
+    pub inputs: Vec<InputSemantic>,
+}
+
+impl SiteSummary {
+    /// True when the site receives input (step 3's branch condition).
+    pub fn has_input(&self) -> bool {
+        !self.inputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrences_count_per_site() {
+        let mut t = Trace::new();
+        let s = SiteId::new("app:open");
+        assert_eq!(t.record(s.clone(), OpKind::ReadFile, ObjectRef::File("/a".into()), None), 0);
+        assert_eq!(t.record(s.clone(), OpKind::ReadFile, ObjectRef::File("/b".into()), None), 1);
+        assert_eq!(t.record(SiteId::new("app:other"), OpKind::Print, ObjectRef::Terminal, None), 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn sites_merge_descriptors_in_first_execution_order() {
+        let mut t = Trace::new();
+        let a = SiteId::new("a");
+        let b = SiteId::new("b");
+        t.record(b.clone(), OpKind::Getenv, ObjectRef::EnvVar("PATH".into()), Some(InputSemantic::EnvPathList));
+        t.record(a.clone(), OpKind::ReadFile, ObjectRef::File("/f".into()), None);
+        t.record(b.clone(), OpKind::Getenv, ObjectRef::EnvVar("PATH".into()), Some(InputSemantic::EnvPathList));
+        let sites = t.sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].site, b);
+        assert_eq!(sites[0].hits, 2);
+        assert_eq!(sites[0].inputs, vec![InputSemantic::EnvPathList]);
+        assert!(sites[0].has_input());
+        assert!(!sites[1].has_input());
+    }
+
+    #[test]
+    fn reaccess_detection() {
+        let mut t = Trace::new();
+        t.record(SiteId::new("s1"), OpKind::Stat, ObjectRef::File("/x".into()), None);
+        t.record(SiteId::new("s2"), OpKind::ReadFile, ObjectRef::File("/x".into()), None);
+        t.record(SiteId::new("s3"), OpKind::ReadFile, ObjectRef::File("/y".into()), None);
+        assert_eq!(t.reaccessed_files(), vec!["/x".to_string()]);
+    }
+
+    #[test]
+    fn input_op_classification() {
+        assert!(OpKind::ReadFile.is_input());
+        assert!(OpKind::Getenv.is_input());
+        assert!(!OpKind::CreateFile.is_input());
+        assert!(!OpKind::Exec.is_input());
+    }
+}

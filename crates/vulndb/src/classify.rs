@@ -1,0 +1,132 @@
+//! The EAI classifier: derives a category from mechanism evidence.
+
+use serde::{Deserialize, Serialize};
+
+use epa_core::model::{
+    DirectKind, EaiCategory, FsAttribute, IndirectKind, NetAttribute, ProcAttribute,
+};
+
+use crate::entry::{AttributeFault, InputSource, Mechanism, VulnEntry};
+
+/// Why an entry falls outside the EAI classification (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// Not enough analysis in the database entry.
+    InsufficientInformation,
+    /// Design error, out of scope.
+    Design,
+    /// Configuration error, out of scope.
+    Configuration,
+}
+
+impl std::fmt::Display for Exclusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Exclusion::InsufficientInformation => "insufficient information",
+            Exclusion::Design => "design error",
+            Exclusion::Configuration => "configuration error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The classifier's verdict for one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Classification {
+    /// Outside the study scope.
+    Excluded(Exclusion),
+    /// Classified under the EAI model (including `Other`).
+    Eai(EaiCategory),
+}
+
+impl Classification {
+    /// The EAI category, when classified.
+    pub fn category(&self) -> Option<EaiCategory> {
+        match self {
+            Classification::Eai(c) => Some(*c),
+            Classification::Excluded(_) => None,
+        }
+    }
+}
+
+/// Classifies one entry from its mechanism evidence.
+pub fn classify(entry: &VulnEntry) -> Classification {
+    match entry.mechanism {
+        Mechanism::InsufficientInfo => Classification::Excluded(Exclusion::InsufficientInformation),
+        Mechanism::DesignError => Classification::Excluded(Exclusion::Design),
+        Mechanism::ConfigError => Classification::Excluded(Exclusion::Configuration),
+        Mechanism::Input { source, .. } => {
+            let kind = match source {
+                InputSource::UserArg | InputSource::UserStdin => IndirectKind::UserInput,
+                InputSource::EnvVariable => IndirectKind::EnvironmentVariable,
+                InputSource::ConfigFile => IndirectKind::FileSystemInput,
+                InputSource::NetworkMessage => IndirectKind::NetworkInput,
+                InputSource::PeerProcess => IndirectKind::ProcessInput,
+            };
+            Classification::Eai(EaiCategory::Indirect(kind))
+        }
+        Mechanism::Attribute(attr) => {
+            let kind = match attr {
+                AttributeFault::FileExistence => DirectKind::FileSystem(FsAttribute::Existence),
+                AttributeFault::FileSymlink => DirectKind::FileSystem(FsAttribute::SymbolicLink),
+                AttributeFault::FilePermission => DirectKind::FileSystem(FsAttribute::Permission),
+                AttributeFault::FileOwnership => DirectKind::FileSystem(FsAttribute::Ownership),
+                AttributeFault::FileInvariance => DirectKind::FileSystem(FsAttribute::ContentInvariance),
+                AttributeFault::WorkingDirectory => DirectKind::FileSystem(FsAttribute::WorkingDirectory),
+                AttributeFault::NetAuthenticity => DirectKind::Network(NetAttribute::MessageAuthenticity),
+                AttributeFault::NetProtocol => DirectKind::Network(NetAttribute::Protocol),
+                AttributeFault::NetAvailability => DirectKind::Network(NetAttribute::ServiceAvailability),
+                AttributeFault::NetTrust => DirectKind::Network(NetAttribute::EntityTrust),
+                AttributeFault::ProcTrust => DirectKind::Process(ProcAttribute::Trust),
+            };
+            Classification::Eai(EaiCategory::Direct(kind))
+        }
+        Mechanism::Plain(_) => Classification::Eai(EaiCategory::Other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{InputFlaw, OsFamily};
+
+    fn entry(mechanism: Mechanism) -> VulnEntry {
+        VulnEntry { id: 1, name: "t".into(), os: OsFamily::Unix, year: 1997, mechanism }
+    }
+
+    #[test]
+    fn exclusions_are_not_categorized() {
+        assert_eq!(
+            classify(&entry(Mechanism::DesignError)),
+            Classification::Excluded(Exclusion::Design)
+        );
+        assert!(classify(&entry(Mechanism::InsufficientInfo)).category().is_none());
+    }
+
+    #[test]
+    fn input_sources_map_to_indirect_kinds() {
+        let c = classify(&entry(Mechanism::Input {
+            source: InputSource::EnvVariable,
+            flaw: InputFlaw::UnvalidatedPath,
+        }));
+        assert_eq!(
+            c.category(),
+            Some(EaiCategory::Indirect(IndirectKind::EnvironmentVariable))
+        );
+    }
+
+    #[test]
+    fn attributes_map_to_direct_kinds() {
+        let c = classify(&entry(Mechanism::Attribute(AttributeFault::FileSymlink)));
+        assert_eq!(
+            c.category(),
+            Some(EaiCategory::Direct(DirectKind::FileSystem(FsAttribute::SymbolicLink)))
+        );
+    }
+
+    #[test]
+    fn plain_faults_are_other() {
+        let c = classify(&entry(Mechanism::Plain(crate::entry::PlainFault::Typo)));
+        assert_eq!(c.category(), Some(EaiCategory::Other));
+    }
+}

@@ -1,0 +1,344 @@
+//! The 195-entry database.
+//!
+//! The CERIAS database the paper used is not public; these entries are
+//! **synthetic recreations** modeled on the public vulnerability folklore of
+//! the era (CERT advisories, Bugtraq, the Aslam/Krsul/Bishop taxonomies) and
+//! calibrated so the *classification totals* match the paper's Tables 1–4
+//! exactly. Names for which no era-appropriate advisory archetype was at
+//! hand are explicitly synthetic (`study-entry-N`).
+
+use crate::entry::{AttributeFault, InputFlaw, InputSource, Mechanism, OsFamily, PlainFault, VulnEntry};
+
+struct Builder {
+    next: u32,
+    out: Vec<VulnEntry>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder { next: 1, out: Vec::with_capacity(200) }
+    }
+
+    fn push(&mut self, name: &str, os: OsFamily, year: u16, mechanism: Mechanism) {
+        let id = self.next;
+        self.next += 1;
+        self.out.push(VulnEntry { id, name: name.to_string(), os, year, mechanism });
+    }
+
+    /// Pads a category with clearly-synthetic entries to reach the paper's
+    /// calibrated count.
+    fn pad(&mut self, label: &str, count: usize, mechanism: Mechanism) {
+        for i in 0..count {
+            let id = self.next;
+            self.push(&format!("study-entry-{id:03} ({label} #{i})"), OsFamily::Unix, 1997, mechanism);
+        }
+    }
+}
+
+/// Builds the full database (always 195 entries, deterministic).
+pub fn entries() -> Vec<VulnEntry> {
+    use AttributeFault as A;
+    use InputFlaw as F;
+    use InputSource as S;
+    use Mechanism as M;
+    use OsFamily::{Linux, Solaris, Unix, WindowsNt};
+
+    let mut b = Builder::new();
+
+    // ------------------------------------------------------------------
+    // Indirect / user input — 51 entries (Table 2)
+    // ------------------------------------------------------------------
+    let user_arg: [(&str, OsFamily, u16, InputFlaw); 24] = [
+        ("fingerd request overflow", Unix, 1988, F::UncheckedLength),
+        ("sendmail -d debug argument overflow", Unix, 1995, F::UncheckedLength),
+        ("lpr -C classification overflow", Unix, 1996, F::UncheckedLength),
+        ("rdist buffer overflow via argv", Unix, 1996, F::UncheckedLength),
+        ("rlogin -l TERM overflow", Unix, 1996, F::UncheckedLength),
+        ("eject device-name overflow", Solaris, 1997, F::UncheckedLength),
+        ("fdformat argument overflow", Solaris, 1997, F::UncheckedLength),
+        ("ffbconfig -dev overflow", Solaris, 1997, F::UncheckedLength),
+        ("ps_data argument overflow", Solaris, 1997, F::UncheckedLength),
+        ("xterm -fg resource overflow", Unix, 1997, F::UncheckedLength),
+        ("chfn GECOS field overflow", Linux, 1997, F::UncheckedLength),
+        ("passwd gecos overflow", Unix, 1997, F::UncheckedLength),
+        ("mount attacker-supplied path overflow", Linux, 1998, F::UncheckedLength),
+        ("umount relative path overflow", Linux, 1998, F::UncheckedLength),
+        ("at -f file name overflow", Unix, 1997, F::UncheckedLength),
+        ("crontab file argument overflow", Unix, 1997, F::UncheckedLength),
+        ("uucp argv overflow", Unix, 1995, F::UncheckedLength),
+        ("write(1) terminal-name overflow", Unix, 1996, F::UncheckedLength),
+        ("dump tape-device overflow", Unix, 1997, F::UncheckedLength),
+        ("login -h host overflow", Unix, 1994, F::UncheckedLength),
+        ("lp destination overflow", Solaris, 1998, F::UncheckedLength),
+        ("df mount-point overflow", Solaris, 1998, F::UncheckedLength),
+        ("nis+ argument overflow", Solaris, 1998, F::UncheckedLength),
+        ("cu -l line overflow", Unix, 1995, F::UncheckedLength),
+    ];
+    for (n, os, y, f) in user_arg {
+        b.push(n, os, y, M::Input { source: S::UserArg, flaw: f });
+    }
+    let user_path: [(&str, OsFamily, u16); 12] = [
+        ("turnin ../ member name traversal", Unix, 1998),
+        ("wu-ftpd dot-dot retrieval", Unix, 1995),
+        ("tftpd unrestricted path fetch", Unix, 1991),
+        ("web server ../ document escape", Unix, 1996),
+        ("tar absolute-path extraction", Unix, 1996),
+        ("cpio ../ extraction clobber", Unix, 1997),
+        ("rcp remote-to-local path escape", Unix, 1993),
+        ("fsp daemon path traversal", Unix, 1995),
+        ("IIS encoded dot-dot escape", WindowsNt, 1998),
+        ("mail folder name traversal", Unix, 1997),
+        ("restore ../ spool escape", Unix, 1997),
+        ("lharc extraction path escape", Unix, 1996),
+    ];
+    for (n, os, y) in user_path {
+        b.push(n, os, y, M::Input { source: S::UserArg, flaw: F::UnvalidatedPath });
+    }
+    let user_shell: [(&str, OsFamily, u16); 9] = [
+        ("mail(1) ~! escape in address", Unix, 1994),
+        ("phf CGI newline command injection", Unix, 1996),
+        ("majordomo address metacharacters", Unix, 1997),
+        ("rdist popen() metacharacters", Unix, 1994),
+        ("lpd printcap filter injection", Unix, 1996),
+        ("formmail pipe in recipient", Unix, 1997),
+        ("vacation sender-address injection", Unix, 1995),
+        ("uux command metacharacters", Unix, 1993),
+        ("awk system() via crafted field", Unix, 1996),
+    ];
+    for (n, os, y) in user_shell {
+        b.push(n, os, y, M::Input { source: S::UserArg, flaw: F::ShellMetachars });
+    }
+    let user_stdin: [(&str, OsFamily, u16, InputFlaw); 6] = [
+        ("login stdin response overflow", Unix, 1994, F::UncheckedLength),
+        ("passwd interactive field overflow", Unix, 1995, F::UncheckedLength),
+        ("ftp client PASV response confusion", Unix, 1997, F::FormatConfusion),
+        ("more(1) escape sequence execution", Unix, 1995, F::FormatConfusion),
+        ("talk answer-string overflow", Unix, 1996, F::UncheckedLength),
+        ("gets()-based utility stdin overflow", Unix, 1990, F::UncheckedLength),
+    ];
+    for (n, os, y, f) in user_stdin {
+        b.push(n, os, y, M::Input { source: S::UserStdin, flaw: f });
+    }
+
+    // ------------------------------------------------------------------
+    // Indirect / environment variable — 17 entries (Table 2)
+    // ------------------------------------------------------------------
+    let env_entries: [(&str, OsFamily, u16, InputFlaw); 17] = [
+        ("telnetd LD_LIBRARY_PATH preload", Unix, 1995, F::UnvalidatedPath),
+        ("rdist IFS=/ shell-splitting", Unix, 1991, F::FormatConfusion),
+        ("loadmodule IFS exploitation", Unix, 1993, F::FormatConfusion),
+        ("sendmail via untrusted PATH in mailer", Unix, 1993, F::UnvalidatedPath),
+        ("vi preserved-file PATH exploitation", Unix, 1996, F::UnvalidatedPath),
+        ("SUID script PATH=. lookup", Unix, 1994, F::UnvalidatedPath),
+        ("TERM terminal-type overflow in telnet", Unix, 1995, F::UncheckedLength),
+        ("TERMCAP overflow in xterm", Unix, 1997, F::UncheckedLength),
+        ("HOME overflow in csh SUID wrapper", Unix, 1996, F::UncheckedLength),
+        ("DISPLAY overflow in xlock", Unix, 1997, F::UncheckedLength),
+        ("TZ timezone overflow in SUID date path", Solaris, 1998, F::UncheckedLength),
+        ("LOCALDOMAIN resolver overflow", Linux, 1997, F::UncheckedLength),
+        ("ENV file sourced by SUID ksh", Unix, 1995, F::UnvalidatedPath),
+        ("LD_PRELOAD honored by SUID binary", Linux, 1996, F::UnvalidatedPath),
+        ("NLSPATH format-string loading", Linux, 1997, F::UnvalidatedPath),
+        ("PAGER executed by SUID man", Unix, 1997, F::UnvalidatedPath),
+        ("UMASK-style mask honored from env", Unix, 1996, F::FormatConfusion),
+    ];
+    for (n, os, y, f) in env_entries {
+        b.push(n, os, y, M::Input { source: S::EnvVariable, flaw: f });
+    }
+
+    // ------------------------------------------------------------------
+    // Indirect / file system input — 5 entries (Table 2)
+    // ------------------------------------------------------------------
+    let fsin: [(&str, OsFamily, u16, InputFlaw); 5] = [
+        ("ftpd .netrc oversized macro", Unix, 1996, F::UncheckedLength),
+        ("inn control-message file command", Unix, 1997, F::ShellMetachars),
+        ("procmailrc attacker-supplied path", Unix, 1997, F::UnvalidatedPath),
+        ("Xsession file name from .xsession", Unix, 1996, F::UnvalidatedPath),
+        ("automounter map entry overflow", Solaris, 1998, F::UncheckedLength),
+    ];
+    for (n, os, y, f) in fsin {
+        b.push(n, os, y, M::Input { source: S::ConfigFile, flaw: f });
+    }
+
+    // ------------------------------------------------------------------
+    // Indirect / network input — 8 entries (Table 2)
+    // ------------------------------------------------------------------
+    let netin: [(&str, OsFamily, u16, InputFlaw); 8] = [
+        ("named inverse-query overflow", Unix, 1998, F::UncheckedLength),
+        ("imapd LOGIN literal overflow", Unix, 1997, F::UncheckedLength),
+        ("popd PASS overflow", Unix, 1997, F::UncheckedLength),
+        ("innd remote article overflow", Unix, 1997, F::UncheckedLength),
+        ("statd RPC string overflow", Solaris, 1997, F::UncheckedLength),
+        ("talkd DNS reply hostname overflow", Unix, 1997, F::UncheckedLength),
+        ("ping-of-death oversized datagram", WindowsNt, 1996, F::FormatConfusion),
+        ("httpd chunked-header confusion", Unix, 1998, F::FormatConfusion),
+    ];
+    for (n, os, y, f) in netin {
+        b.push(n, os, y, M::Input { source: S::NetworkMessage, flaw: f });
+    }
+
+    // Indirect / process input — 0 entries, matching the paper's Table 2.
+
+    // ------------------------------------------------------------------
+    // Direct / file system — 42 entries (Tables 3 and 4)
+    // ------------------------------------------------------------------
+    let fs_exist: [(&str, OsFamily, u16); 14] = [
+        ("lpr spool file pre-created by attacker", Unix, 1991),
+        ("at job file pre-exists", Unix, 1994),
+        ("sendmail dead.letter pre-created", Unix, 1995),
+        ("vi /tmp recovery file pre-exists", Unix, 1996),
+        ("gcc predictable temp name clobber", Unix, 1996),
+        ("sort(1) predictable /tmp file", Unix, 1996),
+        ("mktemp-less script temp race", Unix, 1997),
+        ("ld.so debug output file pre-created", Linux, 1997),
+        ("netscape predictable download temp", Unix, 1997),
+        ("dtappgather staging file pre-exists", Solaris, 1998),
+        ("pt_chmod lock file pre-created", Solaris, 1997),
+        ("uucp spool entry pre-created", Unix, 1993),
+        ("xdm auth file pre-exists", Unix, 1996),
+        ("inetd wrapper pid file pre-created", Unix, 1997),
+    ];
+    for (n, os, y) in fs_exist {
+        b.push(n, os, y, M::Attribute(A::FileExistence));
+    }
+    b.pad("file-existence", 6, M::Attribute(A::FileExistence)); // 20 total
+
+    let fs_symlink: [(&str, OsFamily, u16); 6] = [
+        ("lpr spool symlinked to /etc/passwd", Unix, 1991),
+        ("sendmail -oQ queue symlink", Unix, 1995),
+        ("ps_data symlink to system file", Solaris, 1997),
+        ("xlock .Xauthority symlink follow", Unix, 1997),
+        ("syslogd log path symlink follow", Linux, 1998),
+        ("admintool lock symlink follow", Solaris, 1998),
+    ];
+    for (n, os, y) in fs_symlink {
+        b.push(n, os, y, M::Attribute(A::FileSymlink));
+    }
+
+    let fs_perm: [(&str, OsFamily, u16); 6] = [
+        ("turnin project list readable via SUID", Unix, 1998),
+        ("crontab spool left group-writable", Unix, 1996),
+        ("mail spool delivered world-readable", Unix, 1995),
+        ("core dumped mode 666 in cwd", Unix, 1996),
+        ("sadmind state file mode 777", Solaris, 1998),
+        ("install script chmod 666 config", Linux, 1997),
+    ];
+    for (n, os, y) in fs_perm {
+        b.push(n, os, y, M::Attribute(A::FilePermission));
+    }
+
+    let fs_own: [(&str, OsFamily, u16); 3] = [
+        ("rdist target ownership assumed", Unix, 1994),
+        ("chown-follow on user-supplied spool", Unix, 1996),
+        ("backup restore trusts file owner", Unix, 1997),
+    ];
+    for (n, os, y) in fs_own {
+        b.push(n, os, y, M::Attribute(A::FileOwnership));
+    }
+
+    let fs_invar: [(&str, OsFamily, u16); 6] = [
+        ("passwd -F check-to-use race", Unix, 1996),
+        ("binmail access(2)/open(2) race", Unix, 1991),
+        ("xterm logfile recheck race", Unix, 1993),
+        ("ksu config reread after check", Unix, 1997),
+        ("NT font key file swapped before delete", WindowsNt, 1998),
+        ("ld.so config replaced between stat and read", Linux, 1998),
+    ];
+    for (n, os, y) in fs_invar {
+        b.push(n, os, y, M::Attribute(A::FileInvariance));
+    }
+
+    b.push("uucico started from attacker cwd", Unix, 1994, M::Attribute(A::WorkingDirectory)); // 1
+
+    // ------------------------------------------------------------------
+    // Direct / network — 5 entries (Table 3)
+    // ------------------------------------------------------------------
+    b.push("rsh trusts forged source address", Unix, 1995, M::Attribute(A::NetAuthenticity));
+    b.push("NFS filehandle accepted from spoofed peer", Unix, 1996, M::Attribute(A::NetAuthenticity));
+    b.push("TCP sequence-step omission accepted", Unix, 1996, M::Attribute(A::NetProtocol));
+    b.push("rpcbind forwards to untrusted responder", Solaris, 1997, M::Attribute(A::NetTrust));
+    b.push("NIS server outage grants fallback access", Unix, 1996, M::Attribute(A::NetAvailability));
+
+    // ------------------------------------------------------------------
+    // Direct / process — 1 entry (Table 3)
+    // ------------------------------------------------------------------
+    b.push("comsat trusts any local notifier process", Unix, 1995, M::Attribute(A::ProcTrust));
+
+    // ------------------------------------------------------------------
+    // Others: code faults without environmental trigger — 13 (Table 1)
+    // ------------------------------------------------------------------
+    let plain: [(&str, OsFamily, u16, PlainFault); 8] = [
+        ("off-by-one in tty name table", Unix, 1996, PlainFault::OffByOne),
+        ("inverted uid check in SUID wrapper", Unix, 1995, PlainFault::Typo),
+        ("signal handler re-entrancy corruption", Unix, 1997, PlainFault::InternalRace),
+        ("integer wrap in quota accounting", Unix, 1997, PlainFault::LogicError),
+        ("missing setuid() return check", Linux, 1998, PlainFault::LogicError),
+        ("fd leak across exec", Unix, 1996, PlainFault::LogicError),
+        ("NT service null-pointer crash", WindowsNt, 1998, PlainFault::LogicError),
+        ("strncpy miscount in logging", Unix, 1997, PlainFault::OffByOne),
+    ];
+    for (n, os, y, p) in plain {
+        b.push(n, os, y, M::Plain(p));
+    }
+    b.pad("plain-code-fault", 5, M::Plain(PlainFault::LogicError)); // 13 total
+
+    // ------------------------------------------------------------------
+    // Excluded from classification (Table 1 preamble)
+    // ------------------------------------------------------------------
+    let design: [(&str, OsFamily, u16); 8] = [
+        ("rlogin trust model (.rhosts) by design", Unix, 1994),
+        ("NIS password map world-visible by design", Unix, 1995),
+        ("telnet cleartext credentials", Unix, 1994),
+        ("X11 xhost + default policy", Unix, 1995),
+        ("SMTP VRFY/EXPN information design", Unix, 1995),
+        ("NT LanMan hash downgrade design", WindowsNt, 1997),
+        ("ftp bounce protocol design", Unix, 1997),
+        ("DNS cache trust-by-default design", Unix, 1997),
+    ];
+    for (n, os, y) in design {
+        b.push(n, os, y, M::DesignError);
+    }
+    b.pad("design-error", 14, M::DesignError); // 22 total
+
+    let config: [(&str, OsFamily, u16); 5] = [
+        ("anonymous ftp writable root", Unix, 1995),
+        ("NFS exported to the world", Unix, 1995),
+        ("NT Everyone:Full-Control share", WindowsNt, 1998),
+        ("hosts.equiv shipped with '+'", Unix, 1993),
+        ("web server indexes home directories", Unix, 1997),
+    ];
+    for (n, os, y) in config {
+        b.push(n, os, y, M::ConfigError);
+    }
+
+    b.pad("insufficient-analysis", 26, M::InsufficientInfo); // 26 total
+
+    let out = b.out;
+    debug_assert_eq!(out.len(), 195);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_has_195_entries_with_unique_ids() {
+        let db = entries();
+        assert_eq!(db.len(), 195);
+        let mut ids: Vec<u32> = db.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 195);
+    }
+
+    #[test]
+    fn database_is_deterministic() {
+        assert_eq!(entries(), entries());
+    }
+
+    #[test]
+    fn years_are_plausible() {
+        assert!(entries().iter().all(|e| (1988..=1999).contains(&e.year)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Database entries: a vulnerability with its *mechanism evidence*.
+//!
+//! The paper classified 195 entries of the CERIAS vulnerability database by
+//! reading each entry's analysis. Here every entry carries a structured
+//! [`Mechanism`] (how the flaw works), and the classifier *derives* the EAI
+//! category from that evidence — the tables are a computation over the
+//! database, not stored labels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Operating-system family an entry was reported against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OsFamily {
+    /// Any UNIX variant (SunOS, HP-UX, AIX, …).
+    Unix,
+    /// GNU/Linux distributions.
+    Linux,
+    /// Solaris specifically (heavily represented in 1990s advisories).
+    Solaris,
+    /// Windows NT.
+    WindowsNt,
+}
+
+impl fmt::Display for OsFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OsFamily::Unix => "UNIX",
+            OsFamily::Linux => "Linux",
+            OsFamily::Solaris => "Solaris",
+            OsFamily::WindowsNt => "Windows NT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a faulty input entered the application (indirect-fault evidence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InputSource {
+    /// Command-line argument.
+    UserArg,
+    /// Interactive/stdin input.
+    UserStdin,
+    /// An environment variable.
+    EnvVariable,
+    /// Content read from a file (configuration, spool, …).
+    ConfigFile,
+    /// A network message.
+    NetworkMessage,
+    /// A message from another local process.
+    PeerProcess,
+}
+
+/// How the input defeated the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InputFlaw {
+    /// Length never checked against a fixed buffer.
+    UncheckedLength,
+    /// Path components (`..`, `/`, absolute) not validated.
+    UnvalidatedPath,
+    /// Shell metacharacters reached an interpreter.
+    ShellMetachars,
+    /// Structure/format confusion (delimiters, encodings).
+    FormatConfusion,
+}
+
+/// Which environment attribute the application failed to handle
+/// (direct-fault evidence; mirrors Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttributeFault {
+    /// File existence assumptions (pre-created spool/temp/lock files).
+    FileExistence,
+    /// Symbolic-link following.
+    FileSymlink,
+    /// Permission-bit assumptions.
+    FilePermission,
+    /// Ownership assumptions.
+    FileOwnership,
+    /// Content or name changed between uses (invariance/TOCTTOU).
+    FileInvariance,
+    /// Working-directory assumptions.
+    WorkingDirectory,
+    /// Network message authenticity.
+    NetAuthenticity,
+    /// Protocol-step handling.
+    NetProtocol,
+    /// Network service availability handling.
+    NetAvailability,
+    /// Trust in a network peer entity.
+    NetTrust,
+    /// Trust in a local peer process.
+    ProcTrust,
+}
+
+/// Code faults with no environmental trigger ("others" in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PlainFault {
+    /// Off-by-one / bounds arithmetic.
+    OffByOne,
+    /// Outright typo or inverted condition.
+    Typo,
+    /// Race between internal threads/signals.
+    InternalRace,
+    /// Plain logic error.
+    LogicError,
+}
+
+/// The mechanism evidence attached to an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// The database entry lacks enough analysis to classify.
+    InsufficientInfo,
+    /// The flaw is in the design, not the code.
+    DesignError,
+    /// The flaw is a mis-configuration, not the code.
+    ConfigError,
+    /// A code-level fault triggered by environment input.
+    Input {
+        /// Where the input came from.
+        source: InputSource,
+        /// How it defeated the program.
+        flaw: InputFlaw,
+    },
+    /// A code-level fault triggered by an environment attribute.
+    Attribute(AttributeFault),
+    /// A code-level fault with no environmental trigger.
+    Plain(PlainFault),
+}
+
+/// One database entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VulnEntry {
+    /// Stable id within the database.
+    pub id: u32,
+    /// Advisory-style short name.
+    pub name: String,
+    /// Reported platform.
+    pub os: OsFamily,
+    /// Report year.
+    pub year: u16,
+    /// The mechanism evidence.
+    pub mechanism: Mechanism,
+}
+
+impl fmt::Display for VulnEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:03} {} ({}, {})", self.id, self.name, self.os, self.year)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VulnEntry {
+            id: 7,
+            name: "lpr spool symlink".into(),
+            os: OsFamily::Unix,
+            year: 1996,
+            mechanism: Mechanism::Attribute(AttributeFault::FileSymlink),
+        };
+        let s = e.to_string();
+        assert!(s.contains("#007") && s.contains("UNIX") && s.contains("1996"));
+    }
+}

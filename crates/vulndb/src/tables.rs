@@ -1,0 +1,345 @@
+//! Tables 1–4 of the paper, computed from the database.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use epa_core::model::{DirectKind, EaiCategory, IndirectKind};
+
+use crate::classify::{classify, Classification, Exclusion};
+use crate::entry::VulnEntry;
+
+fn pct(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        n as f64 * 100.0 / total as f64
+    }
+}
+
+/// Paper Table 1: high-level classification of the classifiable entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Indirect environment faults.
+    pub indirect: usize,
+    /// Direct environment faults.
+    pub direct: usize,
+    /// Code faults without environmental trigger.
+    pub other: usize,
+    /// Entries excluded: insufficient information.
+    pub excluded_insufficient: usize,
+    /// Entries excluded: design errors.
+    pub excluded_design: usize,
+    /// Entries excluded: configuration errors.
+    pub excluded_config: usize,
+}
+
+impl Table1 {
+    /// Classifiable total (the paper's 142).
+    pub fn total(&self) -> usize {
+        self.indirect + self.direct + self.other
+    }
+
+    /// Database total (the paper's 195).
+    pub fn database_total(&self) -> usize {
+        self.total() + self.excluded_insufficient + self.excluded_design + self.excluded_config
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let t = self.total();
+        let mut s = String::new();
+        let _ = writeln!(s, "Table 1: high-level classification (total {t})");
+        let _ = writeln!(s, "{:<28} {:>8} {:>8} {:>8}", "Categories", "Indirect", "Direct", "Others");
+        let _ = writeln!(s, "{:<28} {:>8} {:>8} {:>8}", "number", self.indirect, self.direct, self.other);
+        let _ = writeln!(
+            s,
+            "{:<28} {:>7.1}% {:>7.1}% {:>7.1}%",
+            "percent",
+            pct(self.indirect, t),
+            pct(self.direct, t),
+            pct(self.other, t)
+        );
+        let _ = writeln!(
+            s,
+            "(database {} = {} classifiable + {} insufficient + {} design + {} configuration)",
+            self.database_total(),
+            t,
+            self.excluded_insufficient,
+            self.excluded_design,
+            self.excluded_config
+        );
+        s
+    }
+}
+
+/// Paper Table 2: indirect faults by input origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// User input.
+    pub user_input: usize,
+    /// Environment variables.
+    pub env_variable: usize,
+    /// File-system input.
+    pub fs_input: usize,
+    /// Network input.
+    pub network_input: usize,
+    /// Process input.
+    pub process_input: usize,
+}
+
+impl Table2 {
+    /// Total indirect entries (the paper's 81).
+    pub fn total(&self) -> usize {
+        self.user_input + self.env_variable + self.fs_input + self.network_input + self.process_input
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let t = self.total();
+        let mut s = String::new();
+        let _ = writeln!(s, "Table 2: indirect environment faults (total {t})");
+        let _ = writeln!(
+            s,
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "Categories", "UserInput", "EnvVar", "FsInput", "NetInput", "ProcInput"
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "Number", self.user_input, self.env_variable, self.fs_input, self.network_input, self.process_input
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            "Percent",
+            pct(self.user_input, t),
+            pct(self.env_variable, t),
+            pct(self.fs_input, t),
+            pct(self.network_input, t),
+            pct(self.process_input, t)
+        );
+        s
+    }
+}
+
+/// Paper Table 3: direct faults by environment entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// File-system entity.
+    pub file_system: usize,
+    /// Network entity.
+    pub network: usize,
+    /// Process entity.
+    pub process: usize,
+}
+
+impl Table3 {
+    /// Total direct entries (the paper's 48).
+    pub fn total(&self) -> usize {
+        self.file_system + self.network + self.process
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let t = self.total();
+        let mut s = String::new();
+        let _ = writeln!(s, "Table 3: direct environment faults (total {t})");
+        let _ = writeln!(s, "{:<12} {:>12} {:>10} {:>10}", "Categories", "FileSystem", "Network", "Process");
+        let _ = writeln!(s, "{:<12} {:>12} {:>10} {:>10}", "Number", self.file_system, self.network, self.process);
+        let _ = writeln!(
+            s,
+            "{:<12} {:>11.1}% {:>9.1}% {:>9.1}%",
+            "Percent",
+            pct(self.file_system, t),
+            pct(self.network, t),
+            pct(self.process, t)
+        );
+        s
+    }
+}
+
+/// Paper Table 4: file-system direct faults by attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// File existence.
+    pub existence: usize,
+    /// Symbolic link.
+    pub symlink: usize,
+    /// Permission.
+    pub permission: usize,
+    /// Ownership.
+    pub ownership: usize,
+    /// File invariance (content + name).
+    pub invariance: usize,
+    /// Working directory.
+    pub working_directory: usize,
+}
+
+impl Table4 {
+    /// Total file-system direct entries (the paper's 42).
+    pub fn total(&self) -> usize {
+        self.existence + self.symlink + self.permission + self.ownership + self.invariance + self.working_directory
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let t = self.total();
+        let mut s = String::new();
+        let _ = writeln!(s, "Table 4: file system environment faults (total {t})");
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10} {:>9} {:>11} {:>10} {:>11} {:>9}",
+            "Category", "existence", "symlink", "permission", "ownership", "invariance", "workdir"
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10} {:>9} {:>11} {:>10} {:>11} {:>9}",
+            "Number", self.existence, self.symlink, self.permission, self.ownership, self.invariance, self.working_directory
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>9.1}% {:>8.1}% {:>10.1}% {:>9.1}% {:>10.1}% {:>8.1}%",
+            "Percent",
+            pct(self.existence, t),
+            pct(self.symlink, t),
+            pct(self.permission, t),
+            pct(self.ownership, t),
+            pct(self.invariance, t),
+            pct(self.working_directory, t)
+        );
+        s
+    }
+}
+
+/// All four tables computed in one pass over the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tables {
+    /// Table 1.
+    pub table1: Table1,
+    /// Table 2.
+    pub table2: Table2,
+    /// Table 3.
+    pub table3: Table3,
+    /// Table 4.
+    pub table4: Table4,
+}
+
+/// Computes Tables 1–4 from a set of entries.
+pub fn compute(entries: &[VulnEntry]) -> Tables {
+    let mut t1 = Table1 {
+        indirect: 0,
+        direct: 0,
+        other: 0,
+        excluded_insufficient: 0,
+        excluded_design: 0,
+        excluded_config: 0,
+    };
+    let mut t2 = Table2 { user_input: 0, env_variable: 0, fs_input: 0, network_input: 0, process_input: 0 };
+    let mut t3 = Table3 { file_system: 0, network: 0, process: 0 };
+    let mut t4 = Table4 {
+        existence: 0,
+        symlink: 0,
+        permission: 0,
+        ownership: 0,
+        invariance: 0,
+        working_directory: 0,
+    };
+    for e in entries {
+        match classify(e) {
+            Classification::Excluded(Exclusion::InsufficientInformation) => t1.excluded_insufficient += 1,
+            Classification::Excluded(Exclusion::Design) => t1.excluded_design += 1,
+            Classification::Excluded(Exclusion::Configuration) => t1.excluded_config += 1,
+            Classification::Eai(EaiCategory::Other) => t1.other += 1,
+            Classification::Eai(EaiCategory::Indirect(kind)) => {
+                t1.indirect += 1;
+                match kind {
+                    IndirectKind::UserInput => t2.user_input += 1,
+                    IndirectKind::EnvironmentVariable => t2.env_variable += 1,
+                    IndirectKind::FileSystemInput => t2.fs_input += 1,
+                    IndirectKind::NetworkInput => t2.network_input += 1,
+                    IndirectKind::ProcessInput => t2.process_input += 1,
+                }
+            }
+            Classification::Eai(EaiCategory::Direct(kind)) => {
+                t1.direct += 1;
+                match kind {
+                    DirectKind::FileSystem(attr) => {
+                        t3.file_system += 1;
+                        match attr.table4_column() {
+                            "file existence" => t4.existence += 1,
+                            "symbolic link" => t4.symlink += 1,
+                            "permission" => t4.permission += 1,
+                            "ownership" => t4.ownership += 1,
+                            "file invariance" => t4.invariance += 1,
+                            _ => t4.working_directory += 1,
+                        }
+                    }
+                    DirectKind::Registry(_) => t3.file_system += 1,
+                    DirectKind::Network(_) => t3.network += 1,
+                    DirectKind::Process(_) => t3.process += 1,
+                }
+            }
+        }
+    }
+    Tables { table1: t1, table2: t2, table3: t3, table4: t4 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::entries;
+
+    #[test]
+    fn tables_match_the_paper_exactly() {
+        let t = compute(&entries());
+        // Table 1 (paper: 81 / 48 / 13 of 142; 26 + 22 + 5 excluded of 195).
+        assert_eq!(t.table1.indirect, 81);
+        assert_eq!(t.table1.direct, 48);
+        assert_eq!(t.table1.other, 13);
+        assert_eq!(t.table1.total(), 142);
+        assert_eq!(t.table1.excluded_insufficient, 26);
+        assert_eq!(t.table1.excluded_design, 22);
+        assert_eq!(t.table1.excluded_config, 5);
+        assert_eq!(t.table1.database_total(), 195);
+        // Table 2 (paper: 51 / 17 / 5 / 8 / 0 of 81).
+        assert_eq!(
+            (t.table2.user_input, t.table2.env_variable, t.table2.fs_input, t.table2.network_input, t.table2.process_input),
+            (51, 17, 5, 8, 0)
+        );
+        assert_eq!(t.table2.total(), 81);
+        // Table 3 (paper: 42 / 5 / 1 of 48).
+        assert_eq!((t.table3.file_system, t.table3.network, t.table3.process), (42, 5, 1));
+        // Table 4 (paper: 20 / 6 / 6 / 3 / 6 / 1 of 42).
+        assert_eq!(
+            (
+                t.table4.existence,
+                t.table4.symlink,
+                t.table4.permission,
+                t.table4.ownership,
+                t.table4.invariance,
+                t.table4.working_directory
+            ),
+            (20, 6, 6, 3, 6, 1)
+        );
+        assert_eq!(t.table4.total(), 42);
+    }
+
+    #[test]
+    fn renders_mention_totals() {
+        let t = compute(&entries());
+        assert!(t.table1.render().contains("total 142"));
+        assert!(t.table2.render().contains("total 81"));
+        assert!(t.table3.render().contains("total 48"));
+        assert!(t.table4.render().contains("total 42"));
+    }
+
+    #[test]
+    fn totals_are_shuffle_invariant() {
+        let mut db = entries();
+        db.reverse();
+        let t = compute(&db);
+        assert_eq!(t.table1.total(), 142);
+        assert_eq!(t.table4.total(), 42);
+    }
+}

@@ -1,0 +1,50 @@
+//! Auditing network daemons: environment perturbation vs random fuzzing.
+//!
+//! ```text
+//! cargo run --example netdaemon_audit
+//! ```
+//!
+//! Runs the EPA campaign over `fingerd` and `authd`, then gives Fuzz the
+//! same budget on `fingerd` — showing both what random input *does* find
+//! (the overflow) and what only environment perturbation finds
+//! (authenticity, protocol, trust and disclosure flaws).
+
+use epa::apps::fingerd::FINGER_PORT;
+use epa::apps::{worlds, Authd, Fingerd};
+use epa::core::baselines::fuzz::{run_fuzz, FuzzOptions, FuzzTarget};
+use epa::core::campaign::Campaign;
+
+fn main() {
+    let finger_setup = worlds::fingerd_world();
+    let finger = Campaign::new(&Fingerd, &finger_setup).execute();
+    println!("{}", finger.render_text());
+
+    let authd_setup = worlds::authd_world();
+    let authd = Campaign::new(&Authd, &authd_setup).execute();
+    println!("{}", authd.render_text());
+
+    let budget = finger.injected();
+    let fuzz = run_fuzz(
+        &finger_setup,
+        &Fingerd,
+        &FuzzOptions {
+            runs: budget,
+            seed: 7,
+            max_len: 6000,
+            target: FuzzTarget::Net { port: FINGER_PORT, from: "trusted.cs.example.edu".into() },
+        },
+    );
+    println!(
+        "fuzz on fingerd with the same budget ({budget} runs): {} detecting runs, rules: {:?}",
+        fuzz.detections(),
+        fuzz.distinct_rules()
+    );
+    println!(
+        "epa on fingerd: {} violations, rules: {:?}",
+        finger.violated(),
+        finger
+            .violations()
+            .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
+            .collect::<std::collections::BTreeSet<_>>()
+    );
+}

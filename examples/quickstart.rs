@@ -1,0 +1,65 @@
+//! Quickstart: test a 15-line SUID program for environment-fault tolerance.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program is a minimal spool writer with the classic naive-`creat`
+//! flaw. The campaign traces its interaction points, injects the paper's
+//! Table 5/6 faults, and reports coverage plus every violation found.
+
+use epa::core::campaign::{Campaign, TestSetup};
+use epa::sandbox::app::Application;
+use epa::sandbox::cred::{Gid, Uid};
+use epa::sandbox::mode::Mode;
+use epa::sandbox::os::Os;
+use epa::sandbox::process::Pid;
+use epa::sandbox::trace::InputSemantic;
+
+/// A tiny SUID-root program: read a message, spool it.
+struct SpoolIt;
+
+impl Application for SpoolIt {
+    fn name(&self) -> &'static str {
+        "spoolit"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        let msg = match os.sys_arg(pid, "spoolit:arg", 0, InputSemantic::UserFileName) {
+            Ok(m) => m,
+            Err(_) => return 2,
+        };
+        // The flaw: create-or-truncate with no O_EXCL and no lstat.
+        match os.sys_write_file(pid, "spoolit:create", "/var/spool/msg", msg, 0o660) {
+            Ok(()) => 0,
+            Err(_) => 1,
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a world: users, a spool directory, protected system files,
+    //    and the SUID program file itself.
+    let mut os = Os::new();
+    os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+    os.fs.mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
+    os.fs.put_file("/etc/passwd", "root:x:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))?;
+    os.fs.put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))?;
+    os.fs.put_file("/usr/bin/spoolit", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
+    epa::core::perturb::tag_standard_targets(&mut os);
+
+    // 2. Describe how the program is invoked.
+    let setup = TestSetup::new(os).program("/usr/bin/spoolit").args(["hello world"]);
+
+    // 3. Run the environment-perturbation campaign (paper §3.3).
+    let report = Campaign::new(&SpoolIt, &setup).execute();
+
+    // 4. Read the verdict.
+    println!("{}", report.render_text());
+    println!(
+        "`spoolit` tolerated {} of {} injected environment faults.",
+        report.injected() - report.violated(),
+        report.injected()
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # epa — Environment Perturbation Analysis
+//!
+//! A faithful, executable reproduction of Du & Mathur, *Testing for
+//! Software Vulnerability Using Environment Perturbation* (DSN 2000):
+//! security testing as fault injection on the environment of a program.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`sandbox`] — the simulated OS substrate (VFS, processes, network,
+//!   registry, security-policy oracle);
+//! * [`core`] — the EAI fault model, fault catalog (paper Tables 5–6),
+//!   injection engine, campaign runner, and coverage metrics (Figure 2);
+//! * [`vulndb`] — the 195-entry vulnerability database and the EAI
+//!   classifier behind paper Tables 1–4;
+//! * [`apps`] — the model applications and worlds of the paper's case
+//!   studies (`lpr`, `turnin`, the NT registry modules, and more).
+//!
+//! See the repository `README.md` for a guided tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use epa_apps as apps;
+pub use epa_core as core;
+pub use epa_sandbox as sandbox;
+pub use epa_vulndb as vulndb;

@@ -1,0 +1,27 @@
+//! Integration: the design-choice ablations DESIGN.md calls out.
+
+use epa_bench::{patterns, placement};
+
+#[test]
+fn placement_matters_direct_faults_must_land_before_the_point() {
+    // Paper §3.3 step 6: direct faults inject before, indirect after. The
+    // ablation flips direct faults to after-the-point and all four lpr
+    // detections disappear.
+    let r = placement();
+    assert_eq!(r.injected, 4);
+    assert_eq!(r.before_violations, 4);
+    assert_eq!(r.after_violations, 0);
+}
+
+#[test]
+fn semantic_patterns_beat_random_input_at_equal_budget() {
+    // Paper §3.1: faults follow semantic patterns "already observed" rather
+    // than random perturbation. With the same 41-run budget, random argv
+    // fuzz finds none of turnin's flaws.
+    let r = patterns();
+    assert_eq!(r.catalog.0, 41);
+    assert_eq!(r.catalog.1, 9);
+    assert_eq!(r.random.0, 41);
+    assert!(r.random.1 < r.catalog.1, "random input must underperform the catalog");
+    assert!(!r.catalog_only_rules.is_empty());
+}

@@ -1,0 +1,55 @@
+//! Integration: the §3.4 lpr walkthrough.
+
+use epa::apps::{worlds, Lpr, LprFixed};
+use epa::core::campaign::{Campaign, CampaignOptions};
+use epa::sandbox::trace::SiteId;
+use std::collections::BTreeSet;
+
+fn create_site_only() -> CampaignOptions {
+    let mut filter = BTreeSet::new();
+    filter.insert(SiteId::new("lpr:create_spool"));
+    CampaignOptions { site_filter: Some(filter), ..Default::default() }
+}
+
+#[test]
+fn four_applicable_attributes_all_violate() {
+    let setup = worlds::lpr_world();
+    let report = Campaign::new(&Lpr, &setup).with_options(create_site_only()).execute();
+    assert_eq!(report.clean_violations, 0);
+    assert_eq!(report.injected(), 4, "existence, ownership, permission, symbolic link");
+    assert_eq!(report.violated(), 4, "paper: violations detected for attributes 1-4");
+    // Attributes 5-7 (content/name invariance, working directory) are not
+    // applicable at a first-encounter create with an absolute path.
+    let ids: BTreeSet<&str> = report.records.iter().map(|r| r.fault_id.as_str()).collect();
+    assert!(!ids.iter().any(|i| i.contains(":content@") || i.contains(":name@") || i.contains(":workdir@")));
+}
+
+#[test]
+fn the_symlink_attack_clobbers_the_passwd_file() {
+    let setup = worlds::lpr_world();
+    let report = Campaign::new(&Lpr, &setup).with_options(create_site_only()).execute();
+    let symlink = report
+        .records
+        .iter()
+        .find(|r| r.fault_id.starts_with("direct:fs:symlink"))
+        .expect("symlink fault injected");
+    assert!(!symlink.tolerated());
+    assert!(symlink.violations.iter().any(|v| v.description.contains("/etc/passwd")));
+}
+
+#[test]
+fn fixed_lpr_tolerates_all_four() {
+    let setup = worlds::lpr_world();
+    let report = Campaign::new(&LprFixed, &setup).with_options(create_site_only()).execute();
+    assert_eq!(report.injected(), 4);
+    assert_eq!(report.violated(), 0, "{:#?}", report.violations().collect::<Vec<_>>());
+}
+
+#[test]
+fn full_lpr_campaign_also_covers_input_sites() {
+    let setup = worlds::lpr_world();
+    let report = Campaign::new(&Lpr, &setup).execute();
+    assert_eq!(report.total_sites, 3, "argv, read-input, create");
+    assert!(report.injected() > 4);
+    assert_eq!(report.clean_violations, 0);
+}

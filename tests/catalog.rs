@@ -1,0 +1,98 @@
+//! Integration: the fault catalog reproduces Tables 5 and 6 and generates
+//! well-formed fault lists.
+
+use std::collections::BTreeMap;
+
+use epa::core::catalog::{direct_faults_for, indirect_faults_for, DirectContext};
+use epa::core::{table5_rows, table6_rows};
+use epa::sandbox::os::ScenarioMeta;
+use epa::sandbox::trace::{InputSemantic, ObjectRef, OpKind};
+
+#[test]
+fn table5_covers_the_five_origins() {
+    let rows = table5_rows();
+    assert_eq!(rows.len(), 12, "paper Table 5 row count");
+    for entity in ["User Input", "Environment Variable", "File System Input", "Network Input", "Process Input"] {
+        assert!(rows.iter().any(|r| r.entity == entity), "{entity} present");
+    }
+    // Spot-check the famous rows.
+    let path_row = rows.iter().find(|r| r.item.contains("execution path")).expect("PATH row");
+    assert!(path_row.injections.iter().any(|i| i.contains("untrusted path")));
+    let mask_row = rows.iter().find(|r| r.item == "permission mask").expect("mask row");
+    assert!(mask_row.injections[0].contains("mask to 0"));
+}
+
+#[test]
+fn table6_covers_the_three_entities_plus_extension() {
+    let rows = table6_rows();
+    assert_eq!(rows.iter().filter(|r| r.entity == "File System").count(), 7, "seven fs attribute rows");
+    assert_eq!(rows.iter().filter(|r| r.entity == "Network").count(), 5);
+    assert_eq!(rows.iter().filter(|r| r.entity == "Process").count(), 3);
+    assert_eq!(rows.iter().filter(|r| r.entity.starts_with("Registry")).count(), 2, "documented NT extension");
+}
+
+#[test]
+fn every_indirect_semantic_yields_faults_with_unique_ids() {
+    let s = ScenarioMeta::default();
+    let semantics = [
+        (InputSemantic::UserFileName, 5),
+        (InputSemantic::UserCommand, 5),
+        (InputSemantic::EnvValue, 4),
+        (InputSemantic::EnvPathList, 5),
+        (InputSemantic::EnvPermMask, 1),
+        (InputSemantic::FsFileName, 4),
+        (InputSemantic::FsFileExtension, 2),
+        (InputSemantic::NetIpAddr, 2),
+        (InputSemantic::NetPacket, 2),
+        (InputSemantic::NetHostName, 2),
+        (InputSemantic::NetDnsReply, 2),
+        (InputSemantic::ProcMessage, 2),
+    ];
+    for (sem, expected) in semantics {
+        let faults = indirect_faults_for(sem, &s);
+        assert_eq!(faults.len(), expected, "{sem:?}");
+        let ids: std::collections::BTreeSet<_> = faults.iter().map(|f| &f.id).collect();
+        assert_eq!(ids.len(), faults.len(), "{sem:?}: ids unique");
+        assert!(faults.iter().all(|f| f.semantic == Some(sem)), "{sem:?}: semantic recorded");
+        assert!(faults.iter().all(|f| !f.is_direct()));
+    }
+}
+
+#[test]
+fn direct_fault_applicability_rules() {
+    let s = ScenarioMeta::default();
+    let resolutions = BTreeMap::new();
+    let ctx = DirectContext { scenario: &s, reaccessed: &[], exec_resolutions: &resolutions, cwd: "/" };
+    // The lpr §3.4 rule: creates get exactly the four attributes.
+    let create = direct_faults_for(OpKind::CreateFile, &ObjectRef::File("/spool/x".into()), &ctx);
+    assert_eq!(create.len(), 4);
+    // Reads add content-invariance.
+    let read = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/app.cf".into()), &ctx);
+    assert_eq!(read.len(), 5);
+    // Re-accessed objects add name-invariance (TOCTTOU).
+    let re = vec!["/etc/app.cf".to_string()];
+    let ctx2 = DirectContext { scenario: &s, reaccessed: &re, exec_resolutions: &resolutions, cwd: "/" };
+    let read2 = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/app.cf".into()), &ctx2);
+    assert_eq!(read2.len(), 6);
+    // Receives get the authenticity/protocol/socket faults.
+    let recv = direct_faults_for(OpKind::NetRecv, &ObjectRef::NetPort(79), &ctx);
+    assert_eq!(recv.len(), 5);
+    // Registry reads get ACL + four value swaps.
+    let reg = direct_faults_for(OpKind::RegRead, &ObjectRef::RegValue("K".into(), "v".into()), &ctx);
+    assert_eq!(reg.len(), 5);
+    // Output-only operations get nothing.
+    assert!(direct_faults_for(OpKind::Print, &ObjectRef::Terminal, &ctx).is_empty());
+}
+
+#[test]
+fn direct_faults_name_the_scenario_targets() {
+    let s = ScenarioMeta::default();
+    let resolutions = BTreeMap::new();
+    let ctx = DirectContext { scenario: &s, reaccessed: &[], exec_resolutions: &resolutions, cwd: "/" };
+    let read = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/app.cf".into()), &ctx);
+    let symlink = read.iter().find(|f| f.id.starts_with("direct:fs:symlink")).expect("symlink fault");
+    assert!(symlink.description.contains(&s.secret_target), "read symlinks aim at the secret target");
+    let create = direct_faults_for(OpKind::CreateFile, &ObjectRef::File("/spool/x".into()), &ctx);
+    let symlink_w = create.iter().find(|f| f.id.starts_with("direct:fs:symlink")).expect("symlink fault");
+    assert!(symlink_w.description.contains(&s.integrity_target), "create symlinks aim at the integrity target");
+}

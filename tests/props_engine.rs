@@ -1,0 +1,147 @@
+//! Property tests: engine-level invariants — coverage bounds, catalog
+//! well-formedness, report arithmetic, classifier stability.
+
+use std::collections::BTreeMap;
+
+use epa::core::catalog::{direct_faults_for, faults_for_site, indirect_faults_for, DirectContext};
+use epa::core::coverage::{AdequacyPoint, AdequacyThresholds, Ratio};
+use epa::core::perturb::IndirectFault;
+use epa::sandbox::data::Data;
+use epa::sandbox::os::ScenarioMeta;
+use epa::sandbox::trace::{InputSemantic, ObjectRef, OpKind, SiteId, SiteSummary};
+use proptest::prelude::*;
+
+fn semantic_strategy() -> impl Strategy<Value = InputSemantic> {
+    prop_oneof![
+        Just(InputSemantic::UserFileName),
+        Just(InputSemantic::UserCommand),
+        Just(InputSemantic::EnvPathList),
+        Just(InputSemantic::EnvPermMask),
+        Just(InputSemantic::EnvValue),
+        Just(InputSemantic::FsFileName),
+        Just(InputSemantic::FsFileExtension),
+        Just(InputSemantic::NetIpAddr),
+        Just(InputSemantic::NetPacket),
+        Just(InputSemantic::NetHostName),
+        Just(InputSemantic::NetDnsReply),
+        Just(InputSemantic::ProcMessage),
+        Just(InputSemantic::Opaque),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::ReadFile),
+        Just(OpKind::CreateFile),
+        Just(OpKind::CreateExcl),
+        Just(OpKind::WriteFile),
+        Just(OpKind::Delete),
+        Just(OpKind::Chdir),
+        Just(OpKind::Stat),
+        Just(OpKind::Exec),
+        Just(OpKind::Print),
+        Just(OpKind::Getenv),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Ratios stay in [0, 1] for any counts.
+    #[test]
+    fn ratio_bounds(hits in 0usize..1000, extra in 0usize..1000) {
+        let r = Ratio::new(hits, hits + extra);
+        prop_assert!((0.0..=1.0).contains(&r.value()));
+    }
+
+    /// Adequacy points clamp and classify into exactly one region.
+    #[test]
+    fn adequacy_total_function(i in -1.0f64..2.0, f in -1.0f64..2.0) {
+        let p = AdequacyPoint::new(i, f);
+        prop_assert!((0.0..=1.0).contains(&p.interaction));
+        prop_assert!((0.0..=1.0).contains(&p.fault));
+        let region = p.region(AdequacyThresholds::default());
+        prop_assert!((1..=4).contains(&region.figure2_point()));
+    }
+
+    /// Every generated fault list has unique ids, and indirect faults
+    /// always record their target semantics.
+    #[test]
+    fn fault_lists_are_well_formed(
+        ops in proptest::collection::vec((op_strategy(), "[a-z]{1,6}"), 0..4),
+        semantics in proptest::collection::vec(semantic_strategy(), 0..4),
+    ) {
+        let scenario = ScenarioMeta::default();
+        let resolutions = BTreeMap::new();
+        let ctx = DirectContext { scenario: &scenario, reaccessed: &[], exec_resolutions: &resolutions, cwd: "/" };
+        let summary = SiteSummary {
+            site: SiteId::new("prop:site"),
+            first_seq: 0,
+            hits: 1,
+            ops: ops.iter().map(|(op, n)| (*op, ObjectRef::File(format!("/d/{n}")))).collect(),
+            inputs: semantics.clone(),
+        };
+        let faults = faults_for_site(&summary, &ctx);
+        let ids: std::collections::BTreeSet<_> = faults.iter().map(|f| f.id.clone()).collect();
+        prop_assert_eq!(ids.len(), faults.len(), "duplicate fault ids");
+        for f in &faults {
+            if !f.is_direct() {
+                prop_assert!(f.semantic.is_some(), "{} lacks semantics", f.id);
+            }
+        }
+    }
+
+    /// Direct fault generation is deterministic.
+    #[test]
+    fn direct_generation_deterministic(op in op_strategy(), name in "[a-z]{1,8}") {
+        let scenario = ScenarioMeta::default();
+        let resolutions = BTreeMap::new();
+        let ctx = DirectContext { scenario: &scenario, reaccessed: &[], exec_resolutions: &resolutions, cwd: "/" };
+        let object = ObjectRef::File(format!("/x/{name}"));
+        prop_assert_eq!(direct_faults_for(op, &object, &ctx), direct_faults_for(op, &object, &ctx));
+    }
+
+    /// Indirect string mutations preserve labels and never panic on
+    /// arbitrary input text.
+    #[test]
+    fn indirect_mutations_total(text in ".{0,200}", which in 0usize..8) {
+        let fault = match which {
+            0 => IndirectFault::Lengthen { by: 64 },
+            1 => IndirectFault::MakeRelative,
+            2 => IndirectFault::MakeAbsolute,
+            3 => IndirectFault::InsertDotDot { depth: 2 },
+            4 => IndirectFault::InsertSpecial { ch: ';' },
+            5 => IndirectFault::PathListReorder,
+            6 => IndirectFault::PermMaskZero,
+            _ => IndirectFault::Malform,
+        };
+        let mut d = Data::from(text.as_str()).with_label(epa::sandbox::data::Label::Untrusted { source: "p".into() });
+        fault.apply_to_data(&mut d);
+        prop_assert!(d.has_untrusted(), "labels survive mutation");
+    }
+
+    /// The catalog respects the paper's per-semantic counts regardless of
+    /// the scenario parameterization.
+    #[test]
+    fn indirect_counts_scenario_independent(dir in "/[a-z]{1,10}", host in "[a-z]{1,10}") {
+        let scenario = ScenarioMeta { untrusted_dir: dir, attacker_host: host, ..Default::default() };
+        prop_assert_eq!(indirect_faults_for(InputSemantic::EnvPathList, &scenario).len(), 5);
+        prop_assert_eq!(indirect_faults_for(InputSemantic::UserFileName, &scenario).len(), 5);
+    }
+}
+
+#[test]
+fn classifier_totals_stable_under_any_permutation() {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut db = epa::vulndb::entries();
+    for _ in 0..5 {
+        db.shuffle(&mut rng);
+        let t = epa::vulndb::compute(&db);
+        assert_eq!(t.table1.total(), 142);
+        assert_eq!(t.table2.total(), 81);
+        assert_eq!(t.table3.total(), 48);
+        assert_eq!(t.table4.total(), 42);
+    }
+}

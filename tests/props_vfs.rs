@@ -1,0 +1,146 @@
+//! Property tests: virtual file-system invariants under arbitrary
+//! operation sequences.
+
+use epa::sandbox::cred::{Credentials, Gid, Uid};
+use epa::sandbox::error::Errno;
+use epa::sandbox::fs::Vfs;
+use epa::sandbox::mode::{Access, Mode};
+use epa::sandbox::path;
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,8}").expect("regex")
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(name_strategy(), 1..4).prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+/// One random mutation applied to a Vfs.
+#[derive(Debug, Clone)]
+enum Op {
+    PutFile(String, u16),
+    MkdirP(String),
+    Symlink(String, String),
+    Remove(String),
+    Chmod(String, u16),
+    Chown(String, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (path_strategy(), 0u16..0o7777).prop_map(|(p, m)| Op::PutFile(p, m)),
+        path_strategy().prop_map(Op::MkdirP),
+        (path_strategy(), path_strategy()).prop_map(|(a, b)| Op::Symlink(a, b)),
+        path_strategy().prop_map(Op::Remove),
+        (path_strategy(), 0u16..0o7777).prop_map(|(p, m)| Op::Chmod(p, m)),
+        (path_strategy(), 0u32..5000).prop_map(|(p, u)| Op::Chown(p, u)),
+    ]
+}
+
+fn apply(fs: &mut Vfs, op: &Op) {
+    match op {
+        Op::PutFile(p, m) => {
+            let _ = fs.put_file(p, "data", Uid(1), Gid(1), Mode::new(*m));
+        }
+        Op::MkdirP(p) => {
+            let _ = fs.mkdir_p(p, Uid::ROOT, Gid::ROOT, Mode::new(0o755));
+        }
+        Op::Symlink(a, b) => {
+            let _ = fs.god_symlink(a, b);
+        }
+        Op::Remove(p) => {
+            let _ = fs.god_remove(p);
+        }
+        Op::Chmod(p, m) => {
+            let _ = fs.god_chmod(p, Mode::new(*m));
+        }
+        Op::Chown(p, u) => {
+            let _ = fs.god_chown(p, Uid(*u), Gid(*u));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any sequence of mutations, the inode graph stays consistent:
+    /// no dangling directory entries, no orphan inodes.
+    #[test]
+    fn fs_invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let mut fs = Vfs::new();
+        for op in &ops {
+            apply(&mut fs, op);
+        }
+        prop_assert!(fs.check_invariants().is_ok(), "{:?}", fs.check_invariants());
+    }
+
+    /// Resolution terminates (no infinite symlink walks) and every success
+    /// reports an absolute physical path with no `.`/`..` components.
+    #[test]
+    fn resolution_terminates_and_physical_paths_are_canonical(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+        probe in path_strategy(),
+    ) {
+        let mut fs = Vfs::new();
+        for op in &ops {
+            apply(&mut fs, op);
+        }
+        if let Ok(w) = fs.walk(&probe, true, None) {
+            prop_assert!(w.physical.starts_with('/'));
+            prop_assert!(!path::contains_dotdot(&w.physical));
+            prop_assert!(fs.inode(w.id).is_ok());
+        }
+    }
+
+    /// Permission monotonicity: anything a plain user may do, root may do
+    /// (for read/write access checks on existing files).
+    #[test]
+    fn root_access_dominates_user_access(
+        mode in 0u16..0o777,
+        owner in 0u32..10,
+        asker in 1u32..10,
+    ) {
+        let m = Mode::new(mode);
+        let user = Credentials::user(Uid(asker), Gid(asker));
+        let root = Credentials::root();
+        for access in [Access::Read, Access::Write] {
+            if m.grants(Uid(owner), Gid(owner), &user, access) {
+                prop_assert!(m.grants(Uid(owner), Gid(owner), &root, access));
+            }
+        }
+    }
+
+    /// Lexical normalization is idempotent and join respects absolutes.
+    #[test]
+    fn normalize_idempotent(p in proptest::string::string_regex("(/?[a-z.]{0,6}){0,6}").expect("regex")) {
+        let once = path::normalize(&p);
+        prop_assert_eq!(path::normalize(&once), once.clone());
+        prop_assert_eq!(path::join("/base", &once), if once.starts_with('/') { once.clone() } else { format!("/base/{once}") });
+    }
+
+    /// `creat` never errors with EEXIST-style duplication inconsistencies:
+    /// after a successful creat the path resolves to a regular file.
+    #[test]
+    fn creat_postcondition(ops in proptest::collection::vec(op_strategy(), 0..20), target in path_strategy()) {
+        let mut fs = Vfs::new();
+        for op in &ops {
+            apply(&mut fs, op);
+        }
+        let root = Credentials::root();
+        match fs.creat(&target, Mode::new(0o644), &root, 0o22) {
+            Ok((w, _)) => {
+                let ino = fs.inode(w.id).expect("resolvable");
+                prop_assert!(ino.is_file());
+                prop_assert!(fs.check_invariants().is_ok());
+            }
+            Err(e) => {
+                // Acceptable failures only.
+                prop_assert!(matches!(
+                    e.errno,
+                    Errno::Eacces | Errno::Enoent | Errno::Enotdir | Errno::Eisdir | Errno::Eloop | Errno::Eexist | Errno::Enametoolong
+                ), "{e}");
+            }
+        }
+    }
+}

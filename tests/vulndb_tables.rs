@@ -1,0 +1,80 @@
+//! Integration: Tables 1–4 reproduce the paper's numbers exactly.
+
+use epa::vulndb;
+
+#[test]
+fn table1_matches_paper() {
+    let t = vulndb::compute(&vulndb::entries()).table1;
+    assert_eq!(t.indirect, 81, "paper Table 1: indirect = 81");
+    assert_eq!(t.direct, 48, "paper Table 1: direct = 48");
+    assert_eq!(t.other, 13, "paper Table 1: others = 13");
+    assert_eq!(t.total(), 142, "paper: 142 classifiable entries");
+    assert_eq!(t.database_total(), 195, "paper: 195 database entries");
+    assert_eq!(t.excluded_insufficient, 26);
+    assert_eq!(t.excluded_design, 22);
+    assert_eq!(t.excluded_config, 5);
+}
+
+#[test]
+fn table1_percentages_match_paper() {
+    let t = vulndb::compute(&vulndb::entries()).table1;
+    let total = t.total() as f64;
+    assert!((t.indirect as f64 / total * 100.0 - 57.0).abs() < 0.1, "57.0% indirect");
+    assert!((t.direct as f64 / total * 100.0 - 33.8).abs() < 0.1, "33.8% direct");
+    assert!((t.other as f64 / total * 100.0 - 9.2).abs() < 0.1, "9.2% other");
+}
+
+#[test]
+fn table2_matches_paper() {
+    let t = vulndb::compute(&vulndb::entries()).table2;
+    assert_eq!(t.user_input, 51);
+    assert_eq!(t.env_variable, 17);
+    assert_eq!(t.fs_input, 5);
+    assert_eq!(t.network_input, 8);
+    assert_eq!(t.process_input, 0);
+    assert_eq!(t.total(), 81);
+}
+
+#[test]
+fn table3_matches_paper() {
+    let t = vulndb::compute(&vulndb::entries()).table3;
+    assert_eq!(t.file_system, 42);
+    assert_eq!(t.network, 5);
+    assert_eq!(t.process, 1);
+    assert_eq!(t.total(), 48);
+}
+
+#[test]
+fn table4_matches_paper() {
+    let t = vulndb::compute(&vulndb::entries()).table4;
+    assert_eq!(t.existence, 20);
+    assert_eq!(t.symlink, 6);
+    assert_eq!(t.permission, 6);
+    assert_eq!(t.ownership, 3);
+    assert_eq!(t.invariance, 6);
+    assert_eq!(t.working_directory, 1);
+    assert_eq!(t.total(), 42);
+}
+
+#[test]
+fn classification_is_derived_not_stored() {
+    // Flipping an entry's mechanism must move it between columns: the
+    // tables are a computation over evidence, not fixed labels.
+    let mut db = vulndb::entries();
+    let idx = db
+        .iter()
+        .position(|e| matches!(e.mechanism, vulndb::Mechanism::Attribute(vulndb::AttributeFault::FileSymlink)))
+        .expect("a symlink entry exists");
+    db[idx].mechanism = vulndb::Mechanism::Attribute(vulndb::AttributeFault::FileExistence);
+    let t = vulndb::compute(&db).table4;
+    assert_eq!(t.existence, 21);
+    assert_eq!(t.symlink, 5);
+}
+
+#[test]
+fn entries_serialize_round_trip() {
+    let db = vulndb::entries();
+    let json = serde_json::to_string(&db).expect("serialize");
+    let back: Vec<vulndb::VulnEntry> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, db);
+}
