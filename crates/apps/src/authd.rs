@@ -75,7 +75,10 @@ impl Application for Authd {
                 record.push_str(cmd.trim());
                 record.push_str("\n");
                 record.taint_from(&msg.data);
-                if os.sys_append(pid, "authd:append_keys", KEYS_FILE, record, 0o600).is_err() {
+                if os
+                    .sys_append(pid, "authd:append_keys", KEYS_FILE, record, 0o600)
+                    .is_err()
+                {
                     let _ = os.sys_print(pid, "authd:warn", "authd: cannot update key database\n");
                 }
             }
@@ -140,7 +143,10 @@ impl Application for AuthdFixed {
                         let mut record = Data::from("key ");
                         record.push_str(&cmd);
                         record.push_str("\n");
-                        if os.sys_append(pid, "authd:append_keys", KEYS_FILE, record, 0o600).is_err() {
+                        if os
+                            .sys_append(pid, "authd:append_keys", KEYS_FILE, record, 0o600)
+                            .is_err()
+                        {
                             let _ = os.sys_print(pid, "authd:warn", "authd: cannot update key database\n");
                         }
                     }
@@ -177,7 +183,11 @@ mod tests {
         let mut setup = worlds::authd_world();
         setup.world.net.omit_step(AUTHD_PORT, 1);
         let out = run_once(&setup, &Authd, None);
-        assert!(out.violations.iter().any(|v| v.kind == ViolationKind::Custom), "{:?}", out.violations);
+        assert!(
+            out.violations.iter().any(|v| v.kind == ViolationKind::Custom),
+            "{:?}",
+            out.violations
+        );
         let fixed = run_once(&setup, &AuthdFixed, None);
         assert!(fixed.violations.is_empty(), "{:?}", fixed.violations);
     }

@@ -46,7 +46,10 @@ impl Application for Backupd {
             }
         };
         let mode = 0o666 & !mask;
-        if os.sys_write_file(pid, "backupd:write_backup", BACKUP_FILE, shadow, mode).is_err() {
+        if os
+            .sys_write_file(pid, "backupd:write_backup", BACKUP_FILE, shadow, mode)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "backupd:err", "backupd: cannot write backup\n");
             return 1;
         }
@@ -87,11 +90,17 @@ impl Application for BackupdFixed {
         if os.sys_lstat(pid, "backupd:write_backup", BACKUP_FILE).is_ok() {
             let _ = os.sys_unlink(pid, "backupd:write_backup", BACKUP_FILE);
         }
-        if os.sys_create_excl(pid, "backupd:write_backup", BACKUP_FILE, mode).is_err() {
+        if os
+            .sys_create_excl(pid, "backupd:write_backup", BACKUP_FILE, mode)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "backupd:err", "backupd: cannot write backup\n");
             return 1;
         }
-        if os.sys_append(pid, "backupd:write_backup", BACKUP_FILE, shadow, mode).is_err() {
+        if os
+            .sys_append(pid, "backupd:write_backup", BACKUP_FILE, shadow, mode)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "backupd:err", "backupd: cannot write backup\n");
             return 1;
         }

@@ -153,10 +153,10 @@ mod tests {
     fn oversized_request_overflows_the_buffer() {
         let mut setup = worlds::fingerd_world();
         setup.world.net.pop_message(FINGER_PORT);
-        setup
-            .world
-            .net
-            .push_message(FINGER_PORT, Message::genuine("trusted.cs.example.edu", "A".repeat(4000)));
+        setup.world.net.push_message(
+            FINGER_PORT,
+            Message::genuine("trusted.cs.example.edu", "A".repeat(4000)),
+        );
         let out = run_once(&setup, &Fingerd, None);
         assert!(out.violations.iter().any(|v| v.kind == ViolationKind::MemoryCorruption));
         let fixed = run_once(&setup, &FingerdFixed, None);

@@ -52,11 +52,19 @@ impl Application for FontPurge {
             match os.sys_unlink(pid, &purge_site, PathArg::from(&path)) {
                 Ok(()) => purged += 1,
                 Err(_) => {
-                    let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: cannot purge {}\n", path.text()));
+                    let _ = os.sys_print(
+                        pid,
+                        "fontpurge:warn",
+                        format!("fontpurge: cannot purge {}\n", path.text()),
+                    );
                 }
             }
         }
-        let _ = os.sys_print(pid, "fontpurge:done", format!("fontpurge: {purged} cache files purged\n"));
+        let _ = os.sys_print(
+            pid,
+            "fontpurge:done",
+            format!("fontpurge: {purged} cache files purged\n"),
+        );
         0
     }
 }
@@ -99,7 +107,11 @@ impl Application for FontPurgeFixed {
                 purged += 1;
             }
         }
-        let _ = os.sys_print(pid, "fontpurge:done", format!("fontpurge: {purged} cache files purged\n"));
+        let _ = os.sys_print(
+            pid,
+            "fontpurge:done",
+            format!("fontpurge: {purged} cache files purged\n"),
+        );
         0
     }
 }
@@ -123,7 +135,10 @@ mod tests {
     fn planted_value_deletes_system_ini() {
         let mut setup = worlds::fontpurge_world();
         // The attack an unprotected key invites: anyone rewrites the value.
-        setup.world.registry.god_set_value(&font_key(2), "Path", "/winnt/system.ini");
+        setup
+            .world
+            .registry
+            .god_set_value(&font_key(2), "Path", "/winnt/system.ini");
         let out = run_once(&setup, &FontPurge, None);
         assert!(
             out.violations
@@ -132,13 +147,19 @@ mod tests {
             "{:?}",
             out.violations
         );
-        assert!(!out.os.fs.exists("/winnt/system.ini"), "the critical file really is gone");
+        assert!(
+            !out.os.fs.exists("/winnt/system.ini"),
+            "the critical file really is gone"
+        );
     }
 
     #[test]
     fn fixed_module_refuses_the_attack() {
         let mut setup = worlds::fontpurge_world();
-        setup.world.registry.god_set_value(&font_key(2), "Path", "/winnt/system.ini");
+        setup
+            .world
+            .registry
+            .god_set_value(&font_key(2), "Path", "/winnt/system.ini");
         let out = run_once(&setup, &FontPurgeFixed, None);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
         assert!(out.os.fs.exists("/winnt/system.ini"));

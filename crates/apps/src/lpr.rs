@@ -45,7 +45,10 @@ impl Application for Lpr {
         };
         // f = creat(n, 0660); ... write(f, buf, i)
         // No O_EXCL, no lstat: the paper's flaw, verbatim.
-        if os.sys_write_file(pid, "lpr:create_spool", SPOOL_FILE, job, 0o660).is_err() {
+        if os
+            .sys_write_file(pid, "lpr:create_spool", SPOOL_FILE, job, 0o660)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "lpr:err", "lpr: cannot create spool file\n");
             return 1;
         }
@@ -77,7 +80,10 @@ impl Application for LprFixed {
         let me = os.procs.get(pid).map(|p| p.cred).expect("own credentials");
         match os.sys_stat(pid, "lpr:read_input", PathArg::from(&job_name)) {
             Ok(st) => {
-                if !st.mode.grants(st.owner, st.group, &me.invoker(), epa_sandbox::mode::Access::Read) {
+                if !st
+                    .mode
+                    .grants(st.owner, st.group, &me.invoker(), epa_sandbox::mode::Access::Read)
+                {
                     let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: permission denied\n", job_name.text()));
                     return 1;
                 }
@@ -137,7 +143,10 @@ mod tests {
         let mut setup = worlds::lpr_world();
         setup.world.fs.god_symlink(SPOOL_FILE, "/etc/passwd").unwrap();
         let vuln = run_once(&setup, &Lpr, None);
-        assert!(!vuln.violations.is_empty(), "vulnerable lpr must clobber the passwd file");
+        assert!(
+            !vuln.violations.is_empty(),
+            "vulnerable lpr must clobber the passwd file"
+        );
         let fixed = run_once(&setup, &LprFixed, None);
         assert!(fixed.violations.is_empty(), "{:?}", fixed.violations);
         assert_eq!(fixed.exit, Some(1), "fixed lpr refuses and reports");

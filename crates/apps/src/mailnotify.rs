@@ -52,14 +52,23 @@ impl Application for MailNotify {
         let mut entry = Data::from("--- new mail ---\n");
         entry.append(&msg.data);
         entry.push_str("\n");
-        if os.sys_append(pid, "mailnotify:append_box", MAILBOX, entry, 0o600).is_err() {
+        if os
+            .sys_append(pid, "mailnotify:append_box", MAILBOX, entry, 0o600)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: cannot update mailbox\n");
             return 1;
         }
 
         // Flaw: helper resolved through the invoker's PATH while euid=root.
         if os
-            .sys_exec(pid, "mailnotify:exec_mail", "mail", vec![Data::from("-s")], Some(path_list))
+            .sys_exec(
+                pid,
+                "mailnotify:exec_mail",
+                "mail",
+                vec![Data::from("-s")],
+                Some(path_list),
+            )
             .is_err()
         {
             let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: mail helper failed\n");
@@ -105,7 +114,13 @@ impl Application for MailNotifyFixed {
         }
         // Fix: never relay unauthenticated content — a static marker only.
         if os
-            .sys_append(pid, "mailnotify:append_box", MAILBOX, "--- new mail (see spool) ---\n", 0o600)
+            .sys_append(
+                pid,
+                "mailnotify:append_box",
+                MAILBOX,
+                "--- new mail (see spool) ---\n",
+                0o600,
+            )
             .is_err()
         {
             let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: cannot update mailbox\n");
@@ -117,9 +132,7 @@ impl Application for MailNotifyFixed {
         let trusted = os
             .sys_lstat(pid, "mailnotify:exec_mail", helper)
             .map(|st| {
-                st.file_type == epa_sandbox::fs::FileType::Regular
-                    && st.owner.is_root()
-                    && !st.mode.world_writable()
+                st.file_type == epa_sandbox::fs::FileType::Regular && st.owner.is_root() && !st.mode.world_writable()
             })
             .unwrap_or(false);
         if trusted {

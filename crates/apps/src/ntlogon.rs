@@ -87,7 +87,10 @@ impl Application for NtLogon {
             "Path",
             InputSemantic::FsFileName,
         ) {
-            if os.sys_exec(pid, "ntlogon:exec_script", PathArg::from(&script), vec![], None).is_err() {
+            if os
+                .sys_exec(pid, "ntlogon:exec_script", PathArg::from(&script), vec![], None)
+                .is_err()
+            {
                 let _ = os.sys_print(pid, "ntlogon:warn", "ntlogon: logon script failed\n");
             }
         }
@@ -100,7 +103,10 @@ impl Application for NtLogon {
             "Path",
             InputSemantic::FsFileName,
         ) {
-            if os.sys_exec(pid, "ntlogon:exec_shell", PathArg::from(&shell), vec![], None).is_err() {
+            if os
+                .sys_exec(pid, "ntlogon:exec_shell", PathArg::from(&shell), vec![], None)
+                .is_err()
+            {
                 let _ = os.sys_print(pid, "ntlogon:warn", "ntlogon: cannot start shell\n");
             }
         }
@@ -132,9 +138,7 @@ impl NtLogonFixed {
     fn trusted_file(os: &mut Os, pid: Pid, site: &str, path: &PathArg) -> bool {
         match os.sys_lstat(pid, site, path.clone()) {
             Ok(st) => {
-                st.file_type == epa_sandbox::fs::FileType::Regular
-                    && st.owner == Uid::ROOT
-                    && !st.mode.world_writable()
+                st.file_type == epa_sandbox::fs::FileType::Regular && st.owner == Uid::ROOT && !st.mode.world_writable()
             }
             Err(_) => false,
         }
@@ -161,13 +165,9 @@ impl Application for NtLogonFixed {
                 if Self::trusted_file(os, pid, "ntlogon:read_profile", &profile_path) {
                     if let Ok(profile) = os.sys_read_file(pid, "ntlogon:read_profile", &profile_path) {
                         if let Some(raw) = parse_shell(&profile) {
-                            if let Ok(shell) = os.sys_bind(
-                                pid,
-                                "ntlogon:read_profile",
-                                "usershell",
-                                InputSemantic::FsFileName,
-                                raw,
-                            ) {
+                            if let Ok(shell) =
+                                os.sys_bind(pid, "ntlogon:read_profile", "usershell", InputSemantic::FsFileName, raw)
+                            {
                                 let shell_arg = PathArg::from(&shell);
                                 if Self::trusted_file(os, pid, "ntlogon:exec_usershell", &shell_arg) {
                                     let _ = os.sys_exec(pid, "ntlogon:exec_usershell", shell_arg, vec![], None);
@@ -261,10 +261,15 @@ mod tests {
     #[test]
     fn untrusted_profile_dir_executes_rootkit() {
         let mut setup = worlds::ntlogon_world();
-        setup.world.registry.god_set_value(&logon_key("ProfileDir"), "Path", "/users/evil");
+        setup
+            .world
+            .registry
+            .god_set_value(&logon_key("ProfileDir"), "Path", "/users/evil");
         let out = run_once(&setup, &NtLogon, None);
         assert!(
-            out.violations.iter().any(|v| v.kind == epa_sandbox::policy::ViolationKind::UntrustedExec),
+            out.violations
+                .iter()
+                .any(|v| v.kind == epa_sandbox::policy::ViolationKind::UntrustedExec),
             "{:?}",
             out.violations
         );
@@ -273,10 +278,15 @@ mod tests {
     #[test]
     fn helpfile_pointed_at_sam_discloses_it() {
         let mut setup = worlds::ntlogon_world();
-        setup.world.registry.god_set_value(&logon_key("HelpFile"), "Path", "/winnt/repair/sam");
+        setup
+            .world
+            .registry
+            .god_set_value(&logon_key("HelpFile"), "Path", "/winnt/repair/sam");
         let out = run_once(&setup, &NtLogon, None);
         assert!(
-            out.violations.iter().any(|v| v.kind == epa_sandbox::policy::ViolationKind::Disclosure),
+            out.violations
+                .iter()
+                .any(|v| v.kind == epa_sandbox::policy::ViolationKind::Disclosure),
             "{:?}",
             out.violations
         );
@@ -285,8 +295,14 @@ mod tests {
     #[test]
     fn fixed_logon_refuses_both_attacks() {
         let mut setup = worlds::ntlogon_world();
-        setup.world.registry.god_set_value(&logon_key("ProfileDir"), "Path", "/users/evil");
-        setup.world.registry.god_set_value(&logon_key("HelpFile"), "Path", "/winnt/repair/sam");
+        setup
+            .world
+            .registry
+            .god_set_value(&logon_key("ProfileDir"), "Path", "/users/evil");
+        setup
+            .world
+            .registry
+            .god_set_value(&logon_key("HelpFile"), "Path", "/winnt/repair/sam");
         let out = run_once(&setup, &NtLogonFixed, None);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
     }

@@ -50,15 +50,29 @@ fn read_args(os: &mut Os, pid: Pid) -> Result<Invocation, i32> {
         let _ = os.sys_print(pid, "turnin:usage", "usage: turnin -c course -p project file\n");
         2
     };
-    let flag_c = os.sys_arg(pid, S_ARGS, 0, InputSemantic::Opaque).map_err(|_| usage(os))?;
-    let course = os.sys_arg(pid, S_ARGS, 1, InputSemantic::Opaque).map_err(|_| usage(os))?;
-    let flag_p = os.sys_arg(pid, S_ARGS, 2, InputSemantic::Opaque).map_err(|_| usage(os))?;
-    let project = os.sys_arg(pid, S_ARGS, 3, InputSemantic::Opaque).map_err(|_| usage(os))?;
-    let file_name = os.sys_arg(pid, S_ARGS, 4, InputSemantic::UserFileName).map_err(|_| usage(os))?;
+    let flag_c = os
+        .sys_arg(pid, S_ARGS, 0, InputSemantic::Opaque)
+        .map_err(|_| usage(os))?;
+    let course = os
+        .sys_arg(pid, S_ARGS, 1, InputSemantic::Opaque)
+        .map_err(|_| usage(os))?;
+    let flag_p = os
+        .sys_arg(pid, S_ARGS, 2, InputSemantic::Opaque)
+        .map_err(|_| usage(os))?;
+    let project = os
+        .sys_arg(pid, S_ARGS, 3, InputSemantic::Opaque)
+        .map_err(|_| usage(os))?;
+    let file_name = os
+        .sys_arg(pid, S_ARGS, 4, InputSemantic::UserFileName)
+        .map_err(|_| usage(os))?;
     if flag_c.text() != "-c" || flag_p.text() != "-p" {
         return Err(usage(os));
     }
-    Ok(Invocation { course, project, file_name })
+    Ok(Invocation {
+        course,
+        project,
+        file_name,
+    })
 }
 
 /// Looks up the course account in the already-read configuration content.
@@ -182,7 +196,10 @@ impl Application for Turnin {
         }
         let mut archive = Data::from(format!("TAR-ARCHIVE({})\n", inv.file_name.text()));
         archive.taint_from(&inv.file_name);
-        if os.sys_append(pid, S_TEMP, temp.as_str(), archive.clone(), 0o600).is_err() {
+        if os
+            .sys_append(pid, S_TEMP, temp.as_str(), archive.clone(), 0o600)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "turnin:error", "turnin: temp file write error\n");
             return 1;
         }
@@ -214,17 +231,15 @@ pub struct TurninFixed;
 
 impl TurninFixed {
     fn valid_member_name(name: &str) -> bool {
-        !name.is_empty()
-            && name.len() <= 255
-            && !name.contains('/')
-            && name != ".."
-            && name != "."
+        !name.is_empty() && name.len() <= 255 && !name.contains('/') && name != ".." && name != "."
     }
 
     fn valid_account(account: &str) -> bool {
         !account.is_empty()
             && account.len() <= 32
-            && account.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            && account
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
     }
 }
 
@@ -254,9 +269,7 @@ impl Application for TurninFixed {
         // never echo its content.
         match os.sys_lstat(pid, S_CONFIG, CONFIG_FILE) {
             Ok(st) => {
-                if st.file_type == epa_sandbox::fs::FileType::Symlink
-                    || !st.owner.is_root()
-                    || st.mode.world_writable()
+                if st.file_type == epa_sandbox::fs::FileType::Symlink || !st.owner.is_root() || st.mode.world_writable()
                 {
                     let _ = os.sys_print(pid, "turnin:error", "turnin: config not trusted\n");
                     return 1;
@@ -365,9 +378,7 @@ impl Application for TurninFixed {
         let tar_path = "/usr/local/bin/tar";
         match os.sys_lstat(pid, S_TAR, tar_path) {
             Ok(st) => {
-                if st.file_type == epa_sandbox::fs::FileType::Symlink
-                    || !st.owner.is_root()
-                    || st.mode.world_writable()
+                if st.file_type == epa_sandbox::fs::FileType::Symlink || !st.owner.is_root() || st.mode.world_writable()
                 {
                     let _ = os.sys_print(pid, "turnin:error", "turnin: tar binary not trusted\n");
                     let _ = os.sys_unlink(pid, S_TEMP, temp.as_str());
@@ -388,7 +399,10 @@ impl Application for TurninFixed {
         }
         let mut archive = Data::from(format!("TAR-ARCHIVE({})\n", inv.file_name.text()));
         archive.taint_from(&inv.file_name);
-        if os.sys_append(pid, S_TEMP, temp.as_str(), archive.clone(), 0o600).is_err() {
+        if os
+            .sys_append(pid, S_TEMP, temp.as_str(), archive.clone(), 0o600)
+            .is_err()
+        {
             let _ = os.sys_print(pid, "turnin:error", "turnin: temp file write error\n");
             return 1;
         }
@@ -438,39 +452,64 @@ mod tests {
         let setup = worlds::turnin_world();
         let c = Campaign::new(&Turnin, &setup);
         let plan = c.plan();
-        let perturbable: Vec<_> =
-            plan.sites.iter().filter(|s| !s.faults.is_empty()).map(|s| s.summary.site.to_string()).collect();
-        assert_eq!(perturbable.len(), 8, "{perturbable:?}");
-        assert_eq!(plan.total_faults(), 41, "per-site: {:?}", plan
+        let perturbable: Vec<_> = plan
             .sites
             .iter()
-            .map(|s| (s.summary.site.to_string(), s.faults.len()))
-            .collect::<Vec<_>>());
+            .filter(|s| !s.faults.is_empty())
+            .map(|s| s.summary.site.to_string())
+            .collect();
+        assert_eq!(perturbable.len(), 8, "{perturbable:?}");
+        assert_eq!(
+            plan.total_faults(),
+            41,
+            "per-site: {:?}",
+            plan.sites
+                .iter()
+                .map(|s| (s.summary.site.to_string(), s.faults.len()))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn projlist_symlink_discloses_shadow() {
         // Replays the paper's first exploit by hand.
         let mut setup = worlds::turnin_world();
-        setup.world.fs.god_symlink("/home/ta/submit/Projlist", "/etc/shadow").unwrap();
+        setup
+            .world
+            .fs
+            .god_symlink("/home/ta/submit/Projlist", "/etc/shadow")
+            .unwrap();
         let out = run_once(&setup, &Turnin, None);
         assert!(
-            out.violations.iter().any(|v| v.kind == epa_sandbox::policy::ViolationKind::Disclosure),
+            out.violations
+                .iter()
+                .any(|v| v.kind == epa_sandbox::policy::ViolationKind::Disclosure),
             "{:?}",
             out.violations
         );
         let stdout = out.os.stdout_text(out.pid.unwrap());
-        assert!(stdout.contains("root:HASH"), "the shadow content really is printed: {stdout}");
+        assert!(
+            stdout.contains("root:HASH"),
+            "the shadow content really is printed: {stdout}"
+        );
     }
 
     #[test]
     fn dotdot_member_name_escapes_submit_dir() {
         // Replays the paper's second exploit by hand.
         let mut setup = worlds::turnin_world();
-        setup.args = vec!["-c".into(), "cs390".into(), "-p".into(), "proj1".into(), "../.login".into()];
+        setup.args = vec![
+            "-c".into(),
+            "cs390".into(),
+            "-p".into(),
+            "proj1".into(),
+            "../.login".into(),
+        ];
         let out = run_once(&setup, &Turnin, None);
         assert!(
-            out.violations.iter().any(|v| v.kind == epa_sandbox::policy::ViolationKind::IntegrityWrite),
+            out.violations
+                .iter()
+                .any(|v| v.kind == epa_sandbox::policy::ViolationKind::IntegrityWrite),
             "{:?}",
             out.violations
         );
@@ -482,12 +521,22 @@ mod tests {
     #[test]
     fn fixed_rejects_both_exploits() {
         let mut setup = worlds::turnin_world();
-        setup.world.fs.god_symlink("/home/ta/submit/Projlist", "/etc/shadow").unwrap();
+        setup
+            .world
+            .fs
+            .god_symlink("/home/ta/submit/Projlist", "/etc/shadow")
+            .unwrap();
         let out = run_once(&setup, &TurninFixed, None);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
 
         let mut setup2 = worlds::turnin_world();
-        setup2.args = vec!["-c".into(), "cs390".into(), "-p".into(), "proj1".into(), "../.login".into()];
+        setup2.args = vec![
+            "-c".into(),
+            "cs390".into(),
+            "-p".into(),
+            "proj1".into(),
+            "../.login".into(),
+        ];
         let out2 = run_once(&setup2, &TurninFixed, None);
         assert!(out2.violations.is_empty(), "{:?}", out2.violations);
         assert_eq!(out2.exit, Some(2), "invalid member name rejected");

@@ -24,22 +24,59 @@ pub const ATTACKER_UID: Uid = Uid(6666);
 fn base_unix_os() -> Os {
     let mut os = Os::new();
     os.users.add("root", Uid::ROOT, Gid::ROOT, "/root");
-    os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
-    os.users.add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
+    os.users
+        .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+    os.users
+        .add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
     let root = (Uid::ROOT, Gid::ROOT);
-    os.fs.mkdir_p("/tmp", root.0, root.1, Mode::new(0o1777)).expect("world build");
-    os.fs.mkdir_p("/etc/cron.d", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/etc/passwd", "root:x:0:0:/root\nstudent:x:1001:100:/home/student\n", root.0, root.1, Mode::new(0o644))
-        .expect("world build");
-    os.fs.put_file("/etc/shadow", "root:HASH0x7f:12000\nstudent:HASH0x11:12000\n", root.0, root.1, Mode::new(0o600))
-        .expect("world build");
-    os.fs.put_file("/etc/system.conf", "kernel.paranoid=1\n", root.0, root.1, Mode::new(0o644))
+    os.fs
+        .mkdir_p("/tmp", root.0, root.1, Mode::new(0o1777))
         .expect("world build");
     os.fs
-        .mkdir_p("/home/student", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o755))
+        .mkdir_p("/etc/cron.d", root.0, root.1, Mode::new(0o755))
         .expect("world build");
     os.fs
-        .mkdir_p("/home/evil/bin", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o755))
+        .put_file(
+            "/etc/passwd",
+            "root:x:0:0:/root\nstudent:x:1001:100:/home/student\n",
+            root.0,
+            root.1,
+            Mode::new(0o644),
+        )
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/etc/shadow",
+            "root:HASH0x7f:12000\nstudent:HASH0x11:12000\n",
+            root.0,
+            root.1,
+            Mode::new(0o600),
+        )
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/etc/system.conf",
+            "kernel.paranoid=1\n",
+            root.0,
+            root.1,
+            Mode::new(0o644),
+        )
+        .expect("world build");
+    os.fs
+        .mkdir_p(
+            "/home/student",
+            os.scenario.invoker,
+            os.scenario.invoker_gid,
+            Mode::new(0o755),
+        )
+        .expect("world build");
+    os.fs
+        .mkdir_p(
+            "/home/evil/bin",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o755),
+        )
         .expect("world build");
     os
 }
@@ -49,11 +86,21 @@ fn base_unix_os() -> Os {
 pub fn lpr_world() -> TestSetup {
     let mut os = base_unix_os();
     let root = (Uid::ROOT, Gid::ROOT);
-    os.fs.mkdir_p("/var/spool/lpd", root.0, root.1, Mode::new(0o755)).expect("world build");
     os.fs
-        .put_file("/home/student/report.txt", "quarterly report\n", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o644))
+        .mkdir_p("/var/spool/lpd", root.0, root.1, Mode::new(0o755))
         .expect("world build");
-    os.fs.put_file("/usr/bin/lpr", "", root.0, root.1, Mode::new(0o4755)).expect("world build");
+    os.fs
+        .put_file(
+            "/home/student/report.txt",
+            "quarterly report\n",
+            os.scenario.invoker,
+            os.scenario.invoker_gid,
+            Mode::new(0o644),
+        )
+        .expect("world build");
+    os.fs
+        .put_file("/usr/bin/lpr", "", root.0, root.1, Mode::new(0o4755))
+        .expect("world build");
     tag_standard_targets(&mut os);
     TestSetup::new(os)
         .program("/usr/bin/lpr")
@@ -67,24 +114,60 @@ pub fn turnin_world() -> TestSetup {
     let mut os = base_unix_os();
     let root = (Uid::ROOT, Gid::ROOT);
     os.users.add("ta", TA_UID, Gid(1000), "/home/ta");
-    os.fs.mkdir_p("/home/ta/submit", TA_UID, Gid(1000), Mode::new(0o755)).expect("world build");
     os.fs
-        .put_file("/home/ta/.login", "setenv SHELL /bin/csh\n", TA_UID, Gid(1000), Mode::new(0o644))
+        .mkdir_p("/home/ta/submit", TA_UID, Gid(1000), Mode::new(0o755))
         .expect("world build");
     os.fs
-        .put_file("/home/ta/submit/Projlist", "proj1\nproj2\n", TA_UID, Gid(1000), Mode::new(0o644))
+        .put_file(
+            "/home/ta/.login",
+            "setenv SHELL /bin/csh\n",
+            TA_UID,
+            Gid(1000),
+            Mode::new(0o644),
+        )
         .expect("world build");
     os.fs
-        .put_file("/usr/local/lib/turnin.cf", "cs390:ta:1000\ncs503:ta:1000\n", root.0, root.1, Mode::new(0o644))
+        .put_file(
+            "/home/ta/submit/Projlist",
+            "proj1\nproj2\n",
+            TA_UID,
+            Gid(1000),
+            Mode::new(0o644),
+        )
         .expect("world build");
-    os.fs.put_file("/usr/local/bin/tar", "#!tar", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/usr/local/bin/turnin", "", root.0, root.1, Mode::new(0o4755)).expect("world build");
     os.fs
-        .put_file("/home/student/hw1.c", "int main(){}\n", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o644))
+        .put_file(
+            "/usr/local/lib/turnin.cf",
+            "cs390:ta:1000\ncs503:ta:1000\n",
+            root.0,
+            root.1,
+            Mode::new(0o644),
+        )
+        .expect("world build");
+    os.fs
+        .put_file("/usr/local/bin/tar", "#!tar", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
+    os.fs
+        .put_file("/usr/local/bin/turnin", "", root.0, root.1, Mode::new(0o4755))
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/home/student/hw1.c",
+            "int main(){}\n",
+            os.scenario.invoker,
+            os.scenario.invoker_gid,
+            Mode::new(0o644),
+        )
         .expect("world build");
     // The attacker's prepared PATH payload.
     os.fs
-        .put_file("/home/evil/bin/tar", "#!evil-tar", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o755))
+        .put_file(
+            "/home/evil/bin/tar",
+            "#!evil-tar",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o755),
+        )
         .expect("world build");
     tag_standard_targets(&mut os);
     // The TA's home is the victim's territory: planting files there on the
@@ -123,14 +206,33 @@ pub const NT_UNPROTECTED_KEYS: usize = 29;
 fn base_nt_os(invoker: Uid) -> Os {
     let mut os = Os::with_scenario(nt_scenario(invoker));
     let root = (Uid::ROOT, Gid::ROOT);
-    os.users.add("Administrator", Uid::ROOT, Gid::ROOT, "/users/administrator");
+    os.users
+        .add("Administrator", Uid::ROOT, Gid::ROOT, "/users/administrator");
     os.users.add("user1001", Uid(1001), Gid(100), "/users/user1001");
     os.users.add("evil", ATTACKER_UID, Gid(666), "/users/evil");
-    os.fs.mkdir_p("/winnt/system32", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/winnt/system.ini", "[boot]\nshell=explorer\n", root.0, root.1, Mode::new(0o644))
+    os.fs
+        .mkdir_p("/winnt/system32", root.0, root.1, Mode::new(0o755))
         .expect("world build");
-    os.fs.put_file("/winnt/win.ini", "[fonts]\n", root.0, root.1, Mode::new(0o644)).expect("world build");
-    os.fs.put_file("/winnt/repair/sam", "SAM{admin:NTHASH}\n", root.0, root.1, Mode::new(0o600))
+    os.fs
+        .put_file(
+            "/winnt/system.ini",
+            "[boot]\nshell=explorer\n",
+            root.0,
+            root.1,
+            Mode::new(0o644),
+        )
+        .expect("world build");
+    os.fs
+        .put_file("/winnt/win.ini", "[fonts]\n", root.0, root.1, Mode::new(0o644))
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/winnt/repair/sam",
+            "SAM{admin:NTHASH}\n",
+            root.0,
+            root.1,
+            Mode::new(0o600),
+        )
         .expect("world build");
     os.fs
         .mkdir_p("/users/evil/bin", ATTACKER_UID, Gid(666), Mode::new(0o755))
@@ -138,14 +240,26 @@ fn base_nt_os(invoker: Uid) -> Os {
     // Five font-cache files named by unprotected registry keys.
     for i in 0..5 {
         os.fs
-            .put_file(&format!("/winnt/fonts/cache{i}.fon"), "FONTDATA", root.0, root.1, Mode::new(0o644))
+            .put_file(
+                &format!("/winnt/fonts/cache{i}.fon"),
+                "FONTDATA",
+                root.0,
+                root.1,
+                Mode::new(0o644),
+            )
             .expect("world build");
         os.registry.ensure_key(
             &format!("HKLM/Software/Fonts/Cache{i}"),
-            RegAcl { owner: Uid::ROOT, world_writable: true },
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
         );
-        os.registry
-            .god_set_value(&format!("HKLM/Software/Fonts/Cache{i}"), "Path", format!("/winnt/fonts/cache{i}.fon"));
+        os.registry.god_set_value(
+            &format!("HKLM/Software/Fonts/Cache{i}"),
+            "Path",
+            format!("/winnt/fonts/cache{i}.fon"),
+        );
     }
     // Four logon keys, also unprotected.
     let logon: [(&str, &str); 4] = [
@@ -157,34 +271,82 @@ fn base_nt_os(invoker: Uid) -> Os {
     for (name, value) in logon {
         os.registry.ensure_key(
             &format!("HKLM/Software/Logon/{name}"),
-            RegAcl { owner: Uid::ROOT, world_writable: true },
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
         );
-        os.registry.god_set_value(&format!("HKLM/Software/Logon/{name}"), "Path", value);
+        os.registry
+            .god_set_value(&format!("HKLM/Software/Logon/{name}"), "Path", value);
     }
     // Twenty further unprotected keys no modeled module consumes — the
     // paper's "other 20 unprotected keys" it could only speculate about.
     for i in 0..20 {
         os.registry.ensure_key(
             &format!("HKLM/Software/Extras/Key{i:02}"),
-            RegAcl { owner: Uid::ROOT, world_writable: true },
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
         );
-        os.registry.god_set_value(&format!("HKLM/Software/Extras/Key{i:02}"), "Value", format!("opaque-{i}"));
+        os.registry.god_set_value(
+            &format!("HKLM/Software/Extras/Key{i:02}"),
+            "Value",
+            format!("opaque-{i}"),
+        );
     }
     // Logon world objects.
     os.fs
-        .put_file("/profiles/user1001/profile.cfg", "shell=/winnt/system32/csh.exe\n", root.0, root.1, Mode::new(0o644))
+        .put_file(
+            "/profiles/user1001/profile.cfg",
+            "shell=/winnt/system32/csh.exe\n",
+            root.0,
+            root.1,
+            Mode::new(0o644),
+        )
         .expect("world build");
-    os.fs.put_file("/winnt/system32/csh.exe", "#!csh", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/winnt/scripts/logon.cmd", "@echo on\n", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/winnt/system32/cmd.exe", "#!cmd", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/winnt/help/welcome.txt", "welcome to the domain\n", root.0, root.1, Mode::new(0o644))
+    os.fs
+        .put_file("/winnt/system32/csh.exe", "#!csh", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/winnt/scripts/logon.cmd",
+            "@echo on\n",
+            root.0,
+            root.1,
+            Mode::new(0o755),
+        )
+        .expect("world build");
+    os.fs
+        .put_file("/winnt/system32/cmd.exe", "#!cmd", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/winnt/help/welcome.txt",
+            "welcome to the domain\n",
+            root.0,
+            root.1,
+            Mode::new(0o644),
+        )
         .expect("world build");
     // The attacker's prepared profile directory.
     os.fs
-        .put_file("/users/evil/profile.cfg", "shell=/users/evil/rootkit.exe\n", ATTACKER_UID, Gid(666), Mode::new(0o644))
+        .put_file(
+            "/users/evil/profile.cfg",
+            "shell=/users/evil/rootkit.exe\n",
+            ATTACKER_UID,
+            Gid(666),
+            Mode::new(0o644),
+        )
         .expect("world build");
     os.fs
-        .put_file("/users/evil/rootkit.exe", "#!rootkit", ATTACKER_UID, Gid(666), Mode::new(0o755))
+        .put_file(
+            "/users/evil/rootkit.exe",
+            "#!rootkit",
+            ATTACKER_UID,
+            Gid(666),
+            Mode::new(0o755),
+        )
         .expect("world build");
     tag_standard_targets(&mut os);
     os
@@ -213,9 +375,17 @@ pub fn fingerd_world() -> TestSetup {
     os.users.add("nobody", Uid(9999), Gid(999), "/");
     os.users.add("user1001", Uid(1001), Gid(100), "/home/user1001");
     os.fs
-        .put_file("/home/user1001/.plan", "On sabbatical until fall.\n", Uid(1001), Gid(100), Mode::new(0o644))
+        .put_file(
+            "/home/user1001/.plan",
+            "On sabbatical until fall.\n",
+            Uid(1001),
+            Gid(100),
+            Mode::new(0o644),
+        )
         .expect("world build");
-    os.fs.put_file("/usr/sbin/fingerd", "", root.0, root.1, Mode::new(0o755)).expect("world build");
+    os.fs
+        .put_file("/usr/sbin/fingerd", "", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
     os.net.add_dns("trusted.cs.example.edu", "10.0.5.1");
     os.net.add_dns("evil.example.net", "198.51.100.66");
     os.net.add_service("trusted.cs.example.edu", 1023, true);
@@ -230,11 +400,28 @@ pub fn authd_world() -> TestSetup {
     let mut os = base_unix_os();
     let root = (Uid::ROOT, Gid::ROOT);
     os.users.add("user1001", Uid(1001), Gid(100), "/home/user1001");
-    os.fs.put_file("/etc/authd.secret", "s3cret-token", root.0, root.1, Mode::new(0o600)).expect("world build");
-    os.fs.put_file("/etc/auth_keys", "# authorized keys\n", root.0, root.1, Mode::new(0o600)).expect("world build");
-    os.fs.put_file("/usr/sbin/authd", "", root.0, root.1, Mode::new(0o755)).expect("world build");
-    for step in ["HELO client.cs.example.edu", "AUTH s3cret-token", "CMD addkey user1001 ssh-rsa-KEY"] {
-        os.net.push_message(113, Message::genuine("client.cs.example.edu", step));
+    os.fs
+        .put_file("/etc/authd.secret", "s3cret-token", root.0, root.1, Mode::new(0o600))
+        .expect("world build");
+    os.fs
+        .put_file(
+            "/etc/auth_keys",
+            "# authorized keys\n",
+            root.0,
+            root.1,
+            Mode::new(0o600),
+        )
+        .expect("world build");
+    os.fs
+        .put_file("/usr/sbin/authd", "", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
+    for step in [
+        "HELO client.cs.example.edu",
+        "AUTH s3cret-token",
+        "CMD addkey user1001 ssh-rsa-KEY",
+    ] {
+        os.net
+            .push_message(113, Message::genuine("client.cs.example.edu", step));
     }
     tag_standard_targets(&mut os);
     TestSetup::new(os).invoker(Uid::ROOT).cwd("/")
@@ -245,13 +432,14 @@ pub fn authd_world() -> TestSetup {
 pub fn backupd_world() -> TestSetup {
     let mut os = base_unix_os();
     let root = (Uid::ROOT, Gid::ROOT);
-    os.fs.mkdir_p("/var/backups", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/usr/sbin/backupd", "", root.0, root.1, Mode::new(0o755)).expect("world build");
+    os.fs
+        .mkdir_p("/var/backups", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
+    os.fs
+        .put_file("/usr/sbin/backupd", "", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
     tag_standard_targets(&mut os);
-    TestSetup::new(os)
-        .invoker(Uid::ROOT)
-        .env("UMASK", "077")
-        .cwd("/")
+    TestSetup::new(os).invoker(Uid::ROOT).env("UMASK", "077").cwd("/")
 }
 
 /// The `mailnotify` world: a SUID-root biff-style notifier fed by the mail
@@ -260,13 +448,29 @@ pub fn mailnotify_world() -> TestSetup {
     let mut os = base_unix_os();
     let root = (Uid::ROOT, Gid::ROOT);
     os.fs
-        .put_file("/var/mail/student", "From: old\n", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o600))
+        .put_file(
+            "/var/mail/student",
+            "From: old\n",
+            os.scenario.invoker,
+            os.scenario.invoker_gid,
+            Mode::new(0o600),
+        )
         .expect("world build");
-    os.fs.put_file("/usr/bin/mail", "#!mail", root.0, root.1, Mode::new(0o755)).expect("world build");
-    os.fs.put_file("/usr/local/bin/mailnotify", "", root.0, root.1, Mode::new(0o4755)).expect("world build");
+    os.fs
+        .put_file("/usr/bin/mail", "#!mail", root.0, root.1, Mode::new(0o755))
+        .expect("world build");
+    os.fs
+        .put_file("/usr/local/bin/mailnotify", "", root.0, root.1, Mode::new(0o4755))
+        .expect("world build");
     // Attacker's prepared PATH payload.
     os.fs
-        .put_file("/home/evil/bin/mail", "#!evil-mail", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o755))
+        .put_file(
+            "/home/evil/bin/mail",
+            "#!evil-mail",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o755),
+        )
         .expect("world build");
     os.net
         .push_ipc("maild", Message::genuine("maild", "From: alice\nSubject: lunch?\n"));

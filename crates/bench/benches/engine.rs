@@ -24,7 +24,10 @@ fn bench_campaigns(c: &mut Criterion) {
     g.bench_function("turnin_full_campaign_parallel", |b| {
         b.iter(|| {
             Campaign::new(&Turnin, &turnin_setup)
-                .with_options(CampaignOptions { parallel: true, ..Default::default() })
+                .with_options(CampaignOptions {
+                    parallel: true,
+                    ..Default::default()
+                })
                 .execute()
         })
     });

@@ -8,8 +8,21 @@
 use epa_bench::experiments;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "figure1", "figure2", "lpr",
-    "turnin", "registry", "comparison", "placement", "patterns", "clean",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure1",
+    "figure2",
+    "lpr",
+    "turnin",
+    "registry",
+    "comparison",
+    "placement",
+    "patterns",
+    "clean",
 ];
 
 fn run(name: &str) -> Result<(), String> {

@@ -18,7 +18,7 @@ use epa_sandbox::app::Application;
 use epa_sandbox::error::SysResult;
 use epa_sandbox::os::Os;
 use epa_sandbox::policy::PolicyEngine;
-use epa_sandbox::syscall::{InteractionRef, Interceptor, Syscall, SysReturn};
+use epa_sandbox::syscall::{InteractionRef, Interceptor, SysReturn, Syscall};
 use epa_sandbox::trace::SiteId;
 
 // ----------------------------------------------------------------------
@@ -50,7 +50,11 @@ fn render_catalog(title: &str, rows: &[epa_core::catalog::CatalogRow]) -> String
     let _ = writeln!(s, "{title}");
     let mut last_entity = String::new();
     for row in rows {
-        let entity = if row.entity == last_entity { String::new() } else { row.entity.clone() };
+        let entity = if row.entity == last_entity {
+            String::new()
+        } else {
+            row.entity.clone()
+        };
         last_entity = row.entity.clone();
         let _ = writeln!(s, "{:<24} {:<28} {}", entity, row.item, row.injections.join("; "));
     }
@@ -94,7 +98,11 @@ impl Figure1Result {
     /// Renders the figure as annotated ASCII.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Figure 1: interaction model (measured on `turnin`, {} faults)", self.injected);
+        let _ = writeln!(
+            s,
+            "Figure 1: interaction model (measured on `turnin`, {} faults)",
+            self.injected
+        );
         let _ = writeln!(s, "  (a) environment ──input──> internal entity ──use──> violation");
         let _ = writeln!(s, "      indirect-path violations: {}", self.via_internal_entity);
         let _ = writeln!(s, "  (b) environment entity ──interaction──> violation");
@@ -109,7 +117,11 @@ pub fn figure1() -> Figure1Result {
     let report = Campaign::new(&Turnin, &setup).execute();
     let via_internal_entity = report.violations().filter(|r| r.category.is_indirect()).count();
     let via_environment_entity = report.violations().filter(|r| r.category.is_direct()).count();
-    Figure1Result { via_internal_entity, via_environment_entity, injected: report.injected() }
+    Figure1Result {
+        via_internal_entity,
+        via_environment_entity,
+        injected: report.injected(),
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -158,13 +170,23 @@ impl Figure2Result {
 pub fn figure2() -> Figure2Result {
     let thresholds = AdequacyThresholds::default();
     let setup = worlds::turnin_world();
-    let restricted = CampaignOptions { max_sites: Some(3), max_faults_per_site: Some(2), ..Default::default() };
+    let restricted = CampaignOptions {
+        max_sites: Some(3),
+        max_faults_per_site: Some(2),
+        ..Default::default()
+    };
 
     let mk = |label: &str, report: &CampaignReport| {
         let point = report.adequacy();
-        Figure2Point { label: label.to_string(), point, region: point.region(thresholds) }
+        Figure2Point {
+            label: label.to_string(),
+            point,
+            region: point.region(thresholds),
+        }
     };
-    let p1 = Campaign::new(&Turnin, &setup).with_options(restricted.clone()).execute();
+    let p1 = Campaign::new(&Turnin, &setup)
+        .with_options(restricted.clone())
+        .execute();
     let p2 = Campaign::new(&TurninFixed, &setup).with_options(restricted).execute();
     let p3 = Campaign::new(&Turnin, &setup).execute();
     let p4 = Campaign::new(&TurninFixed, &setup).execute();
@@ -221,7 +243,10 @@ pub fn lpr_34() -> LprResult {
     let mut filter = BTreeSet::new();
     filter.insert(SiteId::new("lpr:create_spool"));
     let report = Campaign::new(&Lpr, &setup)
-        .with_options(CampaignOptions { site_filter: Some(filter), ..Default::default() })
+        .with_options(CampaignOptions {
+            site_filter: Some(filter),
+            ..Default::default()
+        })
         .execute();
     let outcomes = report
         .records
@@ -375,7 +400,12 @@ pub fn registry_42() -> RegistryResult {
             if violated > 0 { "EXPLOITED" } else { "held" }
         ));
     }
-    RegistryResult { unprotected, exercised, exploited, per_key }
+    RegistryResult {
+        unprotected,
+        exercised,
+        exploited,
+        per_key,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -413,7 +443,11 @@ impl ComparisonResult {
             "Paper §5 — what each technique surfaces ({} runs per baseline; distinct violated policy rules)",
             self.baseline_runs
         );
-        let _ = writeln!(s, "  {:<12} {:>5} {:>5} {:>5}   EPA-only rules", "app", "EPA", "Fuzz", "AVA");
+        let _ = writeln!(
+            s,
+            "  {:<12} {:>5} {:>5} {:>5}   EPA-only rules",
+            "app", "EPA", "Fuzz", "AVA"
+        );
         for row in &self.rows {
             let epa_only: Vec<&String> = row
                 .epa_rules
@@ -448,12 +482,18 @@ pub fn comparison() -> ComparisonResult {
         (
             &Fingerd,
             worlds::fingerd_world(),
-            FuzzTarget::Net { port: epa_apps::fingerd::FINGER_PORT, from: "trusted.cs.example.edu".into() },
+            FuzzTarget::Net {
+                port: epa_apps::fingerd::FINGER_PORT,
+                from: "trusted.cs.example.edu".into(),
+            },
         ),
         (
             &MailNotify,
             worlds::mailnotify_world(),
-            FuzzTarget::Ipc { channel: epa_apps::mailnotify::CHANNEL.into(), from: "maild".into() },
+            FuzzTarget::Ipc {
+                channel: epa_apps::mailnotify::CHANNEL.into(),
+                from: "maild".into(),
+            },
         ),
     ];
     for (app, setup, target) in cases {
@@ -462,8 +502,25 @@ pub fn comparison() -> ComparisonResult {
             .violations()
             .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
             .collect();
-        let fuzz = run_fuzz(&setup, app, &FuzzOptions { runs, seed: 17, max_len: 6000, target });
-        let ava = run_ava(&setup, app, &AvaOptions { runs, seed: 17, intensity: 0.8 });
+        let fuzz = run_fuzz(
+            &setup,
+            app,
+            &FuzzOptions {
+                runs,
+                seed: 17,
+                max_len: 6000,
+                target,
+            },
+        );
+        let ava = run_ava(
+            &setup,
+            app,
+            &AvaOptions {
+                runs,
+                seed: 17,
+                intensity: 0.8,
+            },
+        );
         rows.push(ComparisonRow {
             app: app.name().to_string(),
             epa_rules,
@@ -471,7 +528,10 @@ pub fn comparison() -> ComparisonResult {
             ava_rules: rules_of(&ava),
         });
     }
-    ComparisonResult { rows, baseline_runs: runs }
+    ComparisonResult {
+        rows,
+        baseline_runs: runs,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -520,7 +580,10 @@ impl PlacementResult {
             "  {} direct faults at lpr's create: before-point -> {} violations; after-point -> {} violations",
             self.injected, self.before_violations, self.after_violations
         );
-        let _ = writeln!(s, "  (a perturbation that arrives after the interaction has already happened misses it)");
+        let _ = writeln!(
+            s,
+            "  (a perturbation that arrives after the interaction has already happened misses it)"
+        );
         s
     }
 }
@@ -530,8 +593,10 @@ pub fn placement() -> PlacementResult {
     let setup = worlds::lpr_world();
     let mut filter = BTreeSet::new();
     filter.insert(SiteId::new("lpr:create_spool"));
-    let campaign = Campaign::new(&Lpr, &setup)
-        .with_options(CampaignOptions { site_filter: Some(filter), ..Default::default() });
+    let campaign = Campaign::new(&Lpr, &setup).with_options(CampaignOptions {
+        site_filter: Some(filter),
+        ..Default::default()
+    });
     let plan = campaign.plan();
     let faults: Vec<ConcreteFault> = plan
         .sites
@@ -544,7 +609,11 @@ pub fn placement() -> PlacementResult {
     let mut after_violations = 0usize;
     for fault in &faults {
         let hook = AfterPlacementHook {
-            plan: InjectionPlan { site: SiteId::new("lpr:create_spool"), occurrence: 0, fault: fault.clone() },
+            plan: InjectionPlan {
+                site: SiteId::new("lpr:create_spool"),
+                occurrence: 0,
+                fault: fault.clone(),
+            },
             fired: false,
         };
         let outcome = run_once(&setup, &Lpr, Some(Box::new(hook)));
@@ -606,7 +675,12 @@ pub fn patterns() -> PatternsResult {
     let fuzz = run_fuzz(
         &setup,
         &Turnin,
-        &FuzzOptions { runs: budget, seed: 5, max_len: 6000, target: FuzzTarget::Args },
+        &FuzzOptions {
+            runs: budget,
+            seed: 5,
+            max_len: 6000,
+            target: FuzzTarget::Args,
+        },
     );
     let fuzz_rules = fuzz.distinct_rules();
     PatternsResult {

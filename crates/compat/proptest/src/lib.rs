@@ -1,0 +1,540 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API the `epa` test-suite uses:
+//! the [`strategy::Strategy`] trait with `prop_map`/`boxed`, range and
+//! `&str`-regex strategies, [`collection::vec`], [`string::string_regex`],
+//! [`strategy::Just`], [`strategy::Union`] (behind `prop_oneof!`), and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Generation is
+//! purely random (no shrinking) and deterministic per test function.
+
+#![warn(rust_2018_idioms)]
+
+pub mod test_runner {
+    //! The deterministic RNG driving value generation.
+
+    use rand::{Rng, SeedableRng};
+
+    /// The generator driving `proptest!`: the `rand` stand-in's `StdRng`
+    /// from a fixed seed, so failures reproduce run-to-run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the fixed-seed generator used by `proptest!`.
+        pub fn deterministic() -> Self {
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Returns a uniform value in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    impl Rng for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Per-invocation configuration (`cases` is the only knob we honor).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Builds a config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    pub struct Union<V> {
+        branches: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `branches` (must be non-empty).
+        pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+            Union { branches }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.branches.len() as u64) as usize;
+            self.branches[i].generate(rng)
+        }
+    }
+
+    // Ranges sample through the `rand` stand-in's `SampleRange`, which is
+    // the single home of the uniform-sampling arithmetic.
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A `&str` is a regex strategy, as in real proptest.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .expect("invalid regex literal strategy")
+                .generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $t:ident),+))+) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-driven string strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error returned for regex constructs the generator does not support.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Builds a strategy generating strings matching `pattern`.
+    ///
+    /// Supported subset: literals, `.`, classes `[a-z._]`, groups `(...)`,
+    /// alternation `|`, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut p = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let node = p.parse_alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(Error(format!("trailing `{}` in /{pattern}/", p.chars[p.pos])));
+        }
+        Ok(RegexGeneratorStrategy { node })
+    }
+
+    /// The strategy returned by [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        node: Node,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            gen_node(&self.node, rng, &mut out);
+            out
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        /// Concatenation of parts.
+        Seq(Vec<Node>),
+        /// `a|b|c` alternatives.
+        Alt(Vec<Node>),
+        /// A literal character.
+        Lit(char),
+        /// A character class as inclusive ranges.
+        Class(Vec<(char, char)>),
+        /// `.` — any printable ASCII character.
+        Any,
+        /// `node{min,max}` (also encodes `?`, `*`, `+`).
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Cap for unbounded `*`/`+` repetition.
+    const UNBOUNDED_CAP: usize = 8;
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Seq(parts) => parts.iter().for_each(|p| gen_node(p, rng, out)),
+            Node::Alt(alts) => {
+                let i = rng.below(alts.len() as u64) as usize;
+                gen_node(&alts[i], rng, out);
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (a, b) in ranges {
+                    let span = (*b as u64) - (*a as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*a as u32 + pick as u32).expect("class range is valid"));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Any => out.push(char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).expect("printable ascii")),
+            Node::Repeat(inner, min, max) => {
+                let n = *min as u64 + rng.below((*max - *min + 1) as u64);
+                for _ in 0..n {
+                    gen_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn parse_alternation(&mut self) -> Result<Node, Error> {
+            let mut alts = vec![self.parse_seq()?];
+            while self.peek() == Some('|') {
+                self.pos += 1;
+                alts.push(self.parse_seq()?);
+            }
+            Ok(if alts.len() == 1 {
+                alts.pop().expect("len checked")
+            } else {
+                Node::Alt(alts)
+            })
+        }
+
+        fn parse_seq(&mut self) -> Result<Node, Error> {
+            let mut parts = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.parse_atom()?;
+                parts.push(self.parse_quantifier(atom)?);
+            }
+            Ok(Node::Seq(parts))
+        }
+
+        fn parse_atom(&mut self) -> Result<Node, Error> {
+            match self.peek() {
+                Some('(') => {
+                    self.pos += 1;
+                    let inner = self.parse_alternation()?;
+                    if self.peek() != Some(')') {
+                        return Err(Error("unclosed group".into()));
+                    }
+                    self.pos += 1;
+                    Ok(inner)
+                }
+                Some('[') => {
+                    self.pos += 1;
+                    let mut ranges = Vec::new();
+                    while let Some(c) = self.peek() {
+                        if c == ']' {
+                            break;
+                        }
+                        self.pos += 1;
+                        let lo = if c == '\\' { self.escape()? } else { c };
+                        if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                            self.pos += 1;
+                            let hi = self.peek().ok_or_else(|| Error("unclosed class".into()))?;
+                            self.pos += 1;
+                            let hi = if hi == '\\' { self.escape()? } else { hi };
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if self.peek() != Some(']') {
+                        return Err(Error("unclosed class".into()));
+                    }
+                    self.pos += 1;
+                    Ok(Node::Class(ranges))
+                }
+                Some('.') => {
+                    self.pos += 1;
+                    Ok(Node::Any)
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    Ok(Node::Lit(self.escape()?))
+                }
+                Some(c) => {
+                    self.pos += 1;
+                    Ok(Node::Lit(c))
+                }
+                None => Err(Error("unexpected end of pattern".into())),
+            }
+        }
+
+        fn escape(&mut self) -> Result<char, Error> {
+            let c = self.peek().ok_or_else(|| Error("dangling escape".into()))?;
+            self.pos += 1;
+            Ok(match c {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            })
+        }
+
+        fn parse_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+            let node = match self.peek() {
+                Some('?') => Node::Repeat(Box::new(atom), 0, 1),
+                Some('*') => Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP),
+                Some('+') => Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP),
+                Some('{') => {
+                    self.pos += 1;
+                    let min = self.parse_number()?;
+                    let max = match self.peek() {
+                        Some(',') => {
+                            self.pos += 1;
+                            self.parse_number()?
+                        }
+                        _ => min,
+                    };
+                    if self.peek() != Some('}') {
+                        return Err(Error("unclosed quantifier".into()));
+                    }
+                    if max < min {
+                        return Err(Error("quantifier max below min".into()));
+                    }
+                    return Ok(Node::Repeat(Box::new(atom), min, max));
+                }
+                _ => return Ok(atom),
+            };
+            self.pos += 1;
+            Ok(node)
+        }
+
+        fn parse_number(&mut self) -> Result<usize, Error> {
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return Err(Error("expected number in quantifier".into()));
+            }
+            self.chars[start..self.pos]
+                .iter()
+                .collect::<String>()
+                .parse()
+                .map_err(|_| Error("bad quantifier number".into()))
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)) => {};
+    (@with_config ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform random choice among several strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// `assert!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}

@@ -1,0 +1,334 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote` (unavailable offline): the item is parsed directly from the
+//! `proc_macro` token stream and the impl is emitted as a source string.
+//! Supports non-generic structs (named, tuple, unit) and enums (unit, tuple,
+//! struct variants) — exactly the shapes the `epa` workspace derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields: (accessor ident, serialized key) pairs — the key drops
+    /// any `r#` raw-identifier prefix.
+    Named(Vec<(String, String)>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives the stand-in `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the stand-in `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_named_fields(g.stream()),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute's `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside nested `<...>`.
+/// Token groups (`(..)`, `{..}`, `[..]`) are single trees, so only angle
+/// brackets need explicit depth tracking. The `>` of an `->` arrow (fn
+/// pointer types) is not a closing bracket and must not affect the depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            let after_dash = matches!(current.last(), Some(TokenTree::Punct(prev)) if prev.as_char() == '-');
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !after_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let mut fields = Vec::new();
+    for part in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let accessor = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        let key = accessor.strip_prefix("r#").unwrap_or(&accessor).to_string();
+        fields.push((accessor, key));
+    }
+    Fields::Named(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    for part in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match part.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_named_fields(g.stream()),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            // Unit variant, possibly with an explicit `= discriminant`.
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n).map(|i| format!("::serde::Serialize::ser(&self.{i})")).collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|(acc, key)| {
+                            format!("(::std::string::String::from(\"{key}\"), ::serde::Serialize::ser(&self.{acc}))")
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn ser(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> =
+                            binders.iter().map(|b| format!("::serde::Serialize::ser({b})")).collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(::std::vec![{elems}]))]),",
+                            binds = binders.join(", "),
+                            elems = elems.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|(acc, _)| acc.clone()).collect();
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|(acc, key)| {
+                                format!("(::std::string::String::from(\"{key}\"), ::serde::Serialize::ser({acc}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn ser(&self) -> ::serde::Value {{\n        match self {{\n            {}\n        }}\n    }}\n}}\n",
+                arms.join("\n            ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", \"{name}\")) }}"
+                ),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::Deserialize::de(&__s[{i}])?")).collect();
+                    format!(
+                        "{{ let __s = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n  if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"expected {n} elements for {name}, got {{}}\", __s.len()))); }}\n  ::std::result::Result::Ok({name}({elems})) }}",
+                        elems = elems.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|(acc, key)| {
+                            format!(
+                                "{acc}: ::serde::Deserialize::de(::serde::field(__m, \"{key}\", \"{name}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{ let __m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n  ::std::result::Result::Ok({name} {{ {} }}) }}",
+                        inits.join(" ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn de(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> =
+                            (0..*n).map(|i| format!("::serde::Deserialize::de(&__s[{i}])?")).collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __s = _inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{v}\"))?;\n  if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"expected {n} elements for {name}::{v}, got {{}}\", __s.len()))); }}\n  ::std::result::Result::Ok({name}::{v}({elems})) }}",
+                            elems = elems.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|(acc, key)| {
+                                format!(
+                                    "{acc}: ::serde::Deserialize::de(::serde::field(__m, \"{key}\", \"{name}::{v}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __m = _inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{v}\"))?;\n  ::std::result::Result::Ok({name}::{v} {{ {} }}) }}",
+                            inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn de(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        match v {{\n            ::serde::Value::Str(__s) => match __s.as_str() {{\n                {unit}\n                __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n            }},\n            ::serde::Value::Map(__m) if __m.len() == 1 => {{\n                let (__k, _inner) = &__m[0];\n                match __k.as_str() {{\n                    {data}\n                    __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n                }}\n            }}\n            _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-entry map\", \"{name}\")),\n        }}\n    }}\n}}\n",
+                unit = unit_arms.join("\n                "),
+                data = data_arms.join("\n                ")
+            )
+        }
+    }
+}

@@ -15,7 +15,7 @@ use epa_sandbox::app::Application;
 use epa_sandbox::data::Data;
 use epa_sandbox::error::SysResult;
 use epa_sandbox::os::Os;
-use epa_sandbox::syscall::{InteractionRef, Interceptor, Syscall, SysReturn};
+use epa_sandbox::syscall::{InteractionRef, Interceptor, SysReturn, Syscall};
 
 use super::{BaselineRecord, BaselineReport};
 use crate::campaign::{run_once, TestSetup};
@@ -33,7 +33,11 @@ pub struct AvaOptions {
 
 impl Default for AvaOptions {
     fn default() -> Self {
-        AvaOptions { runs: 100, seed: 42, intensity: 0.5 }
+        AvaOptions {
+            runs: 100,
+            seed: 42,
+            intensity: 0.5,
+        }
     }
 }
 
@@ -56,7 +60,7 @@ impl AvaHook {
                     vec![0xff]
                 } else {
                     let i = self.rng.gen_range(0..bytes.len());
-                    bytes[i] ^= 1 << self.rng.gen_range(0..8);
+                    bytes[i] ^= 1u8 << self.rng.gen_range(0..8u8);
                     bytes
                 }
             }
@@ -101,7 +105,11 @@ pub fn run_ava(setup: &TestSetup, app: &dyn Application, options: &AvaOptions) -
     let mut records = Vec::with_capacity(options.runs);
     for i in 0..options.runs {
         let run_seed: u64 = seeder.gen();
-        let hook = AvaHook { rng: StdRng::seed_from_u64(run_seed), intensity: options.intensity, corruptions: 0 };
+        let hook = AvaHook {
+            rng: StdRng::seed_from_u64(run_seed),
+            intensity: options.intensity,
+            corruptions: 0,
+        };
         let outcome = run_once(setup, app, Some(Box::new(hook)));
         records.push(BaselineRecord {
             input: format!("ava run {i} (seed {run_seed:#x})"),
@@ -110,7 +118,11 @@ pub fn run_ava(setup: &TestSetup, app: &dyn Application, options: &AvaOptions) -
             violations: outcome.violations,
         });
     }
-    BaselineReport { technique: "ava".into(), app: app.name().to_string(), records }
+    BaselineReport {
+        technique: "ava".into(),
+        app: app.name().to_string(),
+        records,
+    }
 }
 
 #[cfg(test)]
@@ -152,30 +164,59 @@ mod tests {
 
     fn setup() -> TestSetup {
         let mut os = Os::new();
-        os.users.add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
-        os.fs.mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
-        os.fs.put_file("/usr/bin/app", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755)).unwrap();
+        os.users
+            .add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
+        os.fs
+            .mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755))
+            .unwrap();
+        os.fs
+            .put_file("/usr/bin/app", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))
+            .unwrap();
         TestSetup::new(os).program("/usr/bin/app").args(["input"])
     }
 
     #[test]
     fn ava_finds_input_propagation_flaws() {
         let s = setup();
-        let rep = run_ava(&s, &Overflowing, &AvaOptions { runs: 60, seed: 3, intensity: 0.9 });
+        let rep = run_ava(
+            &s,
+            &Overflowing,
+            &AvaOptions {
+                runs: 60,
+                seed: 3,
+                intensity: 0.9,
+            },
+        );
         assert!(rep.detections() > 0, "length corruption must trip the overflow");
     }
 
     #[test]
     fn ava_misses_direct_environment_flaws() {
         let s = setup();
-        let rep = run_ava(&s, &DirectOnly, &AvaOptions { runs: 40, seed: 3, intensity: 0.9 });
-        assert_eq!(rep.detections(), 0, "no internal-state corruption can surface the symlink flaw");
+        let rep = run_ava(
+            &s,
+            &DirectOnly,
+            &AvaOptions {
+                runs: 40,
+                seed: 3,
+                intensity: 0.9,
+            },
+        );
+        assert_eq!(
+            rep.detections(),
+            0,
+            "no internal-state corruption can surface the symlink flaw"
+        );
     }
 
     #[test]
     fn ava_is_deterministic_per_seed() {
         let s = setup();
-        let o = AvaOptions { runs: 10, seed: 11, intensity: 0.7 };
+        let o = AvaOptions {
+            runs: 10,
+            seed: 11,
+            intensity: 0.7,
+        };
         assert_eq!(run_ava(&s, &Overflowing, &o), run_ava(&s, &Overflowing, &o));
     }
 }

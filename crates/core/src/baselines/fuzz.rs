@@ -50,7 +50,12 @@ pub struct FuzzOptions {
 
 impl Default for FuzzOptions {
     fn default() -> Self {
-        FuzzOptions { runs: 100, seed: 42, max_len: 6000, target: FuzzTarget::Args }
+        FuzzOptions {
+            runs: 100,
+            seed: 42,
+            max_len: 6000,
+            target: FuzzTarget::Args,
+        }
     }
 }
 
@@ -64,7 +69,9 @@ fn random_text(rng: &mut StdRng, max_len: usize) -> String {
             if roll < 90 {
                 rng.gen_range(0x20u8..=0x7e) as char
             } else {
-                *['\n', '\t', ';', '/', '%', '\u{1}'].get(rng.gen_range(0..6)).unwrap_or(&'?')
+                *['\n', '\t', ';', '/', '%', '\u{1}']
+                    .get(rng.gen_range(0..6usize))
+                    .unwrap_or(&'?')
             }
         })
         .collect()
@@ -93,13 +100,19 @@ pub fn run_fuzz(setup: &TestSetup, app: &dyn Application, options: &FuzzOptions)
                 while run_setup.world.net.pop_message(*port).is_some() {}
                 let payload = random_text(&mut rng, options.max_len);
                 input_desc = format!("packet len {} on :{port}", payload.len());
-                run_setup.world.net.push_message(*port, Message::genuine(from.clone(), payload));
+                run_setup
+                    .world
+                    .net
+                    .push_message(*port, Message::genuine(from.clone(), payload));
             }
             FuzzTarget::Ipc { channel, from } => {
                 while run_setup.world.net.pop_ipc(channel).is_ok() {}
                 let payload = random_text(&mut rng, options.max_len);
                 input_desc = format!("ipc message len {} on {channel}", payload.len());
-                run_setup.world.net.push_ipc(channel.clone(), Message::genuine(from.clone(), payload));
+                run_setup
+                    .world
+                    .net
+                    .push_ipc(channel.clone(), Message::genuine(from.clone(), payload));
             }
         }
         let outcome = run_once(&run_setup, app, None);
@@ -110,7 +123,11 @@ pub fn run_fuzz(setup: &TestSetup, app: &dyn Application, options: &FuzzOptions)
             violations: outcome.violations,
         });
     }
-    BaselineReport { technique: "fuzz".into(), app: app.name().to_string(), records }
+    BaselineReport {
+        technique: "fuzz".into(),
+        app: app.name().to_string(),
+        records,
+    }
 }
 
 #[cfg(test)]
@@ -142,16 +159,35 @@ mod tests {
 
     fn setup() -> TestSetup {
         let mut os = Os::new();
-        os.users.add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
-        os.fs.mkdir_p("/home/u", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o755)).unwrap();
-        os.fs.put_file("/bin/ovf", "", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        os.users
+            .add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
+        os.fs
+            .mkdir_p(
+                "/home/u",
+                os.scenario.invoker,
+                os.scenario.invoker_gid,
+                Mode::new(0o755),
+            )
+            .unwrap();
+        os.fs
+            .put_file("/bin/ovf", "", Uid::ROOT, Gid::ROOT, Mode::new(0o755))
+            .unwrap();
         TestSetup::new(os).args(["hello"])
     }
 
     #[test]
     fn fuzz_finds_the_overflow() {
         let s = setup();
-        let rep = run_fuzz(&s, &Overflowing, &FuzzOptions { runs: 40, seed: 7, max_len: 4096, target: FuzzTarget::Args });
+        let rep = run_fuzz(
+            &s,
+            &Overflowing,
+            &FuzzOptions {
+                runs: 40,
+                seed: 7,
+                max_len: 4096,
+                target: FuzzTarget::Args,
+            },
+        );
         assert_eq!(rep.runs(), 40);
         assert!(rep.detections() > 0, "long random args must trip the unchecked copy");
         assert!(rep.distinct_rules().contains("R4-memory-safety"));
@@ -160,7 +196,12 @@ mod tests {
     #[test]
     fn fuzz_is_deterministic_per_seed() {
         let s = setup();
-        let o = FuzzOptions { runs: 10, seed: 99, max_len: 1024, target: FuzzTarget::Args };
+        let o = FuzzOptions {
+            runs: 10,
+            seed: 99,
+            max_len: 1024,
+            target: FuzzTarget::Args,
+        };
         let a = run_fuzz(&s, &Overflowing, &o);
         let b = run_fuzz(&s, &Overflowing, &o);
         assert_eq!(a, b);

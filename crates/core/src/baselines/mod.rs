@@ -83,7 +83,12 @@ mod tests {
             technique: "fuzz".into(),
             app: "demo".into(),
             records: vec![
-                BaselineRecord { input: "a".into(), exit: Some(0), crashed: false, violations: vec![] },
+                BaselineRecord {
+                    input: "a".into(),
+                    exit: Some(0),
+                    crashed: false,
+                    violations: vec![],
+                },
                 BaselineRecord {
                     input: "b".into(),
                     exit: None,

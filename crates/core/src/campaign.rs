@@ -132,7 +132,13 @@ pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
         Ok(p) => p,
         Err(_) => {
             let violations = PolicyEngine::new().evaluate(&os.audit);
-            return RunOutcome { os, pid: None, exit: None, crashed: false, violations };
+            return RunOutcome {
+                os,
+                pid: None,
+                exit: None,
+                crashed: false,
+                violations,
+            };
         }
     };
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| app.run(&mut os, pid)));
@@ -144,7 +150,13 @@ pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
         os.set_exit(pid, c);
     }
     let violations = PolicyEngine::new().evaluate(&os.audit);
-    RunOutcome { os, pid: Some(pid), exit, crashed, violations }
+    RunOutcome {
+        os,
+        pid: Some(pid),
+        exit,
+        crashed,
+        violations,
+    }
 }
 
 /// Campaign tuning knobs.
@@ -212,7 +224,11 @@ pub struct Campaign<'a> {
 impl<'a> Campaign<'a> {
     /// Builds a campaign with default options.
     pub fn new(app: &'a dyn Application, setup: &'a TestSetup) -> Self {
-        Campaign { app, setup, options: CampaignOptions::default() }
+        Campaign {
+            app,
+            setup,
+            options: CampaignOptions::default(),
+        }
     }
 
     /// Replaces the options.
@@ -228,8 +244,13 @@ impl<'a> Campaign<'a> {
         let reaccessed = clean.os.trace.reaccessed_files();
         let mut exec_resolutions: BTreeMap<String, String> = BTreeMap::new();
         for ev in clean.os.audit.events() {
-            if let AuditEvent::Exec { requested, resolved, .. } = ev {
-                exec_resolutions.entry(requested.clone()).or_insert_with(|| resolved.clone());
+            if let AuditEvent::Exec {
+                requested, resolved, ..
+            } = ev
+            {
+                exec_resolutions
+                    .entry(requested.clone())
+                    .or_insert_with(|| resolved.clone());
             }
         }
         let ctx = DirectContext {
@@ -259,7 +280,11 @@ impl<'a> Campaign<'a> {
             if included && !faults.is_empty() {
                 taken += 1;
             }
-            sites.push(PlannedSite { summary, included, faults });
+            sites.push(PlannedSite {
+                summary,
+                included,
+                faults,
+            });
         }
         CampaignPlan { clean, sites }
     }
@@ -294,14 +319,21 @@ impl<'a> Campaign<'a> {
     /// campaign when the criterion is unreachable).
     pub fn execute_until(&self, min_interaction_coverage: f64) -> CampaignReport {
         let full = self.plan();
-        let perturbable: Vec<&PlannedSite> =
-            full.sites.iter().filter(|s| s.included && !s.faults.is_empty()).collect();
+        let perturbable: Vec<&PlannedSite> = full
+            .sites
+            .iter()
+            .filter(|s| s.included && !s.faults.is_empty())
+            .collect();
         let total = full.sites.iter().filter(|s| !s.faults.is_empty()).count();
         let mut records = Vec::new();
         let mut covered = 0usize;
         for site in &perturbable {
             for fault in &site.faults {
-                let job = InjectionPlan { site: site.summary.site.clone(), occurrence: 0, fault: fault.clone() };
+                let job = InjectionPlan {
+                    site: site.summary.site.clone(),
+                    occurrence: 0,
+                    fault: fault.clone(),
+                };
                 records.push(self.run_job(&job));
             }
             covered += 1;
@@ -322,14 +354,17 @@ impl<'a> Campaign<'a> {
     pub fn execute_plan(&self, plan: &CampaignPlan) -> CampaignReport {
         let jobs = plan.jobs();
         let records: Vec<FaultRecord> = if self.options.parallel && jobs.len() > 1 {
-            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len());
-            let mut indexed: Vec<(usize, FaultRecord)> = crossbeam::thread::scope(|scope| {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(jobs.len());
+            let mut indexed: Vec<(usize, FaultRecord)> = std::thread::scope(|scope| {
                 let (tx, rx) = std::sync::mpsc::channel::<(usize, FaultRecord)>();
                 let jobs_ref = &jobs;
                 for w in 0..workers {
                     let tx = tx.clone();
                     let this = &*self;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (i, job) in jobs_ref.iter().enumerate() {
                             if i % workers == w {
                                 let _ = tx.send((i, this.run_job(job)));
@@ -339,8 +374,7 @@ impl<'a> Campaign<'a> {
                 }
                 drop(tx);
                 rx.iter().collect()
-            })
-            .expect("campaign worker panicked");
+            });
             indexed.sort_by_key(|(i, _)| *i);
             indexed.into_iter().map(|(_, r)| r).collect()
         } else {
@@ -381,7 +415,10 @@ mod tests {
                 Err(_) => return 2,
             };
             // Vulnerable: creat without O_EXCL, like the BSD lpr of §3.4.
-            if os.sys_write_file(pid, "lpr:create", "/var/spool/lpd/job", job, 0o660).is_err() {
+            if os
+                .sys_write_file(pid, "lpr:create", "/var/spool/lpd/job", job, 0o660)
+                .is_err()
+            {
                 let _ = os.sys_print(pid, "lpr:err", "lpr: cannot create spool file\n");
                 return 1;
             }
@@ -392,12 +429,22 @@ mod tests {
     fn setup() -> TestSetup {
         let mut os = Os::new();
         os.users.add("root", Uid::ROOT, Gid::ROOT, "/root");
-        os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
-        os.users.add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
-        os.fs.mkdir_p("/var/spool/lpd", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
-        os.fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
-        os.fs.put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
-        os.fs.put_file("/usr/bin/lpr", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755)).unwrap();
+        os.users
+            .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+        os.users
+            .add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
+        os.fs
+            .mkdir_p("/var/spool/lpd", Uid::ROOT, Gid::ROOT, Mode::new(0o755))
+            .unwrap();
+        os.fs
+            .put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
+        os.fs
+            .put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))
+            .unwrap();
+        os.fs
+            .put_file("/usr/bin/lpr", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))
+            .unwrap();
         crate::perturb::tag_standard_targets(&mut os);
         TestSetup::new(os).program("/usr/bin/lpr").args(["report.txt"])
     }
@@ -446,7 +493,10 @@ mod tests {
         let s = setup();
         let seq = Campaign::new(&MiniLpr, &s).execute();
         let par = Campaign::new(&MiniLpr, &s)
-            .with_options(CampaignOptions { parallel: true, ..Default::default() })
+            .with_options(CampaignOptions {
+                parallel: true,
+                ..Default::default()
+            })
             .execute();
         assert_eq!(seq.injected(), par.injected());
         assert_eq!(seq.violated(), par.violated());
@@ -476,7 +526,10 @@ mod tests {
         let mut filter = BTreeSet::new();
         filter.insert(SiteId::new("lpr:create"));
         let report = Campaign::new(&MiniLpr, &s)
-            .with_options(CampaignOptions { site_filter: Some(filter), ..Default::default() })
+            .with_options(CampaignOptions {
+                site_filter: Some(filter),
+                ..Default::default()
+            })
             .execute();
         assert!(report.records.iter().all(|r| r.site == "lpr:create"));
         assert_eq!(report.injected(), 4);

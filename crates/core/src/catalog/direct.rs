@@ -136,7 +136,10 @@ fn create_faults(p: &str, s: &ScenarioMeta) -> Vec<ConcreteFault> {
             FsAttribute::SymbolicLink,
             p,
             format!("replace {p} with a symlink to {}", s.integrity_target),
-            DirectFault::SymlinkSwap { path: p.into(), target: s.integrity_target.clone() },
+            DirectFault::SymlinkSwap {
+                path: p.into(),
+                target: s.integrity_target.clone(),
+            },
         ),
     ]
 }
@@ -166,13 +169,19 @@ fn read_faults(p: &str, s: &ScenarioMeta, reaccessed: bool) -> Vec<ConcreteFault
             FsAttribute::SymbolicLink,
             p,
             format!("replace {p} with a symlink to {}", s.secret_target),
-            DirectFault::SymlinkSwap { path: p.into(), target: s.secret_target.clone() },
+            DirectFault::SymlinkSwap {
+                path: p.into(),
+                target: s.secret_target.clone(),
+            },
         ),
         fs_fault(
             FsAttribute::ContentInvariance,
             p,
             format!("modify the content of {p}"),
-            DirectFault::ModifyContent { path: p.into(), content: "perturbed content".into() },
+            DirectFault::ModifyContent {
+                path: p.into(),
+                content: "perturbed content".into(),
+            },
         ),
     ];
     if reaccessed {
@@ -211,7 +220,10 @@ fn chdir_faults(p: &str, s: &ScenarioMeta) -> Vec<ConcreteFault> {
             FsAttribute::SymbolicLink,
             p,
             format!("replace {p} with a symlink to {}", s.protected_dir),
-            DirectFault::SymlinkSwap { path: p.into(), target: s.protected_dir.clone() },
+            DirectFault::SymlinkSwap {
+                path: p.into(),
+                target: s.protected_dir.clone(),
+            },
         ),
     ]
 }
@@ -242,13 +254,19 @@ fn exec_faults(p: &str, s: &ScenarioMeta) -> Vec<ConcreteFault> {
             FsAttribute::SymbolicLink,
             p,
             format!("replace {p} with a symlink to {payload_path}"),
-            DirectFault::SymlinkSwap { path: p.into(), target: payload_path },
+            DirectFault::SymlinkSwap {
+                path: p.into(),
+                target: payload_path,
+            },
         ),
         fs_fault(
             FsAttribute::ContentInvariance,
             p,
             format!("replace the content of {p} with a trojan"),
-            DirectFault::ModifyContent { path: p.into(), content: "#!trojan".into() },
+            DirectFault::ModifyContent {
+                path: p.into(),
+                content: "#!trojan".into(),
+            },
         ),
     ]
 }
@@ -278,7 +296,10 @@ fn delete_faults(p: &str, s: &ScenarioMeta) -> Vec<ConcreteFault> {
             FsAttribute::SymbolicLink,
             p,
             format!("replace {p} with a symlink to {}", s.critical_target),
-            DirectFault::SymlinkSwap { path: p.into(), target: s.critical_target.clone() },
+            DirectFault::SymlinkSwap {
+                path: p.into(),
+                target: s.critical_target.clone(),
+            },
         ),
     ]
 }
@@ -341,15 +362,25 @@ pub fn direct_faults_for(op: OpKind, object: &ObjectRef, ctx: &DirectContext<'_>
                 swap("critical", &s.critical_target, "a system-critical file"),
                 swap("secret", &s.secret_target, "a confidential file"),
                 swap("untrusted-dir", &s.attacker_home, "an attacker-controlled directory"),
-                swap("attacker-file", &format!("{}/payload.sh", s.attacker_home), "an attacker-planted executable"),
+                swap(
+                    "attacker-file",
+                    &format!("{}/payload.sh", s.attacker_home),
+                    "an attacker-planted executable",
+                ),
             ]
         }
         (OpKind::NetRecv, ObjectRef::NetPort(port)) => vec![
             net_fault(
                 NetAttribute::MessageAuthenticity,
                 &port.to_string(),
-                format!("make the next message on :{port} actually come from {}", s.attacker_host),
-                DirectFault::NetSpoofNext { port: *port, actual: s.attacker_host.clone() },
+                format!(
+                    "make the next message on :{port} actually come from {}",
+                    s.attacker_host
+                ),
+                DirectFault::NetSpoofNext {
+                    port: *port,
+                    actual: s.attacker_host.clone(),
+                },
             ),
             net_fault(
                 NetAttribute::Protocol,
@@ -367,13 +398,20 @@ pub fn direct_faults_for(op: OpKind, object: &ObjectRef, ctx: &DirectContext<'_>
                 NetAttribute::Protocol,
                 &format!("{port}:reorder"),
                 format!("reorder protocol steps on :{port}"),
-                DirectFault::NetSwapSteps { port: *port, a: 0, b: 1 },
+                DirectFault::NetSwapSteps {
+                    port: *port,
+                    a: 0,
+                    b: 1,
+                },
             ),
             net_fault(
                 NetAttribute::Socket,
                 &port.to_string(),
                 format!("share the socket on :{port} with another process"),
-                DirectFault::NetShareSocket { port: *port, with: "intruder-process".into() },
+                DirectFault::NetShareSocket {
+                    port: *port,
+                    with: "intruder-process".into(),
+                },
             ),
         ],
         (OpKind::NetConnect, ObjectRef::Service(host, port)) => vec![
@@ -381,13 +419,19 @@ pub fn direct_faults_for(op: OpKind, object: &ObjectRef, ctx: &DirectContext<'_>
                 NetAttribute::ServiceAvailability,
                 &format!("{host}:{port}"),
                 format!("deny the service at {host}:{port}"),
-                DirectFault::NetDenyService { host: host.clone(), port: *port },
+                DirectFault::NetDenyService {
+                    host: host.clone(),
+                    port: *port,
+                },
             ),
             net_fault(
                 NetAttribute::EntityTrust,
                 &format!("{host}:{port}"),
                 format!("make the entity at {host}:{port} untrusted"),
-                DirectFault::NetDistrustEntity { host: host.clone(), port: *port },
+                DirectFault::NetDistrustEntity {
+                    host: host.clone(),
+                    port: *port,
+                },
             ),
         ],
         (OpKind::DnsResolve, ObjectRef::Host(host)) => vec![net_fault(
@@ -401,7 +445,10 @@ pub fn direct_faults_for(op: OpKind, object: &ObjectRef, ctx: &DirectContext<'_>
                 ProcAttribute::MessageAuthenticity,
                 c,
                 format!("make the next IPC message on {c} actually come from an intruder"),
-                DirectFault::IpcSpoofNext { channel: c.clone(), actual: "intruder-process".into() },
+                DirectFault::IpcSpoofNext {
+                    channel: c.clone(),
+                    actual: "intruder-process".into(),
+                },
             ),
             proc_fault(
                 ProcAttribute::Trust,
@@ -491,21 +538,29 @@ pub fn table6_rows() -> Vec<CatalogRow> {
 mod tests {
     use super::*;
 
-    fn ctx<'a>(
-        s: &'a ScenarioMeta,
-        re: &'a [String],
-        res: &'a BTreeMap<String, String>,
-    ) -> DirectContext<'a> {
-        DirectContext { scenario: s, reaccessed: re, exec_resolutions: res, cwd: "/work" }
+    fn ctx<'a>(s: &'a ScenarioMeta, re: &'a [String], res: &'a BTreeMap<String, String>) -> DirectContext<'a> {
+        DirectContext {
+            scenario: s,
+            reaccessed: re,
+            exec_resolutions: res,
+            cwd: "/work",
+        }
     }
 
     #[test]
     fn create_gets_the_four_lpr_attributes() {
         let s = ScenarioMeta::default();
         let res = BTreeMap::new();
-        let faults = direct_faults_for(OpKind::CreateFile, &ObjectRef::File("/tmp/sp".into()), &ctx(&s, &[], &res));
+        let faults = direct_faults_for(
+            OpKind::CreateFile,
+            &ObjectRef::File("/tmp/sp".into()),
+            &ctx(&s, &[], &res),
+        );
         assert_eq!(faults.len(), 4);
-        let attrs: Vec<&str> = faults.iter().map(|f| f.id.split(':').nth(2).unwrap().split('@').next().unwrap()).collect();
+        let attrs: Vec<&str> = faults
+            .iter()
+            .map(|f| f.id.split(':').nth(2).unwrap().split('@').next().unwrap())
+            .collect();
         assert_eq!(attrs, vec!["existence", "ownership", "permission", "symlink"]);
     }
 
@@ -513,10 +568,18 @@ mod tests {
     fn read_gets_five_without_reaccess_six_with() {
         let s = ScenarioMeta::default();
         let res = BTreeMap::new();
-        let f1 = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/cf".into()), &ctx(&s, &[], &res));
+        let f1 = direct_faults_for(
+            OpKind::ReadFile,
+            &ObjectRef::File("/etc/cf".into()),
+            &ctx(&s, &[], &res),
+        );
         assert_eq!(f1.len(), 5);
         let re = vec!["/etc/cf".to_string()];
-        let f2 = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/cf".into()), &ctx(&s, &re, &res));
+        let f2 = direct_faults_for(
+            OpKind::ReadFile,
+            &ObjectRef::File("/etc/cf".into()),
+            &ctx(&s, &re, &res),
+        );
         assert_eq!(f2.len(), 6);
         assert!(f2.iter().any(|f| f.id.starts_with("direct:fs:name")));
     }
@@ -537,7 +600,11 @@ mod tests {
     fn relative_paths_gain_workdir_fault_and_absolutize() {
         let s = ScenarioMeta::default();
         let res = BTreeMap::new();
-        let faults = direct_faults_for(OpKind::CreateFile, &ObjectRef::File("out.txt".into()), &ctx(&s, &[], &res));
+        let faults = direct_faults_for(
+            OpKind::CreateFile,
+            &ObjectRef::File("out.txt".into()),
+            &ctx(&s, &[], &res),
+        );
         assert_eq!(faults.len(), 5);
         assert!(faults.iter().any(|f| f.id.starts_with("direct:fs:workdir")));
         assert!(faults.iter().any(|f| f.id.contains("/work/out.txt")));
@@ -553,8 +620,14 @@ mod tests {
             direct_faults_for(OpKind::NetConnect, &ObjectRef::Service("h".into(), 25), &c).len(),
             2
         );
-        assert_eq!(direct_faults_for(OpKind::DnsResolve, &ObjectRef::Host("h".into()), &c).len(), 1);
-        assert_eq!(direct_faults_for(OpKind::ProcRecv, &ObjectRef::IpcChannel("c".into()), &c).len(), 3);
+        assert_eq!(
+            direct_faults_for(OpKind::DnsResolve, &ObjectRef::Host("h".into()), &c).len(),
+            1
+        );
+        assert_eq!(
+            direct_faults_for(OpKind::ProcRecv, &ObjectRef::IpcChannel("c".into()), &c).len(),
+            3
+        );
         assert_eq!(
             direct_faults_for(OpKind::RegRead, &ObjectRef::RegValue("K".into(), "v".into()), &c).len(),
             5

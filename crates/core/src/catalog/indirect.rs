@@ -16,12 +16,7 @@ use crate::perturb::{ConcreteFault, FaultPayload, IndirectFault};
 /// fixed buffers the model applications declare.
 pub const LENGTHEN_BY: usize = 4096;
 
-fn fault(
-    semantic: InputSemantic,
-    slug: &str,
-    description: impl Into<String>,
-    payload: IndirectFault,
-) -> ConcreteFault {
+fn fault(semantic: InputSemantic, slug: &str, description: impl Into<String>, payload: IndirectFault) -> ConcreteFault {
     ConcreteFault {
         id: format!("indirect:{}:{slug}", semantic_slug(semantic)),
         category: EaiCategory::Indirect(indirect_kind_of(semantic)),
@@ -54,36 +49,130 @@ fn semantic_slug(semantic: InputSemantic) -> &'static str {
 pub fn indirect_faults_for(semantic: InputSemantic, scenario: &ScenarioMeta) -> Vec<ConcreteFault> {
     match semantic {
         InputSemantic::UserFileName => vec![
-            fault(semantic, "lengthen", "change length of user-supplied file name", IndirectFault::Lengthen { by: LENGTHEN_BY }),
-            fault(semantic, "relative", "use relative path in file name", IndirectFault::MakeRelative),
-            fault(semantic, "absolute", "use absolute path in file name", IndirectFault::MakeAbsolute),
-            fault(semantic, "dotdot", "insert `..` in front of the file name", IndirectFault::InsertDotDot { depth: 1 }),
-            fault(semantic, "slash", "insert `/` in file name", IndirectFault::InsertSpecial { ch: '/' }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of user-supplied file name",
+                IndirectFault::Lengthen { by: LENGTHEN_BY },
+            ),
+            fault(
+                semantic,
+                "relative",
+                "use relative path in file name",
+                IndirectFault::MakeRelative,
+            ),
+            fault(
+                semantic,
+                "absolute",
+                "use absolute path in file name",
+                IndirectFault::MakeAbsolute,
+            ),
+            fault(
+                semantic,
+                "dotdot",
+                "insert `..` in front of the file name",
+                IndirectFault::InsertDotDot { depth: 1 },
+            ),
+            fault(
+                semantic,
+                "slash",
+                "insert `/` in file name",
+                IndirectFault::InsertSpecial { ch: '/' },
+            ),
         ],
         InputSemantic::UserCommand => vec![
-            fault(semantic, "lengthen", "change length of user-supplied command", IndirectFault::Lengthen { by: LENGTHEN_BY }),
-            fault(semantic, "relative", "use relative path in command", IndirectFault::MakeRelative),
-            fault(semantic, "absolute", "use absolute path in command", IndirectFault::MakeAbsolute),
-            fault(semantic, "semicolon", "insert `;` in command", IndirectFault::InsertSpecial { ch: ';' }),
-            fault(semantic, "newline", "insert newline in command", IndirectFault::InsertSpecial { ch: '\n' }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of user-supplied command",
+                IndirectFault::Lengthen { by: LENGTHEN_BY },
+            ),
+            fault(
+                semantic,
+                "relative",
+                "use relative path in command",
+                IndirectFault::MakeRelative,
+            ),
+            fault(
+                semantic,
+                "absolute",
+                "use absolute path in command",
+                IndirectFault::MakeAbsolute,
+            ),
+            fault(
+                semantic,
+                "semicolon",
+                "insert `;` in command",
+                IndirectFault::InsertSpecial { ch: ';' },
+            ),
+            fault(
+                semantic,
+                "newline",
+                "insert newline in command",
+                IndirectFault::InsertSpecial { ch: '\n' },
+            ),
         ],
         InputSemantic::EnvValue => vec![
-            fault(semantic, "lengthen", "change length of environment value", IndirectFault::Lengthen { by: LENGTHEN_BY }),
-            fault(semantic, "relative", "use relative path in environment value", IndirectFault::MakeRelative),
-            fault(semantic, "absolute", "use absolute path in environment value", IndirectFault::MakeAbsolute),
-            fault(semantic, "semicolon", "insert `;` in environment value", IndirectFault::InsertSpecial { ch: ';' }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of environment value",
+                IndirectFault::Lengthen { by: LENGTHEN_BY },
+            ),
+            fault(
+                semantic,
+                "relative",
+                "use relative path in environment value",
+                IndirectFault::MakeRelative,
+            ),
+            fault(
+                semantic,
+                "absolute",
+                "use absolute path in environment value",
+                IndirectFault::MakeAbsolute,
+            ),
+            fault(
+                semantic,
+                "semicolon",
+                "insert `;` in environment value",
+                IndirectFault::InsertSpecial { ch: ';' },
+            ),
         ],
         InputSemantic::EnvPathList => vec![
-            fault(semantic, "lengthen", "change length of the path list", IndirectFault::Lengthen { by: LENGTHEN_BY }),
-            fault(semantic, "reorder", "rearrange order of paths", IndirectFault::PathListReorder),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of the path list",
+                IndirectFault::Lengthen { by: LENGTHEN_BY },
+            ),
+            fault(
+                semantic,
+                "reorder",
+                "rearrange order of paths",
+                IndirectFault::PathListReorder,
+            ),
             fault(
                 semantic,
                 "insert-untrusted",
                 format!("insert untrusted path {} at the front", scenario.untrusted_dir),
-                IndirectFault::PathListInsertUntrusted { dir: scenario.untrusted_dir.clone() },
+                IndirectFault::PathListInsertUntrusted {
+                    dir: scenario.untrusted_dir.clone(),
+                },
             ),
-            fault(semantic, "wrong", "use incorrect path list", IndirectFault::PathListWrong { dir: "/nonexistent/bin".into() }),
-            fault(semantic, "recursive", "use recursive (current-directory) path", IndirectFault::PathListRecursive),
+            fault(
+                semantic,
+                "wrong",
+                "use incorrect path list",
+                IndirectFault::PathListWrong {
+                    dir: "/nonexistent/bin".into(),
+                },
+            ),
+            fault(
+                semantic,
+                "recursive",
+                "use recursive (current-directory) path",
+                IndirectFault::PathListRecursive,
+            ),
         ],
         InputSemantic::EnvPermMask => vec![fault(
             semantic,
@@ -92,33 +181,83 @@ pub fn indirect_faults_for(semantic: InputSemantic, scenario: &ScenarioMeta) -> 
             IndirectFault::PermMaskZero,
         )],
         InputSemantic::FsFileName => vec![
-            fault(semantic, "lengthen", "change length of file name from file-system input", IndirectFault::Lengthen { by: LENGTHEN_BY }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of file name from file-system input",
+                IndirectFault::Lengthen { by: LENGTHEN_BY },
+            ),
             fault(semantic, "relative", "use relative path", IndirectFault::MakeRelative),
             fault(semantic, "absolute", "use absolute path", IndirectFault::MakeAbsolute),
-            fault(semantic, "semicolon", "insert special character `;`", IndirectFault::InsertSpecial { ch: ';' }),
+            fault(
+                semantic,
+                "semicolon",
+                "insert special character `;`",
+                IndirectFault::InsertSpecial { ch: ';' },
+            ),
         ],
         InputSemantic::FsFileExtension => vec![
-            fault(semantic, "exe", "change extension to `.exe`", IndirectFault::ChangeExtension { ext: "exe".into() }),
-            fault(semantic, "lengthen", "change length of file extension", IndirectFault::LengthenExtension),
+            fault(
+                semantic,
+                "exe",
+                "change extension to `.exe`",
+                IndirectFault::ChangeExtension { ext: "exe".into() },
+            ),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of file extension",
+                IndirectFault::LengthenExtension,
+            ),
         ],
         InputSemantic::NetIpAddr => vec![
-            fault(semantic, "lengthen", "change length of the address", IndirectFault::Lengthen { by: 256 }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of the address",
+                IndirectFault::Lengthen { by: 256 },
+            ),
             fault(semantic, "malform", "use bad-formatted address", IndirectFault::Malform),
         ],
         InputSemantic::NetPacket => vec![
-            fault(semantic, "oversize", "change size of the packet", IndirectFault::Lengthen { by: 8192 }),
+            fault(
+                semantic,
+                "oversize",
+                "change size of the packet",
+                IndirectFault::Lengthen { by: 8192 },
+            ),
             fault(semantic, "malform", "use bad-formatted packet", IndirectFault::Malform),
         ],
         InputSemantic::NetHostName => vec![
-            fault(semantic, "lengthen", "change length of host name", IndirectFault::Lengthen { by: 1024 }),
-            fault(semantic, "malform", "use bad-formatted host name", IndirectFault::Malform),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of host name",
+                IndirectFault::Lengthen { by: 1024 },
+            ),
+            fault(
+                semantic,
+                "malform",
+                "use bad-formatted host name",
+                IndirectFault::Malform,
+            ),
         ],
         InputSemantic::NetDnsReply => vec![
-            fault(semantic, "lengthen", "change length of the DNS reply", IndirectFault::Lengthen { by: 1024 }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of the DNS reply",
+                IndirectFault::Lengthen { by: 1024 },
+            ),
             fault(semantic, "malform", "use bad-formatted reply", IndirectFault::Malform),
         ],
         InputSemantic::ProcMessage => vec![
-            fault(semantic, "lengthen", "change length of the message", IndirectFault::Lengthen { by: 8192 }),
+            fault(
+                semantic,
+                "lengthen",
+                "change length of the message",
+                IndirectFault::Lengthen { by: 8192 },
+            ),
             fault(semantic, "malform", "use bad-formatted message", IndirectFault::Malform),
         ],
         InputSemantic::Opaque => Vec::new(),
@@ -138,39 +277,92 @@ pub fn table5_rows() -> Vec<CatalogRow> {
         row(
             "User Input",
             "file name + directory name",
-            &["change length", "use relative path", "use absolute path", "insert special characters such as `..`, `/` in the name"],
+            &[
+                "change length",
+                "use relative path",
+                "use absolute path",
+                "insert special characters such as `..`, `/` in the name",
+            ],
         ),
         row(
             "User Input",
             "command",
-            &["change length", "use relative path", "use absolute path", "insert special characters such as `;`, `|`, `&` or newline in the command"],
+            &[
+                "change length",
+                "use relative path",
+                "use absolute path",
+                "insert special characters such as `;`, `|`, `&` or newline in the command",
+            ],
         ),
         row(
             "Environment Variable",
             "file name + directory name",
-            &["change length", "use relative path", "use absolute path", "use special characters, such as `;`, `|` or `&` in the name"],
+            &[
+                "change length",
+                "use relative path",
+                "use absolute path",
+                "use special characters, such as `;`, `|` or `&` in the name",
+            ],
         ),
         row(
             "Environment Variable",
             "execution path + library path",
-            &["change length", "rearrange order of path", "insert a untrusted path", "use incorrect path", "use recursive path"],
+            &[
+                "change length",
+                "rearrange order of path",
+                "insert a untrusted path",
+                "use incorrect path",
+                "use recursive path",
+            ],
         ),
-        row("Environment Variable", "permission mask", &["change mask to 0 so it will not mask any permission bit"]),
+        row(
+            "Environment Variable",
+            "permission mask",
+            &["change mask to 0 so it will not mask any permission bit"],
+        ),
         row(
             "File System Input",
             "file name + directory name",
-            &["change length", "use relative path", "use absolute path", "use special characters in the name such as `;`, `&` or `/` in name"],
+            &[
+                "change length",
+                "use relative path",
+                "use absolute path",
+                "use special characters in the name such as `;`, `&` or `/` in name",
+            ],
         ),
         row(
             "File System Input",
             "file extension",
-            &["change to other file extensions like `.exe` in Windows system", "change length of file extension"],
+            &[
+                "change to other file extensions like `.exe` in Windows system",
+                "change length of file extension",
+            ],
         ),
-        row("Network Input", "IP address", &["change length of the address", "use bad-formatted address"]),
-        row("Network Input", "packet", &["change size of the packet", "use bad-formatted packet"]),
-        row("Network Input", "host name", &["change length of host name", "use bad-formatted host name"]),
-        row("Network Input", "DNS reply", &["change length of the DNS reply", "use bad-formatted reply"]),
-        row("Process Input", "message", &["change length of the message", "use bad-formatted message"]),
+        row(
+            "Network Input",
+            "IP address",
+            &["change length of the address", "use bad-formatted address"],
+        ),
+        row(
+            "Network Input",
+            "packet",
+            &["change size of the packet", "use bad-formatted packet"],
+        ),
+        row(
+            "Network Input",
+            "host name",
+            &["change length of host name", "use bad-formatted host name"],
+        ),
+        row(
+            "Network Input",
+            "DNS reply",
+            &["change length of the DNS reply", "use bad-formatted reply"],
+        ),
+        row(
+            "Process Input",
+            "message",
+            &["change length of the message", "use bad-formatted message"],
+        ),
     ]
 }
 

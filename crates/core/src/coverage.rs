@@ -58,7 +58,10 @@ pub struct AdequacyPoint {
 impl AdequacyPoint {
     /// Builds a point, clamping both coordinates into `[0, 1]`.
     pub fn new(interaction: f64, fault: f64) -> Self {
-        AdequacyPoint { interaction: interaction.clamp(0.0, 1.0), fault: fault.clamp(0.0, 1.0) }
+        AdequacyPoint {
+            interaction: interaction.clamp(0.0, 1.0),
+            fault: fault.clamp(0.0, 1.0),
+        }
     }
 
     /// Classifies the point against thresholds.
@@ -91,7 +94,10 @@ pub struct AdequacyThresholds {
 
 impl Default for AdequacyThresholds {
     fn default() -> Self {
-        AdequacyThresholds { interaction_high: 0.75, fault_high: 0.9 }
+        AdequacyThresholds {
+            interaction_high: 0.75,
+            fault_high: 0.9,
+        }
     }
 }
 
@@ -149,7 +155,10 @@ mod tests {
     fn four_regions_match_figure2_points() {
         let t = AdequacyThresholds::default();
         assert_eq!(AdequacyPoint::new(0.2, 0.3).region(t), AdequacyRegion::Inadequate);
-        assert_eq!(AdequacyPoint::new(0.2, 0.95).region(t), AdequacyRegion::InadequateNarrow);
+        assert_eq!(
+            AdequacyPoint::new(0.2, 0.95).region(t),
+            AdequacyRegion::InadequateNarrow
+        );
         assert_eq!(AdequacyPoint::new(0.9, 0.5).region(t), AdequacyRegion::Insecure);
         assert_eq!(AdequacyPoint::new(1.0, 1.0).region(t), AdequacyRegion::Safe);
         assert_eq!(AdequacyPoint::new(1.0, 1.0).region(t).figure2_point(), 4);

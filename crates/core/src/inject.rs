@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use epa_sandbox::error::SysResult;
 use epa_sandbox::os::Os;
-use epa_sandbox::syscall::{InteractionRef, Interceptor, Syscall, SysReturn};
+use epa_sandbox::syscall::{InteractionRef, Interceptor, SysReturn, Syscall};
 use epa_sandbox::trace::SiteId;
 
 use crate::perturb::{ConcreteFault, FaultPayload};
@@ -56,7 +56,13 @@ impl InjectionHook {
     /// Builds the hook and a handle for observing whether it fired.
     pub fn new(plan: InjectionPlan) -> (Self, Fired) {
         let fired = Fired::default();
-        (InjectionHook { plan, fired: fired.clone() }, fired)
+        (
+            InjectionHook {
+                plan,
+                fired: fired.clone(),
+            },
+            fired,
+        )
     }
 
     /// Direct faults strike a specific occurrence of the site.
@@ -117,8 +123,15 @@ mod tests {
 
     fn world() -> Os {
         let mut os = Os::new();
-        os.users.add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
-        os.fs.mkdir_p("/home/u", os.scenario.invoker, os.scenario.invoker_gid, epa_sandbox::mode::Mode::new(0o755))
+        os.users
+            .add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
+        os.fs
+            .mkdir_p(
+                "/home/u",
+                os.scenario.invoker,
+                os.scenario.invoker_gid,
+                epa_sandbox::mode::Mode::new(0o755),
+            )
             .unwrap();
         os
     }
@@ -145,7 +158,13 @@ mod tests {
         let (hook, fired) = InjectionHook::new(lengthen_plan("app:arg", 0));
         os.set_interceptor(Box::new(hook));
         let pid = os
-            .spawn(os.scenario.invoker, None, vec!["-c".into(), "b".into()], BTreeMap::new(), "/")
+            .spawn(
+                os.scenario.invoker,
+                None,
+                vec!["-c".into(), "b".into()],
+                BTreeMap::new(),
+                "/",
+            )
             .unwrap();
         let flag = os.sys_arg(pid, "app:arg", 0, InputSemantic::Opaque).unwrap();
         assert_eq!(flag.text(), "-c", "non-matching semantics untouched");
@@ -161,7 +180,13 @@ mod tests {
         let (hook, fired) = InjectionHook::new(lengthen_plan("app:arg", 0));
         os.set_interceptor(Box::new(hook));
         let pid = os
-            .spawn(os.scenario.invoker, None, vec!["a".into(), "b".into()], BTreeMap::new(), "/")
+            .spawn(
+                os.scenario.invoker,
+                None,
+                vec!["a".into(), "b".into()],
+                BTreeMap::new(),
+                "/",
+            )
             .unwrap();
         os.sys_arg(pid, "app:arg", 0, InputSemantic::UserFileName).unwrap();
         let again = os.sys_arg(pid, "app:arg", 0, InputSemantic::UserFileName);
@@ -175,7 +200,14 @@ mod tests {
     fn direct_fault_fires_before_the_call() {
         use crate::perturb::DirectFault;
         let mut os = world();
-        os.fs.put_file("/etc/cf", "genuine", Uid::ROOT, Gid::ROOT, epa_sandbox::mode::Mode::new(0o644))
+        os.fs
+            .put_file(
+                "/etc/cf",
+                "genuine",
+                Uid::ROOT,
+                Gid::ROOT,
+                epa_sandbox::mode::Mode::new(0o644),
+            )
             .unwrap();
         let plan = InjectionPlan {
             site: SiteId::new("app:read"),
@@ -193,7 +225,9 @@ mod tests {
         };
         let (hook, fired) = InjectionHook::new(plan);
         os.set_interceptor(Box::new(hook));
-        let pid = os.spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/").unwrap();
+        let pid = os
+            .spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/")
+            .unwrap();
         let got = os.sys_read_file(pid, "app:read", "/etc/cf").unwrap();
         assert_eq!(got.text(), "perturbed", "the read must observe the perturbed world");
         assert!(fired.get());
@@ -204,7 +238,9 @@ mod tests {
         let mut os = world();
         let (hook, fired) = InjectionHook::new(lengthen_plan("app:getenv", 0));
         os.set_interceptor(Box::new(hook));
-        let pid = os.spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/").unwrap();
+        let pid = os
+            .spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/")
+            .unwrap();
         let e = os.sys_getenv(pid, "app:getenv", "UNSET", InputSemantic::EnvValue);
         assert!(e.is_err());
         assert!(!fired.get(), "cannot perturb a value that was never produced");

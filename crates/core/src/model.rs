@@ -282,8 +282,14 @@ mod tests {
     #[test]
     fn semantics_map_to_paper_columns() {
         assert_eq!(indirect_kind_of(InputSemantic::UserFileName), IndirectKind::UserInput);
-        assert_eq!(indirect_kind_of(InputSemantic::EnvPathList), IndirectKind::EnvironmentVariable);
-        assert_eq!(indirect_kind_of(InputSemantic::FsFileName), IndirectKind::FileSystemInput);
+        assert_eq!(
+            indirect_kind_of(InputSemantic::EnvPathList),
+            IndirectKind::EnvironmentVariable
+        );
+        assert_eq!(
+            indirect_kind_of(InputSemantic::FsFileName),
+            IndirectKind::FileSystemInput
+        );
         assert_eq!(indirect_kind_of(InputSemantic::NetDnsReply), IndirectKind::NetworkInput);
         assert_eq!(indirect_kind_of(InputSemantic::ProcMessage), IndirectKind::ProcessInput);
     }
@@ -306,7 +312,10 @@ mod tests {
 
     #[test]
     fn registry_counts_with_file_system_in_table3() {
-        assert_eq!(DirectKind::Registry(RegAttribute::AclProtection).table3_column(), "file system");
+        assert_eq!(
+            DirectKind::Registry(RegAttribute::AclProtection).table3_column(),
+            "file system"
+        );
         assert_eq!(DirectKind::Network(NetAttribute::Protocol).table3_column(), "network");
     }
 }

@@ -187,7 +187,8 @@ impl DirectFault {
         let attacker_gid = os.scenario.attacker_gid;
         match self {
             DirectFault::FileMakeExist { path } => {
-                os.fs.put_file(path, "intruder data", attacker, attacker_gid, Mode::new(0o644))?;
+                os.fs
+                    .put_file(path, "intruder data", attacker, attacker_gid, Mode::new(0o644))?;
             }
             DirectFault::FileMakeMissing { path } => {
                 if os.fs.exists(path) {
@@ -196,21 +197,34 @@ impl DirectFault {
             }
             DirectFault::FileChownAttacker { path } => {
                 if !os.fs.exists(path) {
-                    os.fs.put_file(path, "intruder data", attacker, attacker_gid, Mode::new(0o644))?;
+                    os.fs
+                        .put_file(path, "intruder data", attacker, attacker_gid, Mode::new(0o644))?;
                 } else {
                     os.fs.god_chown(path, attacker, attacker_gid)?;
                 }
             }
             DirectFault::FileChownRoot { path } => {
                 if !os.fs.exists(path) {
-                    os.fs.put_file(path, "planted", Uid::ROOT, epa_sandbox::cred::Gid::ROOT, Mode::new(0o644))?;
+                    os.fs.put_file(
+                        path,
+                        "planted",
+                        Uid::ROOT,
+                        epa_sandbox::cred::Gid::ROOT,
+                        Mode::new(0o644),
+                    )?;
                 } else {
                     os.fs.god_chown(path, Uid::ROOT, epa_sandbox::cred::Gid::ROOT)?;
                 }
             }
             DirectFault::FilePermRestrict { path } => {
                 if !os.fs.exists(path) {
-                    os.fs.put_file(path, "restricted", Uid::ROOT, epa_sandbox::cred::Gid::ROOT, Mode::new(0o600))?;
+                    os.fs.put_file(
+                        path,
+                        "restricted",
+                        Uid::ROOT,
+                        epa_sandbox::cred::Gid::ROOT,
+                        Mode::new(0o600),
+                    )?;
                 } else {
                     os.fs.god_chown(path, Uid::ROOT, epa_sandbox::cred::Gid::ROOT)?;
                     os.fs.god_chmod(path, Mode::new(0o600))?;
@@ -234,7 +248,8 @@ impl DirectFault {
                 // Ensure a read through the link can find *something* hostile
                 // when the target lives in attacker territory.
                 if !os.fs.exists(target) && target.starts_with(&os.scenario.attacker_home) {
-                    os.fs.put_file(target, "#!payload", attacker, attacker_gid, Mode::new(0o755))?;
+                    os.fs
+                        .put_file(target, "#!payload", attacker, attacker_gid, Mode::new(0o755))?;
                 }
                 os.fs.god_symlink(path, target)?;
             }
@@ -242,7 +257,8 @@ impl DirectFault {
                 if os.fs.exists(path) {
                     os.fs.god_write(path, content.as_str())?;
                 } else {
-                    os.fs.put_file(path, content.as_str(), attacker, attacker_gid, Mode::new(0o644))?;
+                    os.fs
+                        .put_file(path, content.as_str(), attacker, attacker_gid, Mode::new(0o644))?;
                 }
             }
             DirectFault::RenameAway { path } => {
@@ -263,14 +279,20 @@ impl DirectFault {
                 }
             }
             DirectFault::RegistryOpenAcl { key } => {
-                os.registry
-                    .god_set_acl(key, epa_sandbox::registry::RegAcl { owner: Uid::ROOT, world_writable: true })?;
+                os.registry.god_set_acl(
+                    key,
+                    epa_sandbox::registry::RegAcl {
+                        owner: Uid::ROOT,
+                        world_writable: true,
+                    },
+                )?;
             }
             DirectFault::RegistrySetValue { key, value, new_value } => {
                 // When the planted value points into attacker territory,
                 // make sure something executable is waiting there.
                 if new_value.starts_with(&os.scenario.attacker_home) && !os.fs.exists(new_value) {
-                    os.fs.put_file(new_value, "#!payload", attacker, attacker_gid, Mode::new(0o755))?;
+                    os.fs
+                        .put_file(new_value, "#!payload", attacker, attacker_gid, Mode::new(0o755))?;
                 }
                 os.registry.god_set_value(key, value, new_value.clone());
             }
@@ -463,29 +485,45 @@ mod tests {
 
     fn world() -> (Os, Pid) {
         let mut os = Os::new();
-        os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+        os.users
+            .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
         os.fs.mkdir_p("/tmp", Uid::ROOT, Gid::ROOT, Mode::new(0o1777)).unwrap();
-        os.fs.put_file("/etc/passwd", "root:", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
-        let pid = os.spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/").unwrap();
+        os.fs
+            .put_file("/etc/passwd", "root:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
+        let pid = os
+            .spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/")
+            .unwrap();
         (os, pid)
     }
 
     #[test]
     fn file_existence_faults() {
         let (mut os, pid) = world();
-        DirectFault::FileMakeExist { path: "/tmp/spool".into() }.apply(&mut os, pid).unwrap();
+        DirectFault::FileMakeExist {
+            path: "/tmp/spool".into(),
+        }
+        .apply(&mut os, pid)
+        .unwrap();
         assert!(os.fs.exists("/tmp/spool"));
         assert_eq!(os.fs.lstat("/tmp/spool", None).unwrap().owner, os.scenario.attacker);
-        DirectFault::FileMakeMissing { path: "/tmp/spool".into() }.apply(&mut os, pid).unwrap();
+        DirectFault::FileMakeMissing {
+            path: "/tmp/spool".into(),
+        }
+        .apply(&mut os, pid)
+        .unwrap();
         assert!(!os.fs.exists("/tmp/spool"));
     }
 
     #[test]
     fn symlink_swap_points_at_target() {
         let (mut os, pid) = world();
-        DirectFault::SymlinkSwap { path: "/tmp/spool".into(), target: "/etc/passwd".into() }
-            .apply(&mut os, pid)
-            .unwrap();
+        DirectFault::SymlinkSwap {
+            path: "/tmp/spool".into(),
+            target: "/etc/passwd".into(),
+        }
+        .apply(&mut os, pid)
+        .unwrap();
         let st = os.fs.stat("/tmp/spool", None).unwrap();
         assert_eq!(st.owner, Uid::ROOT); // resolved through the link
         assert!(os.fs.lstat("/tmp/spool", None).unwrap().file_type == epa_sandbox::fs::FileType::Symlink);
@@ -495,41 +533,67 @@ mod tests {
     fn symlink_swap_plants_payload_in_attacker_home() {
         let (mut os, pid) = world();
         let target = format!("{}/payload.sh", os.scenario.attacker_home);
-        DirectFault::SymlinkSwap { path: "/usr/bin/tar".into(), target: target.clone() }
-            .apply(&mut os, pid)
-            .unwrap();
+        DirectFault::SymlinkSwap {
+            path: "/usr/bin/tar".into(),
+            target: target.clone(),
+        }
+        .apply(&mut os, pid)
+        .unwrap();
         assert!(os.fs.exists(&target));
     }
 
     #[test]
     fn perm_faults() {
         let (mut os, pid) = world();
-        os.fs.put_file("/tmp/f", "x", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o644)).unwrap();
-        DirectFault::FilePermRestrict { path: "/tmp/f".into() }.apply(&mut os, pid).unwrap();
+        os.fs
+            .put_file(
+                "/tmp/f",
+                "x",
+                os.scenario.invoker,
+                os.scenario.invoker_gid,
+                Mode::new(0o644),
+            )
+            .unwrap();
+        DirectFault::FilePermRestrict { path: "/tmp/f".into() }
+            .apply(&mut os, pid)
+            .unwrap();
         let st = os.fs.lstat("/tmp/f", None).unwrap();
         assert_eq!(st.mode.bits(), 0o600);
         assert_eq!(st.owner, Uid::ROOT);
-        DirectFault::FilePermOpen { path: "/tmp/f".into() }.apply(&mut os, pid).unwrap();
+        DirectFault::FilePermOpen { path: "/tmp/f".into() }
+            .apply(&mut os, pid)
+            .unwrap();
         assert!(os.fs.lstat("/tmp/f", None).unwrap().mode.world_writable());
     }
 
     #[test]
     fn working_directory_fault_moves_process() {
         let (mut os, pid) = world();
-        DirectFault::WorkingDirectory { dir: "/tmp/elsewhere".into() }.apply(&mut os, pid).unwrap();
+        DirectFault::WorkingDirectory {
+            dir: "/tmp/elsewhere".into(),
+        }
+        .apply(&mut os, pid)
+        .unwrap();
         assert_eq!(os.procs.get(pid).unwrap().cwd, "/tmp/elsewhere");
     }
 
     #[test]
     fn registry_faults() {
         let (mut os, pid) = world();
-        os.registry.ensure_key("HKLM/K", epa_sandbox::registry::RegAcl::default());
+        os.registry
+            .ensure_key("HKLM/K", epa_sandbox::registry::RegAcl::default());
         os.registry.god_set_value("HKLM/K", "v", "/fonts/a.fon");
-        DirectFault::RegistryOpenAcl { key: "HKLM/K".into() }.apply(&mut os, pid).unwrap();
-        assert_eq!(os.registry.unprotected_keys(), vec!["HKLM/K".to_string()]);
-        DirectFault::RegistrySetValue { key: "HKLM/K".into(), value: "v".into(), new_value: "/etc/passwd".into() }
+        DirectFault::RegistryOpenAcl { key: "HKLM/K".into() }
             .apply(&mut os, pid)
             .unwrap();
+        assert_eq!(os.registry.unprotected_keys(), vec!["HKLM/K".to_string()]);
+        DirectFault::RegistrySetValue {
+            key: "HKLM/K".into(),
+            value: "v".into(),
+            new_value: "/etc/passwd".into(),
+        }
+        .apply(&mut os, pid)
+        .unwrap();
         assert_eq!(os.registry.get_value("HKLM/K", "v").unwrap().0, "/etc/passwd");
     }
 
@@ -554,11 +618,17 @@ mod tests {
         let mut d = Data::from("/bin:/usr/bin");
         IndirectFault::PathListReorder.apply_to_data(&mut d);
         assert_eq!(d.text(), "/usr/bin:/bin");
-        IndirectFault::PathListInsertUntrusted { dir: "/home/evil/bin".into() }.apply_to_data(&mut d);
+        IndirectFault::PathListInsertUntrusted {
+            dir: "/home/evil/bin".into(),
+        }
+        .apply_to_data(&mut d);
         assert!(d.text().starts_with("/home/evil/bin:"));
         IndirectFault::PathListRecursive.apply_to_data(&mut d);
         assert!(d.text().starts_with(".:"));
-        IndirectFault::PathListWrong { dir: "/nonexistent".into() }.apply_to_data(&mut d);
+        IndirectFault::PathListWrong {
+            dir: "/nonexistent".into(),
+        }
+        .apply_to_data(&mut d);
         assert_eq!(d.text(), "/nonexistent");
     }
 

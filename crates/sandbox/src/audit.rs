@@ -259,8 +259,16 @@ mod tests {
     #[test]
     fn log_preserves_order() {
         let mut log = AuditLog::new();
-        let a = log.push(AuditEvent::Custom { rule: "a".into(), violated: false, detail: String::new() });
-        let b = log.push(AuditEvent::Custom { rule: "b".into(), violated: true, detail: String::new() });
+        let a = log.push(AuditEvent::Custom {
+            rule: "a".into(),
+            violated: false,
+            detail: String::new(),
+        });
+        let b = log.push(AuditEvent::Custom {
+            rule: "b".into(),
+            violated: true,
+            detail: String::new(),
+        });
         assert_eq!((a, b), (0, 1));
         assert_eq!(log.len(), 2);
         assert_eq!(log.events()[1].describe(), "custom:b");
@@ -276,7 +284,12 @@ mod tests {
     #[test]
     fn describe_covers_variants() {
         let by = Credentials::root();
-        let ev = AuditEvent::MemoryCorruption { buffer: "line".into(), capacity: 8, attempted: 99, by };
+        let ev = AuditEvent::MemoryCorruption {
+            buffer: "line".into(),
+            capacity: 8,
+            attempted: 99,
+            by,
+        };
         assert!(ev.describe().contains("line"));
     }
 }

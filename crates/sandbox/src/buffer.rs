@@ -58,7 +58,11 @@ impl FixedBuf {
     /// assert_eq!(out, epa_sandbox::buffer::CopyOutcome::Fit);
     /// ```
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
-        FixedBuf { name: name.into(), capacity, data: Vec::new() }
+        FixedBuf {
+            name: name.into(),
+            capacity,
+            data: Vec::new(),
+        }
     }
 
     /// The diagnostic name.
@@ -107,7 +111,10 @@ mod tests {
     #[test]
     fn fit_copies_everything() {
         let mut b = FixedBuf::new("b", 16);
-        assert_eq!(b.copy_from(&Data::from("hello"), CopyDiscipline::Unchecked), CopyOutcome::Fit);
+        assert_eq!(
+            b.copy_from(&Data::from("hello"), CopyDiscipline::Unchecked),
+            CopyOutcome::Fit
+        );
         assert_eq!(b.text(), "hello");
     }
 
@@ -132,6 +139,9 @@ mod tests {
     #[test]
     fn exact_fit_is_fit() {
         let mut b = FixedBuf::new("b", 5);
-        assert_eq!(b.copy_from(&Data::from("12345"), CopyDiscipline::Unchecked), CopyOutcome::Fit);
+        assert_eq!(
+            b.copy_from(&Data::from("12345"), CopyDiscipline::Unchecked),
+            CopyOutcome::Fit
+        );
     }
 }

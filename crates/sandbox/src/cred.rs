@@ -72,7 +72,12 @@ pub struct Credentials {
 impl Credentials {
     /// Ordinary (non-SUID) credentials for a user.
     pub fn user(uid: Uid, gid: Gid) -> Self {
-        Credentials { ruid: uid, euid: uid, rgid: gid, egid: gid }
+        Credentials {
+            ruid: uid,
+            euid: uid,
+            rgid: gid,
+            egid: gid,
+        }
     }
 
     /// Root credentials.
@@ -147,7 +152,12 @@ impl UserDb {
 
     /// Registers an account; replaces any previous account with that uid.
     pub fn add(&mut self, name: impl Into<String>, uid: Uid, gid: Gid, home: impl Into<String>) -> Uid {
-        let user = User { uid, gid, name: name.into(), home: home.into() };
+        let user = User {
+            uid,
+            gid,
+            name: name.into(),
+            home: home.into(),
+        };
         self.by_uid.insert(uid.0, user);
         uid
     }

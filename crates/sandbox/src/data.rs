@@ -48,7 +48,13 @@ pub enum Label {
 impl Label {
     /// True for a `Secret` label the invoker may *not* read directly.
     pub fn is_protected_secret(&self) -> bool {
-        matches!(self, Label::Secret { invoker_may_read: false, .. })
+        matches!(
+            self,
+            Label::Secret {
+                invoker_may_read: false,
+                ..
+            }
+        )
     }
 
     /// True for an `Untrusted` label.
@@ -69,7 +75,10 @@ impl fmt::Display for Label {
                 write!(f, "secret({path}, invoker_may_read={invoker_may_read})")
             }
             Label::Untrusted { source } => write!(f, "untrusted({source})"),
-            Label::Spoofed { claimed_from, actual_from } => {
+            Label::Spoofed {
+                claimed_from,
+                actual_from,
+            } => {
                 write!(f, "spoofed(claimed={claimed_from}, actual={actual_from})")
             }
         }
@@ -200,19 +209,28 @@ impl Data {
 
 impl From<&str> for Data {
     fn from(s: &str) -> Self {
-        Data { bytes: s.as_bytes().to_vec(), labels: BTreeSet::new() }
+        Data {
+            bytes: s.as_bytes().to_vec(),
+            labels: BTreeSet::new(),
+        }
     }
 }
 
 impl From<String> for Data {
     fn from(s: String) -> Self {
-        Data { bytes: s.into_bytes(), labels: BTreeSet::new() }
+        Data {
+            bytes: s.into_bytes(),
+            labels: BTreeSet::new(),
+        }
     }
 }
 
 impl From<Vec<u8>> for Data {
     fn from(bytes: Vec<u8>) -> Self {
-        Data { bytes, labels: BTreeSet::new() }
+        Data {
+            bytes,
+            labels: BTreeSet::new(),
+        }
     }
 }
 
@@ -239,7 +257,10 @@ pub struct PathArg {
 impl PathArg {
     /// An untainted path.
     pub fn clean(path: impl Into<String>) -> Self {
-        PathArg { path: path.into(), taint: BTreeSet::new() }
+        PathArg {
+            path: path.into(),
+            taint: BTreeSet::new(),
+        }
     }
 
     /// True when the taint set contains an `Untrusted` label.
@@ -257,7 +278,10 @@ impl PathArg {
     pub fn join(&self, component: &PathArg) -> PathArg {
         let mut taint = self.taint.clone();
         taint.extend(component.taint.iter().cloned());
-        PathArg { path: crate::path::join(&self.path, &component.path), taint }
+        PathArg {
+            path: crate::path::join(&self.path, &component.path),
+            taint,
+        }
     }
 }
 
@@ -275,7 +299,10 @@ impl From<String> for PathArg {
 
 impl From<&Data> for PathArg {
     fn from(d: &Data) -> Self {
-        PathArg { path: d.text(), taint: d.labels().clone() }
+        PathArg {
+            path: d.text(),
+            taint: d.labels().clone(),
+        }
     }
 }
 
@@ -342,8 +369,14 @@ mod tests {
 
     #[test]
     fn secret_predicates() {
-        let readable = Label::Secret { path: "/x".into(), invoker_may_read: true };
-        let hidden = Label::Secret { path: "/y".into(), invoker_may_read: false };
+        let readable = Label::Secret {
+            path: "/x".into(),
+            invoker_may_read: true,
+        };
+        let hidden = Label::Secret {
+            path: "/y".into(),
+            invoker_may_read: false,
+        };
         assert!(!readable.is_protected_secret());
         assert!(hidden.is_protected_secret());
         let d = Data::from("z").with_label(hidden);

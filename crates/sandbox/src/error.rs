@@ -121,7 +121,10 @@ impl SysError {
     /// assert_eq!(e.errno, Errno::Enoent);
     /// ```
     pub fn new(errno: Errno, context: impl Into<String>) -> Self {
-        SysError { errno, context: context.into() }
+        SysError {
+            errno,
+            context: context.into(),
+        }
     }
 
     /// True when the error is `ENOENT`.

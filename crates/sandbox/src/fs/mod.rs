@@ -90,7 +90,11 @@ impl Vfs {
                 tags: BTreeSet::new(),
             },
         );
-        Vfs { inodes, root, next_id: 2 }
+        Vfs {
+            inodes,
+            root,
+            next_id: 2,
+        }
     }
 
     /// The root directory inode.
@@ -105,7 +109,9 @@ impl Vfs {
 
     /// Mutably borrow an inode.
     pub fn inode_mut(&mut self, id: InodeId) -> SysResult<&mut Inode> {
-        self.inodes.get_mut(&id.0).ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
+        self.inodes
+            .get_mut(&id.0)
+            .ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
     }
 
     /// Total number of live inodes.
@@ -116,7 +122,17 @@ impl Vfs {
     fn alloc(&mut self, kind: FileKind, owner: Uid, group: Gid, mode: Mode) -> InodeId {
         let id = InodeId(self.next_id);
         self.next_id += 1;
-        self.inodes.insert(id.0, Inode { id, kind, owner, group, mode, tags: BTreeSet::new() });
+        self.inodes.insert(
+            id.0,
+            Inode {
+                id,
+                kind,
+                owner,
+                group,
+                mode,
+                tags: BTreeSet::new(),
+            },
+        );
         id
     }
 
@@ -174,7 +190,11 @@ impl Vfs {
                 .ok_or_else(|| syserr!(Enotdir, "{}", self.render(&name_stack)))?;
             if let Some(c) = cred {
                 if !cur_ino.mode.grants(cur_ino.owner, cur_ino.group, c, Access::Exec) {
-                    return Err(syserr!(Eacces, "search permission denied in {}", self.render(&name_stack)));
+                    return Err(syserr!(
+                        Eacces,
+                        "search permission denied in {}",
+                        self.render(&name_stack)
+                    ));
                 }
             }
             let child = *entries
@@ -206,8 +226,16 @@ impl Vfs {
         }
 
         let id = *inode_stack.last().expect("stack never empty");
-        let parent = if inode_stack.len() >= 2 { inode_stack[inode_stack.len() - 2] } else { self.root };
-        Ok(Walked { id, physical: self.render(&name_stack), parent })
+        let parent = if inode_stack.len() >= 2 {
+            inode_stack[inode_stack.len() - 2]
+        } else {
+            self.root
+        };
+        Ok(Walked {
+            id,
+            physical: self.render(&name_stack),
+            parent,
+        })
     }
 
     fn render(&self, names: &[String]) -> String {
@@ -247,7 +275,11 @@ impl Vfs {
         if !dir_ino.is_dir() {
             return Err(syserr!(Enotdir, "{parent_path}"));
         }
-        Ok(ParentWalk { dir: walked.id, dir_physical: walked.physical, name })
+        Ok(ParentWalk {
+            dir: walked.id,
+            dir_physical: walked.physical,
+            name,
+        })
     }
 
     /// Reconstructs a physical path for an inode by searching from the root.
@@ -307,13 +339,7 @@ impl Vfs {
     /// # Errors
     ///
     /// `EACCES`/`EISDIR`/resolution errors as appropriate.
-    pub fn creat(
-        &mut self,
-        abs_path: &str,
-        mode: Mode,
-        cred: &Credentials,
-        umask: u16,
-    ) -> SysResult<(Walked, bool)> {
+    pub fn creat(&mut self, abs_path: &str, mode: Mode, cred: &Credentials, umask: u16) -> SysResult<(Walked, bool)> {
         self.creat_inner(abs_path, mode, cred, umask, SYMLINK_BUDGET)
     }
 
@@ -353,8 +379,7 @@ impl Vfs {
                         let target_abs = if path::is_absolute(&target) {
                             target
                         } else {
-                            let parent = path::parent(&lw.physical)
-                                .unwrap_or_else(|| "/".to_string());
+                            let parent = path::parent(&lw.physical).unwrap_or_else(|| "/".to_string());
                             path::join(&parent, &target)
                         };
                         return self.creat_inner(&target_abs, mode, cred, umask, depth - 1);
@@ -374,13 +399,7 @@ impl Vfs {
     /// # Errors
     ///
     /// `EEXIST` when the path exists; otherwise as [`Vfs::creat`].
-    pub fn create_excl(
-        &mut self,
-        abs_path: &str,
-        mode: Mode,
-        cred: &Credentials,
-        umask: u16,
-    ) -> SysResult<Walked> {
+    pub fn create_excl(&mut self, abs_path: &str, mode: Mode, cred: &Credentials, umask: u16) -> SysResult<Walked> {
         if self.walk(abs_path, false, Some(cred)).is_ok() {
             return Err(syserr!(Eexist, "{abs_path}"));
         }
@@ -400,7 +419,11 @@ impl Vfs {
         if !dir_ino.mode.grants(dir_ino.owner, dir_ino.group, cred, Access::Write) {
             return Err(syserr!(Eacces, "cannot create in {}", pw.dir_physical));
         }
-        if dir_ino.entries().expect("parent checked to be a directory").contains_key(&pw.name) {
+        if dir_ino
+            .entries()
+            .expect("parent checked to be a directory")
+            .contains_key(&pw.name)
+        {
             return Err(syserr!(Eexist, "{abs_path}"));
         }
         let id = self.alloc(
@@ -414,7 +437,14 @@ impl Vfs {
             .expect("parent checked to be a directory")
             .insert(pw.name.clone(), id);
         let physical = path::join(&pw.dir_physical, &pw.name);
-        Ok((Walked { id, physical, parent: pw.dir }, id))
+        Ok((
+            Walked {
+                id,
+                physical,
+                parent: pw.dir,
+            },
+            id,
+        ))
     }
 
     /// Reads a file's content (no permission check — callers check via
@@ -499,7 +529,11 @@ impl Vfs {
             .entries_mut()
             .expect("parent is a directory")
             .insert(pw.name.clone(), id);
-        Ok(Walked { id, physical: path::join(&pw.dir_physical, &pw.name), parent: pw.dir })
+        Ok(Walked {
+            id,
+            physical: path::join(&pw.dir_physical, &pw.name),
+            parent: pw.dir,
+        })
     }
 
     /// Creates a symbolic link at `link` pointing at `target` (text).
@@ -512,12 +546,21 @@ impl Vfs {
         if !dir_ino.mode.grants(dir_ino.owner, dir_ino.group, cred, Access::Write) {
             return Err(syserr!(Eacces, "cannot symlink in {}", pw.dir_physical));
         }
-        let id = self.alloc(FileKind::Symlink(target.to_string()), cred.euid, cred.egid, Mode::new(0o777));
+        let id = self.alloc(
+            FileKind::Symlink(target.to_string()),
+            cred.euid,
+            cred.egid,
+            Mode::new(0o777),
+        );
         self.inode_mut(pw.dir)?
             .entries_mut()
             .expect("parent is a directory")
             .insert(pw.name.clone(), id);
-        Ok(Walked { id, physical: path::join(&pw.dir_physical, &pw.name), parent: pw.dir })
+        Ok(Walked {
+            id,
+            physical: path::join(&pw.dir_physical, &pw.name),
+            parent: pw.dir,
+        })
     }
 
     /// Reads a symlink's target text.
@@ -707,7 +750,12 @@ impl Vfs {
         let name = path::file_name(abs_path)
             .ok_or_else(|| syserr!(Einval, "{abs_path}"))?
             .to_string();
-        let id = self.alloc(FileKind::Symlink(target.to_string()), Uid::ROOT, Gid::ROOT, Mode::new(0o777));
+        let id = self.alloc(
+            FileKind::Symlink(target.to_string()),
+            Uid::ROOT,
+            Gid::ROOT,
+            Mode::new(0o777),
+        );
         self.inode_mut(dir)?
             .entries_mut()
             .expect("checked directory")
@@ -792,8 +840,10 @@ mod tests {
         fs.mkdir_p("/etc", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
         fs.mkdir_p("/tmp", Uid::ROOT, Gid::ROOT, Mode::new(0o1777)).unwrap();
         fs.mkdir_p("/home/alice", Uid(100), Gid(100), Mode::new(0o755)).unwrap();
-        fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
-        fs.put_file("/etc/shadow", "root:HASH:", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
+        fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
+        fs.put_file("/etc/shadow", "root:HASH:", Uid::ROOT, Gid::ROOT, Mode::new(0o600))
+            .unwrap();
         fs
     }
 
@@ -818,7 +868,8 @@ mod tests {
         // /home/alice/link -> /etc ; /home/alice/link/../shadow2 must be /etc/../shadow2 = /shadow2? No:
         // physical `..` of /etc is /, so the path resolves under /, not under /home/alice.
         fs.god_symlink("/home/alice/link", "/etc").unwrap();
-        fs.put_file("/probe", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        fs.put_file("/probe", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
         let w = fs.walk("/home/alice/link/../probe", true, None).unwrap();
         assert_eq!(w.physical, "/probe");
     }
@@ -847,9 +898,12 @@ mod tests {
     #[test]
     fn creat_through_dangling_symlink_creates_target() {
         let mut fs = setup();
-        fs.mkdir_p("/etc/cron.d", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        fs.mkdir_p("/etc/cron.d", Uid::ROOT, Gid::ROOT, Mode::new(0o755))
+            .unwrap();
         fs.god_symlink("/tmp/spool", "/etc/cron.d/evil").unwrap();
-        let (w, existed) = fs.creat("/tmp/spool", Mode::new(0o660), &Credentials::root(), 0).unwrap();
+        let (w, existed) = fs
+            .creat("/tmp/spool", Mode::new(0o660), &Credentials::root(), 0)
+            .unwrap();
         assert!(!existed);
         assert_eq!(w.physical, "/etc/cron.d/evil");
         assert!(fs.exists("/etc/cron.d/evil"));
@@ -859,7 +913,9 @@ mod tests {
     fn create_excl_refuses_symlink() {
         let mut fs = setup();
         fs.god_symlink("/tmp/spool", "/etc/passwd").unwrap();
-        let e = fs.create_excl("/tmp/spool", Mode::new(0o600), &Credentials::root(), 0).unwrap_err();
+        let e = fs
+            .create_excl("/tmp/spool", Mode::new(0o600), &Credentials::root(), 0)
+            .unwrap_err();
         assert_eq!(e.errno, Errno::Eexist);
         // Target untouched.
         assert_eq!(fs.god_read("/etc/passwd").unwrap().text(), "root:0:0:");
@@ -876,7 +932,8 @@ mod tests {
     #[test]
     fn sticky_tmp_protects_other_users_files() {
         let mut fs = setup();
-        fs.put_file("/tmp/victim", "data", Uid(200), Gid(200), Mode::new(0o666)).unwrap();
+        fs.put_file("/tmp/victim", "data", Uid(200), Gid(200), Mode::new(0o666))
+            .unwrap();
         // /tmp is sticky: alice (100) cannot unlink bob's (200) file.
         let e = fs.unlink("/tmp/victim", &cred(100)).unwrap_err();
         assert_eq!(e.errno, Errno::Eperm);
@@ -887,7 +944,8 @@ mod tests {
     fn traversal_requires_exec_permission() {
         let mut fs = setup();
         fs.mkdir_p("/private", Uid(200), Gid(200), Mode::new(0o700)).unwrap();
-        fs.put_file("/private/f", "x", Uid(200), Gid(200), Mode::new(0o644)).unwrap();
+        fs.put_file("/private/f", "x", Uid(200), Gid(200), Mode::new(0o644))
+            .unwrap();
         let e = fs.walk("/private/f", true, Some(&cred(100))).unwrap_err();
         assert_eq!(e.errno, Errno::Eacces);
         assert!(fs.walk("/private/f", true, Some(&cred(200))).is_ok());
@@ -912,7 +970,8 @@ mod tests {
     #[test]
     fn rename_moves_entries() {
         let mut fs = setup();
-        fs.put_file("/tmp/a", "x", Uid(100), Gid(100), Mode::new(0o644)).unwrap();
+        fs.put_file("/tmp/a", "x", Uid(100), Gid(100), Mode::new(0o644))
+            .unwrap();
         fs.rename("/tmp/a", "/tmp/b", &cred(100)).unwrap();
         assert!(!fs.exists("/tmp/a"));
         assert!(fs.exists("/tmp/b"));
@@ -921,7 +980,8 @@ mod tests {
     #[test]
     fn chmod_owner_only() {
         let mut fs = setup();
-        fs.put_file("/tmp/mine", "x", Uid(100), Gid(100), Mode::new(0o644)).unwrap();
+        fs.put_file("/tmp/mine", "x", Uid(100), Gid(100), Mode::new(0o644))
+            .unwrap();
         assert!(fs.chmod("/tmp/mine", Mode::new(0o600), &cred(200)).is_err());
         assert!(fs.chmod("/tmp/mine", Mode::new(0o600), &cred(100)).is_ok());
         assert!(fs.chmod("/tmp/mine", Mode::new(0o644), &Credentials::root()).is_ok());
@@ -930,7 +990,8 @@ mod tests {
     #[test]
     fn chown_root_only() {
         let mut fs = setup();
-        fs.put_file("/tmp/mine", "x", Uid(100), Gid(100), Mode::new(0o644)).unwrap();
+        fs.put_file("/tmp/mine", "x", Uid(100), Gid(100), Mode::new(0o644))
+            .unwrap();
         assert!(fs.chown("/tmp/mine", Uid(200), Gid(200), &cred(100)).is_err());
         assert!(fs.chown("/tmp/mine", Uid(200), Gid(200), &Credentials::root()).is_ok());
         assert_eq!(fs.stat("/tmp/mine", None).unwrap().owner, Uid(200));
@@ -948,7 +1009,8 @@ mod tests {
     fn god_remove_is_recursive_and_invariant_safe() {
         let mut fs = setup();
         fs.mkdir_p("/deep/a/b", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
-        fs.put_file("/deep/a/b/f", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        fs.put_file("/deep/a/b/f", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
         let before = fs.inode_count();
         fs.god_remove("/deep").unwrap();
         assert!(fs.inode_count() < before);

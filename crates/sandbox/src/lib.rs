@@ -74,5 +74,5 @@ pub use mode::{Access, Mode};
 pub use os::{Os, ScenarioMeta};
 pub use policy::{PolicyEngine, Violation, ViolationKind};
 pub use process::Pid;
-pub use syscall::{InteractionRef, Interceptor, Syscall, SysReturn};
+pub use syscall::{InteractionRef, Interceptor, SysReturn, Syscall};
 pub use trace::{InputSemantic, ObjectRef, OpKind, SiteId};

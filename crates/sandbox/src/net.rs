@@ -32,7 +32,11 @@ impl Message {
     /// A genuine message whose claimed and actual origins agree.
     pub fn genuine(from: impl Into<String>, data: impl Into<Data>) -> Self {
         let from = from.into();
-        Message { claimed_from: from.clone(), actual_from: from, data: data.into() }
+        Message {
+            claimed_from: from.clone(),
+            actual_from: from,
+            data: data.into(),
+        }
     }
 
     /// True when the claimed origin matches the actual origin.
@@ -79,7 +83,10 @@ pub struct Network {
 impl Network {
     /// An empty network with a working resolver.
     pub fn new() -> Self {
-        Network { dns_available: true, ..Default::default() }
+        Network {
+            dns_available: true,
+            ..Default::default()
+        }
     }
 
     // ---------------- DNS ----------------
@@ -114,8 +121,14 @@ impl Network {
     /// Declares a service.
     pub fn add_service(&mut self, host: impl Into<String>, port: u16, trusted: bool) {
         let host = host.into();
-        self.services
-            .insert((host.clone(), port), Service { host, available: true, trusted });
+        self.services.insert(
+            (host.clone(), port),
+            Service {
+                host,
+                available: true,
+                trusted,
+            },
+        );
     }
 
     /// Looks up a service.
@@ -349,7 +362,10 @@ mod tests {
         assert_eq!(m.data.text(), "job 1");
         assert_eq!(n.pop_ipc("spooler").unwrap_err().errno, crate::error::Errno::Enomsg);
         n.deny_ipc("spooler");
-        assert_eq!(n.pop_ipc("spooler").unwrap_err().errno, crate::error::Errno::Econnrefused);
+        assert_eq!(
+            n.pop_ipc("spooler").unwrap_err().errno,
+            crate::error::Errno::Econnrefused
+        );
     }
 
     #[test]

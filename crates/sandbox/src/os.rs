@@ -24,7 +24,7 @@ use crate::net::{Message, Network};
 use crate::path;
 use crate::process::{Pid, ProcessTable};
 use crate::registry::Registry;
-use crate::syscall::{arg_labels, ExecOutcome, InteractionRef, Interceptor, Syscall, SysReturn};
+use crate::syscall::{arg_labels, ExecOutcome, InteractionRef, Interceptor, SysReturn, Syscall};
 use crate::syserr;
 use crate::trace::{InputSemantic, SiteId, Trace};
 
@@ -247,16 +247,14 @@ impl Os {
 
     /// Copies data into a fixed buffer under the given discipline, raising
     /// a `MemoryCorruption` audit event on an unchecked overflow.
-    pub fn mem_copy(
-        &mut self,
-        pid: Pid,
-        buf: &mut FixedBuf,
-        data: &Data,
-        discipline: CopyDiscipline,
-    ) -> CopyOutcome {
+    pub fn mem_copy(&mut self, pid: Pid, buf: &mut FixedBuf, data: &Data, discipline: CopyDiscipline) -> CopyOutcome {
         let out = buf.copy_from(data, discipline);
         if let CopyOutcome::Overflowed { attempted } = out {
-            let by = self.procs.get(pid).map(|p| p.cred).unwrap_or_else(|_| Credentials::root());
+            let by = self
+                .procs
+                .get(pid)
+                .map(|p| p.cred)
+                .unwrap_or_else(|_| Credentials::root());
             self.audit.push(AuditEvent::MemoryCorruption {
                 buffer: buf.name().to_string(),
                 capacity: buf.capacity(),
@@ -290,12 +288,7 @@ impl Os {
     ///
     /// Whatever the underlying operation produces, plus `EAGAIN` once the
     /// process's syscall budget is exhausted.
-    pub fn syscall(
-        &mut self,
-        pid: Pid,
-        site: impl Into<SiteId>,
-        call: Syscall,
-    ) -> SysResult<SysReturn> {
+    pub fn syscall(&mut self, pid: Pid, site: impl Into<SiteId>, call: Syscall) -> SysResult<SysReturn> {
         self.procs.get_mut(pid)?.spend_budget()?;
         let site = site.into();
         let op = call.op();
@@ -315,7 +308,15 @@ impl Os {
         let semantic = call.semantic();
         let occurrence = self.trace.record(site.clone(), op, object.clone(), semantic);
         let seq = self.trace.len() - 1;
-        let point = InteractionRef { pid, site, seq, occurrence, op, object, semantic };
+        let point = InteractionRef {
+            pid,
+            site,
+            seq,
+            occurrence,
+            op,
+            object,
+            semantic,
+        };
 
         let mut hook = self.interceptor.take();
         if let Some(h) = hook.as_mut() {
@@ -349,7 +350,11 @@ impl Os {
             Syscall::Chmod { path, mode } => self.do_chmod(pid, &path, mode),
             Syscall::Chown { path, owner } => self.do_chown(pid, &path, owner),
             Syscall::ListDir { path } => self.do_list_dir(pid, &path),
-            Syscall::Exec { program, args, path_list } => self.do_exec(pid, &program, &args, path_list.as_ref()),
+            Syscall::Exec {
+                program,
+                args,
+                path_list,
+            } => self.do_exec(pid, &program, &args, path_list.as_ref()),
             Syscall::Print { data } => self.do_print(pid, data),
             Syscall::RegRead { key, value, .. } => self.do_reg_read(&key, &value),
             Syscall::RegWrite { key, value, data } => self.do_reg_write(pid, &key, &value, data),
@@ -394,10 +399,15 @@ impl Os {
         let invoker = self.invoker_cred();
         let may_read = st.mode.grants(st.owner, st.group, &invoker, Access::Read);
         if !may_read || st.tags.contains(&FileTag::Secret) {
-            data.add_label(Label::Secret { path: physical.to_string(), invoker_may_read: may_read });
+            data.add_label(Label::Secret {
+                path: physical.to_string(),
+                invoker_may_read: may_read,
+            });
         }
         if self.untrusted_owner(st.owner) || st.mode.world_writable() {
-            data.add_label(Label::Untrusted { source: format!("file:{physical}") });
+            data.add_label(Label::Untrusted {
+                source: format!("file:{physical}"),
+            });
         }
     }
 
@@ -676,8 +686,7 @@ impl Os {
             let abs = self.abs(pid, &program.path)?;
             self.fs.walk(&abs, true, Some(&cred))?
         } else {
-            let pl = path_list
-                .ok_or_else(|| syserr!(Einval, "bare program `{}` without search path", program.path))?;
+            let pl = path_list.ok_or_else(|| syserr!(Einval, "bare program `{}` without search path", program.path))?;
             taint.extend(pl.labels().iter().cloned());
             let mut found = None;
             for dir in pl.text().split(':').filter(|s| !s.is_empty()) {
@@ -706,10 +715,7 @@ impl Os {
         let dir_untrusted = {
             match path::parent(&w.physical) {
                 Some(pp) => match self.fs.stat(&pp, None) {
-                    Ok(pst) => {
-                        self.untrusted_owner(pst.owner)
-                            || (pst.mode.world_writable() && !pst.mode.is_sticky())
-                    }
+                    Ok(pst) => self.untrusted_owner(pst.owner) || (pst.mode.world_writable() && !pst.mode.is_sticky()),
                     Err(_) => false,
                 },
                 None => false,
@@ -725,14 +731,21 @@ impl Os {
             arg_labels: arg_labels(args),
             by: cred,
         });
-        Ok(SysReturn::Launched(ExecOutcome { resolved: w.physical, owner }))
+        Ok(SysReturn::Launched(ExecOutcome {
+            resolved: w.physical,
+            owner,
+        }))
     }
 
     fn do_print(&mut self, pid: Pid, data: Data) -> SysResult<SysReturn> {
         let cred = self.cred_of(pid)?;
         let labels = data.labels().clone();
         self.procs.get_mut(pid)?.stdout.push(data);
-        self.audit.push(AuditEvent::Emit { sink: SinkKind::Stdout, labels, by: cred });
+        self.audit.push(AuditEvent::Emit {
+            sink: SinkKind::Stdout,
+            labels,
+            by: cred,
+        });
         Ok(SysReturn::Unit)
     }
 
@@ -740,7 +753,9 @@ impl Os {
         let (text, world_writable) = self.registry.get_value(key, value)?;
         let mut data = Data::from(text);
         if world_writable {
-            data.add_label(Label::Untrusted { source: format!("registry:{key}") });
+            data.add_label(Label::Untrusted {
+                source: format!("registry:{key}"),
+            });
         }
         Ok(SysReturn::Payload(data))
     }
@@ -748,7 +763,10 @@ impl Os {
     fn do_reg_write(&mut self, pid: Pid, key: &str, value: &str, data: String) -> SysResult<SysReturn> {
         let cred = self.cred_of(pid)?;
         self.registry.set_value(key, value, data, &cred)?;
-        self.audit.push(AuditEvent::RegistryWrite { key: key.to_string(), by: cred });
+        self.audit.push(AuditEvent::RegistryWrite {
+            key: key.to_string(),
+            by: cred,
+        });
         Ok(SysReturn::Unit)
     }
 
@@ -773,7 +791,9 @@ impl Os {
         let labels = data.labels().clone();
         self.net.send(host, port, data);
         self.audit.push(AuditEvent::Emit {
-            sink: SinkKind::Network { to: format!("{host}:{port}") },
+            sink: SinkKind::Network {
+                to: format!("{host}:{port}"),
+            },
             labels,
             by: cred,
         });
@@ -792,7 +812,9 @@ impl Os {
             });
         }
         if let Some(who) = self.net.socket_shared_with(port) {
-            msg.data.add_label(Label::Untrusted { source: format!("shared-socket:{who}") });
+            msg.data.add_label(Label::Untrusted {
+                source: format!("shared-socket:{who}"),
+            });
         }
         self.audit.push(AuditEvent::NetRecv {
             port,
@@ -816,7 +838,9 @@ impl Os {
             });
         }
         if !self.net.ipc_trusted(channel) {
-            msg.data.add_label(Label::Untrusted { source: format!("ipc:{channel}") });
+            msg.data.add_label(Label::Untrusted {
+                source: format!("ipc:{channel}"),
+            });
         }
         Ok(SysReturn::Delivery(msg))
     }
@@ -840,14 +864,15 @@ macro_rules! expect_return {
 
 impl Os {
     /// Reads an environment variable. See [`Syscall::Getenv`].
-    pub fn sys_getenv(
-        &mut self,
-        pid: Pid,
-        site: &str,
-        name: &str,
-        semantic: InputSemantic,
-    ) -> SysResult<Data> {
-        let r = self.syscall(pid, site, Syscall::Getenv { name: name.to_string(), semantic })?;
+    pub fn sys_getenv(&mut self, pid: Pid, site: &str, name: &str, semantic: InputSemantic) -> SysResult<Data> {
+        let r = self.syscall(
+            pid,
+            site,
+            Syscall::Getenv {
+                name: name.to_string(),
+                semantic,
+            },
+        )?;
         expect_return!(r, Payload)
     }
 
@@ -869,7 +894,11 @@ impl Os {
         let r = self.syscall(
             pid,
             site,
-            Syscall::InputBind { entity: entity.to_string(), semantic, value },
+            Syscall::InputBind {
+                entity: entity.to_string(),
+                semantic,
+                value,
+            },
         )?;
         expect_return!(r, Payload)
     }
@@ -889,13 +918,28 @@ impl Os {
         data: impl Into<Data>,
         mode: u16,
     ) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::WriteFile { path: path.into(), data: data.into(), mode })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::WriteFile {
+                path: path.into(),
+                data: data.into(),
+                mode,
+            },
+        )?;
         Ok(())
     }
 
     /// Exclusive creation. See [`Syscall::CreateExcl`].
     pub fn sys_create_excl(&mut self, pid: Pid, site: &str, path: impl Into<PathArg>, mode: u16) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::CreateExcl { path: path.into(), mode })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::CreateExcl {
+                path: path.into(),
+                mode,
+            },
+        )?;
         Ok(())
     }
 
@@ -908,7 +952,15 @@ impl Os {
         data: impl Into<Data>,
         mode: u16,
     ) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::AppendFile { path: path.into(), data: data.into(), mode })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::AppendFile {
+                path: path.into(),
+                data: data.into(),
+                mode,
+            },
+        )?;
         Ok(())
     }
 
@@ -920,7 +972,14 @@ impl Os {
 
     /// Creates a directory. See [`Syscall::Mkdir`].
     pub fn sys_mkdir(&mut self, pid: Pid, site: &str, path: impl Into<PathArg>, mode: u16) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::Mkdir { path: path.into(), mode })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::Mkdir {
+                path: path.into(),
+                mode,
+            },
+        )?;
         Ok(())
     }
 
@@ -944,7 +1003,14 @@ impl Os {
 
     /// Creates a symlink. See [`Syscall::SymlinkCreate`].
     pub fn sys_symlink(&mut self, pid: Pid, site: &str, target: &str, link: impl Into<PathArg>) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::SymlinkCreate { target: target.to_string(), link: link.into() })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::SymlinkCreate {
+                target: target.to_string(),
+                link: link.into(),
+            },
+        )?;
         Ok(())
     }
 
@@ -962,19 +1028,40 @@ impl Os {
         from: impl Into<PathArg>,
         to: impl Into<PathArg>,
     ) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::Rename { from: from.into(), to: to.into() })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::Rename {
+                from: from.into(),
+                to: to.into(),
+            },
+        )?;
         Ok(())
     }
 
     /// Changes mode bits. See [`Syscall::Chmod`].
     pub fn sys_chmod(&mut self, pid: Pid, site: &str, path: impl Into<PathArg>, mode: u16) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::Chmod { path: path.into(), mode })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::Chmod {
+                path: path.into(),
+                mode,
+            },
+        )?;
         Ok(())
     }
 
     /// Changes ownership. See [`Syscall::Chown`].
     pub fn sys_chown(&mut self, pid: Pid, site: &str, path: impl Into<PathArg>, owner: Uid) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::Chown { path: path.into(), owner })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::Chown {
+                path: path.into(),
+                owner,
+            },
+        )?;
         Ok(())
     }
 
@@ -993,7 +1080,15 @@ impl Os {
         args: Vec<Data>,
         path_list: Option<Data>,
     ) -> SysResult<ExecOutcome> {
-        let r = self.syscall(pid, site, Syscall::Exec { program: program.into(), args, path_list })?;
+        let r = self.syscall(
+            pid,
+            site,
+            Syscall::Exec {
+                program: program.into(),
+                args,
+                path_list,
+            },
+        )?;
         expect_return!(r, Launched)
     }
 
@@ -1015,7 +1110,11 @@ impl Os {
         let r = self.syscall(
             pid,
             site,
-            Syscall::RegRead { key: key.to_string(), value: value.to_string(), semantic },
+            Syscall::RegRead {
+                key: key.to_string(),
+                value: value.to_string(),
+                semantic,
+            },
         )?;
         expect_return!(r, Payload)
     }
@@ -1025,20 +1124,38 @@ impl Os {
         self.syscall(
             pid,
             site,
-            Syscall::RegWrite { key: key.to_string(), value: value.to_string(), data: data.to_string() },
+            Syscall::RegWrite {
+                key: key.to_string(),
+                value: value.to_string(),
+                data: data.to_string(),
+            },
         )?;
         Ok(())
     }
 
     /// Deletes a registry value. See [`Syscall::RegDelete`].
     pub fn sys_reg_delete(&mut self, pid: Pid, site: &str, key: &str, value: &str) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::RegDelete { key: key.to_string(), value: value.to_string() })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::RegDelete {
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        )?;
         Ok(())
     }
 
     /// Connects to a service. See [`Syscall::NetConnect`].
     pub fn sys_net_connect(&mut self, pid: Pid, site: &str, host: &str, port: u16) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::NetConnect { host: host.to_string(), port })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::NetConnect {
+                host: host.to_string(),
+                port,
+            },
+        )?;
         Ok(())
     }
 
@@ -1051,7 +1168,15 @@ impl Os {
         port: u16,
         data: impl Into<Data>,
     ) -> SysResult<()> {
-        self.syscall(pid, site, Syscall::NetSend { host: host.to_string(), port, data: data.into() })?;
+        self.syscall(
+            pid,
+            site,
+            Syscall::NetSend {
+                host: host.to_string(),
+                port,
+                data: data.into(),
+            },
+        )?;
         Ok(())
     }
 
@@ -1063,7 +1188,14 @@ impl Os {
 
     /// Resolves a host name. See [`Syscall::DnsResolve`].
     pub fn sys_dns(&mut self, pid: Pid, site: &str, host: &str, semantic: InputSemantic) -> SysResult<Data> {
-        let r = self.syscall(pid, site, Syscall::DnsResolve { host: host.to_string(), semantic })?;
+        let r = self.syscall(
+            pid,
+            site,
+            Syscall::DnsResolve {
+                host: host.to_string(),
+                semantic,
+            },
+        )?;
         expect_return!(r, Payload)
     }
 
@@ -1075,7 +1207,14 @@ impl Os {
         channel: &str,
         semantic: InputSemantic,
     ) -> SysResult<Message> {
-        let r = self.syscall(pid, site, Syscall::ProcRecv { channel: channel.to_string(), semantic })?;
+        let r = self.syscall(
+            pid,
+            site,
+            Syscall::ProcRecv {
+                channel: channel.to_string(),
+                semantic,
+            },
+        )?;
         expect_return!(r, Delivery)
     }
 }
@@ -1089,14 +1228,29 @@ mod tests {
     fn world() -> Os {
         let mut os = Os::new();
         os.users.add("root", Uid::ROOT, Gid::ROOT, "/root");
-        os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
-        os.users.add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
+        os.users
+            .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+        os.users
+            .add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
         os.fs.mkdir_p("/tmp", Uid::ROOT, Gid::ROOT, Mode::new(0o1777)).unwrap();
-        os.fs.mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
-        os.fs.mkdir_p("/home/student", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o755)).unwrap();
-        os.fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+        os.fs
+            .mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755))
+            .unwrap();
+        os.fs
+            .mkdir_p(
+                "/home/student",
+                os.scenario.invoker,
+                os.scenario.invoker_gid,
+                Mode::new(0o755),
+            )
+            .unwrap();
+        os.fs
+            .put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
         os.fs.tag("/etc/passwd", FileTag::Protected).unwrap();
-        os.fs.put_file("/etc/shadow", "root:HASH:", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
+        os.fs
+            .put_file("/etc/shadow", "root:HASH:", Uid::ROOT, Gid::ROOT, Mode::new(0o600))
+            .unwrap();
         os.fs.tag("/etc/shadow", FileTag::Secret).unwrap();
         os.fs
             .put_file("/usr/bin/lpr", "#!suid", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))
@@ -1132,7 +1286,8 @@ mod tests {
         let pid = os
             .spawn(os.scenario.invoker, Some("/usr/bin/lpr"), vec![], BTreeMap::new(), "/")
             .unwrap();
-        os.sys_write_file(pid, "lpr:create", "/var/spool/job1", "print me", 0o660).unwrap();
+        os.sys_write_file(pid, "lpr:create", "/var/spool/job1", "print me", 0o660)
+            .unwrap();
         assert!(PolicyEngine::new().evaluate(&os.audit).is_empty());
     }
 
@@ -1144,7 +1299,8 @@ mod tests {
         let pid = os
             .spawn(os.scenario.invoker, Some("/usr/bin/lpr"), vec![], BTreeMap::new(), "/")
             .unwrap();
-        os.sys_write_file(pid, "lpr:create", "/var/spool/job1", "evil", 0o660).unwrap();
+        os.sys_write_file(pid, "lpr:create", "/var/spool/job1", "evil", 0o660)
+            .unwrap();
         let v = PolicyEngine::new().evaluate(&os.audit);
         assert!(
             v.iter().any(|x| x.kind == crate::policy::ViolationKind::IntegrityWrite),
@@ -1169,11 +1325,26 @@ mod tests {
     #[test]
     fn exec_via_perturbed_path_is_untrusted_exec() {
         let mut os = world();
-        os.fs.mkdir_p("/home/evil/bin", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o755)).unwrap();
         os.fs
-            .put_file("/home/evil/bin/tar", "#!evil", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o755))
+            .mkdir_p(
+                "/home/evil/bin",
+                os.scenario.attacker,
+                os.scenario.attacker_gid,
+                Mode::new(0o755),
+            )
             .unwrap();
-        os.fs.put_file("/usr/bin/tar", "#!tar", Uid::ROOT, Gid::ROOT, Mode::new(0o755)).unwrap();
+        os.fs
+            .put_file(
+                "/home/evil/bin/tar",
+                "#!evil",
+                os.scenario.attacker,
+                os.scenario.attacker_gid,
+                Mode::new(0o755),
+            )
+            .unwrap();
+        os.fs
+            .put_file("/usr/bin/tar", "#!tar", Uid::ROOT, Gid::ROOT, Mode::new(0o755))
+            .unwrap();
         let pid = os
             .spawn(os.scenario.invoker, Some("/usr/bin/lpr"), vec![], BTreeMap::new(), "/")
             .unwrap();
@@ -1189,7 +1360,13 @@ mod tests {
     fn trace_records_sites_and_occurrences() {
         let mut os = world();
         let pid = os
-            .spawn(os.scenario.invoker, Some("/usr/bin/lpr"), vec!["a".into(), "b".into()], BTreeMap::new(), "/")
+            .spawn(
+                os.scenario.invoker,
+                Some("/usr/bin/lpr"),
+                vec!["a".into(), "b".into()],
+                BTreeMap::new(),
+                "/",
+            )
             .unwrap();
         os.sys_arg(pid, "app:args", 0, InputSemantic::UserFileName).unwrap();
         os.sys_arg(pid, "app:args", 1, InputSemantic::UserFileName).unwrap();
@@ -1216,7 +1393,9 @@ mod tests {
         }
         let mut os = world();
         let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        os.set_interceptor(Box::new(Hook { fired_before: counter.clone() }));
+        os.set_interceptor(Box::new(Hook {
+            fired_before: counter.clone(),
+        }));
         let pid = os
             .spawn(
                 os.scenario.invoker,
@@ -1226,7 +1405,9 @@ mod tests {
                 "/",
             )
             .unwrap();
-        let v = os.sys_getenv(pid, "app:getenv", "USER", InputSemantic::EnvValue).unwrap();
+        let v = os
+            .sys_getenv(pid, "app:getenv", "USER", InputSemantic::EnvValue)
+            .unwrap();
         assert_eq!(v.text(), "student-mutated");
         assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 1);
         assert!(os.is_hooked());
@@ -1264,13 +1445,23 @@ mod tests {
         let mut os = world();
         os.registry.ensure_key(
             "HKLM/Software/Fonts",
-            crate::registry::RegAcl { owner: Uid::ROOT, world_writable: true },
+            crate::registry::RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
         );
-        os.registry.god_set_value("HKLM/Software/Fonts", "F0", "/winnt/arial.fon");
+        os.registry
+            .god_set_value("HKLM/Software/Fonts", "F0", "/winnt/arial.fon");
         os.users.add("admin", Uid::ROOT, Gid::ROOT, "/root");
         let pid = os.spawn(Uid::ROOT, None, vec![], BTreeMap::new(), "/").unwrap();
         let v = os
-            .sys_reg_read(pid, "mod:regread", "HKLM/Software/Fonts", "F0", InputSemantic::FsFileName)
+            .sys_reg_read(
+                pid,
+                "mod:regread",
+                "HKLM/Software/Fonts",
+                "F0",
+                InputSemantic::FsFileName,
+            )
             .unwrap();
         assert!(v.has_untrusted());
     }
@@ -1278,9 +1469,12 @@ mod tests {
     #[test]
     fn spoofed_message_carries_label() {
         let mut os = world();
-        os.net.push_message(79, Message::genuine("trusted.cs.example.edu", "req"));
+        os.net
+            .push_message(79, Message::genuine("trusted.cs.example.edu", "req"));
         os.net.spoof_next(79, "evil.example.net");
-        let pid = os.spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/").unwrap();
+        let pid = os
+            .spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/")
+            .unwrap();
         let m = os.sys_net_recv(pid, "srv:recv", 79, InputSemantic::NetPacket).unwrap();
         assert!(m.data.has_spoofed());
     }
@@ -1288,11 +1482,15 @@ mod tests {
     #[test]
     fn overflow_audit_event_from_mem_copy() {
         let mut os = world();
-        let pid = os.spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/").unwrap();
+        let pid = os
+            .spawn(os.scenario.invoker, None, vec![], BTreeMap::new(), "/")
+            .unwrap();
         let mut buf = FixedBuf::new("line", 4);
         let out = os.mem_copy(pid, &mut buf, &Data::from("AAAAAAAA"), CopyDiscipline::Unchecked);
         assert!(matches!(out, CopyOutcome::Overflowed { .. }));
         let v = PolicyEngine::new().evaluate(&os.audit);
-        assert!(v.iter().any(|x| x.kind == crate::policy::ViolationKind::MemoryCorruption));
+        assert!(v
+            .iter()
+            .any(|x| x.kind == crate::policy::ViolationKind::MemoryCorruption));
     }
 }

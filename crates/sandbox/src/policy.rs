@@ -98,13 +98,16 @@ impl PolicyEngine {
 
     fn check_event(&self, idx: usize, ev: &AuditEvent, out: &mut Vec<Violation>) {
         match ev {
-            AuditEvent::MemoryCorruption { buffer, capacity, attempted, .. } => {
+            AuditEvent::MemoryCorruption {
+                buffer,
+                capacity,
+                attempted,
+                ..
+            } => {
                 out.push(Violation {
                     kind: ViolationKind::MemoryCorruption,
                     rule: "R4-memory-safety".into(),
-                    description: format!(
-                        "unchecked copy of {attempted} bytes into {capacity}-byte buffer `{buffer}`"
-                    ),
+                    description: format!("unchecked copy of {attempted} bytes into {capacity}-byte buffer `{buffer}`"),
                     event_index: idx,
                 });
             }
@@ -124,9 +127,8 @@ impl PolicyEngine {
                 // R1: privileged write to something the invoker couldn't touch.
                 let elevated = w.by.is_elevated();
                 let overwrote_foreign = w.existed_before && !w.invoker_could_write && !w.created_by_self;
-                let planted_in_protected = !w.existed_before
-                    && w.parent_tags.contains(&FileTag::Protected)
-                    && !w.invoker_could_write_parent;
+                let planted_in_protected =
+                    !w.existed_before && w.parent_tags.contains(&FileTag::Protected) && !w.invoker_could_write_parent;
                 if elevated && (overwrote_foreign || planted_in_protected) {
                     let what = if overwrote_foreign {
                         format!("overwrote {} which the invoker could not write", w.path)
@@ -151,8 +153,7 @@ impl PolicyEngine {
                 }
                 // R7: spoofed message drove a privileged write.
                 if (w.by.is_elevated() || w.by.is_privileged())
-                    && (w.data_labels.iter().any(|l| l.is_spoofed())
-                        || w.path_taint.iter().any(|l| l.is_spoofed()))
+                    && (w.data_labels.iter().any(|l| l.is_spoofed()) || w.path_taint.iter().any(|l| l.is_spoofed()))
                 {
                     out.push(Violation {
                         kind: ViolationKind::SpoofedAction,
@@ -175,7 +176,14 @@ impl PolicyEngine {
                     }
                 }
             }
-            AuditEvent::FileDelete { path, tags, path_taint, invoker_could_delete, by, .. } => {
+            AuditEvent::FileDelete {
+                path,
+                tags,
+                path_taint,
+                invoker_could_delete,
+                by,
+                ..
+            } => {
                 let sensitive = tags.contains(&FileTag::Protected)
                     || tags.contains(&FileTag::Critical)
                     || tags.contains(&FileTag::Secret);
@@ -215,11 +223,9 @@ impl PolicyEngine {
                     // root-owned binary reached via tainted input is the
                     // program's (dangerous but distinct) design decision and
                     // is caught by the write/delete rules when it matters.
-                    let untrusted_binary = (!owner.is_root() && *owner != by.ruid)
-                        || *world_writable
-                        || *dir_untrusted;
-                    let spoofed = path_taint.iter().any(|l| l.is_spoofed())
-                        || arg_labels.iter().any(|l| l.is_spoofed());
+                    let untrusted_binary = (!owner.is_root() && *owner != by.ruid) || *world_writable || *dir_untrusted;
+                    let spoofed =
+                        path_taint.iter().any(|l| l.is_spoofed()) || arg_labels.iter().any(|l| l.is_spoofed());
                     if untrusted_binary {
                         out.push(Violation {
                             kind: ViolationKind::UntrustedExec,
@@ -341,9 +347,17 @@ mod tests {
     #[test]
     fn secret_to_stdout_is_disclosure() {
         let mut log = AuditLog::new();
-        let labels: BTreeSet<Label> =
-            [Label::Secret { path: "/etc/shadow".into(), invoker_may_read: false }].into_iter().collect();
-        log.push(AuditEvent::Emit { sink: SinkKind::Stdout, labels, by: suid_cred() });
+        let labels: BTreeSet<Label> = [Label::Secret {
+            path: "/etc/shadow".into(),
+            invoker_may_read: false,
+        }]
+        .into_iter()
+        .collect();
+        log.push(AuditEvent::Emit {
+            sink: SinkKind::Stdout,
+            labels,
+            by: suid_cred(),
+        });
         let v = PolicyEngine::new().evaluate(&log);
         assert_eq!(v[0].kind, ViolationKind::Disclosure);
     }
@@ -351,17 +365,28 @@ mod tests {
     #[test]
     fn readable_secret_is_not_disclosure() {
         let mut log = AuditLog::new();
-        let labels: BTreeSet<Label> =
-            [Label::Secret { path: "/home/me/own".into(), invoker_may_read: true }].into_iter().collect();
-        log.push(AuditEvent::Emit { sink: SinkKind::Stdout, labels, by: suid_cred() });
+        let labels: BTreeSet<Label> = [Label::Secret {
+            path: "/home/me/own".into(),
+            invoker_may_read: true,
+        }]
+        .into_iter()
+        .collect();
+        log.push(AuditEvent::Emit {
+            sink: SinkKind::Stdout,
+            labels,
+            by: suid_cred(),
+        });
         assert!(PolicyEngine::new().evaluate(&log).is_empty());
     }
 
     #[test]
     fn tainted_delete_fires_for_privileged_process() {
         let mut log = AuditLog::new();
-        let taint: BTreeSet<Label> =
-            [Label::Untrusted { source: "registry:Fonts".into() }].into_iter().collect();
+        let taint: BTreeSet<Label> = [Label::Untrusted {
+            source: "registry:Fonts".into(),
+        }]
+        .into_iter()
+        .collect();
         log.push(AuditEvent::FileDelete {
             path: "/winnt/system.ini".into(),
             owner: Uid::ROOT,
@@ -411,8 +436,12 @@ mod tests {
     fn spoofed_write_detected() {
         let mut log = AuditLog::new();
         let mut w = clean_write(suid_cred());
-        w.data_labels =
-            [Label::Spoofed { claimed_from: "ta-host".into(), actual_from: "evil".into() }].into_iter().collect();
+        w.data_labels = [Label::Spoofed {
+            claimed_from: "ta-host".into(),
+            actual_from: "evil".into(),
+        }]
+        .into_iter()
+        .collect();
         log.push(AuditEvent::FileWrite(w));
         let v = PolicyEngine::new().evaluate(&log);
         assert!(v.iter().any(|x| x.kind == ViolationKind::SpoofedAction));
@@ -421,8 +450,16 @@ mod tests {
     #[test]
     fn custom_rule_fires_only_when_violated() {
         let mut log = AuditLog::new();
-        log.push(AuditEvent::Custom { rule: "auth-before-cmd".into(), violated: false, detail: String::new() });
-        log.push(AuditEvent::Custom { rule: "auth-before-cmd".into(), violated: true, detail: "cmd without auth".into() });
+        log.push(AuditEvent::Custom {
+            rule: "auth-before-cmd".into(),
+            violated: false,
+            detail: String::new(),
+        });
+        log.push(AuditEvent::Custom {
+            rule: "auth-before-cmd".into(),
+            violated: true,
+            detail: "cmd without auth".into(),
+        });
         let v = PolicyEngine::new().evaluate(&log);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Custom);

@@ -87,7 +87,10 @@ pub struct ProcessTable {
 impl ProcessTable {
     /// An empty table.
     pub fn new() -> Self {
-        ProcessTable { procs: BTreeMap::new(), next: 100 }
+        ProcessTable {
+            procs: BTreeMap::new(),
+            next: 100,
+        }
     }
 
     /// Inserts a new process built by the caller; assigns the pid.
@@ -123,12 +126,16 @@ impl ProcessTable {
 
     /// Borrows a process.
     pub fn get(&self, pid: Pid) -> SysResult<&Process> {
-        self.procs.get(&pid.0).ok_or_else(|| syserr!(Ebadf, "no such process {pid}"))
+        self.procs
+            .get(&pid.0)
+            .ok_or_else(|| syserr!(Ebadf, "no such process {pid}"))
     }
 
     /// Mutably borrows a process.
     pub fn get_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
-        self.procs.get_mut(&pid.0).ok_or_else(|| syserr!(Ebadf, "no such process {pid}"))
+        self.procs
+            .get_mut(&pid.0)
+            .ok_or_else(|| syserr!(Ebadf, "no such process {pid}"))
     }
 
     /// Number of processes ever spawned in this table.

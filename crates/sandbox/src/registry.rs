@@ -28,7 +28,10 @@ pub struct RegAcl {
 
 impl Default for RegAcl {
     fn default() -> Self {
-        RegAcl { owner: Uid::ROOT, world_writable: false }
+        RegAcl {
+            owner: Uid::ROOT,
+            world_writable: false,
+        }
     }
 }
 
@@ -95,14 +98,10 @@ impl Registry {
     ///
     /// `ENOENT` for a missing key; `EACCES` when `cred` is neither the
     /// owner, an administrator, nor covered by world-write.
-    pub fn set_value(
-        &mut self,
-        path: &str,
-        name: &str,
-        value: impl Into<String>,
-        cred: &Credentials,
-    ) -> SysResult<()> {
-        let key = self.key_mut(path).ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
+    pub fn set_value(&mut self, path: &str, name: &str, value: impl Into<String>, cred: &Credentials) -> SysResult<()> {
+        let key = self
+            .key_mut(path)
+            .ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
         if !(key.acl.world_writable || cred.euid.is_root() || cred.euid == key.acl.owner) {
             return Err(syserr!(Eacces, "registry key {path}"));
         }
@@ -141,7 +140,9 @@ impl Registry {
     ///
     /// As [`Registry::set_value`].
     pub fn delete_value(&mut self, path: &str, name: &str, cred: &Credentials) -> SysResult<()> {
-        let key = self.key_mut(path).ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
+        let key = self
+            .key_mut(path)
+            .ok_or_else(|| syserr!(Enoent, "registry key {path}"))?;
         if !(key.acl.world_writable || cred.euid.is_root() || cred.euid == key.acl.owner) {
             return Err(syserr!(Eacces, "registry key {path}"));
         }
@@ -164,7 +165,11 @@ impl Registry {
         let mut out = Vec::new();
         fn walk(key: &RegKey, path: &str, out: &mut Vec<String>) {
             for (name, sub) in &key.subkeys {
-                let p = if path.is_empty() { name.clone() } else { format!("{path}/{name}") };
+                let p = if path.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{path}/{name}")
+                };
                 if sub.acl.world_writable {
                     out.push(p.clone());
                 }
@@ -200,7 +205,13 @@ mod tests {
     #[test]
     fn ensure_and_get() {
         let mut r = Registry::new();
-        r.ensure_key("HKLM/Software/Fonts", RegAcl { owner: Uid::ROOT, world_writable: true });
+        r.ensure_key(
+            "HKLM/Software/Fonts",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
+        );
         r.god_set_value("HKLM/Software/Fonts", "F0", "/winnt/fonts/arial.fon");
         let (v, ww) = r.get_value("HKLM/Software/Fonts", "F0").unwrap();
         assert_eq!(v, "/winnt/fonts/arial.fon");
@@ -210,20 +221,50 @@ mod tests {
     #[test]
     fn acl_enforced_for_users() {
         let mut r = Registry::new();
-        r.ensure_key("HKLM/Secure", RegAcl { owner: Uid::ROOT, world_writable: false });
+        r.ensure_key(
+            "HKLM/Secure",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: false,
+            },
+        );
         assert!(r.set_value("HKLM/Secure", "v", "x", &user(500)).is_err());
         assert!(r.set_value("HKLM/Secure", "v", "x", &admin()).is_ok());
         // World-writable key accepts anyone — the vulnerability precondition.
-        r.ensure_key("HKLM/Open", RegAcl { owner: Uid::ROOT, world_writable: true });
+        r.ensure_key(
+            "HKLM/Open",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
+        );
         assert!(r.set_value("HKLM/Open", "v", "evil", &user(500)).is_ok());
     }
 
     #[test]
     fn unprotected_inventory() {
         let mut r = Registry::new();
-        r.ensure_key("HKLM/A", RegAcl { owner: Uid::ROOT, world_writable: true });
-        r.ensure_key("HKLM/A/Sub", RegAcl { owner: Uid::ROOT, world_writable: false });
-        r.ensure_key("HKLM/B", RegAcl { owner: Uid::ROOT, world_writable: true });
+        r.ensure_key(
+            "HKLM/A",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
+        );
+        r.ensure_key(
+            "HKLM/A/Sub",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: false,
+            },
+        );
+        r.ensure_key(
+            "HKLM/B",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
+        );
         let keys = r.unprotected_keys();
         assert_eq!(keys.len(), 2);
         assert!(keys.contains(&"HKLM/A".to_string()));
@@ -234,7 +275,13 @@ mod tests {
     #[test]
     fn delete_value_respects_acl() {
         let mut r = Registry::new();
-        r.ensure_key("HKLM/K", RegAcl { owner: Uid(7), world_writable: false });
+        r.ensure_key(
+            "HKLM/K",
+            RegAcl {
+                owner: Uid(7),
+                world_writable: false,
+            },
+        );
         r.god_set_value("HKLM/K", "v", "1");
         assert!(r.delete_value("HKLM/K", "v", &user(8)).is_err());
         assert!(r.delete_value("HKLM/K", "v", &user(7)).is_ok());
@@ -252,7 +299,14 @@ mod tests {
         let mut r = Registry::new();
         r.ensure_key("HKLM/K", RegAcl::default());
         assert!(r.unprotected_keys().is_empty());
-        r.god_set_acl("HKLM/K", RegAcl { owner: Uid::ROOT, world_writable: true }).unwrap();
+        r.god_set_acl(
+            "HKLM/K",
+            RegAcl {
+                owner: Uid::ROOT,
+                world_writable: true,
+            },
+        )
+        .unwrap();
         assert_eq!(r.unprotected_keys(), vec!["HKLM/K".to_string()]);
     }
 }

@@ -382,12 +382,19 @@ mod tests {
 
     #[test]
     fn op_object_semantic_are_consistent() {
-        let c = Syscall::Getenv { name: "PATH".into(), semantic: InputSemantic::EnvPathList };
+        let c = Syscall::Getenv {
+            name: "PATH".into(),
+            semantic: InputSemantic::EnvPathList,
+        };
         assert_eq!(c.op(), OpKind::Getenv);
         assert_eq!(c.object(), ObjectRef::EnvVar("PATH".into()));
         assert_eq!(c.semantic(), Some(InputSemantic::EnvPathList));
 
-        let w = Syscall::WriteFile { path: "/tmp/x".into(), data: Data::from("d"), mode: 0o644 };
+        let w = Syscall::WriteFile {
+            path: "/tmp/x".into(),
+            data: Data::from("d"),
+            mode: 0o644,
+        };
         assert_eq!(w.op(), OpKind::CreateFile);
         assert_eq!(w.object(), ObjectRef::File("/tmp/x".into()));
         assert_eq!(w.semantic(), None);
@@ -396,11 +403,27 @@ mod tests {
     #[test]
     fn input_ops_declare_semantics() {
         let calls: Vec<Syscall> = vec![
-            Syscall::ReadArg { index: 0, semantic: InputSemantic::UserFileName },
-            Syscall::RegRead { key: "K".into(), value: "v".into(), semantic: InputSemantic::FsFileName },
-            Syscall::NetRecv { port: 79, semantic: InputSemantic::NetPacket },
-            Syscall::DnsResolve { host: "h".into(), semantic: InputSemantic::NetDnsReply },
-            Syscall::ProcRecv { channel: "c".into(), semantic: InputSemantic::ProcMessage },
+            Syscall::ReadArg {
+                index: 0,
+                semantic: InputSemantic::UserFileName,
+            },
+            Syscall::RegRead {
+                key: "K".into(),
+                value: "v".into(),
+                semantic: InputSemantic::FsFileName,
+            },
+            Syscall::NetRecv {
+                port: 79,
+                semantic: InputSemantic::NetPacket,
+            },
+            Syscall::DnsResolve {
+                host: "h".into(),
+                semantic: InputSemantic::NetDnsReply,
+            },
+            Syscall::ProcRecv {
+                channel: "c".into(),
+                semantic: InputSemantic::ProcMessage,
+            },
         ];
         for c in calls {
             assert!(c.semantic().is_some(), "{c:?} should declare a semantic");

@@ -242,17 +242,18 @@ impl Trace {
 
     /// Records an interaction, assigning sequence and occurrence numbers.
     /// Returns the event's occurrence index for the site.
-    pub fn record(
-        &mut self,
-        site: SiteId,
-        op: OpKind,
-        object: ObjectRef,
-        semantic: Option<InputSemantic>,
-    ) -> usize {
+    pub fn record(&mut self, site: SiteId, op: OpKind, object: ObjectRef, semantic: Option<InputSemantic>) -> usize {
         let occurrence = *self.site_hits.entry(site.clone()).or_insert(0);
         *self.site_hits.get_mut(&site).expect("just inserted") += 1;
         let seq = self.events.len();
-        self.events.push(TraceEvent { seq, site, op, object, semantic, occurrence });
+        self.events.push(TraceEvent {
+            seq,
+            site,
+            op,
+            object,
+            semantic,
+            occurrence,
+        });
         occurrence
     }
 
@@ -301,7 +302,10 @@ impl Trace {
                 }
             }
         }
-        order.into_iter().map(|s| map.remove(&s).expect("collected above")).collect()
+        order
+            .into_iter()
+            .map(|s| map.remove(&s).expect("collected above"))
+            .collect()
     }
 
     /// Paths of file objects touched at two or more *distinct sites* — the
@@ -353,9 +357,18 @@ mod tests {
     fn occurrences_count_per_site() {
         let mut t = Trace::new();
         let s = SiteId::new("app:open");
-        assert_eq!(t.record(s.clone(), OpKind::ReadFile, ObjectRef::File("/a".into()), None), 0);
-        assert_eq!(t.record(s.clone(), OpKind::ReadFile, ObjectRef::File("/b".into()), None), 1);
-        assert_eq!(t.record(SiteId::new("app:other"), OpKind::Print, ObjectRef::Terminal, None), 0);
+        assert_eq!(
+            t.record(s.clone(), OpKind::ReadFile, ObjectRef::File("/a".into()), None),
+            0
+        );
+        assert_eq!(
+            t.record(s.clone(), OpKind::ReadFile, ObjectRef::File("/b".into()), None),
+            1
+        );
+        assert_eq!(
+            t.record(SiteId::new("app:other"), OpKind::Print, ObjectRef::Terminal, None),
+            0
+        );
         assert_eq!(t.len(), 3);
     }
 
@@ -364,9 +377,19 @@ mod tests {
         let mut t = Trace::new();
         let a = SiteId::new("a");
         let b = SiteId::new("b");
-        t.record(b.clone(), OpKind::Getenv, ObjectRef::EnvVar("PATH".into()), Some(InputSemantic::EnvPathList));
+        t.record(
+            b.clone(),
+            OpKind::Getenv,
+            ObjectRef::EnvVar("PATH".into()),
+            Some(InputSemantic::EnvPathList),
+        );
         t.record(a.clone(), OpKind::ReadFile, ObjectRef::File("/f".into()), None);
-        t.record(b.clone(), OpKind::Getenv, ObjectRef::EnvVar("PATH".into()), Some(InputSemantic::EnvPathList));
+        t.record(
+            b.clone(),
+            OpKind::Getenv,
+            ObjectRef::EnvVar("PATH".into()),
+            Some(InputSemantic::EnvPathList),
+        );
         let sites = t.sites();
         assert_eq!(sites.len(), 2);
         assert_eq!(sites[0].site, b);

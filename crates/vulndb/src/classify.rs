@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use epa_core::model::{
-    DirectKind, EaiCategory, FsAttribute, IndirectKind, NetAttribute, ProcAttribute,
-};
+use epa_core::model::{DirectKind, EaiCategory, FsAttribute, IndirectKind, NetAttribute, ProcAttribute};
 
 use crate::entry::{AttributeFault, InputSource, Mechanism, VulnEntry};
 
@@ -91,7 +89,13 @@ mod tests {
     use crate::entry::{InputFlaw, OsFamily};
 
     fn entry(mechanism: Mechanism) -> VulnEntry {
-        VulnEntry { id: 1, name: "t".into(), os: OsFamily::Unix, year: 1997, mechanism }
+        VulnEntry {
+            id: 1,
+            name: "t".into(),
+            os: OsFamily::Unix,
+            year: 1997,
+            mechanism,
+        }
     }
 
     #[test]

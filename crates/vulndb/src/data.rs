@@ -16,13 +16,22 @@ struct Builder {
 
 impl Builder {
     fn new() -> Self {
-        Builder { next: 1, out: Vec::with_capacity(200) }
+        Builder {
+            next: 1,
+            out: Vec::with_capacity(200),
+        }
     }
 
     fn push(&mut self, name: &str, os: OsFamily, year: u16, mechanism: Mechanism) {
         let id = self.next;
         self.next += 1;
-        self.out.push(VulnEntry { id, name: name.to_string(), os, year, mechanism });
+        self.out.push(VulnEntry {
+            id,
+            name: name.to_string(),
+            os,
+            year,
+            mechanism,
+        });
     }
 
     /// Pads a category with clearly-synthetic entries to reach the paper's
@@ -30,7 +39,12 @@ impl Builder {
     fn pad(&mut self, label: &str, count: usize, mechanism: Mechanism) {
         for i in 0..count {
             let id = self.next;
-            self.push(&format!("study-entry-{id:03} ({label} #{i})"), OsFamily::Unix, 1997, mechanism);
+            self.push(
+                &format!("study-entry-{id:03} ({label} #{i})"),
+                OsFamily::Unix,
+                1997,
+                mechanism,
+            );
         }
     }
 }
@@ -75,7 +89,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("cu -l line overflow", Unix, 1995, F::UncheckedLength),
     ];
     for (n, os, y, f) in user_arg {
-        b.push(n, os, y, M::Input { source: S::UserArg, flaw: f });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::UserArg,
+                flaw: f,
+            },
+        );
     }
     let user_path: [(&str, OsFamily, u16); 12] = [
         ("turnin ../ member name traversal", Unix, 1998),
@@ -92,7 +114,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("lharc extraction path escape", Unix, 1996),
     ];
     for (n, os, y) in user_path {
-        b.push(n, os, y, M::Input { source: S::UserArg, flaw: F::UnvalidatedPath });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::UserArg,
+                flaw: F::UnvalidatedPath,
+            },
+        );
     }
     let user_shell: [(&str, OsFamily, u16); 9] = [
         ("mail(1) ~! escape in address", Unix, 1994),
@@ -106,7 +136,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("awk system() via crafted field", Unix, 1996),
     ];
     for (n, os, y) in user_shell {
-        b.push(n, os, y, M::Input { source: S::UserArg, flaw: F::ShellMetachars });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::UserArg,
+                flaw: F::ShellMetachars,
+            },
+        );
     }
     let user_stdin: [(&str, OsFamily, u16, InputFlaw); 6] = [
         ("login stdin response overflow", Unix, 1994, F::UncheckedLength),
@@ -117,7 +155,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("gets()-based utility stdin overflow", Unix, 1990, F::UncheckedLength),
     ];
     for (n, os, y, f) in user_stdin {
-        b.push(n, os, y, M::Input { source: S::UserStdin, flaw: f });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::UserStdin,
+                flaw: f,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -134,7 +180,12 @@ pub fn entries() -> Vec<VulnEntry> {
         ("TERMCAP overflow in xterm", Unix, 1997, F::UncheckedLength),
         ("HOME overflow in csh SUID wrapper", Unix, 1996, F::UncheckedLength),
         ("DISPLAY overflow in xlock", Unix, 1997, F::UncheckedLength),
-        ("TZ timezone overflow in SUID date path", Solaris, 1998, F::UncheckedLength),
+        (
+            "TZ timezone overflow in SUID date path",
+            Solaris,
+            1998,
+            F::UncheckedLength,
+        ),
         ("LOCALDOMAIN resolver overflow", Linux, 1997, F::UncheckedLength),
         ("ENV file sourced by SUID ksh", Unix, 1995, F::UnvalidatedPath),
         ("LD_PRELOAD honored by SUID binary", Linux, 1996, F::UnvalidatedPath),
@@ -143,7 +194,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("UMASK-style mask honored from env", Unix, 1996, F::FormatConfusion),
     ];
     for (n, os, y, f) in env_entries {
-        b.push(n, os, y, M::Input { source: S::EnvVariable, flaw: f });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::EnvVariable,
+                flaw: f,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -157,7 +216,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("automounter map entry overflow", Solaris, 1998, F::UncheckedLength),
     ];
     for (n, os, y, f) in fsin {
-        b.push(n, os, y, M::Input { source: S::ConfigFile, flaw: f });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::ConfigFile,
+                flaw: f,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -174,7 +241,15 @@ pub fn entries() -> Vec<VulnEntry> {
         ("httpd chunked-header confusion", Unix, 1998, F::FormatConfusion),
     ];
     for (n, os, y, f) in netin {
-        b.push(n, os, y, M::Input { source: S::NetworkMessage, flaw: f });
+        b.push(
+            n,
+            os,
+            y,
+            M::Input {
+                source: S::NetworkMessage,
+                flaw: f,
+            },
+        );
     }
 
     // Indirect / process input — 0 entries, matching the paper's Table 2.
@@ -248,21 +323,56 @@ pub fn entries() -> Vec<VulnEntry> {
         b.push(n, os, y, M::Attribute(A::FileInvariance));
     }
 
-    b.push("uucico started from attacker cwd", Unix, 1994, M::Attribute(A::WorkingDirectory)); // 1
+    b.push(
+        "uucico started from attacker cwd",
+        Unix,
+        1994,
+        M::Attribute(A::WorkingDirectory),
+    ); // 1
 
     // ------------------------------------------------------------------
     // Direct / network — 5 entries (Table 3)
     // ------------------------------------------------------------------
-    b.push("rsh trusts forged source address", Unix, 1995, M::Attribute(A::NetAuthenticity));
-    b.push("NFS filehandle accepted from spoofed peer", Unix, 1996, M::Attribute(A::NetAuthenticity));
-    b.push("TCP sequence-step omission accepted", Unix, 1996, M::Attribute(A::NetProtocol));
-    b.push("rpcbind forwards to untrusted responder", Solaris, 1997, M::Attribute(A::NetTrust));
-    b.push("NIS server outage grants fallback access", Unix, 1996, M::Attribute(A::NetAvailability));
+    b.push(
+        "rsh trusts forged source address",
+        Unix,
+        1995,
+        M::Attribute(A::NetAuthenticity),
+    );
+    b.push(
+        "NFS filehandle accepted from spoofed peer",
+        Unix,
+        1996,
+        M::Attribute(A::NetAuthenticity),
+    );
+    b.push(
+        "TCP sequence-step omission accepted",
+        Unix,
+        1996,
+        M::Attribute(A::NetProtocol),
+    );
+    b.push(
+        "rpcbind forwards to untrusted responder",
+        Solaris,
+        1997,
+        M::Attribute(A::NetTrust),
+    );
+    b.push(
+        "NIS server outage grants fallback access",
+        Unix,
+        1996,
+        M::Attribute(A::NetAvailability),
+    );
 
     // ------------------------------------------------------------------
     // Direct / process — 1 entry (Table 3)
     // ------------------------------------------------------------------
-    b.push("comsat trusts any local notifier process", Unix, 1995, M::Attribute(A::ProcTrust));
+    b.push(
+        "comsat trusts any local notifier process",
+        Unix,
+        1995,
+        M::Attribute(A::ProcTrust),
+    );
 
     // ------------------------------------------------------------------
     // Others: code faults without environmental trigger — 13 (Table 1)
@@ -270,7 +380,12 @@ pub fn entries() -> Vec<VulnEntry> {
     let plain: [(&str, OsFamily, u16, PlainFault); 8] = [
         ("off-by-one in tty name table", Unix, 1996, PlainFault::OffByOne),
         ("inverted uid check in SUID wrapper", Unix, 1995, PlainFault::Typo),
-        ("signal handler re-entrancy corruption", Unix, 1997, PlainFault::InternalRace),
+        (
+            "signal handler re-entrancy corruption",
+            Unix,
+            1997,
+            PlainFault::InternalRace,
+        ),
         ("integer wrap in quota accounting", Unix, 1997, PlainFault::LogicError),
         ("missing setuid() return check", Linux, 1998, PlainFault::LogicError),
         ("fd leak across exec", Unix, 1996, PlainFault::LogicError),

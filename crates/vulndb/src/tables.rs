@@ -50,8 +50,16 @@ impl Table1 {
         let t = self.total();
         let mut s = String::new();
         let _ = writeln!(s, "Table 1: high-level classification (total {t})");
-        let _ = writeln!(s, "{:<28} {:>8} {:>8} {:>8}", "Categories", "Indirect", "Direct", "Others");
-        let _ = writeln!(s, "{:<28} {:>8} {:>8} {:>8}", "number", self.indirect, self.direct, self.other);
+        let _ = writeln!(
+            s,
+            "{:<28} {:>8} {:>8} {:>8}",
+            "Categories", "Indirect", "Direct", "Others"
+        );
+        let _ = writeln!(
+            s,
+            "{:<28} {:>8} {:>8} {:>8}",
+            "number", self.indirect, self.direct, self.other
+        );
         let _ = writeln!(
             s,
             "{:<28} {:>7.1}% {:>7.1}% {:>7.1}%",
@@ -145,8 +153,16 @@ impl Table3 {
         let t = self.total();
         let mut s = String::new();
         let _ = writeln!(s, "Table 3: direct environment faults (total {t})");
-        let _ = writeln!(s, "{:<12} {:>12} {:>10} {:>10}", "Categories", "FileSystem", "Network", "Process");
-        let _ = writeln!(s, "{:<12} {:>12} {:>10} {:>10}", "Number", self.file_system, self.network, self.process);
+        let _ = writeln!(
+            s,
+            "{:<12} {:>12} {:>10} {:>10}",
+            "Categories", "FileSystem", "Network", "Process"
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:>12} {:>10} {:>10}",
+            "Number", self.file_system, self.network, self.process
+        );
         let _ = writeln!(
             s,
             "{:<12} {:>11.1}% {:>9.1}% {:>9.1}%",
@@ -195,7 +211,13 @@ impl Table4 {
         let _ = writeln!(
             s,
             "{:<10} {:>10} {:>9} {:>11} {:>10} {:>11} {:>9}",
-            "Number", self.existence, self.symlink, self.permission, self.ownership, self.invariance, self.working_directory
+            "Number",
+            self.existence,
+            self.symlink,
+            self.permission,
+            self.ownership,
+            self.invariance,
+            self.working_directory
         );
         let _ = writeln!(
             s,
@@ -235,8 +257,18 @@ pub fn compute(entries: &[VulnEntry]) -> Tables {
         excluded_design: 0,
         excluded_config: 0,
     };
-    let mut t2 = Table2 { user_input: 0, env_variable: 0, fs_input: 0, network_input: 0, process_input: 0 };
-    let mut t3 = Table3 { file_system: 0, network: 0, process: 0 };
+    let mut t2 = Table2 {
+        user_input: 0,
+        env_variable: 0,
+        fs_input: 0,
+        network_input: 0,
+        process_input: 0,
+    };
+    let mut t3 = Table3 {
+        file_system: 0,
+        network: 0,
+        process: 0,
+    };
     let mut t4 = Table4 {
         existence: 0,
         symlink: 0,
@@ -282,7 +314,12 @@ pub fn compute(entries: &[VulnEntry]) -> Tables {
             }
         }
     }
-    Tables { table1: t1, table2: t2, table3: t3, table4: t4 }
+    Tables {
+        table1: t1,
+        table2: t2,
+        table3: t3,
+        table4: t4,
+    }
 }
 
 #[cfg(test)]
@@ -304,7 +341,13 @@ mod tests {
         assert_eq!(t.table1.database_total(), 195);
         // Table 2 (paper: 51 / 17 / 5 / 8 / 0 of 81).
         assert_eq!(
-            (t.table2.user_input, t.table2.env_variable, t.table2.fs_input, t.table2.network_input, t.table2.process_input),
+            (
+                t.table2.user_input,
+                t.table2.env_variable,
+                t.table2.fs_input,
+                t.table2.network_input,
+                t.table2.process_input
+            ),
             (51, 17, 5, 8, 0)
         );
         assert_eq!(t.table2.total(), 81);

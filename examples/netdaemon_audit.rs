@@ -31,7 +31,10 @@ fn main() {
             runs: budget,
             seed: 7,
             max_len: 6000,
-            target: FuzzTarget::Net { port: FINGER_PORT, from: "trusted.cs.example.edu".into() },
+            target: FuzzTarget::Net {
+                port: FINGER_PORT,
+                from: "trusted.cs.example.edu".into(),
+            },
         },
     );
     println!(

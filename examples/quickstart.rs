@@ -41,11 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a world: users, a spool directory, protected system files,
     //    and the SUID program file itself.
     let mut os = Os::new();
-    os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
+    os.users
+        .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
     os.fs.mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
-    os.fs.put_file("/etc/passwd", "root:x:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))?;
-    os.fs.put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))?;
-    os.fs.put_file("/usr/bin/spoolit", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
+    os.fs
+        .put_file("/etc/passwd", "root:x:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))?;
+    os.fs
+        .put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))?;
+    os.fs
+        .put_file("/usr/bin/spoolit", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
     epa::core::perturb::tag_standard_targets(&mut os);
 
     // 2. Describe how the program is invoked.

@@ -32,7 +32,10 @@ fn main() {
     // administrator-run purge deletes a system-critical file.
     println!("--- exploit replay: font key pointed at system.ini ---");
     let mut attack = worlds::fontpurge_world();
-    attack.world.registry.god_set_value(&font_key(1), "Path", "/winnt/system.ini");
+    attack
+        .world
+        .registry
+        .god_set_value(&font_key(1), "Path", "/winnt/system.ini");
     let before = attack.world.fs.exists("/winnt/system.ini");
     let out = run_once(&attack, &FontPurge, None);
     let after = out.os.fs.exists("/winnt/system.ini");

@@ -18,7 +18,11 @@ fn main() {
     // ---- exploit 1: Projlist -> /etc/shadow ---------------------------
     println!("--- exploit replay 1: the TA symlinks Projlist to /etc/shadow ---");
     let mut attack = worlds::turnin_world();
-    attack.world.fs.god_symlink("/home/ta/submit/Projlist", "/etc/shadow").expect("world");
+    attack
+        .world
+        .fs
+        .god_symlink("/home/ta/submit/Projlist", "/etc/shadow")
+        .expect("world");
     let out = run_once(&attack, &Turnin, None);
     println!("turnin printed:\n{}", out.os.stdout_text(out.pid.expect("spawned")));
     for v in &out.violations {
@@ -28,7 +32,13 @@ fn main() {
     // ---- exploit 2: a submission named ../.login ----------------------
     println!("--- exploit replay 2: student submits `../.login` ---");
     let mut attack2 = worlds::turnin_world();
-    attack2.args = vec!["-c".into(), "cs390".into(), "-p".into(), "proj1".into(), "../.login".into()];
+    attack2.args = vec![
+        "-c".into(),
+        "cs390".into(),
+        "-p".into(),
+        "proj1".into(),
+        "../.login".into(),
+    ];
     let out2 = run_once(&attack2, &Turnin, None);
     let login = attack2.world.fs.god_read("/home/ta/.login").expect("world");
     let after = out2.os.fs.god_read("/home/ta/.login").expect("world");

@@ -80,7 +80,10 @@ fn parallel_campaigns_agree_with_sequential_everywhere() {
     for (app, _, setup) in all_cases() {
         let seq = Campaign::new(app, &setup).execute();
         let par = Campaign::new(app, &setup)
-            .with_options(CampaignOptions { parallel: true, ..Default::default() })
+            .with_options(CampaignOptions {
+                parallel: true,
+                ..Default::default()
+            })
             .execute();
         assert_eq!(seq.injected(), par.injected(), "{}", app.name());
         assert_eq!(seq.violated(), par.violated(), "{}", app.name());

@@ -45,28 +45,67 @@ fn fuzz_still_finds_the_classic_overflow() {
             runs: 50,
             seed: 3,
             max_len: 6000,
-            target: FuzzTarget::Net { port: 79, from: "trusted.cs.example.edu".into() },
+            target: FuzzTarget::Net {
+                port: 79,
+                from: "trusted.cs.example.edu".into(),
+            },
         },
     );
-    assert!(rep.distinct_rules().contains("R4-memory-safety"), "{:?}", rep.distinct_rules());
+    assert!(
+        rep.distinct_rules().contains("R4-memory-safety"),
+        "{:?}",
+        rep.distinct_rules()
+    );
 }
 
 #[test]
 fn no_baseline_reaches_turnins_environment_flaws() {
     let setup = worlds::turnin_world();
-    let fuzz = run_fuzz(&setup, &Turnin, &FuzzOptions { runs: 80, seed: 11, max_len: 4096, target: FuzzTarget::Args });
-    let ava = run_ava(&setup, &Turnin, &AvaOptions { runs: 80, seed: 11, intensity: 0.9 });
+    let fuzz = run_fuzz(
+        &setup,
+        &Turnin,
+        &FuzzOptions {
+            runs: 80,
+            seed: 11,
+            max_len: 4096,
+            target: FuzzTarget::Args,
+        },
+    );
+    let ava = run_ava(
+        &setup,
+        &Turnin,
+        &AvaOptions {
+            runs: 80,
+            seed: 11,
+            intensity: 0.9,
+        },
+    );
     for rules in [fuzz.distinct_rules(), ava.distinct_rules()] {
-        assert!(!rules.contains("R6-untrusted-exec"), "PATH/tar flaws need environment perturbation: {rules:?}");
-        assert!(!rules.contains("R2-confidentiality"), "Projlist disclosure needs file-attribute perturbation: {rules:?}");
+        assert!(
+            !rules.contains("R6-untrusted-exec"),
+            "PATH/tar flaws need environment perturbation: {rules:?}"
+        );
+        assert!(
+            !rules.contains("R2-confidentiality"),
+            "Projlist disclosure needs file-attribute perturbation: {rules:?}"
+        );
     }
 }
 
 #[test]
 fn baselines_are_deterministic_given_seed() {
     let setup = worlds::turnin_world();
-    let o = FuzzOptions { runs: 10, seed: 42, max_len: 512, target: FuzzTarget::Args };
+    let o = FuzzOptions {
+        runs: 10,
+        seed: 42,
+        max_len: 512,
+        target: FuzzTarget::Args,
+    };
     assert_eq!(run_fuzz(&setup, &Turnin, &o), run_fuzz(&setup, &Turnin, &o));
-    let a = AvaOptions { runs: 10, seed: 42, intensity: 0.5 };
+    let a = AvaOptions {
+        runs: 10,
+        seed: 42,
+        intensity: 0.5,
+    };
     assert_eq!(run_ava(&setup, &Turnin, &a), run_ava(&setup, &Turnin, &a));
 }

@@ -8,7 +8,10 @@ use std::collections::BTreeSet;
 fn create_site_only() -> CampaignOptions {
     let mut filter = BTreeSet::new();
     filter.insert(SiteId::new("lpr:create_spool"));
-    CampaignOptions { site_filter: Some(filter), ..Default::default() }
+    CampaignOptions {
+        site_filter: Some(filter),
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -21,7 +24,9 @@ fn four_applicable_attributes_all_violate() {
     // Attributes 5-7 (content/name invariance, working directory) are not
     // applicable at a first-encounter create with an absolute path.
     let ids: BTreeSet<&str> = report.records.iter().map(|r| r.fault_id.as_str()).collect();
-    assert!(!ids.iter().any(|i| i.contains(":content@") || i.contains(":name@") || i.contains(":workdir@")));
+    assert!(!ids
+        .iter()
+        .any(|i| i.contains(":content@") || i.contains(":name@") || i.contains(":workdir@")));
 }
 
 #[test]
@@ -40,7 +45,9 @@ fn the_symlink_attack_clobbers_the_passwd_file() {
 #[test]
 fn fixed_lpr_tolerates_all_four() {
     let setup = worlds::lpr_world();
-    let report = Campaign::new(&LprFixed, &setup).with_options(create_site_only()).execute();
+    let report = Campaign::new(&LprFixed, &setup)
+        .with_options(create_site_only())
+        .execute();
     assert_eq!(report.injected(), 4);
     assert_eq!(report.violated(), 0, "{:#?}", report.violations().collect::<Vec<_>>());
 }

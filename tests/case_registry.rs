@@ -9,7 +9,11 @@ use epa::sandbox::policy::ViolationKind;
 #[test]
 fn the_nt_world_has_29_unprotected_keys() {
     let setup = worlds::fontpurge_world();
-    assert_eq!(setup.world.registry.unprotected_keys().len(), 29, "paper: 29 unprotected keys");
+    assert_eq!(
+        setup.world.registry.unprotected_keys().len(),
+        29,
+        "paper: 29 unprotected keys"
+    );
 }
 
 #[test]
@@ -23,16 +27,25 @@ fn nine_exercised_keys_all_exploitable() {
 #[test]
 fn font_value_swap_deletes_the_critical_file() {
     let mut setup = worlds::fontpurge_world();
-    setup.world.registry.god_set_value(&font_key(0), "Path", "/winnt/system.ini");
+    setup
+        .world
+        .registry
+        .god_set_value(&font_key(0), "Path", "/winnt/system.ini");
     let out = run_once(&setup, &FontPurge, None);
-    assert!(out.violations.iter().any(|v| v.kind == ViolationKind::TaintedPrivilegedOp));
+    assert!(out
+        .violations
+        .iter()
+        .any(|v| v.kind == ViolationKind::TaintedPrivilegedOp));
     assert!(!out.os.fs.exists("/winnt/system.ini"));
 }
 
 #[test]
 fn font_value_swap_can_also_take_the_sam() {
     let mut setup = worlds::fontpurge_world();
-    setup.world.registry.god_set_value(&font_key(3), "Path", "/winnt/repair/sam");
+    setup
+        .world
+        .registry
+        .god_set_value(&font_key(3), "Path", "/winnt/repair/sam");
     let out = run_once(&setup, &FontPurge, None);
     assert!(!out.violations.is_empty());
     assert!(!out.os.fs.exists("/winnt/repair/sam"));
@@ -56,7 +69,11 @@ fn logon_profile_trust_flaw_is_found_by_the_campaign() {
         .iter()
         .find(|r| r.site == "ntlogon:read_profiledir" && !r.tolerated())
         .expect("the ProfileDir key must be exploitable");
-    assert!(profile_viol.fault_id.contains("untrusted-dir"), "{}", profile_viol.fault_id);
+    assert!(
+        profile_viol.fault_id.contains("untrusted-dir"),
+        "{}",
+        profile_viol.fault_id
+    );
 }
 
 #[test]
@@ -78,7 +95,10 @@ fn every_logon_key_is_exploitable_and_the_fix_holds() {
 #[test]
 fn helpfile_key_discloses_the_sam_when_swapped() {
     let mut setup = worlds::ntlogon_world();
-    setup.world.registry.god_set_value(&logon_key("HelpFile"), "Path", "/winnt/repair/sam");
+    setup
+        .world
+        .registry
+        .god_set_value(&logon_key("HelpFile"), "Path", "/winnt/repair/sam");
     let out = run_once(&setup, &NtLogon, None);
     assert!(out.violations.iter().any(|v| v.kind == ViolationKind::Disclosure));
     let stdout = out.os.stdout_text(out.pid.unwrap());

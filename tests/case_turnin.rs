@@ -12,7 +12,11 @@ fn eight_points_fortyone_perturbations_nine_violations() {
     assert_eq!(report.clean_violations, 0, "clean run must be violation-free");
     assert_eq!(report.total_sites, 8, "paper: 8 interaction places");
     assert_eq!(report.injected(), 41, "paper: 41 environment perturbations");
-    assert_eq!(report.violated(), 9, "paper: 9 perturbations lead to security violation");
+    assert_eq!(
+        report.violated(),
+        9,
+        "paper: 9 perturbations lead to security violation"
+    );
 }
 
 #[test]
@@ -21,7 +25,10 @@ fn the_published_exploits_are_among_the_violations() {
     let report = Campaign::new(&Turnin, &setup).execute();
     let ids: Vec<&str> = report.violations().map(|r| r.fault_id.as_str()).collect();
     // Exploit 1: the Projlist permission/symlink disclosure.
-    assert!(ids.contains(&"direct:fs:permission@/home/ta/submit/Projlist"), "{ids:?}");
+    assert!(
+        ids.contains(&"direct:fs:permission@/home/ta/submit/Projlist"),
+        "{ids:?}"
+    );
     assert!(ids.contains(&"direct:fs:symlink@/home/ta/submit/Projlist"), "{ids:?}");
     // Exploit 2: the `../` member name.
     assert!(ids.contains(&"indirect:user-file-name:dotdot"), "{ids:?}");
@@ -55,17 +62,30 @@ fn violation_kinds_are_as_analyzed() {
 #[test]
 fn shadow_exploit_really_prints_the_shadow_file() {
     let mut setup = worlds::turnin_world();
-    setup.world.fs.god_symlink("/home/ta/submit/Projlist", "/etc/shadow").unwrap();
+    setup
+        .world
+        .fs
+        .god_symlink("/home/ta/submit/Projlist", "/etc/shadow")
+        .unwrap();
     let out = run_once(&setup, &Turnin, None);
     let stdout = out.os.stdout_text(out.pid.unwrap());
-    assert!(stdout.contains("root:HASH0x7f"), "the student reads the shadow file: {stdout}");
+    assert!(
+        stdout.contains("root:HASH0x7f"),
+        "the student reads the shadow file: {stdout}"
+    );
     assert!(out.violations.iter().any(|v| v.kind == ViolationKind::Disclosure));
 }
 
 #[test]
 fn dotdot_exploit_really_overwrites_the_login_file() {
     let mut setup = worlds::turnin_world();
-    setup.args = vec!["-c".into(), "cs390".into(), "-p".into(), "proj1".into(), "../.login".into()];
+    setup.args = vec![
+        "-c".into(),
+        "cs390".into(),
+        "-p".into(),
+        "proj1".into(),
+        "../.login".into(),
+    ];
     let out = run_once(&setup, &Turnin, None);
     assert!(out.violations.iter().any(|v| v.kind == ViolationKind::IntegrityWrite));
     let login = out.os.fs.god_read("/home/ta/.login").unwrap().text();
@@ -106,7 +126,10 @@ fn violations_per_site_match_the_analysis() {
         ("turnin:copy_dest", 4, 0),
     ];
     for (site, injected, violated) in expect {
-        let row = per_site.iter().find(|(s, _, _)| s == site).unwrap_or_else(|| panic!("missing {site}"));
+        let row = per_site
+            .iter()
+            .find(|(s, _, _)| s == site)
+            .unwrap_or_else(|| panic!("missing {site}"));
         assert_eq!((row.1, row.2), (injected, violated), "{site}");
     }
 }

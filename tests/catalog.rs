@@ -12,11 +12,20 @@ use epa::sandbox::trace::{InputSemantic, ObjectRef, OpKind};
 fn table5_covers_the_five_origins() {
     let rows = table5_rows();
     assert_eq!(rows.len(), 12, "paper Table 5 row count");
-    for entity in ["User Input", "Environment Variable", "File System Input", "Network Input", "Process Input"] {
+    for entity in [
+        "User Input",
+        "Environment Variable",
+        "File System Input",
+        "Network Input",
+        "Process Input",
+    ] {
         assert!(rows.iter().any(|r| r.entity == entity), "{entity} present");
     }
     // Spot-check the famous rows.
-    let path_row = rows.iter().find(|r| r.item.contains("execution path")).expect("PATH row");
+    let path_row = rows
+        .iter()
+        .find(|r| r.item.contains("execution path"))
+        .expect("PATH row");
     assert!(path_row.injections.iter().any(|i| i.contains("untrusted path")));
     let mask_row = rows.iter().find(|r| r.item == "permission mask").expect("mask row");
     assert!(mask_row.injections[0].contains("mask to 0"));
@@ -25,10 +34,18 @@ fn table5_covers_the_five_origins() {
 #[test]
 fn table6_covers_the_three_entities_plus_extension() {
     let rows = table6_rows();
-    assert_eq!(rows.iter().filter(|r| r.entity == "File System").count(), 7, "seven fs attribute rows");
+    assert_eq!(
+        rows.iter().filter(|r| r.entity == "File System").count(),
+        7,
+        "seven fs attribute rows"
+    );
     assert_eq!(rows.iter().filter(|r| r.entity == "Network").count(), 5);
     assert_eq!(rows.iter().filter(|r| r.entity == "Process").count(), 3);
-    assert_eq!(rows.iter().filter(|r| r.entity.starts_with("Registry")).count(), 2, "documented NT extension");
+    assert_eq!(
+        rows.iter().filter(|r| r.entity.starts_with("Registry")).count(),
+        2,
+        "documented NT extension"
+    );
 }
 
 #[test]
@@ -53,7 +70,10 @@ fn every_indirect_semantic_yields_faults_with_unique_ids() {
         assert_eq!(faults.len(), expected, "{sem:?}");
         let ids: std::collections::BTreeSet<_> = faults.iter().map(|f| &f.id).collect();
         assert_eq!(ids.len(), faults.len(), "{sem:?}: ids unique");
-        assert!(faults.iter().all(|f| f.semantic == Some(sem)), "{sem:?}: semantic recorded");
+        assert!(
+            faults.iter().all(|f| f.semantic == Some(sem)),
+            "{sem:?}: semantic recorded"
+        );
         assert!(faults.iter().all(|f| !f.is_direct()));
     }
 }
@@ -62,7 +82,12 @@ fn every_indirect_semantic_yields_faults_with_unique_ids() {
 fn direct_fault_applicability_rules() {
     let s = ScenarioMeta::default();
     let resolutions = BTreeMap::new();
-    let ctx = DirectContext { scenario: &s, reaccessed: &[], exec_resolutions: &resolutions, cwd: "/" };
+    let ctx = DirectContext {
+        scenario: &s,
+        reaccessed: &[],
+        exec_resolutions: &resolutions,
+        cwd: "/",
+    };
     // The lpr §3.4 rule: creates get exactly the four attributes.
     let create = direct_faults_for(OpKind::CreateFile, &ObjectRef::File("/spool/x".into()), &ctx);
     assert_eq!(create.len(), 4);
@@ -71,7 +96,12 @@ fn direct_fault_applicability_rules() {
     assert_eq!(read.len(), 5);
     // Re-accessed objects add name-invariance (TOCTTOU).
     let re = vec!["/etc/app.cf".to_string()];
-    let ctx2 = DirectContext { scenario: &s, reaccessed: &re, exec_resolutions: &resolutions, cwd: "/" };
+    let ctx2 = DirectContext {
+        scenario: &s,
+        reaccessed: &re,
+        exec_resolutions: &resolutions,
+        cwd: "/",
+    };
     let read2 = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/app.cf".into()), &ctx2);
     assert_eq!(read2.len(), 6);
     // Receives get the authenticity/protocol/socket faults.
@@ -88,11 +118,28 @@ fn direct_fault_applicability_rules() {
 fn direct_faults_name_the_scenario_targets() {
     let s = ScenarioMeta::default();
     let resolutions = BTreeMap::new();
-    let ctx = DirectContext { scenario: &s, reaccessed: &[], exec_resolutions: &resolutions, cwd: "/" };
+    let ctx = DirectContext {
+        scenario: &s,
+        reaccessed: &[],
+        exec_resolutions: &resolutions,
+        cwd: "/",
+    };
     let read = direct_faults_for(OpKind::ReadFile, &ObjectRef::File("/etc/app.cf".into()), &ctx);
-    let symlink = read.iter().find(|f| f.id.starts_with("direct:fs:symlink")).expect("symlink fault");
-    assert!(symlink.description.contains(&s.secret_target), "read symlinks aim at the secret target");
+    let symlink = read
+        .iter()
+        .find(|f| f.id.starts_with("direct:fs:symlink"))
+        .expect("symlink fault");
+    assert!(
+        symlink.description.contains(&s.secret_target),
+        "read symlinks aim at the secret target"
+    );
     let create = direct_faults_for(OpKind::CreateFile, &ObjectRef::File("/spool/x".into()), &ctx);
-    let symlink_w = create.iter().find(|f| f.id.starts_with("direct:fs:symlink")).expect("symlink fault");
-    assert!(symlink_w.description.contains(&s.integrity_target), "create symlinks aim at the integrity target");
+    let symlink_w = create
+        .iter()
+        .find(|f| f.id.starts_with("direct:fs:symlink"))
+        .expect("symlink fault");
+    assert!(
+        symlink_w.description.contains(&s.integrity_target),
+        "create symlinks aim at the integrity target"
+    );
 }

@@ -7,7 +7,10 @@ use epa_bench::{figure1, figure2};
 fn figure1_splits_violations_by_propagation_path() {
     let f = figure1();
     assert_eq!(f.injected, 41);
-    assert_eq!(f.via_internal_entity, 2, "dotdot + PATH insertion travel through internal entities");
+    assert_eq!(
+        f.via_internal_entity, 2,
+        "dotdot + PATH insertion travel through internal entities"
+    );
     assert_eq!(f.via_environment_entity, 7, "the file-attribute faults act directly");
     assert_eq!(f.via_internal_entity + f.via_environment_entity, 9);
 }
@@ -16,9 +19,24 @@ fn figure1_splits_violations_by_propagation_path() {
 fn figure2_reproduces_the_four_regions() {
     let f = figure2();
     assert_eq!(f.points.len(), 4);
-    assert_eq!(f.points[0].region, AdequacyRegion::Inadequate, "point 1: {:?}", f.points[0]);
-    assert_eq!(f.points[1].region, AdequacyRegion::InadequateNarrow, "point 2: {:?}", f.points[1]);
-    assert_eq!(f.points[2].region, AdequacyRegion::Insecure, "point 3: {:?}", f.points[2]);
+    assert_eq!(
+        f.points[0].region,
+        AdequacyRegion::Inadequate,
+        "point 1: {:?}",
+        f.points[0]
+    );
+    assert_eq!(
+        f.points[1].region,
+        AdequacyRegion::InadequateNarrow,
+        "point 2: {:?}",
+        f.points[1]
+    );
+    assert_eq!(
+        f.points[2].region,
+        AdequacyRegion::Insecure,
+        "point 3: {:?}",
+        f.points[2]
+    );
     assert_eq!(f.points[3].region, AdequacyRegion::Safe, "point 4: {:?}", f.points[3]);
 }
 
@@ -27,14 +45,20 @@ fn figure2_full_campaigns_have_full_interaction_coverage() {
     let f = figure2();
     assert!((f.points[2].point.interaction - 1.0).abs() < 1e-9);
     assert!((f.points[3].point.interaction - 1.0).abs() < 1e-9);
-    assert!((f.points[3].point.fault - 1.0).abs() < 1e-9, "the fixed program tolerates everything");
+    assert!(
+        (f.points[3].point.fault - 1.0).abs() < 1e-9,
+        "the fixed program tolerates everything"
+    );
     // The vulnerable full campaign's fault coverage is 32/41.
     assert!((f.points[2].point.fault - 32.0 / 41.0).abs() < 1e-9);
 }
 
 #[test]
 fn region_classification_is_threshold_driven() {
-    let lax = AdequacyThresholds { interaction_high: 0.3, fault_high: 0.5 };
+    let lax = AdequacyThresholds {
+        interaction_high: 0.3,
+        fault_high: 0.5,
+    };
     let p = AdequacyPoint::new(0.38, 0.83);
     assert_eq!(p.region(lax), AdequacyRegion::Safe);
     assert_eq!(p.region(AdequacyThresholds::default()), AdequacyRegion::Inadequate);

@@ -13,9 +13,19 @@ use epa::sandbox::trace::InputSemantic;
 
 fn tiny_world() -> TestSetup {
     let mut os = Os::new();
-    os.users.add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
-    os.fs.mkdir_p("/home/u", os.scenario.invoker, os.scenario.invoker_gid, Mode::new(0o755)).unwrap();
-    os.fs.put_file("/etc/conf", "x=1", Uid::ROOT, Gid::ROOT, Mode::new(0o644)).unwrap();
+    os.users
+        .add("u", os.scenario.invoker, os.scenario.invoker_gid, "/home/u");
+    os.fs
+        .mkdir_p(
+            "/home/u",
+            os.scenario.invoker,
+            os.scenario.invoker_gid,
+            Mode::new(0o755),
+        )
+        .unwrap();
+    os.fs
+        .put_file("/etc/conf", "x=1", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+        .unwrap();
     TestSetup::new(os).cwd("/home/u")
 }
 
@@ -82,7 +92,11 @@ fn spawn_failure_yields_a_sound_outcome() {
     // A program file the invoker cannot execute: spawn fails, the outcome
     // reports no pid and no violations, and nothing panics.
     let mut setup = tiny_world();
-    setup.world.fs.put_file("/bin/app", "", Uid::ROOT, Gid::ROOT, Mode::new(0o700)).unwrap();
+    setup
+        .world
+        .fs
+        .put_file("/bin/app", "", Uid::ROOT, Gid::ROOT, Mode::new(0o700))
+        .unwrap();
     setup.program = Some("/bin/app".into());
     let out = run_once(&setup, &ReadsArg, None);
     assert!(out.pid.is_none());

@@ -14,16 +14,21 @@ use epa::sandbox::process::Pid;
 fn world() -> Os {
     let mut os = Os::new();
     os.users.add("root", Uid::ROOT, Gid::ROOT, "/root");
-    os.users.add("user", os.scenario.invoker, os.scenario.invoker_gid, "/home/user");
-    os.users.add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
+    os.users
+        .add("user", os.scenario.invoker, os.scenario.invoker_gid, "/home/user");
+    os.users
+        .add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
     os.fs.mkdir_p("/tmp", Uid::ROOT, Gid::ROOT, Mode::new(0o1777)).unwrap();
     os.fs.mkdir_p("/work", Uid::ROOT, Gid::ROOT, Mode::new(0o777)).unwrap();
-    os.fs.put_file("/bin/suid", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755)).unwrap();
+    os.fs
+        .put_file("/bin/suid", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))
+        .unwrap();
     os
 }
 
 fn spawn_suid(os: &mut Os) -> Pid {
-    os.spawn(os.scenario.invoker, Some("/bin/suid"), vec![], BTreeMap::new(), "/").unwrap()
+    os.spawn(os.scenario.invoker, Some("/bin/suid"), vec![], BTreeMap::new(), "/")
+        .unwrap()
 }
 
 #[test]
@@ -31,11 +36,16 @@ fn cwd_taint_flows_into_relative_writes() {
     let mut os = world();
     // A directory name that came from an attacker-controlled source.
     os.fs
-        .mkdir_p("/work/dropzone", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o777))
+        .mkdir_p(
+            "/work/dropzone",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o777),
+        )
         .unwrap();
     let pid = spawn_suid(&mut os);
-    let tainted_dir = Data::from("/work/dropzone")
-        .with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
+    let tainted_dir =
+        Data::from("/work/dropzone").with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
     os.sys_chdir(pid, "t:chdir", PathArg::from(&tainted_dir)).unwrap();
     os.sys_write_file(pid, "t:write", "out.txt", "data", 0o644).unwrap();
     let v = PolicyEngine::new().evaluate(&os.audit);
@@ -49,11 +59,16 @@ fn cwd_taint_flows_into_relative_writes() {
 fn clean_chdir_clears_previous_taint() {
     let mut os = world();
     os.fs
-        .mkdir_p("/work/dropzone", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o777))
+        .mkdir_p(
+            "/work/dropzone",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o777),
+        )
         .unwrap();
     let pid = spawn_suid(&mut os);
-    let tainted_dir = Data::from("/work/dropzone")
-        .with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
+    let tainted_dir =
+        Data::from("/work/dropzone").with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
     os.sys_chdir(pid, "t:chdir1", PathArg::from(&tainted_dir)).unwrap();
     // Back to a clean, program-chosen directory.
     os.sys_chdir(pid, "t:chdir2", "/tmp").unwrap();
@@ -66,15 +81,24 @@ fn clean_chdir_clears_previous_taint() {
 fn absolute_writes_ignore_cwd_taint() {
     let mut os = world();
     os.fs
-        .mkdir_p("/work/dropzone", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o777))
+        .mkdir_p(
+            "/work/dropzone",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o777),
+        )
         .unwrap();
     let pid = spawn_suid(&mut os);
-    let tainted_dir = Data::from("/work/dropzone")
-        .with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
+    let tainted_dir =
+        Data::from("/work/dropzone").with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
     os.sys_chdir(pid, "t:chdir", PathArg::from(&tainted_dir)).unwrap();
-    os.sys_write_file(pid, "t:write", "/tmp/out.txt", "data", 0o600).unwrap();
+    os.sys_write_file(pid, "t:write", "/tmp/out.txt", "data", 0o600)
+        .unwrap();
     let v = PolicyEngine::new().evaluate(&os.audit);
-    assert!(v.is_empty(), "an absolute path does not land where the cwd pointed: {v:?}");
+    assert!(
+        v.is_empty(),
+        "an absolute path does not land where the cwd pointed: {v:?}"
+    );
 }
 
 #[test]
@@ -90,7 +114,14 @@ fn appending_to_a_file_created_this_run_is_not_integrity_violation() {
 #[test]
 fn appending_to_a_preexisting_foreign_file_is_integrity_violation() {
     let mut os = world();
-    os.fs.put_file("/tmp/foreign", "theirs", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o644))
+    os.fs
+        .put_file(
+            "/tmp/foreign",
+            "theirs",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o644),
+        )
         .unwrap();
     let pid = spawn_suid(&mut os);
     os.sys_append(pid, "t:append", "/tmp/foreign", "mine", 0o600).unwrap();
@@ -105,7 +136,14 @@ fn unlink_then_recreate_clears_created_by_self_history() {
     os.sys_create_excl(pid, "t:create", "/tmp/cycle", 0o600).unwrap();
     os.sys_unlink(pid, "t:unlink", "/tmp/cycle").unwrap();
     // Attacker plants a file at the same name (simulated directly).
-    os.fs.put_file("/tmp/cycle", "planted", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o644))
+    os.fs
+        .put_file(
+            "/tmp/cycle",
+            "planted",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o644),
+        )
         .unwrap();
     os.sys_write_file(pid, "t:rewrite", "/tmp/cycle", "x", 0o600).unwrap();
     let v = PolicyEngine::new().evaluate(&os.audit);
@@ -118,11 +156,14 @@ fn unlink_then_recreate_clears_created_by_self_history() {
 #[test]
 fn secret_written_to_invoker_readable_file_is_disclosure() {
     let mut os = world();
-    os.fs.put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
+    os.fs
+        .put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))
+        .unwrap();
     os.fs.tag("/etc/shadow", FileTag::Secret).unwrap();
     let pid = spawn_suid(&mut os);
     let secret = os.sys_read_file(pid, "t:read", "/etc/shadow").unwrap();
-    os.sys_write_file(pid, "t:write", "/tmp/drop.txt", secret, 0o644).unwrap();
+    os.sys_write_file(pid, "t:write", "/tmp/drop.txt", secret, 0o644)
+        .unwrap();
     let v = PolicyEngine::new().evaluate(&os.audit);
     assert!(v.iter().any(|x| x.kind == ViolationKind::Disclosure), "{v:?}");
 }
@@ -130,12 +171,15 @@ fn secret_written_to_invoker_readable_file_is_disclosure() {
 #[test]
 fn secret_written_to_private_file_is_not_disclosure() {
     let mut os = world();
-    os.fs.put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600)).unwrap();
+    os.fs
+        .put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))
+        .unwrap();
     os.fs.tag("/etc/shadow", FileTag::Secret).unwrap();
     let pid = spawn_suid(&mut os);
     let secret = os.sys_read_file(pid, "t:read", "/etc/shadow").unwrap();
     // Mode 0600, owner root: the invoker cannot read the copy.
-    os.sys_write_file(pid, "t:write", "/tmp/private.bak", secret, 0o600).unwrap();
+    os.sys_write_file(pid, "t:write", "/tmp/private.bak", secret, 0o600)
+        .unwrap();
     let v = PolicyEngine::new().evaluate(&os.audit);
     assert!(v.is_empty(), "{v:?}");
 }
@@ -144,7 +188,13 @@ fn secret_written_to_private_file_is_not_disclosure() {
 fn labels_follow_data_through_parsing() {
     let mut os = world();
     os.fs
-        .put_file("/work/config", "target=/etc/passwd", os.scenario.attacker, os.scenario.attacker_gid, Mode::new(0o644))
+        .put_file(
+            "/work/config",
+            "target=/etc/passwd",
+            os.scenario.attacker,
+            os.scenario.attacker_gid,
+            Mode::new(0o644),
+        )
         .unwrap();
     let pid = spawn_suid(&mut os);
     let config = os.sys_read_file(pid, "t:read", "/work/config").unwrap();

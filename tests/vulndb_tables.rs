@@ -63,7 +63,12 @@ fn classification_is_derived_not_stored() {
     let mut db = vulndb::entries();
     let idx = db
         .iter()
-        .position(|e| matches!(e.mechanism, vulndb::Mechanism::Attribute(vulndb::AttributeFault::FileSymlink)))
+        .position(|e| {
+            matches!(
+                e.mechanism,
+                vulndb::Mechanism::Attribute(vulndb::AttributeFault::FileSymlink)
+            )
+        })
         .expect("a symlink entry exists");
     db[idx].mechanism = vulndb::Mechanism::Attribute(vulndb::AttributeFault::FileExistence);
     let t = vulndb::compute(&db).table4;
