@@ -25,6 +25,25 @@ pub const SECRET_FILE: &str = "/etc/authd.secret";
 /// The key database the daemon appends to.
 pub const KEYS_FILE: &str = "/etc/auth_keys";
 
+/// The `authd` world, declared as data: a three-step (HELO/AUTH/CMD)
+/// key-registration daemon.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use epa_sandbox::cred::{Gid, Uid};
+    let mut b = crate::worlds::base_unix_builder()
+        .user("user1001", Uid(1001), Gid(100), "/home/user1001")
+        .root_file(SECRET_FILE, "s3cret-token", 0o600)
+        .root_file(KEYS_FILE, "# authorized keys\n", 0o600)
+        .root_file("/usr/sbin/authd", "", 0o755);
+    for step in [
+        "HELO client.cs.example.edu",
+        "AUTH s3cret-token",
+        "CMD addkey user1001 ssh-rsa-KEY",
+    ] {
+        b = b.inbound_message(AUTHD_PORT, "client.cs.example.edu", step);
+    }
+    b.invoker(Uid::ROOT).cwd("/").build()
+}
+
 /// The vulnerable daemon.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Authd;

@@ -18,6 +18,19 @@ use epa_sandbox::trace::InputSemantic;
 /// Where the snapshot is written.
 pub const BACKUP_FILE: &str = "/var/backups/shadow.bak";
 
+/// The `backupd` world, declared as data: a root cron job snapshotting the
+/// shadow file, with the creation mask supplied by the environment.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use epa_sandbox::cred::{Gid, Uid};
+    crate::worlds::base_unix_builder()
+        .dir("/var/backups", Uid::ROOT, Gid::ROOT, 0o755)
+        .root_file("/usr/sbin/backupd", "", 0o755)
+        .invoker(Uid::ROOT)
+        .env("UMASK", "077")
+        .cwd("/")
+        .build()
+}
+
 fn parse_mask(raw: &Data) -> Option<u16> {
     u16::from_str_radix(raw.text().trim(), 8).ok()
 }
@@ -113,7 +126,8 @@ impl Application for BackupdFixed {
 mod tests {
     use super::*;
     use crate::worlds;
-    use epa_core::campaign::{run_once, Campaign};
+    use epa_core::campaign::run_once;
+    use epa_core::engine::Session;
     use epa_sandbox::policy::ViolationKind;
 
     #[test]
@@ -143,7 +157,7 @@ mod tests {
     #[test]
     fn campaign_finds_the_mask_fault() {
         let setup = worlds::backupd_world();
-        let report = Campaign::new(&Backupd, &setup).execute();
+        let report = Session::from_setup(setup).execute(&Backupd);
         assert_eq!(report.clean_violations, 0);
         let mask_record = report
             .records
@@ -156,7 +170,7 @@ mod tests {
     #[test]
     fn fixed_backupd_tolerates_every_fault() {
         let setup = worlds::backupd_world();
-        let report = Campaign::new(&BackupdFixed, &setup).execute();
+        let report = Session::from_setup(setup).execute(&BackupdFixed);
         assert_eq!(report.violated(), 0, "{:#?}", report.violations().collect::<Vec<_>>());
         // Same interaction surface.
         assert_eq!(report.total_sites, 3, "umask, read, write");

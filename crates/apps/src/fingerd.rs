@@ -22,6 +22,38 @@ pub const FINGER_PORT: u16 = 79;
 /// Allowlisted client domain.
 pub const TRUSTED_DOMAIN: &str = "cs.example.edu";
 
+/// The `fingerd` world, declared as data: a root daemon serving plan files
+/// over port 79 with a DNS-based host allowlist. The oracle's invoker is
+/// the anonymous remote client (uid 9999).
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use epa_sandbox::cred::{Gid, Uid};
+    use epa_sandbox::os::ScenarioMeta;
+    let scenario = ScenarioMeta {
+        invoker: Uid(9999),
+        invoker_gid: Gid(999),
+        ..Default::default()
+    };
+    crate::worlds::base_unix_builder()
+        .scenario(scenario)
+        .user("nobody", Uid(9999), Gid(999), "/")
+        .user("user1001", Uid(1001), Gid(100), "/home/user1001")
+        .file(
+            "/home/user1001/.plan",
+            "On sabbatical until fall.\n",
+            Uid(1001),
+            Gid(100),
+            0o644,
+        )
+        .root_file("/usr/sbin/fingerd", "", 0o755)
+        .dns("trusted.cs.example.edu", "10.0.5.1")
+        .dns("evil.example.net", "198.51.100.66")
+        .service("trusted.cs.example.edu", 1023, true)
+        .inbound_message(FINGER_PORT, "trusted.cs.example.edu", "user1001")
+        .invoker(Uid::ROOT)
+        .cwd("/")
+        .build()
+}
+
 fn serve(os: &mut Os, pid: Pid, username: &str, reply_to: &str, actual_from: &str) -> i32 {
     let plan_path = format!("/home/{username}/.plan");
     let reply = match os.sys_read_file(pid, "fingerd:read_plan", plan_path.as_str()) {

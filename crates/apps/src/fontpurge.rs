@@ -20,6 +20,16 @@ use epa_sandbox::trace::InputSemantic;
 /// Number of font-cache registry keys the module consumes.
 pub const FONT_KEYS: usize = 5;
 
+/// The NT font-cache purge world of paper §4.2, declared as data: an
+/// administrator runs the module over the shared NT base.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use epa_sandbox::cred::Uid;
+    crate::worlds::base_nt_builder(Uid::ROOT)
+        .invoker(Uid::ROOT)
+        .cwd("/")
+        .build()
+}
+
 /// Registry key path for cache slot `i`.
 pub fn font_key(i: usize) -> String {
     format!("HKLM/Software/Fonts/Cache{i}")

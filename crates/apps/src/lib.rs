@@ -15,8 +15,12 @@
 //! | [`mailnotify`] | Table 6 process rows | mailbox integrity, IPC trust, PATH |
 //! | [`backupd`] | Table 5 permission-mask row | environment-supplied creation mask |
 //!
-//! [`worlds`] builds the matching initial environments as
-//! [`epa_core::campaign::TestSetup`]s.
+//! Every module exports its world declaratively as an
+//! [`epa_core::engine::WorldSpec`] (`lpr::spec()`, `turnin::spec()`, …);
+//! [`worlds`] holds the shared base builders plus materializing `*_world()`
+//! shims for the pre-engine [`epa_core::campaign::TestSetup`] API, and
+//! [`standard_suite`] registers all eight vulnerable applications on one
+//! [`epa_core::engine::Suite`] for batch execution.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,3 +43,24 @@ pub use lpr::{Lpr, LprFixed};
 pub use mailnotify::{MailNotify, MailNotifyFixed};
 pub use ntlogon::{NtLogon, NtLogonFixed};
 pub use turnin::{Turnin, TurninFixed};
+
+/// All eight vulnerable case-study applications with their worlds,
+/// registered on one [`epa_core::engine::Suite`] ready to execute as a
+/// batch.
+///
+/// # Errors
+///
+/// A [`epa_core::engine::SpecError`] if any world spec fails to
+/// materialize (the specs are tested, so this is effectively infallible).
+pub fn standard_suite() -> Result<epa_core::engine::Suite, epa_core::engine::SpecError> {
+    let mut suite = epa_core::engine::Suite::new();
+    suite.register(Lpr, &lpr::spec())?;
+    suite.register(Turnin, &turnin::spec())?;
+    suite.register(FontPurge, &fontpurge::spec())?;
+    suite.register(NtLogon, &ntlogon::spec())?;
+    suite.register(Fingerd, &fingerd::spec())?;
+    suite.register(Authd, &authd::spec())?;
+    suite.register(MailNotify, &mailnotify::spec())?;
+    suite.register(Backupd, &backupd::spec())?;
+    Ok(suite)
+}

@@ -16,6 +16,27 @@ use epa_sandbox::trace::InputSemantic;
 /// Spool file path used by the model printer daemon.
 pub const SPOOL_FILE: &str = "/var/spool/lpd/cfA100";
 
+/// The `lpr` world of paper §3.4, declared as data: SUID-root printer
+/// client, world-writable spool protocol, an unprivileged student invoker.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use epa_sandbox::cred::{Gid, Uid};
+    use epa_sandbox::os::ScenarioMeta;
+    let scenario = ScenarioMeta::default();
+    crate::worlds::base_unix_builder()
+        .dir("/var/spool/lpd", Uid::ROOT, Gid::ROOT, 0o755)
+        .file(
+            "/home/student/report.txt",
+            "quarterly report\n",
+            scenario.invoker,
+            scenario.invoker_gid,
+            0o644,
+        )
+        .suid_root_program("/usr/bin/lpr")
+        .args(["report.txt"])
+        .cwd("/home/student")
+        .build()
+}
+
 /// The vulnerable `lpr` of paper §3.4.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lpr;

@@ -23,6 +23,35 @@ pub const MAILBOX: &str = "/var/mail/student";
 /// The IPC channel the mail daemon delivers on.
 pub const CHANNEL: &str = "maild";
 
+/// The `mailnotify` world, declared as data: a SUID-root biff-style
+/// notifier fed by the mail daemon over IPC.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use epa_sandbox::os::ScenarioMeta;
+    let scenario = ScenarioMeta::default();
+    crate::worlds::base_unix_builder()
+        .file(
+            "/var/mail/student",
+            "From: old\n",
+            scenario.invoker,
+            scenario.invoker_gid,
+            0o600,
+        )
+        .root_file("/usr/bin/mail", "#!mail", 0o755)
+        .suid_root_program("/usr/local/bin/mailnotify")
+        // Attacker's prepared PATH payload.
+        .file(
+            "/home/evil/bin/mail",
+            "#!evil-mail",
+            scenario.attacker,
+            scenario.attacker_gid,
+            0o755,
+        )
+        .ipc_message(CHANNEL, "maild", "From: alice\nSubject: lunch?\n")
+        .env("PATH", "/usr/bin:/bin")
+        .cwd("/home/student")
+        .build()
+}
+
 /// The vulnerable notifier.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MailNotify;

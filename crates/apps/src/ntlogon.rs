@@ -20,6 +20,15 @@ use epa_sandbox::trace::InputSemantic;
 /// The four logon registry keys.
 pub const LOGON_KEYS: [&str; 4] = ["ProfileDir", "Script", "Shell", "HelpFile"];
 
+/// The NT logon world of paper §4.2, declared as data: the logon service
+/// (root) processes `user1001`'s logon over the shared NT base.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    crate::worlds::base_nt_builder(Uid(1001))
+        .invoker(Uid::ROOT)
+        .cwd("/")
+        .build()
+}
+
 /// Full key path for one logon key.
 pub fn logon_key(name: &str) -> String {
     format!("HKLM/Software/Logon/{name}")

@@ -28,6 +28,48 @@ use epa_sandbox::trace::InputSemantic;
 /// Path of the course configuration file.
 pub const CONFIG_FILE: &str = "/usr/local/lib/turnin.cf";
 
+/// The `turnin` world of paper §4.1, declared as data: course account,
+/// protected submit tree, a student invoker, and the attacker's prepared
+/// `tar` lookalike.
+pub fn spec() -> epa_core::engine::WorldSpec {
+    use crate::worlds::TA_UID;
+    use epa_sandbox::cred::Gid;
+    use epa_sandbox::fs::FileTag;
+    use epa_sandbox::os::ScenarioMeta;
+    let scenario = ScenarioMeta::default();
+    crate::worlds::base_unix_builder()
+        .user("ta", TA_UID, Gid(1000), "/home/ta")
+        .dir("/home/ta/submit", TA_UID, Gid(1000), 0o755)
+        .file("/home/ta/.login", "setenv SHELL /bin/csh\n", TA_UID, Gid(1000), 0o644)
+        .file("/home/ta/submit/Projlist", "proj1\nproj2\n", TA_UID, Gid(1000), 0o644)
+        .root_file(CONFIG_FILE, "cs390:ta:1000\ncs503:ta:1000\n", 0o644)
+        .root_file("/usr/local/bin/tar", "#!tar", 0o755)
+        .suid_root_program("/usr/local/bin/turnin")
+        .file(
+            "/home/student/hw1.c",
+            "int main(){}\n",
+            scenario.invoker,
+            scenario.invoker_gid,
+            0o644,
+        )
+        // The attacker's prepared PATH payload.
+        .file(
+            "/home/evil/bin/tar",
+            "#!evil-tar",
+            scenario.attacker,
+            scenario.attacker_gid,
+            0o755,
+        )
+        // The TA's home is the victim's territory: planting files there on
+        // the student's behalf is an integrity violation.
+        .tag("/home/ta", FileTag::Protected)
+        .args(["-c", "cs390", "-p", "proj1", "hw1.c"])
+        .env("PATH", "/usr/local/bin:/usr/bin:/bin")
+        .env("USER", "student")
+        .cwd("/home/student")
+        .build()
+}
+
 const S_ARGS: &str = "turnin:read_args";
 const S_PATH: &str = "turnin:getenv_path";
 const S_CONFIG: &str = "turnin:read_config";
@@ -426,7 +468,8 @@ impl Application for TurninFixed {
 mod tests {
     use super::*;
     use crate::worlds;
-    use epa_core::campaign::{run_once, Campaign};
+    use epa_core::campaign::run_once;
+    use epa_core::engine::Session;
 
     #[test]
     fn clean_submission_succeeds() {
@@ -450,8 +493,7 @@ mod tests {
     #[test]
     fn traces_eight_interaction_points() {
         let setup = worlds::turnin_world();
-        let c = Campaign::new(&Turnin, &setup);
-        let plan = c.plan();
+        let plan = Session::from_setup(setup).plan(&Turnin);
         let perturbable: Vec<_> = plan
             .sites
             .iter()

@@ -1,18 +1,16 @@
 //! World builders: the initial environments of the paper's case studies.
 //!
-//! Each builder returns a [`TestSetup`]: a pristine [`Os`] world plus spawn
-//! parameters. Worlds are built god-mode, tagged for the oracle via
-//! [`epa_core::perturb::tag_standard_targets`] plus scenario-specific tags,
-//! and are deterministic — campaigns clone them per injected run.
+//! Since the engine redesign the worlds are **declared as data**: every app
+//! module exports a [`WorldSpec`] (`epa_apps::lpr::spec()`, …) composed
+//! from the shared base builders in this module, and campaigns consume the
+//! specs through `epa_core::engine::{Session, Suite}`. The `*_world()`
+//! functions remain as thin materializing shims for the pre-engine
+//! [`TestSetup`]-based API; they build byte-identical worlds.
 
 use epa_core::campaign::TestSetup;
-use epa_core::perturb::tag_standard_targets;
+use epa_core::engine::{ScenarioBuilder, WorldSpec};
 use epa_sandbox::cred::{Gid, Uid};
-use epa_sandbox::fs::FileTag;
-use epa_sandbox::mode::Mode;
-use epa_sandbox::net::Message;
-use epa_sandbox::os::{Os, ScenarioMeta};
-use epa_sandbox::registry::RegAcl;
+use epa_sandbox::os::ScenarioMeta;
 
 /// The teaching assistant's uid in the turnin world.
 pub const TA_UID: Uid = Uid(1000);
@@ -21,168 +19,41 @@ pub const STUDENT_UID: Uid = Uid(1001);
 /// The attacker uid used across worlds.
 pub const ATTACKER_UID: Uid = Uid(6666);
 
-fn base_unix_os() -> Os {
-    let mut os = Os::new();
-    os.users.add("root", Uid::ROOT, Gid::ROOT, "/root");
-    os.users
-        .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
-    os.users
-        .add("evil", os.scenario.attacker, os.scenario.attacker_gid, "/home/evil");
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.fs
-        .mkdir_p("/tmp", root.0, root.1, Mode::new(0o1777))
-        .expect("world build");
-    os.fs
-        .mkdir_p("/etc/cron.d", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file(
+/// Number of unprotected (world-writable) registry keys in the NT world,
+/// matching the paper's inventory.
+pub const NT_UNPROTECTED_KEYS: usize = 29;
+
+fn materialize(spec: &WorldSpec, app: &str) -> TestSetup {
+    spec.materialize()
+        .unwrap_or_else(|e| panic!("{app} world spec must be valid: {e}"))
+}
+
+/// The shared UNIX base: root/student/attacker accounts, `/tmp`, the
+/// password and shadow files, the system config, and the attacker's
+/// prepared directory.
+pub fn base_unix_builder() -> ScenarioBuilder {
+    let scenario = ScenarioMeta::default();
+    let (invoker, invoker_gid) = (scenario.invoker, scenario.invoker_gid);
+    let (attacker, attacker_gid) = (scenario.attacker, scenario.attacker_gid);
+    ScenarioBuilder::new()
+        .user("root", Uid::ROOT, Gid::ROOT, "/root")
+        .user("student", invoker, invoker_gid, "/home/student")
+        .user("evil", attacker, attacker_gid, "/home/evil")
+        .dir("/tmp", Uid::ROOT, Gid::ROOT, 0o1777)
+        .dir("/etc/cron.d", Uid::ROOT, Gid::ROOT, 0o755)
+        .dir("/home/student", invoker, invoker_gid, 0o755)
+        .dir("/home/evil/bin", attacker, attacker_gid, 0o755)
+        .root_file(
             "/etc/passwd",
             "root:x:0:0:/root\nstudent:x:1001:100:/home/student\n",
-            root.0,
-            root.1,
-            Mode::new(0o644),
+            0o644,
         )
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/etc/shadow",
-            "root:HASH0x7f:12000\nstudent:HASH0x11:12000\n",
-            root.0,
-            root.1,
-            Mode::new(0o600),
-        )
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/etc/system.conf",
-            "kernel.paranoid=1\n",
-            root.0,
-            root.1,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .mkdir_p(
-            "/home/student",
-            os.scenario.invoker,
-            os.scenario.invoker_gid,
-            Mode::new(0o755),
-        )
-        .expect("world build");
-    os.fs
-        .mkdir_p(
-            "/home/evil/bin",
-            os.scenario.attacker,
-            os.scenario.attacker_gid,
-            Mode::new(0o755),
-        )
-        .expect("world build");
-    os
-}
-
-/// The `lpr` world of paper §3.4: SUID-root printer client, world-writable
-/// spool protocol, an unprivileged student invoker.
-pub fn lpr_world() -> TestSetup {
-    let mut os = base_unix_os();
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.fs
-        .mkdir_p("/var/spool/lpd", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/home/student/report.txt",
-            "quarterly report\n",
-            os.scenario.invoker,
-            os.scenario.invoker_gid,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/usr/bin/lpr", "", root.0, root.1, Mode::new(0o4755))
-        .expect("world build");
-    tag_standard_targets(&mut os);
-    TestSetup::new(os)
-        .program("/usr/bin/lpr")
-        .args(["report.txt"])
-        .cwd("/home/student")
-}
-
-/// The `turnin` world of paper §4.1: course account, protected submit tree,
-/// a student invoker, and the attacker's prepared `tar` lookalike.
-pub fn turnin_world() -> TestSetup {
-    let mut os = base_unix_os();
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.users.add("ta", TA_UID, Gid(1000), "/home/ta");
-    os.fs
-        .mkdir_p("/home/ta/submit", TA_UID, Gid(1000), Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/home/ta/.login",
-            "setenv SHELL /bin/csh\n",
-            TA_UID,
-            Gid(1000),
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/home/ta/submit/Projlist",
-            "proj1\nproj2\n",
-            TA_UID,
-            Gid(1000),
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/usr/local/lib/turnin.cf",
-            "cs390:ta:1000\ncs503:ta:1000\n",
-            root.0,
-            root.1,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/usr/local/bin/tar", "#!tar", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file("/usr/local/bin/turnin", "", root.0, root.1, Mode::new(0o4755))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/home/student/hw1.c",
-            "int main(){}\n",
-            os.scenario.invoker,
-            os.scenario.invoker_gid,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    // The attacker's prepared PATH payload.
-    os.fs
-        .put_file(
-            "/home/evil/bin/tar",
-            "#!evil-tar",
-            os.scenario.attacker,
-            os.scenario.attacker_gid,
-            Mode::new(0o755),
-        )
-        .expect("world build");
-    tag_standard_targets(&mut os);
-    // The TA's home is the victim's territory: planting files there on the
-    // student's behalf is an integrity violation.
-    os.fs.tag("/home/ta", FileTag::Protected).expect("world build");
-    TestSetup::new(os)
-        .program("/usr/local/bin/turnin")
-        .args(["-c", "cs390", "-p", "proj1", "hw1.c"])
-        .env("PATH", "/usr/local/bin:/usr/bin:/bin")
-        .env("USER", "student")
-        .cwd("/home/student")
+        .root_file("/etc/shadow", "root:HASH0x7f:12000\nstudent:HASH0x11:12000\n", 0o600)
+        .root_file("/etc/system.conf", "kernel.paranoid=1\n", 0o644)
 }
 
 /// Scenario metadata shared by the Windows NT worlds (§4.2).
-fn nt_scenario(invoker: Uid) -> ScenarioMeta {
+pub fn nt_scenario(invoker: Uid) -> ScenarioMeta {
     ScenarioMeta {
         invoker,
         invoker_gid: Gid(100),
@@ -199,67 +70,26 @@ fn nt_scenario(invoker: Uid) -> ScenarioMeta {
     }
 }
 
-/// Number of unprotected (world-writable) registry keys in the NT world,
-/// matching the paper's inventory.
-pub const NT_UNPROTECTED_KEYS: usize = 29;
-
-fn base_nt_os(invoker: Uid) -> Os {
-    let mut os = Os::with_scenario(nt_scenario(invoker));
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.users
-        .add("Administrator", Uid::ROOT, Gid::ROOT, "/users/administrator");
-    os.users.add("user1001", Uid(1001), Gid(100), "/users/user1001");
-    os.users.add("evil", ATTACKER_UID, Gid(666), "/users/evil");
-    os.fs
-        .mkdir_p("/winnt/system32", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/winnt/system.ini",
-            "[boot]\nshell=explorer\n",
-            root.0,
-            root.1,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/winnt/win.ini", "[fonts]\n", root.0, root.1, Mode::new(0o644))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/winnt/repair/sam",
-            "SAM{admin:NTHASH}\n",
-            root.0,
-            root.1,
-            Mode::new(0o600),
-        )
-        .expect("world build");
-    os.fs
-        .mkdir_p("/users/evil/bin", ATTACKER_UID, Gid(666), Mode::new(0o755))
-        .expect("world build");
+/// The shared Windows NT base: Administrator/user/attacker accounts, the
+/// `/winnt` tree, and the paper's 29 unprotected registry keys (5 font
+/// caches + 4 logon keys consumed by modeled modules, 20 speculation-set
+/// extras no module reads).
+pub fn base_nt_builder(invoker: Uid) -> ScenarioBuilder {
+    let mut b = ScenarioBuilder::with_scenario(nt_scenario(invoker))
+        .user("Administrator", Uid::ROOT, Gid::ROOT, "/users/administrator")
+        .user("user1001", Uid(1001), Gid(100), "/users/user1001")
+        .user("evil", ATTACKER_UID, Gid(666), "/users/evil")
+        .dir("/winnt/system32", Uid::ROOT, Gid::ROOT, 0o755)
+        .dir("/users/evil/bin", ATTACKER_UID, Gid(666), 0o755)
+        .root_file("/winnt/system.ini", "[boot]\nshell=explorer\n", 0o644)
+        .root_file("/winnt/win.ini", "[fonts]\n", 0o644)
+        .root_file("/winnt/repair/sam", "SAM{admin:NTHASH}\n", 0o600);
     // Five font-cache files named by unprotected registry keys.
     for i in 0..5 {
-        os.fs
-            .put_file(
-                &format!("/winnt/fonts/cache{i}.fon"),
-                "FONTDATA",
-                root.0,
-                root.1,
-                Mode::new(0o644),
-            )
-            .expect("world build");
-        os.registry.ensure_key(
-            &format!("HKLM/Software/Fonts/Cache{i}"),
-            RegAcl {
-                owner: Uid::ROOT,
-                world_writable: true,
-            },
-        );
-        os.registry.god_set_value(
-            &format!("HKLM/Software/Fonts/Cache{i}"),
-            "Path",
-            format!("/winnt/fonts/cache{i}.fon"),
-        );
+        b = b
+            .root_file(format!("/winnt/fonts/cache{i}.fon"), "FONTDATA", 0o644)
+            .registry_key(format!("HKLM/Software/Fonts/Cache{i}"), true)
+            .registry_value("Path", format!("/winnt/fonts/cache{i}.fon"));
     }
     // Four logon keys, also unprotected.
     let logon: [(&str, &str); 4] = [
@@ -269,216 +99,90 @@ fn base_nt_os(invoker: Uid) -> Os {
         ("HelpFile", "/winnt/help/welcome.txt"),
     ];
     for (name, value) in logon {
-        os.registry.ensure_key(
-            &format!("HKLM/Software/Logon/{name}"),
-            RegAcl {
-                owner: Uid::ROOT,
-                world_writable: true,
-            },
-        );
-        os.registry
-            .god_set_value(&format!("HKLM/Software/Logon/{name}"), "Path", value);
+        b = b
+            .registry_key(format!("HKLM/Software/Logon/{name}"), true)
+            .registry_value("Path", value);
     }
     // Twenty further unprotected keys no modeled module consumes — the
     // paper's "other 20 unprotected keys" it could only speculate about.
     for i in 0..20 {
-        os.registry.ensure_key(
-            &format!("HKLM/Software/Extras/Key{i:02}"),
-            RegAcl {
-                owner: Uid::ROOT,
-                world_writable: true,
-            },
-        );
-        os.registry.god_set_value(
-            &format!("HKLM/Software/Extras/Key{i:02}"),
-            "Value",
-            format!("opaque-{i}"),
-        );
+        b = b
+            .registry_key(format!("HKLM/Software/Extras/Key{i:02}"), true)
+            .registry_value("Value", format!("opaque-{i}"));
     }
-    // Logon world objects.
-    os.fs
-        .put_file(
-            "/profiles/user1001/profile.cfg",
-            "shell=/winnt/system32/csh.exe\n",
-            root.0,
-            root.1,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/winnt/system32/csh.exe", "#!csh", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/winnt/scripts/logon.cmd",
-            "@echo on\n",
-            root.0,
-            root.1,
-            Mode::new(0o755),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/winnt/system32/cmd.exe", "#!cmd", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/winnt/help/welcome.txt",
-            "welcome to the domain\n",
-            root.0,
-            root.1,
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    // The attacker's prepared profile directory.
-    os.fs
-        .put_file(
-            "/users/evil/profile.cfg",
-            "shell=/users/evil/rootkit.exe\n",
-            ATTACKER_UID,
-            Gid(666),
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/users/evil/rootkit.exe",
-            "#!rootkit",
-            ATTACKER_UID,
-            Gid(666),
-            Mode::new(0o755),
-        )
-        .expect("world build");
-    tag_standard_targets(&mut os);
-    os
+    // Logon world objects and the attacker's prepared profile directory.
+    b.root_file(
+        "/profiles/user1001/profile.cfg",
+        "shell=/winnt/system32/csh.exe\n",
+        0o644,
+    )
+    .root_file("/winnt/system32/csh.exe", "#!csh", 0o755)
+    .root_file("/winnt/scripts/logon.cmd", "@echo on\n", 0o755)
+    .root_file("/winnt/system32/cmd.exe", "#!cmd", 0o755)
+    .root_file("/winnt/help/welcome.txt", "welcome to the domain\n", 0o644)
+    .file(
+        "/users/evil/profile.cfg",
+        "shell=/users/evil/rootkit.exe\n",
+        ATTACKER_UID,
+        Gid(666),
+        0o644,
+    )
+    .file("/users/evil/rootkit.exe", "#!rootkit", ATTACKER_UID, Gid(666), 0o755)
 }
 
-/// The NT font-cache purge world: an administrator runs the module.
+/// The `lpr` world of paper §3.4 (see [`crate::lpr::spec`]).
+pub fn lpr_world() -> TestSetup {
+    materialize(&crate::lpr::spec(), "lpr")
+}
+
+/// The `turnin` world of paper §4.1 (see [`crate::turnin::spec`]).
+pub fn turnin_world() -> TestSetup {
+    materialize(&crate::turnin::spec(), "turnin")
+}
+
+/// The NT font-cache purge world (see [`crate::fontpurge::spec`]).
 pub fn fontpurge_world() -> TestSetup {
-    let os = base_nt_os(Uid::ROOT);
-    TestSetup::new(os).invoker(Uid::ROOT).cwd("/")
+    materialize(&crate::fontpurge::spec(), "fontpurge")
 }
 
-/// The NT logon world: the logon service (root) processes user1001's logon.
+/// The NT logon world (see [`crate::ntlogon::spec`]).
 pub fn ntlogon_world() -> TestSetup {
-    let os = base_nt_os(Uid(1001));
-    TestSetup::new(os).invoker(Uid::ROOT).cwd("/")
+    materialize(&crate::ntlogon::spec(), "ntlogon")
 }
 
-/// The `fingerd` world: a root daemon serving plan files over port 79, with
-/// a DNS-based host allowlist. The oracle's invoker is the anonymous remote
-/// client (uid 9999).
+/// The `fingerd` world (see [`crate::fingerd::spec`]).
 pub fn fingerd_world() -> TestSetup {
-    let mut os = base_unix_os();
-    os.scenario.invoker = Uid(9999);
-    os.scenario.invoker_gid = Gid(999);
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.users.add("nobody", Uid(9999), Gid(999), "/");
-    os.users.add("user1001", Uid(1001), Gid(100), "/home/user1001");
-    os.fs
-        .put_file(
-            "/home/user1001/.plan",
-            "On sabbatical until fall.\n",
-            Uid(1001),
-            Gid(100),
-            Mode::new(0o644),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/usr/sbin/fingerd", "", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.net.add_dns("trusted.cs.example.edu", "10.0.5.1");
-    os.net.add_dns("evil.example.net", "198.51.100.66");
-    os.net.add_service("trusted.cs.example.edu", 1023, true);
-    os.net
-        .push_message(79, Message::genuine("trusted.cs.example.edu", "user1001"));
-    tag_standard_targets(&mut os);
-    TestSetup::new(os).invoker(Uid::ROOT).cwd("/")
+    materialize(&crate::fingerd::spec(), "fingerd")
 }
 
-/// The `authd` world: a three-step (HELO/AUTH/CMD) key-registration daemon.
+/// The `authd` world (see [`crate::authd::spec`]).
 pub fn authd_world() -> TestSetup {
-    let mut os = base_unix_os();
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.users.add("user1001", Uid(1001), Gid(100), "/home/user1001");
-    os.fs
-        .put_file("/etc/authd.secret", "s3cret-token", root.0, root.1, Mode::new(0o600))
-        .expect("world build");
-    os.fs
-        .put_file(
-            "/etc/auth_keys",
-            "# authorized keys\n",
-            root.0,
-            root.1,
-            Mode::new(0o600),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/usr/sbin/authd", "", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    for step in [
-        "HELO client.cs.example.edu",
-        "AUTH s3cret-token",
-        "CMD addkey user1001 ssh-rsa-KEY",
-    ] {
-        os.net
-            .push_message(113, Message::genuine("client.cs.example.edu", step));
-    }
-    tag_standard_targets(&mut os);
-    TestSetup::new(os).invoker(Uid::ROOT).cwd("/")
+    materialize(&crate::authd::spec(), "authd")
 }
 
-/// The `backupd` world: a root cron job snapshotting the shadow file, with
-/// the creation mask supplied by the environment.
+/// The `backupd` world (see [`crate::backupd::spec`]).
 pub fn backupd_world() -> TestSetup {
-    let mut os = base_unix_os();
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.fs
-        .mkdir_p("/var/backups", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file("/usr/sbin/backupd", "", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    tag_standard_targets(&mut os);
-    TestSetup::new(os).invoker(Uid::ROOT).env("UMASK", "077").cwd("/")
+    materialize(&crate::backupd::spec(), "backupd")
 }
 
-/// The `mailnotify` world: a SUID-root biff-style notifier fed by the mail
-/// daemon over IPC.
+/// The `mailnotify` world (see [`crate::mailnotify::spec`]).
 pub fn mailnotify_world() -> TestSetup {
-    let mut os = base_unix_os();
-    let root = (Uid::ROOT, Gid::ROOT);
-    os.fs
-        .put_file(
-            "/var/mail/student",
-            "From: old\n",
-            os.scenario.invoker,
-            os.scenario.invoker_gid,
-            Mode::new(0o600),
-        )
-        .expect("world build");
-    os.fs
-        .put_file("/usr/bin/mail", "#!mail", root.0, root.1, Mode::new(0o755))
-        .expect("world build");
-    os.fs
-        .put_file("/usr/local/bin/mailnotify", "", root.0, root.1, Mode::new(0o4755))
-        .expect("world build");
-    // Attacker's prepared PATH payload.
-    os.fs
-        .put_file(
-            "/home/evil/bin/mail",
-            "#!evil-mail",
-            os.scenario.attacker,
-            os.scenario.attacker_gid,
-            Mode::new(0o755),
-        )
-        .expect("world build");
-    os.net
-        .push_ipc("maild", Message::genuine("maild", "From: alice\nSubject: lunch?\n"));
-    tag_standard_targets(&mut os);
-    TestSetup::new(os)
-        .program("/usr/local/bin/mailnotify")
-        .env("PATH", "/usr/bin:/bin")
-        .cwd("/home/student")
+    materialize(&crate::mailnotify::spec(), "mailnotify")
+}
+
+/// Every case study's world spec, keyed by application name, in the
+/// paper's presentation order.
+pub fn all_specs() -> Vec<(&'static str, WorldSpec)> {
+    vec![
+        ("lpr", crate::lpr::spec()),
+        ("turnin", crate::turnin::spec()),
+        ("fontpurge", crate::fontpurge::spec()),
+        ("ntlogon", crate::ntlogon::spec()),
+        ("fingerd", crate::fingerd::spec()),
+        ("authd", crate::authd::spec()),
+        ("mailnotify", crate::mailnotify::spec()),
+        ("backupd", crate::backupd::spec()),
+    ]
 }
 
 #[cfg(test)]
@@ -492,16 +196,16 @@ mod tests {
     }
 
     #[test]
+    fn every_spec_validates() {
+        for (name, spec) in all_specs() {
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
     fn worlds_pass_fs_invariants() {
-        for setup in [
-            lpr_world(),
-            turnin_world(),
-            fontpurge_world(),
-            ntlogon_world(),
-            fingerd_world(),
-            authd_world(),
-            mailnotify_world(),
-        ] {
+        for (name, spec) in all_specs() {
+            let setup = spec.materialize().unwrap_or_else(|e| panic!("{name}: {e}"));
             setup.world.fs.check_invariants().unwrap();
         }
     }
@@ -513,5 +217,15 @@ mod tests {
         assert!(st.tags.contains(&epa_sandbox::fs::FileTag::Secret));
         let st = setup.world.fs.stat("/etc/passwd", None).unwrap();
         assert!(st.tags.contains(&epa_sandbox::fs::FileTag::Protected));
+    }
+
+    #[test]
+    fn specs_are_deterministic_data() {
+        for (name, spec) in all_specs() {
+            assert_eq!(spec, {
+                let again = all_specs();
+                again.into_iter().find(|(n, _)| *n == name).unwrap().1
+            });
+        }
     }
 }

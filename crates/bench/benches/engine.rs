@@ -1,35 +1,49 @@
 //! Criterion performance benches: engine overhead and substrate hot paths.
 //!
 //! Absolute numbers are machine-local; the benches exist so regressions in
-//! the injection engine or the VFS resolver are visible.
+//! the injection engine or the VFS resolver are visible. Beyond the
+//! criterion groups, `main` measures copy-on-write snapshot setup against
+//! the old deep-clone per-fault setup on the lpr-scale world and writes the
+//! result to `BENCH_engine.json` (the start of the perf trajectory; the
+//! engine redesign requires snapshot ≥ 2× faster than deep clone there).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BatchSize, Criterion};
 
 use epa_apps::{worlds, Lpr, Turnin};
-use epa_core::campaign::{run_once, Campaign, CampaignOptions};
+use epa_core::campaign::{run_once, CampaignOptions};
+use epa_core::engine::Session;
 use epa_sandbox::cred::{Credentials, Gid, Uid};
 use epa_sandbox::mode::Mode;
 
 fn bench_campaigns(c: &mut Criterion) {
     let mut g = c.benchmark_group("campaign");
     g.sample_size(20);
-    let lpr_setup = worlds::lpr_world();
-    g.bench_function("lpr_full_campaign", |b| {
-        b.iter(|| Campaign::new(&Lpr, &lpr_setup).execute())
-    });
-    let turnin_setup = worlds::turnin_world();
-    g.bench_function("turnin_full_campaign", |b| {
-        b.iter(|| Campaign::new(&Turnin, &turnin_setup).execute())
+    let lpr = Session::from_setup(worlds::lpr_world());
+    g.bench_function("lpr_full_campaign", |b| b.iter(|| lpr.execute(&Lpr)));
+    let turnin = Session::from_setup(worlds::turnin_world());
+    g.bench_function("turnin_full_campaign", |b| b.iter(|| turnin.execute(&Turnin)));
+    let turnin_parallel = turnin.clone().with_options(CampaignOptions {
+        parallel: true,
+        ..Default::default()
     });
     g.bench_function("turnin_full_campaign_parallel", |b| {
-        b.iter(|| {
-            Campaign::new(&Turnin, &turnin_setup)
-                .with_options(CampaignOptions {
-                    parallel: true,
-                    ..Default::default()
-                })
-                .execute()
-        })
+        b.iter(|| turnin_parallel.execute(&Turnin))
+    });
+    let suite = epa_apps::standard_suite().expect("valid specs");
+    g.bench_function("standard_suite_all_eight_apps", |b| b.iter(|| suite.execute()));
+    g.finish();
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("setup");
+    let setup = worlds::lpr_world();
+    g.bench_function("lpr_world_snapshot_clone", |b| {
+        b.iter_batched(|| (), |_| setup.world.clone(), BatchSize::SmallInput)
+    });
+    g.bench_function("lpr_world_deep_clone", |b| {
+        b.iter_batched(|| (), |_| setup.world.deep_clone(), BatchSize::SmallInput)
     });
     g.finish();
 }
@@ -78,5 +92,65 @@ fn bench_classifier(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_campaigns, bench_single_run, bench_vfs, bench_classifier);
-criterion_main!(benches);
+/// Median wall-clock nanoseconds of `f` over `samples` runs.
+fn median_ns<O>(samples: usize, mut f: impl FnMut() -> O) -> u128 {
+    let _ = std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2].as_nanos()
+}
+
+/// Measures snapshot-vs-deep-clone per-fault world setup on the lpr-scale
+/// world and writes `BENCH_engine.json` next to the workspace root.
+fn emit_bench_json() {
+    let setup = worlds::lpr_world();
+    let samples = 200;
+    let snapshot_ns = median_ns(samples, || setup.world.clone());
+    let deep_ns = median_ns(samples, || setup.world.deep_clone());
+    let session = Session::from_setup(worlds::lpr_world());
+    let campaign_ns = median_ns(20, || session.execute(&Lpr));
+    let speedup = deep_ns as f64 / snapshot_ns.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"world\": \"lpr\",\n  \"samples\": {samples},\n  \
+         \"snapshot_clone_ns\": {snapshot_ns},\n  \"deep_clone_ns\": {deep_ns},\n  \
+         \"snapshot_speedup\": {speedup:.2},\n  \"lpr_full_campaign_ns\": {campaign_ns}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "\nwrote {} (snapshot speedup over deep clone: {speedup:.1}x)",
+            path.display()
+        ),
+        Err(e) => eprintln!("\nBENCH_engine.json not written: {e}"),
+    }
+    assert!(
+        speedup >= 2.0,
+        "copy-on-write snapshot setup must beat deep clone by >= 2x on the lpr world, got {speedup:.2}x"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_campaigns,
+    bench_setup,
+    bench_single_run,
+    bench_vfs,
+    bench_classifier
+);
+
+// A hand-rolled `main` instead of `criterion_main!`: the criterion groups
+// run first, then the snapshot-vs-deep-clone measurement is written to
+// BENCH_engine.json.
+fn main() {
+    benches();
+    emit_bench_json();
+}

@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "comparison",
     "placement",
     "patterns",
+    "suite",
     "clean",
 ];
 
@@ -41,6 +42,7 @@ fn run(name: &str) -> Result<(), String> {
         "comparison" => print!("{}", experiments::comparison().render()),
         "placement" => print!("{}", experiments::placement().render()),
         "patterns" => print!("{}", experiments::patterns().render()),
+        "suite" => print!("{}", experiments::suite().render_text()),
         "clean" => {
             println!("Clean-run baseline (violations in unperturbed runs):");
             for (app, n) in experiments::clean_baseline() {

@@ -7,8 +7,9 @@ use epa_apps::{worlds, Authd, Backupd, Fingerd, FontPurge, Lpr, MailNotify, NtLo
 use epa_core::baselines::ava::{run_ava, AvaOptions};
 use epa_core::baselines::fuzz::{run_fuzz, FuzzOptions, FuzzTarget};
 use epa_core::baselines::BaselineReport;
-use epa_core::campaign::{run_once, Campaign, CampaignOptions, TestSetup};
+use epa_core::campaign::{run_once, CampaignOptions, TestSetup};
 use epa_core::coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds};
+use epa_core::engine::{Session, SuiteReport};
 use epa_core::inject::InjectionPlan;
 use epa_core::model::FsAttribute;
 use epa_core::perturb::{ConcreteFault, FaultPayload};
@@ -113,8 +114,7 @@ impl Figure1Result {
 
 /// Runs the turnin campaign and splits its violations by propagation path.
 pub fn figure1() -> Figure1Result {
-    let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(worlds::turnin_world()).execute(&Turnin);
     let via_internal_entity = report.violations().filter(|r| r.category.is_indirect()).count();
     let via_environment_entity = report.violations().filter(|r| r.category.is_direct()).count();
     Figure1Result {
@@ -169,12 +169,12 @@ impl Figure2Result {
 /// Runs four campaigns reproducing the four sample points of Figure 2.
 pub fn figure2() -> Figure2Result {
     let thresholds = AdequacyThresholds::default();
-    let setup = worlds::turnin_world();
-    let restricted = CampaignOptions {
+    let session = Session::from_setup(worlds::turnin_world());
+    let restricted = session.clone().with_options(CampaignOptions {
         max_sites: Some(3),
         max_faults_per_site: Some(2),
         ..Default::default()
-    };
+    });
 
     let mk = |label: &str, report: &CampaignReport| {
         let point = report.adequacy();
@@ -184,12 +184,10 @@ pub fn figure2() -> Figure2Result {
             region: point.region(thresholds),
         }
     };
-    let p1 = Campaign::new(&Turnin, &setup)
-        .with_options(restricted.clone())
-        .execute();
-    let p2 = Campaign::new(&TurninFixed, &setup).with_options(restricted).execute();
-    let p3 = Campaign::new(&Turnin, &setup).execute();
-    let p4 = Campaign::new(&TurninFixed, &setup).execute();
+    let p1 = restricted.execute(&Turnin);
+    let p2 = restricted.execute(&TurninFixed);
+    let p3 = session.execute(&Turnin);
+    let p4 = session.execute(&TurninFixed);
     Figure2Result {
         points: vec![
             mk("turnin, 3 sites x 2 faults", &p1),
@@ -239,15 +237,14 @@ impl LprResult {
 /// Reproduces the paper's §3.4 walkthrough: perturb only the `create`
 /// interaction of `lpr` and observe which attributes it tolerates.
 pub fn lpr_34() -> LprResult {
-    let setup = worlds::lpr_world();
     let mut filter = BTreeSet::new();
     filter.insert(SiteId::new("lpr:create_spool"));
-    let report = Campaign::new(&Lpr, &setup)
+    let report = Session::from_setup(worlds::lpr_world())
         .with_options(CampaignOptions {
             site_filter: Some(filter),
             ..Default::default()
         })
-        .execute();
+        .execute(&Lpr);
     let outcomes = report
         .records
         .iter()
@@ -309,10 +306,10 @@ impl TurninResult {
 
 /// Runs the full turnin campaign (and the fixed variant).
 pub fn turnin_41() -> TurninResult {
-    let setup = worlds::turnin_world();
+    let session = Session::from_setup(worlds::turnin_world());
     TurninResult {
-        report: Campaign::new(&Turnin, &setup).execute(),
-        fixed: Campaign::new(&TurninFixed, &setup).execute(),
+        report: session.execute(&Turnin),
+        fixed: session.execute(&TurninFixed),
     }
 }
 
@@ -357,11 +354,10 @@ impl RegistryResult {
 
 /// Runs the fontpurge and ntlogon campaigns and counts exploited keys.
 pub fn registry_42() -> RegistryResult {
-    let font_setup = worlds::fontpurge_world();
-    let unprotected = font_setup.world.registry.unprotected_keys().len();
-    let font_report = Campaign::new(&FontPurge, &font_setup).execute();
-    let logon_setup = worlds::ntlogon_world();
-    let logon_report = Campaign::new(&NtLogon, &logon_setup).execute();
+    let font_session = Session::from_setup(worlds::fontpurge_world());
+    let unprotected = font_session.world().registry.unprotected_keys().len();
+    let font_report = font_session.execute(&FontPurge);
+    let logon_report = Session::from_setup(worlds::ntlogon_world()).execute(&NtLogon);
 
     let mut per_key = Vec::new();
     let mut exploited = 0usize;
@@ -497,7 +493,7 @@ pub fn comparison() -> ComparisonResult {
         ),
     ];
     for (app, setup, target) in cases {
-        let epa_report = Campaign::new(app, &setup).execute();
+        let epa_report = Session::from_setup(setup.clone()).execute(app);
         let epa_rules: BTreeSet<String> = epa_report
             .violations()
             .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
@@ -590,21 +586,20 @@ impl PlacementResult {
 
 /// Injects lpr's create-site faults before vs after the interaction point.
 pub fn placement() -> PlacementResult {
-    let setup = worlds::lpr_world();
     let mut filter = BTreeSet::new();
     filter.insert(SiteId::new("lpr:create_spool"));
-    let campaign = Campaign::new(&Lpr, &setup).with_options(CampaignOptions {
+    let session = Session::from_setup(worlds::lpr_world()).with_options(CampaignOptions {
         site_filter: Some(filter),
         ..Default::default()
     });
-    let plan = campaign.plan();
+    let plan = session.plan(&Lpr);
     let faults: Vec<ConcreteFault> = plan
         .sites
         .iter()
         .filter(|s| s.included)
         .flat_map(|s| s.faults.clone())
         .collect();
-    let before = campaign.execute_plan(&plan);
+    let before = session.execute_plan(&Lpr, &plan);
 
     let mut after_violations = 0usize;
     for fault in &faults {
@@ -616,7 +611,7 @@ pub fn placement() -> PlacementResult {
             },
             fired: false,
         };
-        let outcome = run_once(&setup, &Lpr, Some(Box::new(hook)));
+        let outcome = run_once(session.setup(), &Lpr, Some(Box::new(hook)));
         if !outcome.violations.is_empty() {
             after_violations += 1;
         }
@@ -666,7 +661,7 @@ impl PatternsResult {
 /// argument fuzz.
 pub fn patterns() -> PatternsResult {
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(setup.clone()).execute(&Turnin);
     let catalog_rules: BTreeSet<String> = report
         .violations()
         .flat_map(|r| r.violations.iter().map(|v| v.rule.clone()))
@@ -688,6 +683,19 @@ pub fn patterns() -> PatternsResult {
         random: (fuzz.runs(), fuzz.detections()),
         catalog_only_rules: catalog_rules.difference(&fuzz_rules).cloned().collect(),
     }
+}
+
+// ----------------------------------------------------------------------
+// Batch: the standard suite over all eight applications
+// ----------------------------------------------------------------------
+
+/// Runs the eight-application standard suite as one batch over the engine's
+/// `Suite` runner and returns the aggregated report with cross-application
+/// rollups.
+pub fn suite() -> SuiteReport {
+    epa_apps::standard_suite()
+        .expect("the case-study specs are valid")
+        .execute()
 }
 
 // ----------------------------------------------------------------------
@@ -735,6 +743,26 @@ mod tests {
         assert_eq!(r.candidate_attributes, 7);
         assert_eq!(r.injected, 4);
         assert_eq!(r.violations, 4);
+    }
+
+    #[test]
+    fn suite_batch_covers_all_eight_apps() {
+        let report = suite();
+        assert_eq!(report.reports.len(), 8);
+        assert_eq!(report.vulnerable_apps().len(), 8);
+        assert!(report.total_injected() > report.total_violated());
+        for app in [
+            "lpr",
+            "turnin",
+            "fontpurge",
+            "ntlogon",
+            "fingerd",
+            "authd",
+            "mailnotify",
+            "backupd",
+        ] {
+            assert!(report.get(app).is_some(), "{app} missing from suite report");
+        }
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn run_ava(setup: &TestSetup, app: &dyn Application, options: &AvaOptions) -
         records.push(BaselineRecord {
             input: format!("ava run {i} (seed {run_seed:#x})"),
             exit: outcome.exit,
-            crashed: outcome.crashed,
+            crashed: outcome.has_crashed(),
             violations: outcome.violations,
         });
     }

@@ -119,7 +119,7 @@ pub fn run_fuzz(setup: &TestSetup, app: &dyn Application, options: &FuzzOptions)
         records.push(BaselineRecord {
             input: input_desc,
             exit: outcome.exit,
-            crashed: outcome.crashed,
+            crashed: outcome.has_crashed(),
             violations: outcome.violations,
         });
     }

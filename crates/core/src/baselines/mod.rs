@@ -93,12 +93,12 @@ mod tests {
                     input: "b".into(),
                     exit: None,
                     crashed: true,
-                    violations: vec![epa_sandbox::policy::Violation {
-                        kind: epa_sandbox::policy::ViolationKind::MemoryCorruption,
-                        rule: "R4-memory-safety".into(),
-                        description: "overflow".into(),
-                        event_index: 0,
-                    }],
+                    violations: vec![epa_sandbox::policy::Violation::new(
+                        epa_sandbox::policy::ViolationKind::MemoryCorruption,
+                        "R4-memory-safety",
+                        "overflow",
+                        0,
+                    )],
                 },
             ],
         };

@@ -64,12 +64,14 @@ impl TestSetup {
     }
 
     /// Sets the program file (enabling SUID).
+    #[must_use]
     pub fn program(mut self, path: impl Into<String>) -> Self {
         self.program = Some(path.into());
         self
     }
 
     /// Sets the argument vector.
+    #[must_use]
     pub fn args<I, S>(mut self, args: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -80,12 +82,14 @@ impl TestSetup {
     }
 
     /// Sets one environment variable.
+    #[must_use]
     pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.env.insert(key.into(), value.into());
         self
     }
 
     /// Sets the working directory.
+    #[must_use]
     pub fn cwd(mut self, dir: impl Into<String>) -> Self {
         self.cwd = dir.into();
         self
@@ -94,6 +98,7 @@ impl TestSetup {
     /// Sets the invoking user (defaults to the world's scenario invoker).
     /// System services are spawned by root while the scenario invoker stays
     /// the user on whose behalf the oracle judges outcomes.
+    #[must_use]
     pub fn invoker(mut self, uid: Uid) -> Self {
         self.invoker = uid;
         self
@@ -109,10 +114,29 @@ pub struct RunOutcome {
     pub pid: Option<Pid>,
     /// Exit status (`None` when the application panicked or never spawned).
     pub exit: Option<i32>,
-    /// Whether the application panicked.
-    pub crashed: bool,
+    /// `Some(panic message)` when the application panicked.
+    pub crashed: Option<String>,
     /// Violations detected by the oracle.
     pub violations: Vec<Violation>,
+}
+
+impl RunOutcome {
+    /// Whether the application panicked during the run.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+}
+
+/// Extracts the payload text from a caught panic (`&str` and `String`
+/// payloads; anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Runs the application once against a clone of the setup's world, with an
@@ -136,15 +160,15 @@ pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
                 os,
                 pid: None,
                 exit: None,
-                crashed: false,
+                crashed: None,
                 violations,
             };
         }
     };
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| app.run(&mut os, pid)));
     let (exit, crashed) = match result {
-        Ok(code) => (Some(code), false),
-        Err(_) => (None, true),
+        Ok(code) => (Some(code), None),
+        Err(payload) => (None, Some(panic_text(payload.as_ref()))),
     };
     if let Some(c) = exit {
         os.set_exit(pid, c);
@@ -215,6 +239,13 @@ impl CampaignPlan {
 }
 
 /// The methodology engine.
+///
+/// This is the original single-campaign driver. New code should go through
+/// the [`crate::engine`] facade — [`crate::engine::Session`] freezes one
+/// pristine world and runs campaigns from cheap copy-on-write snapshots,
+/// and [`crate::engine::Suite`] batches many applications — but the shim is
+/// kept (and tested) so existing callers keep reproducing the paper's
+/// numbers unchanged.
 pub struct Campaign<'a> {
     app: &'a dyn Application,
     setup: &'a TestSetup,
@@ -223,6 +254,10 @@ pub struct Campaign<'a> {
 
 impl<'a> Campaign<'a> {
     /// Builds a campaign with default options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `epa_core::engine::Session` (or `Suite` for batches) instead"
+    )]
     pub fn new(app: &'a dyn Application, setup: &'a TestSetup) -> Self {
         Campaign {
             app,
@@ -231,7 +266,14 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// As [`Campaign::new`], without the deprecation: the engine layer
+    /// builds campaigns internally.
+    pub(crate) fn build(app: &'a dyn Application, setup: &'a TestSetup, options: CampaignOptions) -> Self {
+        Campaign { app, setup, options }
+    }
+
     /// Replaces the options.
+    #[must_use]
     pub fn with_options(mut self, options: CampaignOptions) -> Self {
         self.options = options;
         self
@@ -352,6 +394,14 @@ impl<'a> Campaign<'a> {
 
     /// Executes a pre-built plan (lets callers inspect or prune it first).
     pub fn execute_plan(&self, plan: &CampaignPlan) -> CampaignReport {
+        self.execute_plan_with(plan, &mut |_| {})
+    }
+
+    /// As [`Campaign::execute_plan`], additionally streaming every record to
+    /// `on_record` as soon as its run completes (completion order; the
+    /// returned report is always in plan order). This is the primitive the
+    /// engine's [`crate::engine::Suite`] streaming API builds on.
+    pub fn execute_plan_with(&self, plan: &CampaignPlan, on_record: &mut dyn FnMut(&FaultRecord)) -> CampaignReport {
         let jobs = plan.jobs();
         let records: Vec<FaultRecord> = if self.options.parallel && jobs.len() > 1 {
             let workers = std::thread::available_parallelism()
@@ -373,12 +423,23 @@ impl<'a> Campaign<'a> {
                     });
                 }
                 drop(tx);
-                rx.iter().collect()
+                rx.iter()
+                    .map(|(i, r)| {
+                        on_record(&r);
+                        (i, r)
+                    })
+                    .collect()
             });
             indexed.sort_by_key(|(i, _)| *i);
             indexed.into_iter().map(|(_, r)| r).collect()
         } else {
-            jobs.iter().map(|j| self.run_job(j)).collect()
+            jobs.iter()
+                .map(|j| {
+                    let r = self.run_job(j);
+                    on_record(&r);
+                    r
+                })
+                .collect()
         };
 
         // Interaction points, in the paper's sense, are the places where the
@@ -398,6 +459,10 @@ impl<'a> Campaign<'a> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `Campaign::new` shim is exercised deliberately: it must
+    // keep reproducing the paper's numbers (see also `tests/case_lpr.rs`).
+    #![allow(deprecated)]
+
     use super::*;
     use epa_sandbox::cred::Gid;
     use epa_sandbox::mode::Mode;
@@ -564,10 +629,11 @@ mod tests {
     }
 
     #[test]
-    fn harness_survives_a_panicking_application() {
+    fn harness_survives_a_panicking_application_and_keeps_the_payload() {
         let s = setup();
         let out = run_once(&s, &Panicker, None);
-        assert!(out.crashed);
+        assert!(out.has_crashed());
+        assert_eq!(out.crashed.as_deref(), Some("deliberate crash for harness robustness"));
         assert_eq!(out.exit, None);
     }
 }

@@ -1,0 +1,195 @@
+//! Sessions: one frozen pristine world, many cheap campaign runs.
+//!
+//! A [`Session`] materializes a [`WorldSpec`] once (or adopts an existing
+//! [`TestSetup`]) and freezes the result. Every run — the clean trace, each
+//! injected fault, every repeated campaign — starts from a copy-on-write
+//! snapshot of the frozen world ([`Session::snapshot`]), so per-fault setup
+//! costs O(touched state) instead of a deep world copy.
+
+use epa_sandbox::app::Application;
+use epa_sandbox::os::Os;
+
+use crate::campaign::{run_once, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
+use crate::engine::spec::{SpecError, WorldSpec};
+use crate::report::{CampaignReport, FaultRecord};
+
+/// A frozen pristine world plus campaign options.
+///
+/// The world inside a session is immutable: runs snapshot it, they never
+/// mutate it. That is what makes one session reusable across the clean run,
+/// a full campaign, an incremental campaign, and any number of repetitions
+/// — all observing byte-identical initial state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    setup: TestSetup,
+    options: CampaignOptions,
+}
+
+impl Session {
+    /// Validates and materializes a spec into a frozen session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`] from [`WorldSpec::materialize`].
+    pub fn new(spec: &WorldSpec) -> Result<Session, SpecError> {
+        Ok(Session::from_setup(spec.materialize()?))
+    }
+
+    /// Freezes an already-built setup (the migration path from hand-built
+    /// worlds; see the README's `Campaign` → `Session` notes).
+    pub fn from_setup(setup: TestSetup) -> Session {
+        Session {
+            setup,
+            options: CampaignOptions::default(),
+        }
+    }
+
+    /// Replaces the campaign options.
+    #[must_use]
+    pub fn with_options(mut self, options: CampaignOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// The frozen setup.
+    pub fn setup(&self) -> &TestSetup {
+        &self.setup
+    }
+
+    /// The frozen pristine world.
+    pub fn world(&self) -> &Os {
+        &self.setup.world
+    }
+
+    /// A copy-on-write snapshot of the pristine world: O(1), sharing all
+    /// substrate storage until the copy mutates.
+    pub fn snapshot(&self) -> Os {
+        self.setup.world.clone()
+    }
+
+    /// Runs the application once, unperturbed, from a fresh snapshot.
+    pub fn run(&self, app: &dyn Application) -> RunOutcome {
+        run_once(&self.setup, app, None)
+    }
+
+    /// Steps 1–5 of the paper's procedure: trace the application and build
+    /// the per-site fault plan.
+    pub fn plan(&self, app: &dyn Application) -> CampaignPlan {
+        self.campaign(app).plan()
+    }
+
+    /// Steps 1–10: the full campaign.
+    pub fn execute(&self, app: &dyn Application) -> CampaignReport {
+        self.campaign(app).execute_plan(&self.plan(app))
+    }
+
+    /// Executes a pre-built plan (lets callers inspect or prune it first).
+    pub fn execute_plan(&self, app: &dyn Application, plan: &CampaignPlan) -> CampaignReport {
+        self.campaign(app).execute_plan(plan)
+    }
+
+    /// As [`Session::execute`], streaming every record to `on_record` as
+    /// soon as its run completes (completion order; the report is in plan
+    /// order).
+    pub fn execute_streaming(&self, app: &dyn Application, on_record: &mut dyn FnMut(&FaultRecord)) -> CampaignReport {
+        let plan = self.plan(app);
+        self.campaign(app).execute_plan_with(&plan, on_record)
+    }
+
+    /// The paper's incremental step 9: perturb site by site until the
+    /// interaction-coverage criterion is met.
+    pub fn execute_until(&self, app: &dyn Application, min_interaction_coverage: f64) -> CampaignReport {
+        self.campaign(app).execute_until(min_interaction_coverage)
+    }
+
+    fn campaign<'a>(&'a self, app: &'a dyn Application) -> Campaign<'a> {
+        Campaign::build(app, &self.setup, self.options.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sandbox::cred::{Gid, Uid};
+    use epa_sandbox::os::ScenarioMeta;
+    use epa_sandbox::process::Pid;
+    use epa_sandbox::trace::InputSemantic;
+
+    /// The same mini-lpr the campaign tests use: one input site, one
+    /// naive-create site.
+    struct MiniLpr;
+    impl Application for MiniLpr {
+        fn name(&self) -> &'static str {
+            "mini-lpr"
+        }
+        fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+            let job = match os.sys_arg(pid, "lpr:arg", 0, InputSemantic::UserFileName) {
+                Ok(j) => j,
+                Err(_) => return 2,
+            };
+            if os
+                .sys_write_file(pid, "lpr:create", "/var/spool/lpd/job", job, 0o660)
+                .is_err()
+            {
+                return 1;
+            }
+            0
+        }
+    }
+
+    fn session() -> Session {
+        let scenario = ScenarioMeta::default();
+        let spec = WorldSpec::builder()
+            .user("root", Uid::ROOT, Gid::ROOT, "/root")
+            .user("student", scenario.invoker, scenario.invoker_gid, "/home/student")
+            .user("evil", scenario.attacker, scenario.attacker_gid, "/home/evil")
+            .dir("/var/spool/lpd", Uid::ROOT, Gid::ROOT, 0o755)
+            .root_file("/etc/passwd", "root:0:0:", 0o644)
+            .root_file("/etc/shadow", "root:HASH", 0o600)
+            .suid_root_program("/usr/bin/lpr")
+            .args(["report.txt"])
+            .build();
+        Session::new(&spec).unwrap()
+    }
+
+    #[test]
+    fn session_reproduces_the_campaign_numbers() {
+        let s = session();
+        let report = s.execute(&MiniLpr);
+        assert_eq!(report.injected(), 9);
+        assert_eq!(report.violated(), 4);
+        assert_eq!(report.clean_violations, 0);
+    }
+
+    #[test]
+    fn snapshots_share_storage_and_leave_the_pristine_world_untouched() {
+        let s = session();
+        let snap = s.snapshot();
+        assert_eq!(snap.fs.shared_inodes_with(&s.world().fs), s.world().fs.inode_count());
+        // A full campaign later, the frozen world is still pristine.
+        let _ = s.execute(&MiniLpr);
+        assert!(s.world().trace.sites().is_empty());
+        assert_eq!(s.world().audit.len(), 0);
+        assert!(!s.world().fs.exists("/var/spool/lpd/job"));
+    }
+
+    #[test]
+    fn streaming_sees_every_record() {
+        let s = session();
+        let mut streamed = Vec::new();
+        let report = s.execute_streaming(&MiniLpr, &mut |r| streamed.push(r.fault_id.clone()));
+        assert_eq!(streamed.len(), report.injected());
+        let mut in_report: Vec<String> = report.records.iter().map(|r| r.fault_id.clone()).collect();
+        streamed.sort();
+        in_report.sort();
+        assert_eq!(streamed, in_report);
+    }
+
+    #[test]
+    fn session_matches_the_deprecated_campaign_shim() {
+        let s = session();
+        #[allow(deprecated)]
+        let legacy = Campaign::new(&MiniLpr, s.setup()).execute();
+        assert_eq!(s.execute(&MiniLpr), legacy);
+    }
+}

@@ -1,0 +1,346 @@
+//! Suites: many `(application, world)` pairs executed as one batch.
+//!
+//! A [`Suite`] registers applications with their [`WorldSpec`]s (or
+//! pre-built [`Session`]s) and executes every campaign in one call, fanning
+//! the campaigns out over `std::thread::scope` workers. Results stream out
+//! as [`SuiteEvent`]s the moment they are produced — per-fault records
+//! first, one finished report per application after — and aggregate into a
+//! [`SuiteReport`] with cross-application coverage rollups, following the
+//! suite-level adequacy view of Dass & Siami Namin ("Vulnerability Coverage
+//! as an Adequacy Testing Criterion"): the unit of adequacy is the whole
+//! scenario suite, not a single program.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use epa_sandbox::app::Application;
+
+use crate::coverage::{AdequacyPoint, Ratio};
+use crate::engine::session::Session;
+use crate::engine::spec::{SpecError, WorldSpec};
+use crate::report::{CampaignReport, FaultRecord};
+
+/// An application paired with its frozen session.
+struct SuiteEntry {
+    app: Arc<dyn Application + Send + Sync>,
+    session: Session,
+}
+
+/// One streamed suite result.
+#[derive(Debug, Clone)]
+pub enum SuiteEvent {
+    /// One injected run finished (streamed in completion order).
+    Record {
+        /// The application under test.
+        app: String,
+        /// The fault's outcome.
+        record: FaultRecord,
+    },
+    /// One application's whole campaign finished.
+    AppFinished {
+        /// The application under test.
+        app: String,
+        /// Its full report.
+        report: CampaignReport,
+    },
+}
+
+/// A batch of `(application, world)` campaigns executed together.
+#[derive(Default)]
+pub struct Suite {
+    entries: Vec<SuiteEntry>,
+    sequential: bool,
+}
+
+impl Suite {
+    /// An empty suite.
+    pub fn new() -> Suite {
+        Suite::default()
+    }
+
+    /// Registers an application with a declarative world.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`] from materializing the spec.
+    pub fn register(
+        &mut self,
+        app: impl Application + Send + 'static,
+        spec: &WorldSpec,
+    ) -> Result<&mut Suite, SpecError> {
+        let session = Session::new(spec)?;
+        Ok(self.register_session(app, session))
+    }
+
+    /// Registers an application with a pre-built session.
+    pub fn register_session(&mut self, app: impl Application + Send + 'static, session: Session) -> &mut Suite {
+        self.entries.push(SuiteEntry {
+            app: Arc::new(app),
+            session,
+        });
+        self
+    }
+
+    /// Number of registered campaigns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered application names, in registration order.
+    pub fn apps(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.app.name()).collect()
+    }
+
+    /// Runs the campaigns one at a time on the calling thread instead of
+    /// fanning out (deterministic event order; useful for debugging).
+    #[must_use]
+    pub fn sequential(mut self) -> Suite {
+        self.sequential = true;
+        self
+    }
+
+    /// Executes every registered campaign, discarding the event stream.
+    pub fn execute(&self) -> SuiteReport {
+        self.execute_with(&mut |_| {})
+    }
+
+    /// Executes every registered campaign, streaming each [`SuiteEvent`] to
+    /// `on_event` as it is produced. Campaigns fan out over scoped worker
+    /// threads (one per registration, unless [`Suite::sequential`]); the
+    /// returned report is always in registration order.
+    pub fn execute_with(&self, on_event: &mut dyn FnMut(SuiteEvent)) -> SuiteReport {
+        if self.sequential {
+            let mut reports = Vec::with_capacity(self.entries.len());
+            for entry in &self.entries {
+                let name = entry.app.name().to_string();
+                let report = entry.session.execute_streaming(entry.app.as_ref(), &mut |r| {
+                    on_event(SuiteEvent::Record {
+                        app: name.clone(),
+                        record: r.clone(),
+                    });
+                });
+                on_event(SuiteEvent::AppFinished {
+                    app: name,
+                    report: report.clone(),
+                });
+                reports.push(report);
+            }
+            return SuiteReport { reports };
+        }
+
+        let mut indexed: Vec<(usize, CampaignReport)> = std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<SuiteEvent>();
+            let (done_tx, done_rx) = mpsc::channel::<(usize, CampaignReport)>();
+            for (i, entry) in self.entries.iter().enumerate() {
+                let tx = tx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    let name = entry.app.name().to_string();
+                    let report = entry.session.execute_streaming(entry.app.as_ref(), &mut |r| {
+                        let _ = tx.send(SuiteEvent::Record {
+                            app: name.clone(),
+                            record: r.clone(),
+                        });
+                    });
+                    let _ = tx.send(SuiteEvent::AppFinished {
+                        app: name,
+                        report: report.clone(),
+                    });
+                    let _ = done_tx.send((i, report));
+                });
+            }
+            drop(tx);
+            drop(done_tx);
+            // Drain the event stream on this thread so `on_event` needs no
+            // Sync bound; workers only ever touch the channels.
+            for event in rx {
+                on_event(event);
+            }
+            done_rx.iter().collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        SuiteReport {
+            reports: indexed.into_iter().map(|(_, r)| r).collect(),
+        }
+    }
+}
+
+/// The aggregated outcome of a suite run: per-application reports in
+/// registration order plus cross-application rollups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// One campaign report per registered application.
+    pub reports: Vec<CampaignReport>,
+}
+
+impl SuiteReport {
+    /// Looks up one application's report by name.
+    pub fn get(&self, app: &str) -> Option<&CampaignReport> {
+        self.reports.iter().find(|r| r.app == app)
+    }
+
+    /// Total faults injected across the suite.
+    pub fn total_injected(&self) -> usize {
+        self.reports.iter().map(CampaignReport::injected).sum()
+    }
+
+    /// Total violating runs across the suite.
+    pub fn total_violated(&self) -> usize {
+        self.reports.iter().map(CampaignReport::violated).sum()
+    }
+
+    /// Applications whose campaign surfaced at least one violation.
+    pub fn vulnerable_apps(&self) -> Vec<&str> {
+        self.reports
+            .iter()
+            .filter(|r| r.violated() > 0)
+            .map(|r| r.app.as_str())
+            .collect()
+    }
+
+    /// Suite-level fault coverage: tolerated / injected over every campaign.
+    pub fn fault_coverage(&self) -> Ratio {
+        let injected = self.total_injected();
+        Ratio::new(injected - self.total_violated(), injected)
+    }
+
+    /// Suite-level interaction coverage: perturbed / perturbable sites over
+    /// every campaign.
+    pub fn interaction_coverage(&self) -> Ratio {
+        Ratio::new(
+            self.reports.iter().map(|r| r.perturbed_sites).sum(),
+            self.reports.iter().map(|r| r.total_sites).sum(),
+        )
+    }
+
+    /// The suite's aggregate adequacy point (cross-application rollup of the
+    /// paper's Figure 2 metric).
+    pub fn adequacy(&self) -> AdequacyPoint {
+        AdequacyPoint::new(self.interaction_coverage().value(), self.fault_coverage().value())
+    }
+
+    /// Per-category `(injected, violated)` counts rolled up across every
+    /// campaign.
+    pub fn by_category(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut out: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for report in &self.reports {
+            for (category, (injected, violated)) in report.by_category() {
+                let e = out.entry(category).or_insert((0, 0));
+                e.0 += injected;
+                e.1 += violated;
+            }
+        }
+        out
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "suite: {} applications   injected: {}   violations: {}",
+            self.reports.len(),
+            self.total_injected(),
+            self.total_violated()
+        );
+        let _ = writeln!(
+            s,
+            "  interaction coverage: {}   fault coverage: {}",
+            self.interaction_coverage(),
+            self.fault_coverage()
+        );
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>8} {:>10} {:>7}   coverage (interaction, fault)",
+            "app", "injected", "violations", "score"
+        );
+        for r in &self.reports {
+            let _ = writeln!(
+                s,
+                "  {:<16} {:>8} {:>10} {:>7.3}   ({}, {})",
+                r.app,
+                r.injected(),
+                r.violated(),
+                r.vulnerability_score(),
+                r.interaction_coverage(),
+                r.fault_coverage()
+            );
+        }
+        let _ = writeln!(s, "  per-category rollup:");
+        for (category, (injected, violated)) in self.by_category() {
+            let _ = writeln!(s, "    {category:<28} {injected:>4} injected  {violated:>3} violations");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EaiCategory, IndirectKind};
+
+    fn record(violated: bool) -> FaultRecord {
+        FaultRecord {
+            site: "s".into(),
+            occurrence: 0,
+            fault_id: "f".into(),
+            category: EaiCategory::Indirect(IndirectKind::UserInput),
+            description: String::new(),
+            applied: true,
+            exit: Some(0),
+            crashed: None,
+            violations: if violated {
+                vec![epa_sandbox::policy::Violation::new(
+                    epa_sandbox::policy::ViolationKind::Disclosure,
+                    "R2",
+                    "leak",
+                    0,
+                )]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn report(app: &str, records: Vec<FaultRecord>) -> CampaignReport {
+        CampaignReport {
+            app: app.into(),
+            total_sites: 4,
+            perturbed_sites: 2,
+            clean_violations: 0,
+            records,
+        }
+    }
+
+    #[test]
+    fn rollups_aggregate_across_reports() {
+        let suite = SuiteReport {
+            reports: vec![
+                report("a", vec![record(true), record(false)]),
+                report("b", vec![record(false), record(false)]),
+            ],
+        };
+        assert_eq!(suite.total_injected(), 4);
+        assert_eq!(suite.total_violated(), 1);
+        assert_eq!(suite.vulnerable_apps(), vec!["a"]);
+        assert_eq!(suite.fault_coverage().value(), 0.75);
+        assert_eq!(suite.interaction_coverage().value(), 0.5);
+        let by_cat = suite.by_category();
+        assert_eq!(by_cat.len(), 1);
+        assert_eq!(by_cat.values().next(), Some(&(4usize, 1usize)));
+        assert!(suite.get("b").is_some());
+        assert!(suite.get("zzz").is_none());
+        let text = suite.render_text();
+        assert!(text.contains("suite: 2 applications"));
+        assert!(text.contains("per-category rollup"));
+    }
+}

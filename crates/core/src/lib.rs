@@ -11,20 +11,23 @@
 //!   indirect = received-input mutation);
 //! * [`inject`] — the hook that delivers one fault at one interaction point
 //!   (paper §3.3 step 6 placement semantics);
-//! * [`campaign`] — the full testing procedure (paper §3.3 steps 1–10);
+//! * [`engine`] — the driver facade: [`engine::WorldSpec`] declarative
+//!   worlds, [`engine::Session`] frozen copy-on-write snapshots, and
+//!   [`engine::Suite`] batch execution with cross-application rollups;
+//! * [`campaign`] — the full testing procedure (paper §3.3 steps 1–10),
+//!   the single-campaign primitive underneath the engine;
 //! * [`coverage`] — the two-dimensional adequacy metric (paper §3.2,
 //!   Figure 2);
 //! * [`report`] — per-fault records, coverage and vulnerability scores;
 //! * [`baselines`] — Fuzz and AVA comparators (paper §5).
 //!
-//! # Example: the paper's §3.4 `lpr` experiment in eight lines
+//! # Example: the paper's §3.4 `lpr` experiment, declaratively
 //!
 //! ```
-//! use epa_core::campaign::{Campaign, TestSetup};
+//! use epa_core::engine::{Session, WorldSpec};
 //! use epa_sandbox::app::Application;
 //! use epa_sandbox::cred::{Gid, Uid};
-//! use epa_sandbox::mode::Mode;
-//! use epa_sandbox::os::Os;
+//! use epa_sandbox::os::{Os, ScenarioMeta};
 //! use epa_sandbox::process::Pid;
 //!
 //! struct Lpr;
@@ -40,15 +43,16 @@
 //! }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut os = Os::new();
-//! os.users.add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
-//! os.fs.mkdir_p("/var/spool/lpd", Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
-//! os.fs.put_file("/etc/passwd", "root:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))?;
-//! os.fs.put_file("/usr/bin/lpr", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
-//! epa_core::perturb::tag_standard_targets(&mut os);
+//! let scenario = ScenarioMeta::default();
+//! let spec = WorldSpec::builder()
+//!     .user("root", Uid::ROOT, Gid::ROOT, "/root")
+//!     .user("student", scenario.invoker, scenario.invoker_gid, "/home/student")
+//!     .dir("/var/spool/lpd", Uid::ROOT, Gid::ROOT, 0o755)
+//!     .root_file("/etc/passwd", "root:0:0:", 0o644)
+//!     .suid_root_program("/usr/bin/lpr")
+//!     .build();
 //!
-//! let setup = TestSetup::new(os).program("/usr/bin/lpr");
-//! let report = Campaign::new(&Lpr, &setup).execute();
+//! let report = Session::new(&spec)?.execute(&Lpr);
 //! assert_eq!(report.injected(), 4);      // existence, ownership, permission, symlink
 //! assert_eq!(report.violated(), 4);      // naive creat tolerates none of them
 //! # Ok(())
@@ -62,6 +66,7 @@ pub mod baselines;
 pub mod campaign;
 pub mod catalog;
 pub mod coverage;
+pub mod engine;
 pub mod inject;
 pub mod model;
 pub mod perturb;
@@ -70,6 +75,7 @@ pub mod report;
 pub use campaign::{run_once, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
 pub use catalog::{direct_faults_for, faults_for_site, indirect_faults_for, table5_rows, table6_rows};
 pub use coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds, Ratio};
+pub use engine::{Engine, ScenarioBuilder, Session, SpecError, Suite, SuiteEvent, SuiteReport, WorldSpec};
 pub use inject::{InjectionHook, InjectionPlan};
 pub use model::{DirectKind, EaiCategory, FsAttribute, IndirectKind, NetAttribute, ProcAttribute};
 pub use perturb::{ConcreteFault, DirectFault, FaultPayload, IndirectFault};

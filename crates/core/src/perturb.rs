@@ -23,7 +23,11 @@ use crate::model::EaiCategory;
 
 /// A direct environment fault: a mutation of the environment state applied
 /// before the targeted interaction point (Table 6 instantiations).
+///
+/// `#[non_exhaustive]`: new perturbation kinds are added as the catalog
+/// grows; downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum DirectFault {
     /// Make the file exist, owned by the attacker (existence fault for
     /// create-style interactions).
@@ -314,7 +318,11 @@ impl DirectFault {
 
 /// An indirect environment fault: a mutation of the input value an internal
 /// entity receives (Table 5 instantiations).
+///
+/// `#[non_exhaustive]`: new mutation kinds are added as the catalog grows;
+/// downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum IndirectFault {
     /// Grow the value far past any plausible buffer ("change length").
     Lengthen {

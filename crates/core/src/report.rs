@@ -28,8 +28,8 @@ pub struct FaultRecord {
     pub applied: bool,
     /// The application's exit status (`None` when it panicked).
     pub exit: Option<i32>,
-    /// Whether the application panicked.
-    pub crashed: bool,
+    /// `Some(panic message)` when the application panicked under the fault.
+    pub crashed: Option<String>,
     /// Violations the oracle detected.
     pub violations: Vec<Violation>,
 }
@@ -38,6 +38,11 @@ impl FaultRecord {
     /// The paper's toleration criterion: no security violation occurred.
     pub fn tolerated(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Whether the application panicked under this fault.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.is_some()
     }
 }
 
@@ -161,6 +166,10 @@ impl CampaignReport {
             let first = r.violations.first().map(|v| v.to_string()).unwrap_or_default();
             let _ = writeln!(s, "  VIOLATION {} @ {}: {}", r.fault_id, r.site, first);
         }
+        for r in self.records.iter().filter(|r| r.has_crashed()) {
+            let msg = r.crashed.as_deref().unwrap_or_default();
+            let _ = writeln!(s, "  CRASH {} @ {}: panicked with `{msg}`", r.fault_id, r.site);
+        }
         s
     }
 }
@@ -180,14 +189,9 @@ mod tests {
             description: String::new(),
             applied: true,
             exit: Some(0),
-            crashed: false,
+            crashed: None,
             violations: if violated {
-                vec![Violation {
-                    kind: ViolationKind::Disclosure,
-                    rule: "R2".into(),
-                    description: "leak".into(),
-                    event_index: 0,
-                }]
+                vec![Violation::new(ViolationKind::Disclosure, "R2", "leak", 0)]
             } else {
                 Vec::new()
             },
@@ -232,6 +236,15 @@ mod tests {
         let text = report().render_text();
         assert!(text.contains("VIOLATION f2 @ s1"));
         assert!(text.contains("vulnerability score: 0.250"));
+    }
+
+    #[test]
+    fn render_surfaces_panic_payloads() {
+        let mut r = report();
+        r.records[2].crashed = Some("index out of bounds".into());
+        r.records[2].exit = None;
+        let text = r.render_text();
+        assert!(text.contains("CRASH f3 @ s2: panicked with `index out of bounds`"));
     }
 
     #[test]

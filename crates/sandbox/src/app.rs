@@ -44,6 +44,16 @@ impl<T: Application + ?Sized> Application for &T {
     }
 }
 
+impl<T: Application + ?Sized> Application for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        (**self).run(os, pid)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

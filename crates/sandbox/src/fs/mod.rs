@@ -15,12 +15,22 @@
 //! * **God-mode helpers** (`mkdir_p`, `put_file`, `god_*`) bypass checks;
 //!   world builders use them for setup and the fault injector uses them to
 //!   perturb the environment ("the attacker could have arranged this").
+//!
+//! # Copy-on-write snapshots
+//!
+//! The inode table is `Arc`-backed at two levels (the table itself and each
+//! inode), so `Vfs::clone` is O(1) and the first mutation of a shared
+//! snapshot pays only for the inodes it actually touches. Campaigns exploit
+//! this by freezing one pristine world and cloning it per injected fault;
+//! [`Vfs::deep_clone`] materializes a fully independent copy for callers
+//! that need one (and for the deep-clone-vs-snapshot benches).
 
 mod inode;
 
 pub use inode::{FileKind, FileTag, FileType, Inode, InodeId, Stat};
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -61,9 +71,14 @@ pub struct ParentWalk {
 }
 
 /// The virtual file system.
+///
+/// `clone` is a copy-on-write snapshot: the inode table is shared until
+/// either copy mutates, and a mutation deep-copies only the touched inodes
+/// (plus one table of pointers). Use [`Vfs::deep_clone`] when a fully
+/// materialized copy is required.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Vfs {
-    inodes: BTreeMap<u64, Inode>,
+    inodes: Arc<BTreeMap<u64, Arc<Inode>>>,
     root: InodeId,
     next_id: u64,
 }
@@ -81,17 +96,17 @@ impl Vfs {
         let root = InodeId(1);
         inodes.insert(
             1,
-            Inode {
+            Arc::new(Inode {
                 id: root,
                 kind: FileKind::Directory(BTreeMap::new()),
                 owner: Uid::ROOT,
                 group: Gid::ROOT,
                 mode: Mode::new(0o755),
                 tags: BTreeSet::new(),
-            },
+            }),
         );
         Vfs {
-            inodes,
+            inodes: Arc::new(inodes),
             root,
             next_id: 2,
         }
@@ -102,15 +117,25 @@ impl Vfs {
         self.root
     }
 
-    /// Borrow an inode.
-    pub fn inode(&self, id: InodeId) -> SysResult<&Inode> {
-        self.inodes.get(&id.0).ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
+    /// The inode table, unsharing it from any sibling snapshot first.
+    fn table_mut(&mut self) -> &mut BTreeMap<u64, Arc<Inode>> {
+        Arc::make_mut(&mut self.inodes)
     }
 
-    /// Mutably borrow an inode.
-    pub fn inode_mut(&mut self, id: InodeId) -> SysResult<&mut Inode> {
+    /// Borrow an inode.
+    pub fn inode(&self, id: InodeId) -> SysResult<&Inode> {
         self.inodes
+            .get(&id.0)
+            .map(Arc::as_ref)
+            .ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
+    }
+
+    /// Mutably borrow an inode, copy-on-write: a shared inode is deep-copied
+    /// before the mutable borrow is handed out.
+    pub fn inode_mut(&mut self, id: InodeId) -> SysResult<&mut Inode> {
+        self.table_mut()
             .get_mut(&id.0)
+            .map(Arc::make_mut)
             .ok_or_else(|| syserr!(Ebadf, "stale inode {id}"))
     }
 
@@ -119,19 +144,43 @@ impl Vfs {
         self.inodes.len()
     }
 
+    /// A fully materialized copy sharing no storage with `self` — the
+    /// pre-snapshot per-fault setup cost, kept for equivalence tests and
+    /// benches.
+    pub fn deep_clone(&self) -> Vfs {
+        Vfs {
+            inodes: Arc::new(self.inodes.iter().map(|(k, v)| (*k, Arc::new((**v).clone()))).collect()),
+            root: self.root,
+            next_id: self.next_id,
+        }
+    }
+
+    /// Number of inodes whose storage is physically shared with `other`
+    /// (copy-on-write introspection; equal content in distinct allocations
+    /// does not count).
+    pub fn shared_inodes_with(&self, other: &Vfs) -> usize {
+        if Arc::ptr_eq(&self.inodes, &other.inodes) {
+            return self.inodes.len();
+        }
+        self.inodes
+            .iter()
+            .filter(|(k, v)| other.inodes.get(k).is_some_and(|o| Arc::ptr_eq(v, o)))
+            .count()
+    }
+
     fn alloc(&mut self, kind: FileKind, owner: Uid, group: Gid, mode: Mode) -> InodeId {
         let id = InodeId(self.next_id);
         self.next_id += 1;
-        self.inodes.insert(
+        self.table_mut().insert(
             id.0,
-            Inode {
+            Arc::new(Inode {
                 id,
                 kind,
                 owner,
                 group,
                 mode,
                 tags: BTreeSet::new(),
-            },
+            }),
         );
         id
     }
@@ -505,7 +554,7 @@ impl Vfs {
             .entries_mut()
             .expect("parent is a directory")
             .remove(&pw.name);
-        self.inodes.remove(&target.0);
+        self.table_mut().remove(&target.0);
         Ok(st)
     }
 
@@ -702,7 +751,7 @@ impl Vfs {
             .to_string();
         // Replace any existing entry.
         if let Some(old) = self.inode(dir)?.entries().and_then(|e| e.get(&name)).copied() {
-            self.inodes.remove(&old.0);
+            self.table_mut().remove(&old.0);
         }
         let id = self.alloc(FileKind::Regular(content.into()), owner, group, mode);
         self.inode_mut(dir)?
@@ -730,8 +779,8 @@ impl Vfs {
         // Recursively drop unreachable children.
         let mut stack = vec![target];
         while let Some(id) = stack.pop() {
-            if let Some(ino) = self.inodes.remove(&id.0) {
-                if let FileKind::Directory(entries) = ino.kind {
+            if let Some(ino) = self.table_mut().remove(&id.0) {
+                if let FileKind::Directory(entries) = &ino.kind {
                     stack.extend(entries.values().copied());
                 }
             }
@@ -813,7 +862,11 @@ impl Vfs {
             if !reachable.insert(id.0) {
                 continue;
             }
-            let ino = self.inodes.get(&id.0).ok_or(format!("dangling entry to {id}"))?;
+            let ino = self
+                .inodes
+                .get(&id.0)
+                .map(Arc::as_ref)
+                .ok_or(format!("dangling entry to {id}"))?;
             if let Some(entries) = ino.entries() {
                 stack.extend(entries.values().copied());
             }
@@ -1035,6 +1088,45 @@ mod tests {
     #[test]
     fn invariants_hold_after_setup() {
         setup().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_snapshot() {
+        let fs = setup();
+        let snap = fs.clone();
+        assert_eq!(snap.shared_inodes_with(&fs), fs.inode_count());
+        let mut mutated = fs.clone();
+        mutated.god_write("/etc/passwd", "evil").unwrap();
+        // The original snapshot is untouched and only the written inode was
+        // unshared.
+        assert_eq!(fs.god_read("/etc/passwd").unwrap().text(), "root:0:0:");
+        assert_eq!(mutated.god_read("/etc/passwd").unwrap().text(), "evil");
+        assert_eq!(mutated.shared_inodes_with(&fs), fs.inode_count() - 1);
+        fs.check_invariants().unwrap();
+        mutated.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing_but_compares_equal() {
+        let fs = setup();
+        let deep = fs.deep_clone();
+        assert_eq!(deep, fs);
+        assert_eq!(deep.shared_inodes_with(&fs), 0);
+        deep.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_mutation_does_not_leak_into_sibling_clones() {
+        let fs = setup();
+        let mut a = fs.clone();
+        let mut b = fs.clone();
+        a.put_file("/tmp/a-only", "a", Uid(100), Gid(100), Mode::new(0o644))
+            .unwrap();
+        b.god_remove("/etc/shadow").unwrap();
+        assert!(!fs.exists("/tmp/a-only"));
+        assert!(!b.exists("/tmp/a-only"));
+        assert!(fs.exists("/etc/shadow"));
+        assert!(a.exists("/etc/shadow"));
     }
 
     #[test]

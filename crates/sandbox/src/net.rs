@@ -10,6 +10,7 @@
 //! the service table in exactly the ways Table 6 describes.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -56,13 +57,12 @@ pub struct Service {
     pub trusted: bool,
 }
 
-/// The simulated network attached to one sandbox world.
+/// The DNS, service, inbox and IPC tables of a [`Network`], grouped so that
+/// world snapshots can share them copy-on-write.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Network {
+struct NetTables {
     /// DNS table: name → address text.
     dns: BTreeMap<String, String>,
-    /// Whether the resolver answers at all (service-availability fault on DNS).
-    pub dns_available: bool,
     /// Services keyed by (host, port).
     services: BTreeMap<(String, u16), Service>,
     /// Inbound message queues keyed by local port.
@@ -76,6 +76,19 @@ pub struct Network {
     ipc_down: BTreeMap<String, bool>,
     /// Ports whose socket is shared with another (attacker) process.
     shared_sockets: BTreeMap<u16, String>,
+}
+
+/// The simulated network attached to one sandbox world.
+///
+/// `clone` is a copy-on-write snapshot: the tables are shared until either
+/// copy mutates them. Use [`Network::deep_clone`] for an eagerly
+/// materialized copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    /// DNS, service, inbox and IPC tables, shared between snapshots.
+    tables: Arc<NetTables>,
+    /// Whether the resolver answers at all (service-availability fault on DNS).
+    pub dns_available: bool,
     /// Record of everything sent, for assertions and the oracle.
     pub sent: Vec<(String, u16, Data)>,
 }
@@ -89,11 +102,31 @@ impl Network {
         }
     }
 
+    /// The tables, unsharing them from any sibling snapshot first.
+    fn tables_mut(&mut self) -> &mut NetTables {
+        Arc::make_mut(&mut self.tables)
+    }
+
+    /// A fully materialized copy sharing no storage with `self`.
+    pub fn deep_clone(&self) -> Network {
+        Network {
+            tables: Arc::new((*self.tables).clone()),
+            dns_available: self.dns_available,
+            sent: self.sent.clone(),
+        }
+    }
+
+    /// Whether the tables are physically shared with `other` (copy-on-write
+    /// introspection).
+    pub fn shares_storage_with(&self, other: &Network) -> bool {
+        Arc::ptr_eq(&self.tables, &other.tables)
+    }
+
     // ---------------- DNS ----------------
 
     /// Installs a DNS entry.
     pub fn add_dns(&mut self, name: impl Into<String>, addr: impl Into<String>) {
-        self.dns.insert(name.into(), addr.into());
+        self.tables_mut().dns.insert(name.into(), addr.into());
     }
 
     /// Resolves a name.
@@ -105,7 +138,8 @@ impl Network {
         if !self.dns_available {
             return Err(syserr!(Ehostunreach, "resolver unavailable for {name}"));
         }
-        self.dns
+        self.tables
+            .dns
             .get(name)
             .cloned()
             .ok_or_else(|| syserr!(Ehostunreach, "unknown host {name}"))
@@ -113,7 +147,7 @@ impl Network {
 
     /// Overwrites the address a name resolves to (DNS-reply perturbation).
     pub fn perturb_dns(&mut self, name: &str, addr: impl Into<String>) {
-        self.dns.insert(name.to_string(), addr.into());
+        self.tables_mut().dns.insert(name.to_string(), addr.into());
     }
 
     // ---------------- services ----------------
@@ -121,7 +155,7 @@ impl Network {
     /// Declares a service.
     pub fn add_service(&mut self, host: impl Into<String>, port: u16, trusted: bool) {
         let host = host.into();
-        self.services.insert(
+        self.tables_mut().services.insert(
             (host.clone(), port),
             Service {
                 host,
@@ -133,7 +167,7 @@ impl Network {
 
     /// Looks up a service.
     pub fn service(&self, host: &str, port: u16) -> Option<&Service> {
-        self.services.get(&(host.to_string(), port))
+        self.tables.services.get(&(host.to_string(), port))
     }
 
     /// Connects to a service.
@@ -142,7 +176,7 @@ impl Network {
     ///
     /// `ECONNREFUSED` when the service does not exist or is down.
     pub fn connect(&self, host: &str, port: u16) -> SysResult<&Service> {
-        match self.services.get(&(host.to_string(), port)) {
+        match self.tables.services.get(&(host.to_string(), port)) {
             Some(s) if s.available => Ok(s),
             Some(_) => Err(syserr!(Econnrefused, "{host}:{port} is down")),
             None => Err(syserr!(Econnrefused, "{host}:{port}")),
@@ -151,14 +185,14 @@ impl Network {
 
     /// Marks a service unavailable (service-availability perturbation).
     pub fn deny_service(&mut self, host: &str, port: u16) {
-        if let Some(s) = self.services.get_mut(&(host.to_string(), port)) {
+        if let Some(s) = self.tables_mut().services.get_mut(&(host.to_string(), port)) {
             s.available = false;
         }
     }
 
     /// Marks a peer entity untrusted (entity-trust perturbation).
     pub fn distrust_entity(&mut self, host: &str, port: u16) {
-        if let Some(s) = self.services.get_mut(&(host.to_string(), port)) {
+        if let Some(s) = self.tables_mut().services.get_mut(&(host.to_string(), port)) {
             s.trusted = false;
         }
     }
@@ -167,23 +201,23 @@ impl Network {
 
     /// Queues an inbound message on a port.
     pub fn push_message(&mut self, port: u16, msg: Message) {
-        self.inboxes.entry(port).or_default().push_back(msg);
+        self.tables_mut().inboxes.entry(port).or_default().push_back(msg);
     }
 
     /// Pops the next inbound message on a port, if any.
     pub fn pop_message(&mut self, port: u16) -> Option<Message> {
-        self.inboxes.get_mut(&port).and_then(VecDeque::pop_front)
+        self.tables_mut().inboxes.get_mut(&port).and_then(VecDeque::pop_front)
     }
 
     /// Number of queued messages on a port.
     pub fn queue_len(&self, port: u16) -> usize {
-        self.inboxes.get(&port).map_or(0, VecDeque::len)
+        self.tables.inboxes.get(&port).map_or(0, VecDeque::len)
     }
 
     /// Authenticity perturbation: the next message on `port` keeps its
     /// claimed origin but actually comes from `actual`.
     pub fn spoof_next(&mut self, port: u16, actual: impl Into<String>) {
-        if let Some(q) = self.inboxes.get_mut(&port) {
+        if let Some(q) = self.tables_mut().inboxes.get_mut(&port) {
             if let Some(m) = q.front_mut() {
                 m.actual_from = actual.into();
             }
@@ -192,7 +226,7 @@ impl Network {
 
     /// Protocol perturbation: drops the `idx`-th queued step.
     pub fn omit_step(&mut self, port: u16, idx: usize) {
-        if let Some(q) = self.inboxes.get_mut(&port) {
+        if let Some(q) = self.tables_mut().inboxes.get_mut(&port) {
             if idx < q.len() {
                 q.remove(idx);
             }
@@ -202,7 +236,7 @@ impl Network {
     /// Protocol perturbation: duplicates the `idx`-th queued step
     /// immediately after itself (an "extra step").
     pub fn duplicate_step(&mut self, port: u16, idx: usize) {
-        if let Some(q) = self.inboxes.get_mut(&port) {
+        if let Some(q) = self.tables_mut().inboxes.get_mut(&port) {
             if let Some(m) = q.get(idx).cloned() {
                 q.insert(idx + 1, m);
             }
@@ -211,7 +245,7 @@ impl Network {
 
     /// Protocol perturbation: swaps two queued steps (reordering).
     pub fn swap_steps(&mut self, port: u16, a: usize, b: usize) {
-        if let Some(q) = self.inboxes.get_mut(&port) {
+        if let Some(q) = self.tables_mut().inboxes.get_mut(&port) {
             if a < q.len() && b < q.len() {
                 q.swap(a, b);
             }
@@ -220,12 +254,12 @@ impl Network {
 
     /// Socket-sharing perturbation: another process now shares the socket.
     pub fn share_socket(&mut self, port: u16, with: impl Into<String>) {
-        self.shared_sockets.insert(port, with.into());
+        self.tables_mut().shared_sockets.insert(port, with.into());
     }
 
     /// Who, if anyone, shares the socket on `port`.
     pub fn socket_shared_with(&self, port: u16) -> Option<&str> {
-        self.shared_sockets.get(&port).map(String::as_str)
+        self.tables.shared_sockets.get(&port).map(String::as_str)
     }
 
     // ---------------- outbound ----------------
@@ -239,7 +273,7 @@ impl Network {
 
     /// Queues an IPC message on a named channel.
     pub fn push_ipc(&mut self, channel: impl Into<String>, msg: Message) {
-        self.ipc.entry(channel.into()).or_default().push_back(msg);
+        self.tables_mut().ipc.entry(channel.into()).or_default().push_back(msg);
     }
 
     /// Pops the next IPC message.
@@ -249,10 +283,11 @@ impl Network {
     /// `ECONNREFUSED` when the peer service was denied; `ENOMSG` when the
     /// queue is empty.
     pub fn pop_ipc(&mut self, channel: &str) -> SysResult<Message> {
-        if self.ipc_down.get(channel).copied().unwrap_or(false) {
+        if self.tables.ipc_down.get(channel).copied().unwrap_or(false) {
             return Err(syserr!(Econnrefused, "ipc peer on {channel} is down"));
         }
-        self.ipc
+        self.tables_mut()
+            .ipc
             .get_mut(channel)
             .and_then(VecDeque::pop_front)
             .ok_or_else(|| syserr!(Enomsg, "ipc channel {channel} empty"))
@@ -260,7 +295,7 @@ impl Network {
 
     /// Authenticity perturbation on an IPC channel.
     pub fn spoof_next_ipc(&mut self, channel: &str, actual: impl Into<String>) {
-        if let Some(q) = self.ipc.get_mut(channel) {
+        if let Some(q) = self.tables_mut().ipc.get_mut(channel) {
             if let Some(m) = q.front_mut() {
                 m.actual_from = actual.into();
             }
@@ -269,17 +304,17 @@ impl Network {
 
     /// Trust perturbation on an IPC peer.
     pub fn distrust_ipc(&mut self, channel: &str) {
-        self.ipc_trusted.insert(channel.to_string(), false);
+        self.tables_mut().ipc_trusted.insert(channel.to_string(), false);
     }
 
     /// Whether an IPC peer is trusted (default true).
     pub fn ipc_trusted(&self, channel: &str) -> bool {
-        self.ipc_trusted.get(channel).copied().unwrap_or(true)
+        self.tables.ipc_trusted.get(channel).copied().unwrap_or(true)
     }
 
     /// Availability perturbation on an IPC peer.
     pub fn deny_ipc(&mut self, channel: &str) {
-        self.ipc_down.insert(channel.to_string(), true);
+        self.tables_mut().ipc_down.insert(channel.to_string(), true);
     }
 }
 

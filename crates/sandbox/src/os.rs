@@ -8,7 +8,11 @@
 //!
 //! `Os` is `Clone` (the interceptor is not carried over): campaigns snapshot
 //! a pristine world once and clone it per injected run, which makes every
-//! run independent and deterministic.
+//! run independent and deterministic. The clone is **copy-on-write**: the
+//! file system, registry and network substrates share their storage with
+//! the pristine world until the run actually mutates them, so per-fault
+//! setup costs O(touched state) instead of O(world). [`Os::deep_clone`]
+//! materializes a fully independent world when one is needed.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -32,7 +36,7 @@ use crate::trace::{InputSemantic, SiteId, Trace};
 /// and which objects concrete perturbations should aim at. The fault
 /// catalog parameterizes its injections from this (e.g. "replace the file
 /// with a symlink to *the secret target*").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ScenarioMeta {
     /// Real uid of the user who runs the application under test.
     pub invoker: Uid,
@@ -105,8 +109,10 @@ pub struct Os {
 }
 
 impl Clone for Os {
-    /// Clones the whole world state. The interceptor is deliberately *not*
-    /// cloned: a cloned world starts unhooked.
+    /// Snapshots the whole world state copy-on-write: the file system,
+    /// registry and network tables stay shared with `self` until either
+    /// world mutates them. The interceptor is deliberately *not* cloned: a
+    /// cloned world starts unhooked.
     fn clone(&self) -> Self {
         Os {
             fs: self.fs.clone(),
@@ -160,6 +166,25 @@ impl Os {
             trace: Trace::new(),
             scenario,
             created_paths: BTreeSet::new(),
+            interceptor: None,
+        }
+    }
+
+    /// A fully materialized copy sharing no substrate storage with `self` —
+    /// the pre-copy-on-write per-run setup cost. Kept for snapshot
+    /// equivalence tests and the deep-clone-vs-snapshot benches; campaign
+    /// code uses the cheap [`Clone`] snapshot.
+    pub fn deep_clone(&self) -> Os {
+        Os {
+            fs: self.fs.deep_clone(),
+            users: self.users.clone(),
+            procs: self.procs.clone(),
+            net: self.net.deep_clone(),
+            registry: self.registry.deep_clone(),
+            audit: self.audit.clone(),
+            trace: self.trace.clone(),
+            scenario: self.scenario.clone(),
+            created_paths: self.created_paths.clone(),
             interceptor: None,
         }
     }
@@ -1425,6 +1450,20 @@ mod tests {
         let copy = os.clone();
         assert!(!copy.is_hooked());
         assert_eq!(copy.fs.inode_count(), os.fs.inode_count());
+    }
+
+    #[test]
+    fn clone_is_cow_snapshot_and_deep_clone_materializes() {
+        let os = world();
+        let snap = os.clone();
+        assert_eq!(snap.fs.shared_inodes_with(&os.fs), os.fs.inode_count());
+        assert!(snap.net.shares_storage_with(&os.net));
+        assert!(snap.registry.shares_storage_with(&os.registry));
+        let deep = os.deep_clone();
+        assert_eq!(deep.fs.shared_inodes_with(&os.fs), 0);
+        assert!(!deep.net.shares_storage_with(&os.net));
+        assert!(!deep.registry.shares_storage_with(&os.registry));
+        assert_eq!(deep.fs, os.fs);
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl fmt::Display for ViolationKind {
 
 /// A detected security-policy violation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct Violation {
     /// The policy family.
     pub kind: ViolationKind,
@@ -68,6 +69,24 @@ pub struct Violation {
     pub description: String,
     /// Index of the triggering event in the audit log.
     pub event_index: usize,
+}
+
+impl Violation {
+    /// Builds a violation (the struct is `#[non_exhaustive]`, so downstream
+    /// crates construct through this).
+    pub fn new(
+        kind: ViolationKind,
+        rule: impl Into<String>,
+        description: impl Into<String>,
+        event_index: usize,
+    ) -> Self {
+        Violation {
+            kind,
+            rule: rule.into(),
+            description: description.into(),
+            event_index,
+        }
+    }
 }
 
 impl fmt::Display for Violation {

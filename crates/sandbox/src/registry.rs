@@ -9,6 +9,7 @@
 //! unprotected keys" inventory.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -47,9 +48,13 @@ pub struct RegKey {
 }
 
 /// The registry.
+///
+/// `clone` is a copy-on-write snapshot: the key tree is shared until either
+/// copy writes, and the first write materializes a private tree. Use
+/// [`Registry::deep_clone`] for an eagerly materialized copy.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Registry {
-    root: RegKey,
+    root: Arc<RegKey>,
 }
 
 /// Splits a `/`-separated key path into components.
@@ -63,9 +68,22 @@ impl Registry {
         Self::default()
     }
 
+    /// A fully materialized copy sharing no storage with `self`.
+    pub fn deep_clone(&self) -> Registry {
+        Registry {
+            root: Arc::new((*self.root).clone()),
+        }
+    }
+
+    /// Whether the key tree is physically shared with `other` (copy-on-write
+    /// introspection).
+    pub fn shares_storage_with(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
+    }
+
     /// Borrows a key.
     pub fn key(&self, path: &str) -> Option<&RegKey> {
-        let mut cur = &self.root;
+        let mut cur: &RegKey = &self.root;
         for comp in split(path) {
             cur = cur.subkeys.get(comp)?;
         }
@@ -73,7 +91,7 @@ impl Registry {
     }
 
     fn key_mut(&mut self, path: &str) -> Option<&mut RegKey> {
-        let mut cur = &mut self.root;
+        let mut cur = Arc::make_mut(&mut self.root);
         for comp in split(path) {
             cur = cur.subkeys.get_mut(comp)?;
         }
@@ -84,7 +102,7 @@ impl Registry {
     /// leaving existing ancestors untouched.
     pub fn ensure_key(&mut self, path: &str, acl: RegAcl) -> &mut RegKey {
         let comps = split(path).into_iter().map(str::to_string).collect::<Vec<_>>();
-        let mut cur = &mut self.root;
+        let mut cur = Arc::make_mut(&mut self.root);
         for comp in comps {
             cur = cur.subkeys.entry(comp).or_default();
         }
@@ -292,6 +310,23 @@ mod tests {
         let r = Registry::new();
         assert!(r.get_value("HKLM/None", "v").is_err());
         assert!(r.key("HKLM/None").is_none());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut r = Registry::new();
+        r.ensure_key("HKLM/K", RegAcl::default());
+        r.god_set_value("HKLM/K", "v", "1");
+        let snap = r.clone();
+        assert!(snap.shares_storage_with(&r));
+        let mut w = r.clone();
+        w.god_set_value("HKLM/K", "v", "2");
+        assert!(!w.shares_storage_with(&r));
+        assert_eq!(r.get_value("HKLM/K", "v").unwrap().0, "1");
+        assert_eq!(w.get_value("HKLM/K", "v").unwrap().0, "2");
+        let deep = r.deep_clone();
+        assert_eq!(deep, r);
+        assert!(!deep.shares_storage_with(&r));
     }
 
     #[test]

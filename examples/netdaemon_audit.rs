@@ -12,15 +12,15 @@
 use epa::apps::fingerd::FINGER_PORT;
 use epa::apps::{worlds, Authd, Fingerd};
 use epa::core::baselines::fuzz::{run_fuzz, FuzzOptions, FuzzTarget};
-use epa::core::campaign::Campaign;
+use epa::core::engine::Session;
 
 fn main() {
     let finger_setup = worlds::fingerd_world();
-    let finger = Campaign::new(&Fingerd, &finger_setup).execute();
+    let finger = Session::from_setup(finger_setup.clone()).execute(&Fingerd);
     println!("{}", finger.render_text());
 
     let authd_setup = worlds::authd_world();
-    let authd = Campaign::new(&Authd, &authd_setup).execute();
+    let authd = Session::from_setup(authd_setup.clone()).execute(&Authd);
     println!("{}", authd.render_text());
 
     let budget = finger.injected();

@@ -8,11 +8,10 @@
 //! flaw. The campaign traces its interaction points, injects the paper's
 //! Table 5/6 faults, and reports coverage plus every violation found.
 
-use epa::core::campaign::{Campaign, TestSetup};
+use epa::core::engine::{Session, WorldSpec};
 use epa::sandbox::app::Application;
 use epa::sandbox::cred::{Gid, Uid};
-use epa::sandbox::mode::Mode;
-use epa::sandbox::os::Os;
+use epa::sandbox::os::{Os, ScenarioMeta};
 use epa::sandbox::process::Pid;
 use epa::sandbox::trace::InputSemantic;
 
@@ -38,25 +37,25 @@ impl Application for SpoolIt {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Build a world: users, a spool directory, protected system files,
-    //    and the SUID program file itself.
-    let mut os = Os::new();
-    os.users
-        .add("student", os.scenario.invoker, os.scenario.invoker_gid, "/home/student");
-    os.fs.mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
-    os.fs
-        .put_file("/etc/passwd", "root:x:0:0:", Uid::ROOT, Gid::ROOT, Mode::new(0o644))?;
-    os.fs
-        .put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))?;
-    os.fs
-        .put_file("/usr/bin/spoolit", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
-    epa::core::perturb::tag_standard_targets(&mut os);
+    // 1. Declare the world as data: users, a spool directory, protected
+    //    system files, the SUID program file, and how it is invoked.
+    let scenario = ScenarioMeta::default();
+    let spec = WorldSpec::builder()
+        .user("root", Uid::ROOT, Gid::ROOT, "/root")
+        .user("student", scenario.invoker, scenario.invoker_gid, "/home/student")
+        .dir("/var/spool", Uid::ROOT, Gid::ROOT, 0o755)
+        .root_file("/etc/passwd", "root:x:0:0:", 0o644)
+        .root_file("/etc/shadow", "root:HASH", 0o600)
+        .suid_root_program("/usr/bin/spoolit")
+        .args(["hello world"])
+        .build();
 
-    // 2. Describe how the program is invoked.
-    let setup = TestSetup::new(os).program("/usr/bin/spoolit").args(["hello world"]);
+    // 2. Freeze it into a session: the spec is validated once, and every
+    //    run starts from a copy-on-write snapshot of the pristine world.
+    let session = Session::new(&spec)?;
 
     // 3. Run the environment-perturbation campaign (paper §3.3).
-    let report = Campaign::new(&SpoolIt, &setup).execute();
+    let report = session.execute(&SpoolIt);
 
     // 4. Read the verdict.
     println!("{}", report.render_text());

@@ -11,7 +11,8 @@
 
 use epa::apps::fontpurge::{font_key, FontPurge};
 use epa::apps::{worlds, NtLogon};
-use epa::core::campaign::{run_once, Campaign};
+use epa::core::campaign::run_once;
+use epa::core::engine::Session;
 
 fn main() {
     let setup = worlds::fontpurge_world();
@@ -22,10 +23,10 @@ fn main() {
     );
 
     // Campaigns over the two modules that consume unprotected keys.
-    let font_report = Campaign::new(&FontPurge, &setup).execute();
+    let font_report = Session::from_setup(setup.clone()).execute(&FontPurge);
     println!("\nfontpurge module:\n{}", font_report.render_text());
     let logon_setup = worlds::ntlogon_world();
-    let logon_report = Campaign::new(&NtLogon, &logon_setup).execute();
+    let logon_report = Session::from_setup(logon_setup.clone()).execute(&NtLogon);
     println!("ntlogon module:\n{}", logon_report.render_text());
 
     // The paper's narrative attack: anyone rewrites the font key; the next

@@ -6,13 +6,14 @@
 //! ```
 
 use epa::apps::{worlds, Turnin, TurninFixed};
-use epa::core::campaign::{run_once, Campaign};
+use epa::core::campaign::run_once;
+use epa::core::engine::Session;
 
 fn main() {
     // ---- the campaign (paper: 8 interaction points, 41 perturbations,
     //      9 violations) ------------------------------------------------
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(setup.clone()).execute(&Turnin);
     println!("{}", report.render_text());
 
     // ---- exploit 1: Projlist -> /etc/shadow ---------------------------
@@ -49,7 +50,7 @@ fn main() {
     }
 
     // ---- the patched program ------------------------------------------
-    let fixed = Campaign::new(&TurninFixed, &setup).execute();
+    let fixed = Session::from_setup(setup.clone()).execute(&TurninFixed);
     println!(
         "--- turnin-fixed: {} faults injected, {} violations (fault coverage {}) ---",
         fixed.injected(),

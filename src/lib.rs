@@ -7,18 +7,24 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`sandbox`] — the simulated OS substrate (VFS, processes, network,
-//!   registry, security-policy oracle);
+//!   registry, security-policy oracle), with copy-on-write world snapshots;
 //! * [`core`] — the EAI fault model, fault catalog (paper Tables 5–6),
 //!   injection engine, campaign runner, and coverage metrics (Figure 2);
+//! * [`engine`] — the driver facade from `core`: declarative
+//!   [`engine::WorldSpec`] worlds, frozen [`engine::Session`] snapshots,
+//!   and batch [`engine::Suite`] execution with cross-app rollups;
 //! * [`vulndb`] — the 195-entry vulnerability database and the EAI
 //!   classifier behind paper Tables 1–4;
 //! * [`apps`] — the model applications and worlds of the paper's case
-//!   studies (`lpr`, `turnin`, the NT registry modules, and more).
+//!   studies (`lpr`, `turnin`, the NT registry modules, and more), each
+//!   exporting its world as a spec.
 //!
-//! See the repository `README.md` for a guided tour, `DESIGN.md` for the
+//! See the repository `README.md` for a guided tour (including the
+//! `Campaign` → `Session`/`Suite` migration notes), `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use epa_apps as apps;
 pub use epa_core as core;
+pub use epa_core::engine;
 pub use epa_sandbox as sandbox;
 pub use epa_vulndb as vulndb;

@@ -1,4 +1,12 @@
 //! Integration: the §3.4 lpr walkthrough.
+//!
+//! Deliberately driven through the deprecated `Campaign::new(...).execute()`
+//! shim: the engine redesign keeps the old constructor as a thin layer over
+//! `engine::Session`, and this file is the regression proof that the shim
+//! still reproduces the paper's numbers (4 injected / 4 violated at the
+//! create site). New code should use `epa::core::engine::{Session, Suite}`.
+
+#![allow(deprecated)]
 
 use epa::apps::{worlds, Lpr, LprFixed};
 use epa::core::campaign::{Campaign, CampaignOptions};

@@ -3,7 +3,8 @@
 use epa::apps::fontpurge::{font_key, FontPurge, FontPurgeFixed, FONT_KEYS};
 use epa::apps::ntlogon::{logon_key, NtLogon, NtLogonFixed, LOGON_KEYS};
 use epa::apps::worlds;
-use epa::core::campaign::{run_once, Campaign};
+use epa::core::campaign::run_once;
+use epa::core::engine::Session;
 use epa::sandbox::policy::ViolationKind;
 
 #[test]
@@ -53,16 +54,14 @@ fn font_value_swap_can_also_take_the_sam() {
 
 #[test]
 fn fixed_fontpurge_survives_every_key_perturbation() {
-    let setup = worlds::fontpurge_world();
-    let report = Campaign::new(&FontPurgeFixed, &setup).execute();
+    let report = Session::from_setup(worlds::fontpurge_world()).execute(&FontPurgeFixed);
     assert_eq!(report.violated(), 0, "{:#?}", report.violations().collect::<Vec<_>>());
     assert!(report.injected() >= FONT_KEYS * 5, "all key faults still injected");
 }
 
 #[test]
 fn logon_profile_trust_flaw_is_found_by_the_campaign() {
-    let setup = worlds::ntlogon_world();
-    let report = Campaign::new(&NtLogon, &setup).execute();
+    let report = Session::from_setup(worlds::ntlogon_world()).execute(&NtLogon);
     assert_eq!(report.clean_violations, 0);
     let profile_viol = report
         .records
@@ -79,16 +78,17 @@ fn logon_profile_trust_flaw_is_found_by_the_campaign() {
 #[test]
 fn every_logon_key_is_exploitable_and_the_fix_holds() {
     let setup = worlds::ntlogon_world();
-    let report = Campaign::new(&NtLogon, &setup).execute();
+    let session = Session::from_setup(setup);
+    let report = session.execute(&NtLogon);
     for name in LOGON_KEYS {
         let site = format!("ntlogon:read_{}", name.to_lowercase());
         assert!(
             report.records.iter().any(|r| r.site == site && !r.tolerated()),
             "{name} should be exploitable"
         );
-        assert!(setup.world.registry.key(&logon_key(name)).is_some());
+        assert!(session.world().registry.key(&logon_key(name)).is_some());
     }
-    let fixed = Campaign::new(&NtLogonFixed, &setup).execute();
+    let fixed = session.execute(&NtLogonFixed);
     assert_eq!(fixed.violated(), 0, "{:#?}", fixed.violations().collect::<Vec<_>>());
 }
 

@@ -2,13 +2,14 @@
 //! and both published exploits.
 
 use epa::apps::{worlds, Turnin, TurninFixed};
-use epa::core::campaign::{run_once, Campaign};
+use epa::core::campaign::run_once;
+use epa::core::engine::Session;
 use epa::sandbox::policy::ViolationKind;
 
 #[test]
 fn eight_points_fortyone_perturbations_nine_violations() {
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(setup).execute(&Turnin);
     assert_eq!(report.clean_violations, 0, "clean run must be violation-free");
     assert_eq!(report.total_sites, 8, "paper: 8 interaction places");
     assert_eq!(report.injected(), 41, "paper: 41 environment perturbations");
@@ -22,7 +23,7 @@ fn eight_points_fortyone_perturbations_nine_violations() {
 #[test]
 fn the_published_exploits_are_among_the_violations() {
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(setup).execute(&Turnin);
     let ids: Vec<&str> = report.violations().map(|r| r.fault_id.as_str()).collect();
     // Exploit 1: the Projlist permission/symlink disclosure.
     assert!(
@@ -37,7 +38,7 @@ fn the_published_exploits_are_among_the_violations() {
 #[test]
 fn violation_kinds_are_as_analyzed() {
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(setup).execute(&Turnin);
     let mut disclosures = 0;
     let mut integrity = 0;
     let mut execs = 0;
@@ -95,7 +96,7 @@ fn dotdot_exploit_really_overwrites_the_login_file() {
 #[test]
 fn fixed_turnin_tolerates_all_41_faults() {
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&TurninFixed, &setup).execute();
+    let report = Session::from_setup(setup).execute(&TurninFixed);
     assert_eq!(report.total_sites, 8, "the fix does not change the interaction surface");
     assert_eq!(report.injected(), 41);
     assert_eq!(report.violated(), 0, "{:#?}", report.violations().collect::<Vec<_>>());
@@ -113,7 +114,7 @@ fn fixed_turnin_still_works_for_honest_students() {
 #[test]
 fn violations_per_site_match_the_analysis() {
     let setup = worlds::turnin_world();
-    let report = Campaign::new(&Turnin, &setup).execute();
+    let report = Session::from_setup(setup).execute(&Turnin);
     let per_site: Vec<(String, usize, usize)> = report.by_site();
     let expect = [
         ("turnin:read_args", 5, 1),

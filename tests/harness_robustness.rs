@@ -1,6 +1,10 @@
 //! Integration: failure injection against the harness itself — campaigns
 //! must survive misbehaving applications and broken worlds.
 
+// `Campaign::new` is exercised deliberately: the deprecated shim must stay
+// as robust as the engine layer on top of it.
+#![allow(deprecated)]
+
 use std::collections::BTreeMap;
 
 use epa::core::campaign::{run_once, Campaign, TestSetup};
@@ -44,9 +48,15 @@ impl Application for Panicker {
 fn campaigns_survive_panicking_applications() {
     let setup = tiny_world();
     let report = Campaign::new(&Panicker, &setup).execute();
-    // Every record exists, is marked crashed, and the harness completed.
+    // Every record exists, carries the panic payload, and the harness
+    // completed.
     assert!(report.injected() > 0);
-    assert!(report.records.iter().all(|r| r.crashed));
+    assert!(report
+        .records
+        .iter()
+        .all(|r| r.crashed.as_deref() == Some("deliberate panic")));
+    // The rendered report surfaces the payload instead of discarding it.
+    assert!(report.render_text().contains("panicked with `deliberate panic`"));
 }
 
 struct Spinner;
@@ -71,7 +81,7 @@ fn syscall_budget_terminates_spinning_applications() {
     let setup = tiny_world();
     let out = run_once(&setup, &Spinner, None);
     assert_eq!(out.exit, Some(99), "the budget fault reached the app");
-    assert!(!out.crashed);
+    assert!(!out.has_crashed());
 }
 
 struct ReadsArg;
@@ -117,7 +127,7 @@ fn empty_args_reach_the_error_path_not_a_crash() {
     let setup = tiny_world();
     let out = run_once(&setup, &ReadsArg, None);
     assert_eq!(out.exit, Some(3));
-    assert!(!out.crashed);
+    assert!(!out.has_crashed());
 }
 
 #[test]

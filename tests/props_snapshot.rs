@@ -1,0 +1,147 @@
+//! Property tests: copy-on-write snapshot equivalence — a campaign run
+//! from cheap CoW snapshots of the pristine world must be byte-identical
+//! to one run from eager deep clones, across randomized worlds.
+
+use epa::core::engine::{Session, WorldSpec};
+use epa::sandbox::app::Application;
+use epa::sandbox::cred::{Gid, Uid};
+use epa::sandbox::os::{Os, ScenarioMeta};
+use epa::sandbox::process::Pid;
+use epa::sandbox::trace::InputSemantic;
+use proptest::prelude::*;
+
+/// A deterministic program parameterized by the randomized world: reads its
+/// argument, then every declared data file, then spools a summary.
+struct Walker {
+    files: Vec<String>,
+}
+
+impl Application for Walker {
+    fn name(&self) -> &'static str {
+        "walker"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        let arg = match os.sys_arg(pid, "walker:arg", 0, InputSemantic::UserFileName) {
+            Ok(a) => a,
+            Err(_) => return 2,
+        };
+        let mut seen = 0usize;
+        for path in &self.files {
+            if let Ok(d) = os.sys_read_file(pid, "walker:read", path.as_str()) {
+                seen += d.len();
+            }
+        }
+        let summary = format!("{}:{seen}", arg.text());
+        if os
+            .sys_write_file(pid, "walker:spool", "/var/spool/walker/out", summary.as_str(), 0o660)
+            .is_err()
+        {
+            return 1;
+        }
+        let _ = os.sys_print(pid, "walker:done", "done\n");
+        0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RandFile {
+    name: String,
+    content: String,
+    mode: u16,
+    owner: u8,
+}
+
+fn file_strategy() -> impl Strategy<Value = RandFile> {
+    (
+        "[a-z]{1,8}",
+        ".{0,40}",
+        prop_oneof![
+            Just(0o600u16),
+            Just(0o644u16),
+            Just(0o666u16),
+            Just(0o700u16),
+            Just(0o755u16)
+        ],
+        0u8..3,
+    )
+        .prop_map(|(name, content, mode, owner)| RandFile {
+            name,
+            content,
+            mode,
+            owner,
+        })
+}
+
+fn build_spec(files: &[RandFile], arg: &str) -> (WorldSpec, Vec<String>) {
+    let scenario = ScenarioMeta::default();
+    let mut b = WorldSpec::builder()
+        .user("root", Uid::ROOT, Gid::ROOT, "/root")
+        .user("student", scenario.invoker, scenario.invoker_gid, "/home/student")
+        .user("evil", scenario.attacker, scenario.attacker_gid, "/home/evil")
+        .dir("/var/spool/walker", Uid::ROOT, Gid::ROOT, 0o755)
+        .root_file("/etc/passwd", "root:0:0:", 0o644)
+        .root_file("/etc/shadow", "root:HASH", 0o600)
+        .suid_root_program("/usr/bin/walker")
+        .args([arg]);
+    let mut paths = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        // The index keeps paths unique even when names repeat.
+        let path = format!("/data/f{i}-{}", f.name);
+        let (owner, group) = match f.owner {
+            0 => (Uid::ROOT, Gid::ROOT),
+            1 => (scenario.invoker, scenario.invoker_gid),
+            _ => (scenario.attacker, scenario.attacker_gid),
+        };
+        b = b.file(path.clone(), f.content.clone(), owner, group, f.mode);
+        paths.push(path);
+    }
+    (b.build(), paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The engine's acceptance property: snapshot-based campaigns report
+    /// exactly what deep-clone-based campaigns report, byte for byte.
+    #[test]
+    fn snapshot_campaigns_equal_deep_clone_campaigns(
+        files in proptest::collection::vec(file_strategy(), 0..4),
+        arg in "[a-z]{1,6}",
+    ) {
+        let (spec, paths) = build_spec(&files, &arg);
+        let app = Walker { files: paths };
+        let setup = spec.materialize().expect("generated specs are valid");
+
+        // Copy-on-write path: campaigns snapshot the frozen world.
+        let cow_report = Session::from_setup(setup.clone()).execute(&app);
+
+        // Deep-clone path: the world is eagerly materialized first, so no
+        // run shares any substrate storage with the pristine world.
+        let mut deep_setup = setup.clone();
+        deep_setup.world = setup.world.deep_clone();
+        let deep_report = Session::from_setup(deep_setup).execute(&app);
+
+        prop_assert_eq!(&cow_report, &deep_report);
+        let cow_json = serde_json::to_string(&cow_report).expect("serialize");
+        let deep_json = serde_json::to_string(&deep_report).expect("serialize");
+        prop_assert_eq!(cow_json, deep_json, "reports must be byte-identical");
+    }
+
+    /// Campaigns never mutate the frozen pristine world they snapshot from.
+    #[test]
+    fn campaigns_leave_the_pristine_world_untouched(
+        files in proptest::collection::vec(file_strategy(), 0..4),
+        arg in "[a-z]{1,6}",
+    ) {
+        let (spec, paths) = build_spec(&files, &arg);
+        let app = Walker { files: paths };
+        let session = Session::new(&spec).expect("generated specs are valid");
+        let _ = session.execute(&app);
+        let rebuilt = spec.materialize().expect("generated specs are valid");
+        prop_assert_eq!(&session.world().fs, &rebuilt.world.fs);
+        prop_assert_eq!(&session.world().registry, &rebuilt.world.registry);
+        prop_assert_eq!(&session.world().net, &rebuilt.world.net);
+        prop_assert!(session.world().trace.sites().is_empty());
+    }
+}
