@@ -5,7 +5,11 @@
 //! criterion groups, `main` measures copy-on-write snapshot setup against
 //! the old deep-clone per-fault setup on the lpr-scale world and writes the
 //! result to `BENCH_engine.json` (the start of the perf trajectory; the
-//! engine redesign requires snapshot ≥ 2× faster than deep clone there).
+//! engine redesign requires snapshot ≥ 2× faster than deep clone there),
+//! then measures the suite-wide pooled executor against the retired
+//! one-thread-per-application fan-out and writes `BENCH_executor.json`
+//! (the executor refactor requires pooled wall-clock ≤ the old fan-out and
+//! a worker ceiling of `available_parallelism`).
 
 use std::time::{Duration, Instant};
 
@@ -13,7 +17,8 @@ use criterion::{criterion_group, BatchSize, Criterion};
 
 use epa_apps::{worlds, Lpr, Turnin};
 use epa_core::campaign::{run_once, CampaignOptions};
-use epa_core::engine::Session;
+use epa_core::engine::{executor, Session};
+use epa_sandbox::app::Application;
 use epa_sandbox::cred::{Credentials, Gid, Uid};
 use epa_sandbox::mode::Mode;
 
@@ -138,6 +143,83 @@ fn emit_bench_json() {
     );
 }
 
+/// The pre-executor suite runner, reimplemented for comparison: one scoped
+/// thread per registered application, each running its whole campaign
+/// sequentially — `apps × campaign` threads regardless of the hardware.
+fn per_app_fanout(cases: &[(&dyn Application, Session)]) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|(app, session)| scope.spawn(move || session.execute(*app).injected()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("campaign thread")).sum()
+    })
+}
+
+/// Measures the suite-wide pooled executor against the retired per-app
+/// thread fan-out on the full eight-application suite, asserts the worker
+/// ceiling and the no-regression bound, and writes `BENCH_executor.json`.
+fn emit_executor_bench_json() {
+    let cases: Vec<(&dyn Application, Session)> = vec![
+        (&epa_apps::Lpr, Session::from_setup(worlds::lpr_world())),
+        (&epa_apps::Turnin, Session::from_setup(worlds::turnin_world())),
+        (&epa_apps::FontPurge, Session::from_setup(worlds::fontpurge_world())),
+        (&epa_apps::NtLogon, Session::from_setup(worlds::ntlogon_world())),
+        (&epa_apps::Fingerd, Session::from_setup(worlds::fingerd_world())),
+        (&epa_apps::Authd, Session::from_setup(worlds::authd_world())),
+        (&epa_apps::MailNotify, Session::from_setup(worlds::mailnotify_world())),
+        (&epa_apps::Backupd, Session::from_setup(worlds::backupd_world())),
+    ];
+    let suite = epa_apps::standard_suite().expect("valid specs");
+    let samples = 15;
+
+    executor::reset_peak_live_workers();
+    let mut pooled_injected = 0usize;
+    let pooled_ns = median_ns(samples, || {
+        pooled_injected = suite.execute().total_injected();
+    });
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let peak_workers = executor::peak_live_workers();
+    assert!(
+        peak_workers <= available,
+        "pooled suite must never exceed available_parallelism={available} workers, saw {peak_workers}"
+    );
+
+    let mut fanout_injected = 0usize;
+    let fanout_ns = median_ns(samples, || {
+        fanout_injected = per_app_fanout(&cases);
+    });
+    // Same workloads: both runners must inject the identical fault count.
+    assert_eq!(pooled_injected, fanout_injected);
+    let speedup = fanout_ns as f64 / pooled_ns.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"executor\",\n  \"suite_apps\": {},\n  \"samples\": {samples},\n  \
+         \"pooled_suite_ns\": {pooled_ns},\n  \"per_app_fanout_ns\": {fanout_ns},\n  \
+         \"fanout_over_pooled\": {speedup:.2},\n  \"available_parallelism\": {available},\n  \
+         \"peak_live_workers\": {peak_workers}\n}}\n",
+        cases.len()
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_executor.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {} (pooled suite vs per-app fan-out: {speedup:.2}x, peak workers {peak_workers}/{available})",
+            path.display()
+        ),
+        Err(e) => eprintln!("BENCH_executor.json not written: {e}"),
+    }
+    // Medians on a machine with >= 8 cores can land near-equal (both paths
+    // then reach full parallelism); a 5% margin keeps scheduler noise from
+    // failing the no-regression gate without hiding a real slowdown.
+    assert!(
+        pooled_ns as f64 <= fanout_ns as f64 * 1.05,
+        "pooled suite wall-clock must not exceed the old per-app fan-out \
+         (pooled {pooled_ns}ns > fanout {fanout_ns}ns + 5% margin)"
+    );
+}
+
 criterion_group!(
     benches,
     bench_campaigns,
@@ -149,8 +231,10 @@ criterion_group!(
 
 // A hand-rolled `main` instead of `criterion_main!`: the criterion groups
 // run first, then the snapshot-vs-deep-clone measurement is written to
-// BENCH_engine.json.
+// BENCH_engine.json and the pooled-executor-vs-fanout measurement to
+// BENCH_executor.json.
 fn main() {
     benches();
     emit_bench_json();
+    emit_executor_bench_json();
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p epa-bench --bin reproduce -- all
 //! cargo run -p epa-bench --bin reproduce -- table1 turnin figure2
+//! cargo run -p epa-bench --bin reproduce -- suite --json   # + SUITE_report.json
 //! ```
 
 use epa_bench::experiments;
@@ -26,7 +27,15 @@ const EXPERIMENTS: &[&str] = &[
     "clean",
 ];
 
-fn run(name: &str) -> Result<(), String> {
+/// Where machine-readable artifacts land: the workspace root, next to
+/// `BENCH_engine.json`.
+fn workspace_artifact(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+fn run(name: &str, json: bool) -> Result<(), String> {
     match name {
         "table1" => print!("{}", experiments::table1()),
         "table2" => print!("{}", experiments::table2()),
@@ -42,7 +51,17 @@ fn run(name: &str) -> Result<(), String> {
         "comparison" => print!("{}", experiments::comparison().render()),
         "placement" => print!("{}", experiments::placement().render()),
         "patterns" => print!("{}", experiments::patterns().render()),
-        "suite" => print!("{}", experiments::suite().render_text()),
+        "suite" => {
+            let report = experiments::suite();
+            print!("{}", report.render_text());
+            if json {
+                let path = workspace_artifact("SUITE_report.json");
+                let text =
+                    serde_json::to_string_pretty(&report).map_err(|e| format!("serializing the suite report: {e}"))?;
+                std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
+        }
         "clean" => {
             println!("Clean-run baseline (violations in unperturbed runs):");
             for (app, n) in experiments::clean_baseline() {
@@ -57,16 +76,18 @@ fn run(name: &str) -> Result<(), String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let json = args.iter().any(|a| a == "--json");
+    let names: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--json").collect();
+    let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
         EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        names
     };
     let mut failed = false;
     for name in selected {
-        if let Err(e) = run(name) {
+        if let Err(e) = run(name, json) {
             eprintln!("reproduce: {e}");
-            eprintln!("available: {}", EXPERIMENTS.join(", "));
+            eprintln!("available: {} (plus the --json flag)", EXPERIMENTS.join(", "));
             failed = true;
         }
     }

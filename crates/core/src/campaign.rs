@@ -25,6 +25,7 @@ use epa_sandbox::syscall::Interceptor;
 use epa_sandbox::trace::{SiteId, SiteSummary};
 
 use crate::catalog::{faults_for_site, DirectContext};
+use crate::engine::executor::Executor;
 use crate::inject::{InjectionHook, InjectionPlan};
 use crate::perturb::ConcreteFault;
 use crate::report::{CampaignReport, FaultRecord};
@@ -184,7 +185,7 @@ pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
 }
 
 /// Campaign tuning knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CampaignOptions {
     /// Perturb only these sites (by id); `None` perturbs all.
     pub site_filter: Option<BTreeSet<SiteId>>,
@@ -192,8 +193,28 @@ pub struct CampaignOptions {
     pub max_sites: Option<usize>,
     /// Inject at most this many faults per site.
     pub max_faults_per_site: Option<usize>,
+    /// Strike at most this many occurrences of each site (paper §3.3
+    /// perturbs *each occurrence* of each interaction point; re-accessed
+    /// objects — the lpr TOCTTOU class — only misbehave at later hits).
+    /// Occurrences past the first replan only the occurrence-sensitive
+    /// faults ([`ConcreteFault::occurrence_sensitive`]). The default of 1
+    /// preserves the historical first-hit-only plans; use
+    /// `usize::MAX` to cover every traced occurrence.
+    pub max_occurrences_per_site: usize,
     /// Run injected experiments on worker threads.
     pub parallel: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            site_filter: None,
+            max_sites: None,
+            max_faults_per_site: None,
+            max_occurrences_per_site: 1,
+            parallel: false,
+        }
+    }
 }
 
 /// One interaction point with its planned fault list.
@@ -203,8 +224,37 @@ pub struct PlannedSite {
     pub summary: SiteSummary,
     /// Whether the options include it in the perturbation set.
     pub included: bool,
+    /// How many occurrences of the site the plan strikes (the traced hit
+    /// count capped by [`CampaignOptions::max_occurrences_per_site`]).
+    pub occurrences: usize,
     /// The applicable faults (already truncated to any per-site limit).
     pub faults: Vec<ConcreteFault>,
+}
+
+impl PlannedSite {
+    /// The `(site, occurrence, fault)` jobs this site contributes, in
+    /// deterministic order: occurrence 0 gets the full fault list, later
+    /// occurrences only the occurrence-sensitive faults (re-striking a
+    /// semantics-addressed indirect fault would duplicate the first run).
+    pub fn jobs(&self) -> Vec<InjectionPlan> {
+        let mut out = Vec::new();
+        if !self.included {
+            return out;
+        }
+        for occurrence in 0..self.occurrences.max(1) {
+            for fault in &self.faults {
+                if occurrence > 0 && !fault.occurrence_sensitive() {
+                    continue;
+                }
+                out.push(InjectionPlan {
+                    site: self.summary.site.clone(),
+                    occurrence,
+                    fault: fault.clone(),
+                });
+            }
+        }
+        out
+    }
 }
 
 /// The campaign plan: the clean run plus the per-site fault lists.
@@ -217,24 +267,23 @@ pub struct CampaignPlan {
 }
 
 impl CampaignPlan {
-    /// Total faults across included sites.
+    /// Total injection jobs across included sites (occurrence-aware:
+    /// occurrences past the first contribute their occurrence-sensitive
+    /// faults).
     pub fn total_faults(&self) -> usize {
-        self.sites.iter().filter(|s| s.included).map(|s| s.faults.len()).sum()
-    }
-
-    /// The flat list of injections to perform.
-    pub fn jobs(&self) -> Vec<InjectionPlan> {
         self.sites
             .iter()
             .filter(|s| s.included)
-            .flat_map(|s| {
-                s.faults.iter().map(|f| InjectionPlan {
-                    site: s.summary.site.clone(),
-                    occurrence: 0,
-                    fault: f.clone(),
-                })
+            .map(|s| {
+                let sensitive = s.faults.iter().filter(|f| f.occurrence_sensitive()).count();
+                s.faults.len() + (s.occurrences.max(1) - 1) * sensitive
             })
-            .collect()
+            .sum()
+    }
+
+    /// The flat list of injections to perform, in plan order.
+    pub fn jobs(&self) -> Vec<InjectionPlan> {
+        self.sites.iter().flat_map(PlannedSite::jobs).collect()
     }
 }
 
@@ -322,16 +371,18 @@ impl<'a> Campaign<'a> {
             if included && !faults.is_empty() {
                 taken += 1;
             }
+            let occurrences = summary.hits.min(self.options.max_occurrences_per_site).max(1);
             sites.push(PlannedSite {
                 summary,
                 included,
+                occurrences,
                 faults,
             });
         }
         CampaignPlan { clean, sites }
     }
 
-    fn run_job(&self, job: &InjectionPlan) -> FaultRecord {
+    pub(crate) fn run_job(&self, job: &InjectionPlan) -> FaultRecord {
         let (hook, fired) = InjectionHook::new(job.clone());
         let outcome = run_once(self.setup, self.app, Some(Box::new(hook)));
         FaultRecord {
@@ -367,16 +418,18 @@ impl<'a> Campaign<'a> {
             .filter(|s| s.included && !s.faults.is_empty())
             .collect();
         let total = full.sites.iter().filter(|s| !s.faults.is_empty()).count();
+        let executor = self.executor();
         let mut records = Vec::new();
         let mut covered = 0usize;
         for site in &perturbable {
-            for fault in &site.faults {
-                let job = InjectionPlan {
-                    site: site.summary.site.clone(),
-                    occurrence: 0,
-                    fault: fault.clone(),
-                };
-                records.push(self.run_job(&job));
+            // Each site's batch goes through the executor, so the
+            // incremental §3.3 criterion run honors `options.parallel`
+            // too; records stay in plan order within the batch.
+            let jobs = site.jobs();
+            if self.options.parallel && jobs.len() > 1 {
+                records.extend(executor.run_indexed(&jobs, |_, job| self.run_job(job), &mut |_, _| {}));
+            } else {
+                records.extend(jobs.iter().map(|job| self.run_job(job)));
             }
             covered += 1;
             if total > 0 && covered as f64 / total as f64 >= min_interaction_coverage {
@@ -404,34 +457,11 @@ impl<'a> Campaign<'a> {
     pub fn execute_plan_with(&self, plan: &CampaignPlan, on_record: &mut dyn FnMut(&FaultRecord)) -> CampaignReport {
         let jobs = plan.jobs();
         let records: Vec<FaultRecord> = if self.options.parallel && jobs.len() > 1 {
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(jobs.len());
-            let mut indexed: Vec<(usize, FaultRecord)> = std::thread::scope(|scope| {
-                let (tx, rx) = std::sync::mpsc::channel::<(usize, FaultRecord)>();
-                let jobs_ref = &jobs;
-                for w in 0..workers {
-                    let tx = tx.clone();
-                    let this = &*self;
-                    scope.spawn(move || {
-                        for (i, job) in jobs_ref.iter().enumerate() {
-                            if i % workers == w {
-                                let _ = tx.send((i, this.run_job(job)));
-                            }
-                        }
-                    });
-                }
-                drop(tx);
-                rx.iter()
-                    .map(|(i, r)| {
-                        on_record(&r);
-                        (i, r)
-                    })
-                    .collect()
-            });
-            indexed.sort_by_key(|(i, _)| *i);
-            indexed.into_iter().map(|(_, r)| r).collect()
+            // One shared queue over bounded workers (no static `i % workers`
+            // partitioning): idle workers steal the next unclaimed job, and
+            // the executor reassembles plan order from the job indices.
+            self.executor()
+                .run_indexed(&jobs, |_, job| self.run_job(job), &mut |_, r| on_record(r))
         } else {
             jobs.iter()
                 .map(|j| {
@@ -441,7 +471,18 @@ impl<'a> Campaign<'a> {
                 })
                 .collect()
         };
+        self.report_from(plan, records)
+    }
 
+    /// A hardware-bounded pool for this campaign's injected runs.
+    fn executor(&self) -> Executor {
+        Executor::new()
+    }
+
+    /// Folds executed records into the campaign report (shared by the
+    /// in-process paths above and the suite-wide pooled executor, which
+    /// runs the jobs itself and only needs the bookkeeping).
+    pub(crate) fn report_from(&self, plan: &CampaignPlan, records: Vec<FaultRecord>) -> CampaignReport {
         // Interaction points, in the paper's sense, are the places where the
         // catalog has something to perturb — pure-output sites (prints) have
         // no applicable faults and do not count against coverage.
@@ -598,6 +639,39 @@ mod tests {
             .execute();
         assert!(report.records.iter().all(|r| r.site == "lpr:create"));
         assert_eq!(report.injected(), 4);
+    }
+
+    #[test]
+    fn execute_until_honors_parallel_and_matches_sequential() {
+        let s = setup();
+        for criterion in [0.5, 1.0] {
+            let seq = Campaign::new(&MiniLpr, &s).execute_until(criterion);
+            let par = Campaign::new(&MiniLpr, &s)
+                .with_options(CampaignOptions {
+                    parallel: true,
+                    ..Default::default()
+                })
+                .execute_until(criterion);
+            assert_eq!(seq, par, "criterion {criterion}: records must match in plan order");
+        }
+    }
+
+    #[test]
+    fn occurrence_cap_expands_plans_with_occurrence_sensitive_faults() {
+        let s = setup();
+        let base = Campaign::new(&MiniLpr, &s).plan();
+        let expanded = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                max_occurrences_per_site: usize::MAX,
+                ..Default::default()
+            })
+            .plan();
+        // MiniLpr hits each site once, so even an uncapped plan matches the
+        // default first-hit plan: occurrence awareness adds jobs only when
+        // the trace shows re-execution.
+        assert_eq!(base.total_faults(), expanded.total_faults());
+        assert!(expanded.sites.iter().all(|site| site.occurrences == 1));
+        assert_eq!(base.jobs(), expanded.jobs());
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! The suite-wide work pool: one shared injected-run queue, worker count
+//! bounded by the hardware, deterministic plan-order reassembly.
+//!
+//! Before this module existed the workspace had two uncoordinated layers of
+//! parallelism: [`crate::engine::Suite`] spawned one thread per registered
+//! application while every campaign could additionally fan out
+//! `available_parallelism` workers with static `i % workers` partitioning —
+//! oversubscribing the machine and leaving fast workers idle behind slow
+//! static partitions. The [`Executor`] replaces both: every injected run in
+//! a suite (or campaign) goes into **one shared queue** that idle workers
+//! pull from, so load balances dynamically ("work stealing" from the shared
+//! tail) and the total number of live worker threads never exceeds
+//! [`std::thread::available_parallelism`]. Results stream back over an
+//! `mpsc` channel to the *calling* thread (so callbacks need no `Sync`) and
+//! are reassembled into deterministic plan order by job index, keeping
+//! pooled reports byte-identical to sequential ones.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// Live worker-thread gauge (process-wide, across all executors).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`LIVE_WORKERS`] since the last reset.
+static PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The highest number of executor worker threads that were alive at the
+/// same moment since the last [`reset_peak_live_workers`] — the observable
+/// proof that pooled execution respects the hardware ceiling (the calling
+/// thread that drains results is the only other live thread).
+pub fn peak_live_workers() -> usize {
+    PEAK_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Resets the peak gauge (call before the run you want to measure).
+pub fn reset_peak_live_workers() {
+    PEAK_WORKERS.store(LIVE_WORKERS.load(Ordering::SeqCst), Ordering::SeqCst);
+}
+
+/// RAII guard bumping the worker gauges for the lifetime of a worker.
+struct WorkerGauge;
+
+impl WorkerGauge {
+    fn enter() -> WorkerGauge {
+        let live = LIVE_WORKERS.fetch_add(1, Ordering::SeqCst) + 1;
+        PEAK_WORKERS.fetch_max(live, Ordering::SeqCst);
+        WorkerGauge
+    }
+}
+
+impl Drop for WorkerGauge {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The shared job queue (guarded by a mutex; workers sleep on the condvar
+/// while it is empty and not yet closed).
+struct Shared<J> {
+    queue: VecDeque<J>,
+    closed: bool,
+}
+
+/// A bounded pool executing jobs from one shared queue.
+///
+/// Two entry points cover the two planning shapes:
+///
+/// * [`Executor::run_indexed`] — a **static** job list known up front
+///   (a campaign's flat fault plan); results come back in job order.
+/// * [`Executor::run_expanding`] — a **dynamic** queue where completing a
+///   job may enqueue follow-up jobs (a suite: each application's plan job
+///   fans out into its injected-run jobs); the caller assembles results.
+///
+/// With one worker (or one job) both degrade to inline sequential
+/// execution on the calling thread — no threads are spawned at all.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// A pool sized to the hardware: `available_parallelism` workers.
+    pub fn new() -> Executor {
+        Executor::with_workers(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    }
+
+    /// A pool with an explicit worker ceiling (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Executor {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker ceiling.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes a static job list, returning results **in job order**.
+    ///
+    /// Workers pull the next unclaimed index from a shared cursor (dynamic
+    /// load balancing — no static partitioning), results stream back to the
+    /// calling thread which invokes `on_done(index, &result)` in completion
+    /// order, and the returned vector is reassembled by index.
+    pub fn run_indexed<J, T, F>(&self, jobs: &[J], run: F, on_done: &mut dyn FnMut(usize, &T)) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        let workers = self.workers.min(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| {
+                    let t = run(i, j);
+                    on_done(i, &t);
+                    t
+                })
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..jobs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, T)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let run = &run;
+                scope.spawn(move || {
+                    let _gauge = WorkerGauge::enter();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        if tx.send((i, run(i, &jobs[i]))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Drain on the calling thread so `on_done` needs no `Sync`.
+            for (i, t) in rx {
+                on_done(i, &t);
+                slots[i] = Some(t);
+            }
+        });
+        slots.into_iter().map(|s| s.expect("every job completes")).collect()
+    }
+
+    /// Executes an expanding queue: every completed job is handed to
+    /// `on_done` on the calling thread, and whatever jobs `on_done` returns
+    /// are pushed onto the shared queue for idle workers to steal.
+    ///
+    /// Identity/ordering is the caller's concern — jobs and results carry
+    /// their own indices (see `Suite::execute_with`, which reassembles
+    /// per-application reports in plan order from `(app, job)` indices).
+    pub fn run_expanding<J, T, F>(&self, seed: Vec<J>, step: F, on_done: &mut dyn FnMut(T) -> Vec<J>)
+    where
+        J: Send,
+        T: Send,
+        F: Fn(J) -> T + Sync,
+    {
+        if self.workers <= 1 {
+            let mut queue: VecDeque<J> = seed.into();
+            while let Some(job) = queue.pop_front() {
+                queue.extend(on_done(step(job)));
+            }
+            return;
+        }
+        let mut outstanding = seed.len();
+        if outstanding == 0 {
+            return;
+        }
+        let shared = Mutex::new(Shared {
+            queue: VecDeque::from(seed),
+            closed: false,
+        });
+        let ready = Condvar::new();
+        let close_queue = |drain: bool| {
+            let mut state = shared.lock().expect("queue lock");
+            if drain {
+                state.queue.clear();
+            }
+            state.closed = true;
+            drop(state);
+            ready.notify_all();
+        };
+        std::thread::scope(|scope| {
+            // Workers send caught panics instead of unwinding in place:
+            // a silently dead worker would leave its siblings asleep on
+            // the condvar and the collector blocked on `recv` forever.
+            type Caught = Box<dyn std::any::Any + Send>;
+            let (tx, rx) = mpsc::channel::<Result<T, Caught>>();
+            for _ in 0..self.workers {
+                let tx = tx.clone();
+                let shared = &shared;
+                let ready = &ready;
+                let step = &step;
+                scope.spawn(move || {
+                    let _gauge = WorkerGauge::enter();
+                    loop {
+                        let job = {
+                            let mut state = shared.lock().expect("queue lock");
+                            loop {
+                                if let Some(j) = state.queue.pop_front() {
+                                    break Some(j);
+                                }
+                                if state.closed {
+                                    break None;
+                                }
+                                state = ready.wait(state).expect("queue lock");
+                            }
+                        };
+                        let Some(job) = job else { break };
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| step(job)));
+                        let failed = outcome.is_err();
+                        if tx.send(outcome).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            while outstanding > 0 {
+                match rx.recv().expect("workers alive while jobs outstanding") {
+                    Ok(done) => {
+                        outstanding -= 1;
+                        // The callback can panic too (it runs user code);
+                        // release the workers before letting it unwind.
+                        let follow_ups = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| on_done(done)))
+                        {
+                            Ok(follow_ups) => follow_ups,
+                            Err(payload) => {
+                                close_queue(true);
+                                std::panic::resume_unwind(payload);
+                            }
+                        };
+                        if !follow_ups.is_empty() {
+                            outstanding += follow_ups.len();
+                            let mut state = shared.lock().expect("queue lock");
+                            state.queue.extend(follow_ups);
+                            drop(state);
+                            ready.notify_all();
+                        }
+                    }
+                    Err(payload) => {
+                        // Wake and release every worker before re-raising,
+                        // or the scope join below would deadlock.
+                        close_queue(true);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            close_queue(false);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_results_come_back_in_job_order() {
+        let jobs: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 4] {
+            let pool = Executor::with_workers(workers);
+            let mut streamed = 0usize;
+            let out = pool.run_indexed(&jobs, |i, j| (i, j * 2), &mut |_, _| streamed += 1);
+            assert_eq!(streamed, 64);
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*doubled, i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_handles_empty_and_single() {
+        let pool = Executor::with_workers(4);
+        let none: Vec<u8> = Vec::new();
+        assert!(pool.run_indexed(&none, |_, j| *j, &mut |_, _| {}).is_empty());
+        assert_eq!(pool.run_indexed(&[7u8], |_, j| *j, &mut |_, _| {}), vec![7]);
+    }
+
+    #[test]
+    fn expanding_queue_runs_follow_ups() {
+        // Seed jobs expand into 3 children each; children expand into none.
+        for workers in [1, 3] {
+            let pool = Executor::with_workers(workers);
+            let mut seen: Vec<(usize, bool)> = Vec::new();
+            pool.run_expanding(
+                vec![(0usize, true), (1, true)],
+                |job: (usize, bool)| job,
+                &mut |(id, is_seed)| {
+                    seen.push((id, is_seed));
+                    if is_seed {
+                        (0..3).map(|k| (id * 10 + k, false)).collect()
+                    } else {
+                        Vec::new()
+                    }
+                },
+            );
+            assert_eq!(seen.len(), 8, "2 seeds + 6 children");
+            assert_eq!(seen.iter().filter(|(_, s)| *s).count(), 2);
+        }
+    }
+
+    #[test]
+    fn expanding_queue_propagates_panics_instead_of_hanging() {
+        // A panicking step must surface as a panic of `run_expanding`
+        // (with all workers released), never as a silent hang.
+        for workers in [1usize, 3] {
+            let pool = Executor::with_workers(workers);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run_expanding(
+                    vec![0usize, 1, 2, 3],
+                    |job| {
+                        if job == 2 {
+                            panic!("deliberate step panic");
+                        }
+                        job
+                    },
+                    &mut |_| Vec::new(),
+                );
+            }));
+            assert!(caught.is_err(), "workers={workers}: the panic must propagate");
+        }
+        // A panicking completion callback likewise.
+        let pool = Executor::with_workers(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_expanding(vec![0usize, 1], |job| job, &mut |_| -> Vec<usize> {
+                panic!("deliberate callback panic");
+            });
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn worker_gauge_observes_spawned_workers() {
+        // The gauge is process-global (other tests may run pools
+        // concurrently), so only the lower bound is assertable here; the
+        // `<= available_parallelism` ceiling is pinned by the integration
+        // test `tests/executor.rs`, which serializes its pool runs.
+        reset_peak_live_workers();
+        let pool = Executor::with_workers(2);
+        let jobs: Vec<usize> = (0..32).collect();
+        let _ = pool.run_indexed(&jobs, |_, j| *j, &mut |_, _| {});
+        assert!(peak_live_workers() >= 1, "workers never entered the gauge");
+    }
+}

@@ -11,8 +11,12 @@
 //!    run starts from a copy-on-write snapshot of the pristine world, so
 //!    per-fault setup costs O(touched state) instead of O(world).
 //! 3. **[`Suite`]** (`suite`) — many `(application, world)` pairs executed
-//!    as one batch over worker threads, streaming [`SuiteEvent`]s and
-//!    aggregating into a [`SuiteReport`] with cross-application rollups.
+//!    as one batch, streaming [`SuiteEvent`]s and aggregating into a
+//!    [`SuiteReport`] with cross-application rollups.
+//! 4. **[`Executor`]** (`executor`) — the single suite-wide work pool:
+//!    every injected run (across all applications) goes into one shared
+//!    queue drained by at most `available_parallelism` workers, with
+//!    deterministic plan-order reassembly of the results.
 //!
 //! The pre-engine driver, [`crate::campaign::Campaign`], remains underneath
 //! as the single-campaign primitive; its deprecated constructor keeps old
@@ -57,10 +61,12 @@
 //! # }
 //! ```
 
+pub mod executor;
 pub mod session;
 pub mod spec;
 pub mod suite;
 
+pub use executor::Executor;
 pub use session::Session;
 pub use spec::{
     DirSpec, FileSpec, InboundSpec, IpcSpec, RegKeySpec, ScenarioBuilder, ServiceSpec, SpecError, SymlinkSpec,

@@ -102,7 +102,7 @@ impl Session {
         self.campaign(app).execute_until(min_interaction_coverage)
     }
 
-    fn campaign<'a>(&'a self, app: &'a dyn Application) -> Campaign<'a> {
+    pub(crate) fn campaign<'a>(&'a self, app: &'a dyn Application) -> Campaign<'a> {
         Campaign::build(app, &self.setup, self.options.clone())
     }
 }

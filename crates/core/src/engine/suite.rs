@@ -1,10 +1,13 @@
 //! Suites: many `(application, world)` pairs executed as one batch.
 //!
 //! A [`Suite`] registers applications with their [`WorldSpec`]s (or
-//! pre-built [`Session`]s) and executes every campaign in one call, fanning
-//! the campaigns out over `std::thread::scope` workers. Results stream out
-//! as [`SuiteEvent`]s the moment they are produced — per-fault records
-//! first, one finished report per application after — and aggregate into a
+//! pre-built [`Session`]s) and executes every campaign in one call. All
+//! planning and injected runs across every registered application flow
+//! through **one suite-wide [`Executor`] queue** (worker count bounded by
+//! the hardware — no per-application thread fan-out, no oversubscription).
+//! Results stream out as [`SuiteEvent`]s the moment they are produced —
+//! `AppStarted` markers first, per-fault records as they complete, one
+//! finished report per application after — and aggregate into a
 //! [`SuiteReport`] with cross-application coverage rollups, following the
 //! suite-level adequacy view of Dass & Siami Namin ("Vulnerability Coverage
 //! as an Adequacy Testing Criterion"): the unit of adequacy is the whole
@@ -12,16 +15,18 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::mpsc;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use epa_sandbox::app::Application;
 
+use crate::campaign::{Campaign, CampaignPlan};
 use crate::coverage::{AdequacyPoint, Ratio};
+use crate::engine::executor::Executor;
 use crate::engine::session::Session;
 use crate::engine::spec::{SpecError, WorldSpec};
+use crate::inject::InjectionPlan;
 use crate::report::{CampaignReport, FaultRecord};
 
 /// An application paired with its frozen session.
@@ -31,8 +36,20 @@ struct SuiteEntry {
 }
 
 /// One streamed suite result.
+///
+/// `#[non_exhaustive]`: the event stream grows with the engine (as
+/// `AppStarted` did); downstream matches need a wildcard arm so new
+/// variants are non-breaking.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum SuiteEvent {
+    /// One application's campaign entered the suite-wide queue (emitted
+    /// before any of its records, from both the sequential and the pooled
+    /// paths, so streaming consumers can render per-app progress).
+    AppStarted {
+        /// The application under test.
+        app: String,
+    },
     /// One injected run finished (streamed in completion order).
     Record {
         /// The application under test.
@@ -114,14 +131,18 @@ impl Suite {
     }
 
     /// Executes every registered campaign, streaming each [`SuiteEvent`] to
-    /// `on_event` as it is produced. Campaigns fan out over scoped worker
-    /// threads (one per registration, unless [`Suite::sequential`]); the
-    /// returned report is always in registration order.
+    /// `on_event` as it is produced. Every campaign's planning and injected
+    /// runs share **one suite-wide [`Executor`] queue** bounded by
+    /// `available_parallelism` workers (unless [`Suite::sequential`], which
+    /// runs everything inline on the calling thread); the returned report
+    /// is always in registration order and byte-identical between the two
+    /// paths.
     pub fn execute_with(&self, on_event: &mut dyn FnMut(SuiteEvent)) -> SuiteReport {
         if self.sequential {
             let mut reports = Vec::with_capacity(self.entries.len());
             for entry in &self.entries {
                 let name = entry.app.name().to_string();
+                on_event(SuiteEvent::AppStarted { app: name.clone() });
                 let report = entry.session.execute_streaming(entry.app.as_ref(), &mut |r| {
                     on_event(SuiteEvent::Record {
                         app: name.clone(),
@@ -137,41 +158,124 @@ impl Suite {
             return SuiteReport { reports };
         }
 
-        let mut indexed: Vec<(usize, CampaignReport)> = std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<SuiteEvent>();
-            let (done_tx, done_rx) = mpsc::channel::<(usize, CampaignReport)>();
-            for (i, entry) in self.entries.iter().enumerate() {
-                let tx = tx.clone();
-                let done_tx = done_tx.clone();
-                scope.spawn(move || {
-                    let name = entry.app.name().to_string();
-                    let report = entry.session.execute_streaming(entry.app.as_ref(), &mut |r| {
-                        let _ = tx.send(SuiteEvent::Record {
-                            app: name.clone(),
-                            record: r.clone(),
-                        });
+        // The pooled path: one shared queue for the whole suite. Each
+        // application contributes a planning job; completing it fans its
+        // `(site, occurrence, fault)` injection jobs back onto the same
+        // queue, so idle workers steal across application boundaries and
+        // the slowest campaign no longer pins a whole thread.
+        let campaigns: Vec<Campaign<'_>> = self
+            .entries
+            .iter()
+            .map(|e| e.session.campaign(e.app.as_ref() as &dyn Application))
+            .collect();
+        for entry in &self.entries {
+            on_event(SuiteEvent::AppStarted {
+                app: entry.app.name().to_string(),
+            });
+        }
+        let mut slots: Vec<AppSlot> = (0..self.entries.len()).map(|_| AppSlot::default()).collect();
+        let seed: Vec<SuiteJob> = (0..self.entries.len()).map(SuiteJob::Plan).collect();
+        Executor::new().run_expanding(
+            seed,
+            |job| match job {
+                SuiteJob::Plan(app) => SuiteDone::Planned {
+                    app,
+                    plan: Box::new(campaigns[app].plan()),
+                },
+                SuiteJob::Inject { app, idx, plan } => SuiteDone::Ran {
+                    app,
+                    idx,
+                    record: campaigns[app].run_job(&plan),
+                },
+            },
+            &mut |done| match done {
+                SuiteDone::Planned { app, plan } => {
+                    let jobs = plan.jobs();
+                    let slot = &mut slots[app];
+                    slot.records = (0..jobs.len()).map(|_| None).collect();
+                    slot.pending = jobs.len();
+                    slot.plan = Some(plan);
+                    if jobs.is_empty() {
+                        finish_app(&campaigns[app], self.entries[app].app.name(), slot, on_event);
+                    }
+                    jobs.into_iter()
+                        .enumerate()
+                        .map(|(idx, plan)| SuiteJob::Inject { app, idx, plan })
+                        .collect()
+                }
+                SuiteDone::Ran { app, idx, record } => {
+                    on_event(SuiteEvent::Record {
+                        app: self.entries[app].app.name().to_string(),
+                        record: record.clone(),
                     });
-                    let _ = tx.send(SuiteEvent::AppFinished {
-                        app: name,
-                        report: report.clone(),
-                    });
-                    let _ = done_tx.send((i, report));
-                });
-            }
-            drop(tx);
-            drop(done_tx);
-            // Drain the event stream on this thread so `on_event` needs no
-            // Sync bound; workers only ever touch the channels.
-            for event in rx {
-                on_event(event);
-            }
-            done_rx.iter().collect()
-        });
-        indexed.sort_by_key(|(i, _)| *i);
+                    let slot = &mut slots[app];
+                    slot.records[idx] = Some(record);
+                    slot.pending -= 1;
+                    if slot.pending == 0 {
+                        finish_app(&campaigns[app], self.entries[app].app.name(), slot, on_event);
+                    }
+                    Vec::new()
+                }
+            },
+        );
         SuiteReport {
-            reports: indexed.into_iter().map(|(_, r)| r).collect(),
+            reports: slots
+                .into_iter()
+                .map(|s| s.report.expect("every campaign completes"))
+                .collect(),
         }
     }
+}
+
+/// One unit of suite work on the shared queue.
+enum SuiteJob {
+    /// Trace application `app` and build its fault plan.
+    Plan(usize),
+    /// Run injection job `idx` of application `app`'s plan.
+    Inject {
+        app: usize,
+        idx: usize,
+        plan: InjectionPlan,
+    },
+}
+
+/// A completed unit of suite work, back on the calling thread.
+enum SuiteDone {
+    Planned {
+        app: usize,
+        plan: Box<CampaignPlan>,
+    },
+    Ran {
+        app: usize,
+        idx: usize,
+        record: FaultRecord,
+    },
+}
+
+/// Per-application assembly state while the pooled suite runs.
+#[derive(Default)]
+struct AppSlot {
+    plan: Option<Box<CampaignPlan>>,
+    records: Vec<Option<FaultRecord>>,
+    pending: usize,
+    report: Option<CampaignReport>,
+}
+
+/// Folds a finished application's records (already in plan order by index)
+/// into its report and emits `AppFinished`.
+fn finish_app(campaign: &Campaign<'_>, name: &str, slot: &mut AppSlot, on_event: &mut dyn FnMut(SuiteEvent)) {
+    let plan = slot.plan.take().expect("plan arrives before its records");
+    let records: Vec<FaultRecord> = slot
+        .records
+        .drain(..)
+        .map(|r| r.expect("all records complete before the app finishes"))
+        .collect();
+    let report = campaign.report_from(&plan, records);
+    on_event(SuiteEvent::AppFinished {
+        app: name.to_string(),
+        report: report.clone(),
+    });
+    slot.report = Some(report);
 }
 
 /// The aggregated outcome of a suite run: per-application reports in

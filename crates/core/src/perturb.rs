@@ -455,6 +455,18 @@ impl ConcreteFault {
     pub fn is_direct(&self) -> bool {
         matches!(self.payload, FaultPayload::Direct(_))
     }
+
+    /// True when re-aiming this fault at a later occurrence of its site
+    /// changes what the injection does. Direct faults perturb the
+    /// environment immediately before the k-th execution of the site
+    /// (the TOCTTOU re-access axis), and occurrence-addressed indirect
+    /// faults strike the k-th received value; semantics-addressed indirect
+    /// faults always strike the first matching input regardless of the
+    /// planned occurrence, so replanning them at k > 0 would only duplicate
+    /// the k = 0 run.
+    pub fn occurrence_sensitive(&self) -> bool {
+        self.is_direct() || self.semantic.is_none()
+    }
 }
 
 impl fmt::Display for ConcreteFault {

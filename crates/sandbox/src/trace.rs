@@ -262,6 +262,13 @@ impl Trace {
         &self.events
     }
 
+    /// How many times `site` executed in this trace (0 when never seen) —
+    /// the per-site occurrence budget an occurrence-aware fault planner
+    /// enumerates (each hit is a distinct strikeable occurrence).
+    pub fn hit_count(&self, site: &SiteId) -> usize {
+        self.site_hits.get(site).copied().unwrap_or(0)
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -370,6 +377,9 @@ mod tests {
             0
         );
         assert_eq!(t.len(), 3);
+        assert_eq!(t.hit_count(&s), 2);
+        assert_eq!(t.hit_count(&SiteId::new("app:other")), 1);
+        assert_eq!(t.hit_count(&SiteId::new("never")), 0);
     }
 
     #[test]

@@ -143,6 +143,23 @@ fn faults_fire_in_almost_all_runs() {
 }
 
 #[test]
+fn the_suite_wide_executor_matches_per_session_campaigns() {
+    // The pooled suite path (one shared job queue across all eight apps)
+    // must reproduce every per-session campaign record-for-record — the
+    // migration contract for the retired per-app thread fan-out.
+    let batch = standard_suite().expect("valid specs").execute();
+    for (app, _, spec) in all_cases() {
+        let solo = session(&spec).execute(app);
+        assert_eq!(
+            batch.get(app.name()).expect("app in suite report"),
+            &solo,
+            "{}: pooled suite and solo session disagree",
+            app.name()
+        );
+    }
+}
+
+#[test]
 fn reports_serialize_for_downstream_tooling() {
     let report = session(&turnin::spec()).execute(&Turnin);
     let json = serde_json::to_string_pretty(&report).expect("serialize");

@@ -68,3 +68,21 @@ fn full_lpr_campaign_also_covers_input_sites() {
     assert!(report.injected() > 4);
     assert_eq!(report.clean_violations, 0);
 }
+
+#[test]
+fn the_executor_paths_keep_the_paper_numbers() {
+    use epa::core::engine::{Session, Suite};
+    // Through the campaign-level pool (parallel plan execution)...
+    let session = Session::from_setup(worlds::lpr_world()).with_options(CampaignOptions {
+        parallel: true,
+        ..create_site_only()
+    });
+    let pooled = session.execute(&Lpr);
+    assert_eq!(pooled.injected(), 4, "existence, ownership, permission, symbolic link");
+    assert_eq!(pooled.violated(), 4, "paper: violations detected for attributes 1-4");
+    // ...and through the suite-wide shared queue, the numbers hold.
+    let mut suite = Suite::new();
+    suite.register_session(Lpr, session);
+    let batch = suite.execute();
+    assert_eq!(batch.get("lpr").expect("lpr report"), &pooled);
+}

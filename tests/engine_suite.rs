@@ -40,12 +40,23 @@ fn the_standard_suite_runs_all_eight_apps_in_one_batch() {
 #[test]
 fn suite_streams_records_and_reports_consistently() {
     let suite = standard_suite().expect("valid specs");
+    let mut started: Vec<String> = Vec::new();
     let mut per_app_records: BTreeMap<String, usize> = BTreeMap::new();
     let mut finished: Vec<String> = Vec::new();
     let report = suite.execute_with(&mut |event| match event {
+        SuiteEvent::AppStarted { app } => {
+            assert!(
+                !per_app_records.contains_key(&app),
+                "{app}: AppStarted must precede every record"
+            );
+            started.push(app);
+        }
         SuiteEvent::Record { app, .. } => *per_app_records.entry(app).or_insert(0) += 1,
         SuiteEvent::AppFinished { app, .. } => finished.push(app),
+        // SuiteEvent is #[non_exhaustive]; future variants are ignorable.
+        _ => {}
     });
+    assert_eq!(started.len(), 8, "one AppStarted per registration");
     assert_eq!(finished.len(), 8, "one AppFinished per registration");
     for r in &report.reports {
         assert_eq!(
@@ -54,6 +65,24 @@ fn suite_streams_records_and_reports_consistently() {
             "{}: every record must be streamed exactly once",
             r.app
         );
+    }
+}
+
+#[test]
+fn both_paths_emit_app_started_for_every_app_in_registration_order() {
+    let expected = standard_suite().expect("valid specs").apps().join(",");
+    for sequential in [false, true] {
+        let mut suite = standard_suite().expect("valid specs");
+        if sequential {
+            suite = suite.sequential();
+        }
+        let mut started: Vec<String> = Vec::new();
+        let _ = suite.execute_with(&mut |event| {
+            if let SuiteEvent::AppStarted { app } = event {
+                started.push(app);
+            }
+        });
+        assert_eq!(started.join(","), expected, "sequential={sequential}");
     }
 }
 
@@ -108,6 +137,11 @@ fn suite_reports_serialize_for_downstream_tooling() {
     let json = serde_json::to_string(&report).expect("serialize");
     let back: SuiteReport = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back, report);
+    // The pretty form is what `reproduce -- suite --json` writes to
+    // SUITE_report.json; it must round-trip identically too.
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize pretty");
+    let back_pretty: SuiteReport = serde_json::from_str(&pretty).expect("deserialize pretty");
+    assert_eq!(back_pretty, report);
     let text = report.render_text();
     assert!(text.contains("suite: 1 applications"));
     assert!(text.contains("lpr"));

@@ -1,0 +1,88 @@
+//! Integration: the suite-wide work-stealing executor — thread ceiling,
+//! deterministic reassembly, and agreement with the sequential path.
+//!
+//! The pool's worker gauge is process-global, so every test in this binary
+//! that runs a pool takes `POOL_LOCK` first; the ceiling assertions then
+//! observe only their own run.
+
+use std::sync::Mutex;
+
+use epa::apps::standard_suite;
+use epa::core::engine::executor::{self, Executor};
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[test]
+fn pooled_suite_never_exceeds_available_parallelism_plus_one() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    executor::reset_peak_live_workers();
+    let report = standard_suite().expect("valid specs").execute();
+    assert_eq!(report.reports.len(), 8);
+    let peak_workers = executor::peak_live_workers();
+    // Workers stay within the hardware ceiling; the only other live thread
+    // is the calling thread draining results, hence the +1 bound on the
+    // total.
+    assert!(
+        peak_workers <= available(),
+        "suite execution spawned {peak_workers} workers on {} cores",
+        available()
+    );
+    let total_live = peak_workers + 1;
+    assert!(total_live <= available() + 1);
+}
+
+#[test]
+fn pooled_suite_reports_are_byte_identical_to_sequential() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let pooled = standard_suite().expect("valid specs").execute();
+    let sequential = standard_suite().expect("valid specs").sequential().execute();
+    assert_eq!(pooled, sequential);
+    let pooled_json = serde_json::to_string(&pooled).expect("serialize");
+    let sequential_json = serde_json::to_string(&sequential).expect("serialize");
+    assert_eq!(
+        pooled_json.as_bytes(),
+        sequential_json.as_bytes(),
+        "pooled and sequential suite reports must serialize byte-identically"
+    );
+}
+
+#[test]
+fn a_forced_multi_worker_pool_still_reassembles_plan_order() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    // Even above the hardware ceiling (this is the machinery test, not the
+    // suite ceiling test), results come back in job order.
+    let jobs: Vec<usize> = (0..97).collect();
+    let pool = Executor::with_workers(4);
+    let mut completion_order: Vec<usize> = Vec::new();
+    let out = pool.run_indexed(&jobs, |i, j| (i, j * j), &mut |i, _| completion_order.push(i));
+    assert_eq!(completion_order.len(), 97);
+    for (i, (idx, square)) in out.iter().enumerate() {
+        assert_eq!(*idx, i);
+        assert_eq!(*square, i * i);
+    }
+}
+
+#[test]
+fn campaign_parallelism_also_respects_the_ceiling() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    executor::reset_peak_live_workers();
+    use epa::apps::{turnin, Turnin};
+    use epa::core::campaign::CampaignOptions;
+    use epa::core::engine::Session;
+    let report = Session::new(&turnin::spec())
+        .expect("valid spec")
+        .with_options(CampaignOptions {
+            parallel: true,
+            ..Default::default()
+        })
+        .execute(&Turnin);
+    assert_eq!(report.injected(), 41);
+    assert!(
+        executor::peak_live_workers() <= available(),
+        "campaign pool exceeded available_parallelism"
+    );
+}
