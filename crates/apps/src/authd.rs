@@ -233,4 +233,19 @@ mod tests {
         assert_eq!(out.exit, Some(1));
         assert!(out.violations.is_empty());
     }
+
+    #[test]
+    fn custom_check_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::authd_world();
+        setup.world.net.omit_step(AUTHD_PORT, 1);
+        let out = run_once(&setup, &Authd, None);
+        crate::assert_evidence_in_bounds(&out);
+        let custom = out
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::Custom)
+            .expect("skipped-auth check detected");
+        assert_eq!(custom.detector, "custom");
+        assert!(custom.evidence.items[0].summary.starts_with("custom:"));
+    }
 }

@@ -175,4 +175,13 @@ mod tests {
         // Same interaction surface.
         assert_eq!(report.total_sites, 3, "umask, read, write");
     }
+
+    #[test]
+    fn disclosure_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::backupd_world();
+        setup.env.insert("UMASK".into(), "0".into());
+        let out = run_once(&setup, &Backupd, None);
+        crate::assert_evidence_in_bounds(&out);
+        assert!(out.violations.iter().any(|v| v.detector == "disclosure"));
+    }
 }

@@ -219,4 +219,22 @@ mod tests {
         let vuln = run_once(&setup, &Fingerd, None);
         assert!(vuln.os.net.sent.iter().any(|(_, _, d)| d.text().contains("Plan for")));
     }
+
+    #[test]
+    fn overflow_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::fingerd_world();
+        setup.world.net.pop_message(FINGER_PORT);
+        setup.world.net.push_message(
+            FINGER_PORT,
+            Message::genuine("trusted.cs.example.edu", "A".repeat(4000)),
+        );
+        let out = run_once(&setup, &Fingerd, None);
+        crate::assert_evidence_in_bounds(&out);
+        let overflow = out
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::MemoryCorruption)
+            .expect("overflow detected");
+        assert!(overflow.evidence.items[0].summary.contains("overflow"));
+    }
 }

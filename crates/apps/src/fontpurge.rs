@@ -174,4 +174,19 @@ mod tests {
         assert!(out.violations.is_empty(), "{:?}", out.violations);
         assert!(out.os.fs.exists("/winnt/system.ini"));
     }
+
+    #[test]
+    fn tainted_delete_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::fontpurge_world();
+        setup
+            .world
+            .registry
+            .god_set_value(&font_key(2), "Path", "/winnt/system.ini");
+        let out = run_once(&setup, &FontPurge, None);
+        crate::assert_evidence_in_bounds(&out);
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.evidence.items[0].summary.contains("/winnt/system.ini")));
+    }
 }

@@ -44,6 +44,30 @@ pub use mailnotify::{MailNotify, MailNotifyFixed};
 pub use ntlogon::{NtLogon, NtLogonFixed};
 pub use turnin::{Turnin, TurninFixed};
 
+/// Shared assertions for the per-application oracle tests: every verdict
+/// must carry an evidence chain whose indices stay inside the run's audit
+/// log and whose snapshots match the implicated events.
+#[cfg(test)]
+pub(crate) fn assert_evidence_in_bounds(out: &epa_core::campaign::RunOutcome) {
+    assert!(!out.violations.is_empty(), "expected at least one verdict");
+    for v in &out.violations {
+        assert!(!v.evidence.is_empty(), "verdict `{}` carries no evidence", v.rule);
+        for item in &v.evidence.items {
+            assert!(
+                item.index < out.os.audit.len(),
+                "evidence index {} out of bounds (log has {} events)",
+                item.index,
+                out.os.audit.len()
+            );
+            assert_eq!(
+                item.summary,
+                out.os.audit.events()[item.index].describe(),
+                "evidence snapshot must match the implicated event"
+            );
+        }
+    }
+}
+
 /// All eight vulnerable case-study applications with their worlds,
 /// registered on one [`epa_core::engine::Suite`] ready to execute as a
 /// batch.

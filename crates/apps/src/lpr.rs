@@ -172,4 +172,13 @@ mod tests {
         assert!(fixed.violations.is_empty(), "{:?}", fixed.violations);
         assert_eq!(fixed.exit, Some(1), "fixed lpr refuses and reports");
     }
+
+    #[test]
+    fn symlink_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::lpr_world();
+        setup.world.fs.god_symlink(SPOOL_FILE, "/etc/passwd").unwrap();
+        let out = run_once(&setup, &Lpr, None);
+        crate::assert_evidence_in_bounds(&out);
+        assert!(out.violations[0].evidence.items[0].summary.contains("/etc/passwd"));
+    }
 }

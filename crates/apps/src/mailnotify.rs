@@ -232,4 +232,13 @@ mod tests {
         let fixed = run_once(&setup, &MailNotifyFixed, None);
         assert!(fixed.violations.is_empty(), "{:?}", fixed.violations);
     }
+
+    #[test]
+    fn spoofed_ipc_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::mailnotify_world();
+        setup.world.net.spoof_next_ipc(CHANNEL, "intruder-process");
+        let out = run_once(&setup, &MailNotify, None);
+        crate::assert_evidence_in_bounds(&out);
+        assert!(out.violations.iter().any(|v| v.detector == "spoofed-action"));
+    }
 }

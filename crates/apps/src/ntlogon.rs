@@ -315,4 +315,16 @@ mod tests {
         let out = run_once(&setup, &NtLogonFixed, None);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
+
+    #[test]
+    fn rootkit_exec_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::ntlogon_world();
+        setup
+            .world
+            .registry
+            .god_set_value(&logon_key("ProfileDir"), "Path", "/users/evil");
+        let out = run_once(&setup, &NtLogon, None);
+        crate::assert_evidence_in_bounds(&out);
+        assert!(out.violations.iter().any(|v| v.detector == "untrusted-exec"));
+    }
 }

@@ -583,4 +583,22 @@ mod tests {
         assert!(out2.violations.is_empty(), "{:?}", out2.violations);
         assert_eq!(out2.exit, Some(2), "invalid member name rejected");
     }
+
+    #[test]
+    fn disclosure_verdict_carries_in_bounds_evidence() {
+        let mut setup = worlds::turnin_world();
+        setup
+            .world
+            .fs
+            .god_symlink("/home/ta/submit/Projlist", "/etc/shadow")
+            .unwrap();
+        let out = run_once(&setup, &Turnin, None);
+        crate::assert_evidence_in_bounds(&out);
+        let disclosure = out
+            .violations
+            .iter()
+            .find(|v| v.kind == epa_sandbox::policy::ViolationKind::Disclosure)
+            .expect("shadow disclosure detected");
+        assert_eq!(disclosure.detector, "disclosure");
+    }
 }

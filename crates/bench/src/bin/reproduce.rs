@@ -54,6 +54,13 @@ fn run(name: &str, json: bool) -> Result<(), String> {
         "suite" => {
             let report = experiments::suite();
             print!("{}", report.render_text());
+            // Roll the verdict stream up by vulnerability class: each
+            // verdict's policy family crossed with its fault's EAI category,
+            // classified against the epa-vulndb taxonomy.
+            print!(
+                "{}",
+                epa_vulndb::render_class_rollup(&epa_vulndb::suite_class_rollup(&report))
+            );
             if json {
                 let path = workspace_artifact("SUITE_report.json");
                 let text =

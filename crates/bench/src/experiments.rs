@@ -18,7 +18,6 @@ use epa_core::{table5_rows, table6_rows};
 use epa_sandbox::app::Application;
 use epa_sandbox::error::SysResult;
 use epa_sandbox::os::Os;
-use epa_sandbox::policy::PolicyEngine;
 use epa_sandbox::syscall::{InteractionRef, Interceptor, SysReturn, Syscall};
 use epa_sandbox::trace::SiteId;
 
@@ -705,7 +704,6 @@ pub fn suite() -> SuiteReport {
 /// Checks that every model application runs violation-free unperturbed —
 /// the precondition for attributing campaign violations to injected faults.
 pub fn clean_baseline() -> Vec<(String, usize)> {
-    let engine = PolicyEngine::new();
     let cases: Vec<(&dyn Application, TestSetup)> = vec![
         (&Lpr, worlds::lpr_world()),
         (&Turnin, worlds::turnin_world()),
@@ -720,7 +718,12 @@ pub fn clean_baseline() -> Vec<(String, usize)> {
         .into_iter()
         .map(|(app, setup)| {
             let out = run_once(&setup, app, None);
-            let n = engine.evaluate(&out.os.audit).len();
+            // Re-judge the completed log through a fresh copy of the
+            // setup's own oracle (standard families plus any declared
+            // invariants): the batch count must agree with the incremental
+            // verdicts the run itself produced.
+            let n = setup.oracle().evaluate_log(&out.os.audit).len();
+            debug_assert_eq!(n, out.violations.len());
             (app.name().to_string(), n)
         })
         .collect()

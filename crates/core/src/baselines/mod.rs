@@ -14,7 +14,7 @@ pub mod fuzz;
 
 use serde::{Deserialize, Serialize};
 
-use epa_sandbox::policy::Violation;
+use epa_sandbox::policy::Verdict;
 
 /// One baseline run's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,8 +25,8 @@ pub struct BaselineRecord {
     pub exit: Option<i32>,
     /// Whether the application panicked.
     pub crashed: bool,
-    /// Oracle-detected violations.
-    pub violations: Vec<Violation>,
+    /// Oracle-detected violations, evidence chains included.
+    pub violations: Vec<Verdict>,
 }
 
 impl BaselineRecord {
@@ -93,12 +93,12 @@ mod tests {
                     input: "b".into(),
                     exit: None,
                     crashed: true,
-                    violations: vec![epa_sandbox::policy::Violation::new(
+                    violations: vec![Verdict::from_violation(epa_sandbox::policy::Violation::new(
                         epa_sandbox::policy::ViolationKind::MemoryCorruption,
                         "R4-memory-safety",
                         "overflow",
                         0,
-                    )],
+                    ))],
                 },
             ],
         };

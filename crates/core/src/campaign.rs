@@ -19,7 +19,7 @@ use epa_sandbox::app::Application;
 use epa_sandbox::audit::AuditEvent;
 use epa_sandbox::cred::Uid;
 use epa_sandbox::os::Os;
-use epa_sandbox::policy::{PolicyEngine, Violation};
+use epa_sandbox::policy::{InvariantSpec, OracleSet, Verdict};
 use epa_sandbox::process::Pid;
 use epa_sandbox::syscall::Interceptor;
 use epa_sandbox::trace::{SiteId, SiteSummary};
@@ -47,11 +47,15 @@ pub struct TestSetup {
     pub env: BTreeMap<String, String>,
     /// Initial working directory.
     pub cwd: String,
+    /// Declarative custom invariants; each compiles into a detector
+    /// registered on every run's [`OracleSet`] alongside the standard set.
+    pub invariants: Vec<InvariantSpec>,
 }
 
 impl TestSetup {
     /// Builds a setup with the world's scenario invoker, no program file,
-    /// empty args/env, and `/` as the working directory.
+    /// empty args/env, no custom invariants, and `/` as the working
+    /// directory.
     pub fn new(world: Os) -> Self {
         let invoker = world.scenario.invoker;
         TestSetup {
@@ -61,6 +65,7 @@ impl TestSetup {
             args: Vec::new(),
             env: BTreeMap::new(),
             cwd: "/".to_string(),
+            invariants: Vec::new(),
         }
     }
 
@@ -104,6 +109,23 @@ impl TestSetup {
         self.invoker = uid;
         self
     }
+
+    /// Adds a declarative custom invariant to every run's oracle set.
+    #[must_use]
+    pub fn invariant(mut self, spec: InvariantSpec) -> Self {
+        self.invariants.push(spec);
+        self
+    }
+
+    /// The oracle set a run of this setup evaluates against: the standard
+    /// eight detector families plus one detector per declared invariant.
+    pub fn oracle(&self) -> OracleSet {
+        let mut oracle = OracleSet::standard();
+        for spec in &self.invariants {
+            oracle.register(spec.detector());
+        }
+        oracle
+    }
 }
 
 /// The observable outcome of one run.
@@ -117,8 +139,9 @@ pub struct RunOutcome {
     pub exit: Option<i32>,
     /// `Some(panic message)` when the application panicked.
     pub crashed: Option<String>,
-    /// Violations detected by the oracle.
-    pub violations: Vec<Violation>,
+    /// Verdicts the oracle pipeline detected, each carrying its evidence
+    /// chain (a `Verdict` dereferences to its `Violation`).
+    pub violations: Vec<Verdict>,
 }
 
 impl RunOutcome {
@@ -142,8 +165,46 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Runs the application once against a clone of the setup's world, with an
 /// optional injection hook installed.
+///
+/// The oracle evaluates **incrementally**: the setup's [`OracleSet`] is
+/// subscribed to the run's audit log before the application starts, every
+/// recorded event streams straight to the detectors, and the verdicts are
+/// collected the moment the run ends — no post-hoc re-scan of the log.
 pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn Interceptor>>) -> RunOutcome {
+    run_once_impl(setup, app, hook, true)
+}
+
+/// As [`run_once`], but with the **retired batch oracle**: the run executes
+/// unobserved and the completed audit log is re-scanned afterwards.
+///
+/// The verdicts are identical to the incremental path by construction (the
+/// property tests in `tests/props_oracle.rs` pin this); the function exists
+/// as the comparison baseline for `BENCH_oracle.json` and for equivalence
+/// testing. New code should use [`run_once`].
+pub fn run_once_batch_oracle(
+    setup: &TestSetup,
+    app: &dyn Application,
+    hook: Option<Box<dyn Interceptor>>,
+) -> RunOutcome {
+    run_once_impl(setup, app, hook, false)
+}
+
+fn run_once_impl(
+    setup: &TestSetup,
+    app: &dyn Application,
+    hook: Option<Box<dyn Interceptor>>,
+    incremental: bool,
+) -> RunOutcome {
     let mut os = setup.world.clone();
+    if incremental {
+        os.audit.attach_oracle(setup.oracle());
+    }
+    // Collects the verdicts from whichever path is active: detach the
+    // subscribed set, or feed the completed log to a fresh one.
+    let verdicts = |os: &mut Os| match os.audit.detach_oracle() {
+        Some(mut oracle) => oracle.finish(),
+        None => setup.oracle().evaluate_log(&os.audit),
+    };
     if let Some(h) = hook {
         os.set_interceptor(h);
     }
@@ -156,7 +217,7 @@ pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
     ) {
         Ok(p) => p,
         Err(_) => {
-            let violations = PolicyEngine::new().evaluate(&os.audit);
+            let violations = verdicts(&mut os);
             return RunOutcome {
                 os,
                 pid: None,
@@ -174,7 +235,7 @@ pub fn run_once(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
     if let Some(c) = exit {
         os.set_exit(pid, c);
     }
-    let violations = PolicyEngine::new().evaluate(&os.audit);
+    let violations = verdicts(&mut os);
     RunOutcome {
         os,
         pid: Some(pid),
@@ -394,6 +455,7 @@ impl<'a> Campaign<'a> {
             applied: fired.get(),
             exit: outcome.exit,
             crashed: outcome.crashed,
+            audit_events: outcome.os.audit.len(),
             violations: outcome.violations,
         }
     }

@@ -4,7 +4,11 @@
 //! [`TestSetup`]) and freezes the result. Every run — the clean trace, each
 //! injected fault, every repeated campaign — starts from a copy-on-write
 //! snapshot of the frozen world ([`Session::snapshot`]), so per-fault setup
-//! costs O(touched state) instead of a deep world copy.
+//! costs O(touched state) instead of a deep world copy. Each run judges
+//! itself through the setup's `OracleSet` (the standard detector families
+//! plus any spec-declared invariants), subscribed to the run's audit log so
+//! verdicts — with their evidence chains — are ready the moment the run
+//! ends.
 
 use epa_sandbox::app::Application;
 use epa_sandbox::os::Os;

@@ -23,6 +23,7 @@ use epa_sandbox::fs::FileTag;
 use epa_sandbox::mode::Mode;
 use epa_sandbox::net::Message;
 use epa_sandbox::os::{Os, ScenarioMeta};
+use epa_sandbox::policy::InvariantSpec;
 use epa_sandbox::registry::RegAcl;
 
 use crate::campaign::TestSetup;
@@ -265,6 +266,10 @@ pub struct WorldSpec {
     /// Whether to tag the scenario's standard attack targets
     /// (see [`tag_standard_targets`]); on by default.
     pub standard_tags: bool,
+    /// Declarative custom invariants, compiled into oracle detectors for
+    /// every run of this world (replacing in-code-only custom checks with
+    /// serializable data the spec round-trips).
+    pub invariants: Vec<InvariantSpec>,
 }
 
 impl Default for WorldSpec {
@@ -287,6 +292,7 @@ impl Default for WorldSpec {
             env: BTreeMap::new(),
             cwd: "/".to_string(),
             standard_tags: true,
+            invariants: Vec::new(),
         }
     }
 }
@@ -374,6 +380,11 @@ impl WorldSpec {
         }
         for (path, _) in &self.tags {
             abs("tag", path)?;
+        }
+        for inv in &self.invariants {
+            if let Some(path) = inv.constrained_path() {
+                abs("invariant", path)?;
+            }
         }
         abs("cwd", &self.cwd)?;
         // Names must be unique; uids may repeat (a uid can have several
@@ -488,6 +499,9 @@ impl WorldSpec {
         setup = setup.args(self.args.clone()).cwd(self.cwd.clone());
         for (k, v) in &self.env {
             setup = setup.env(k.clone(), v.clone());
+        }
+        for inv in &self.invariants {
+            setup = setup.invariant(inv.clone());
         }
         Ok(setup)
     }
@@ -713,6 +727,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Declares a custom invariant the oracle enforces on every run (e.g.
+    /// [`InvariantSpec::file_pristine`]); verdicts surface as
+    /// `custom`-family violations with rule `invariant:<label>`.
+    #[must_use]
+    pub fn invariant(mut self, spec: InvariantSpec) -> Self {
+        self.spec.invariants.push(spec);
+        self
+    }
+
     /// Disables the standard attack-target tagging.
     #[must_use]
     pub fn without_standard_tags(mut self) -> Self {
@@ -878,9 +901,32 @@ mod tests {
 
     #[test]
     fn specs_serialize_round_trip() {
-        let spec = minimal().build();
+        let spec = minimal()
+            .invariant(InvariantSpec::file_pristine("/etc/shadow"))
+            .invariant(InvariantSpec::require_rule("auth"))
+            .build();
         let json = serde_json::to_string(&spec).unwrap();
         let back: WorldSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+        assert_eq!(back.invariants.len(), 2);
+    }
+
+    #[test]
+    fn relative_invariant_paths_are_rejected() {
+        let spec = minimal().invariant(InvariantSpec::file_pristine("etc/motd")).build();
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::RelativePath { what: "invariant", .. })
+        ));
+    }
+
+    #[test]
+    fn invariants_reach_the_materialized_setup_and_its_oracle() {
+        let spec = minimal().invariant(InvariantSpec::forbid_exec("/tmp")).build();
+        let setup = spec.materialize().unwrap();
+        assert_eq!(setup.invariants.len(), 1);
+        // Standard eight families plus the compiled invariant.
+        assert_eq!(setup.oracle().len(), 9);
+        assert!(setup.oracle().names().contains(&"invariant"));
     }
 }

@@ -402,12 +402,15 @@ mod tests {
             applied: true,
             exit: Some(0),
             crashed: None,
+            audit_events: 1,
             violations: if violated {
-                vec![epa_sandbox::policy::Violation::new(
-                    epa_sandbox::policy::ViolationKind::Disclosure,
-                    "R2",
-                    "leak",
-                    0,
+                vec![epa_sandbox::policy::Verdict::from_violation(
+                    epa_sandbox::policy::Violation::new(
+                        epa_sandbox::policy::ViolationKind::Disclosure,
+                        "R2",
+                        "leak",
+                        0,
+                    ),
                 )]
             } else {
                 Vec::new()

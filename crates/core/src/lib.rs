@@ -72,7 +72,7 @@ pub mod model;
 pub mod perturb;
 pub mod report;
 
-pub use campaign::{run_once, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
+pub use campaign::{run_once, run_once_batch_oracle, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
 pub use catalog::{direct_faults_for, faults_for_site, indirect_faults_for, table5_rows, table6_rows};
 pub use coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds, Ratio};
 pub use engine::{Engine, ScenarioBuilder, Session, SpecError, Suite, SuiteEvent, SuiteReport, WorldSpec};

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
-use epa_sandbox::policy::Violation;
+use epa_sandbox::policy::Verdict;
 
 use crate::coverage::{AdequacyPoint, AdequacyThresholds, Ratio};
 use crate::model::EaiCategory;
@@ -30,8 +30,13 @@ pub struct FaultRecord {
     pub exit: Option<i32>,
     /// `Some(panic message)` when the application panicked under the fault.
     pub crashed: Option<String>,
-    /// Violations the oracle detected.
-    pub violations: Vec<Violation>,
+    /// Length of the run's audit log — the bound every evidence index in
+    /// `violations` must stay inside (machine-checkable from the serialized
+    /// record alone).
+    pub audit_events: usize,
+    /// Verdicts the oracle pipeline detected, each carrying its evidence
+    /// chain (a `Verdict` dereferences to its `Violation`).
+    pub violations: Vec<Verdict>,
 }
 
 impl FaultRecord {
@@ -163,8 +168,17 @@ impl CampaignReport {
             let _ = writeln!(s, "    {site}: {injected} injected, {violated} violations");
         }
         for r in self.violations() {
-            let first = r.violations.first().map(|v| v.to_string()).unwrap_or_default();
-            let _ = writeln!(s, "  VIOLATION {} @ {}: {}", r.fault_id, r.site, first);
+            for v in &r.violations {
+                let evidence = match v.evidence.items.first() {
+                    Some(item) => format!("event #{} {}", item.index, item.summary),
+                    None => "no implicated event".to_string(),
+                };
+                let _ = writeln!(
+                    s,
+                    "  VIOLATION {} @ {}: [{}] {} <- {}",
+                    r.fault_id, r.site, v.kind, v.description, evidence
+                );
+            }
         }
         for r in self.records.iter().filter(|r| r.has_crashed()) {
             let msg = r.crashed.as_deref().unwrap_or_default();
@@ -178,7 +192,7 @@ impl CampaignReport {
 mod tests {
     use super::*;
     use crate::model::IndirectKind;
-    use epa_sandbox::policy::ViolationKind;
+    use epa_sandbox::policy::{Violation, ViolationKind};
 
     fn record(site: &str, fault: &str, violated: bool) -> FaultRecord {
         FaultRecord {
@@ -190,8 +204,14 @@ mod tests {
             applied: true,
             exit: Some(0),
             crashed: None,
+            audit_events: 1,
             violations: if violated {
-                vec![Violation::new(ViolationKind::Disclosure, "R2", "leak", 0)]
+                vec![Verdict::from_violation(Violation::new(
+                    ViolationKind::Disclosure,
+                    "R2",
+                    "leak",
+                    0,
+                ))]
             } else {
                 Vec::new()
             },
@@ -232,9 +252,12 @@ mod tests {
     }
 
     #[test]
-    fn render_mentions_violation() {
+    fn render_mentions_violation_with_evidence() {
         let text = report().render_text();
-        assert!(text.contains("VIOLATION f2 @ s1"));
+        assert!(
+            text.contains("VIOLATION f2 @ s1: [disclosure] leak <- event #0"),
+            "{text}"
+        );
         assert!(text.contains("vulnerability score: 0.250"));
     }
 

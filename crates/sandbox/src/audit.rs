@@ -213,10 +213,54 @@ impl AuditEvent {
     }
 }
 
-/// The append-only audit log of one run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// The append-only audit log of one run, with an optional *oracle
+/// subscription*: an attached [`crate::policy::OracleSet`] observes every
+/// event at [`AuditLog::push`] time, so the policy oracle evaluates
+/// incrementally during the run instead of re-scanning the completed log.
+///
+/// The subscription is runtime-only state: clones, equality comparisons and
+/// (de)serialization see the recorded events alone — a cloned world starts
+/// unsubscribed, exactly as it starts unhooked from the fault interceptor.
+#[derive(Debug, Default)]
 pub struct AuditLog {
     events: Vec<AuditEvent>,
+    oracle: Option<Box<crate::policy::OracleSet>>,
+}
+
+impl Clone for AuditLog {
+    /// Clones the recorded events; the oracle subscription stays behind.
+    fn clone(&self) -> Self {
+        AuditLog {
+            events: self.events.clone(),
+            oracle: None,
+        }
+    }
+}
+
+impl PartialEq for AuditLog {
+    /// Two logs are equal when they recorded the same events; the
+    /// subscription is runtime-only state.
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for AuditLog {}
+
+impl Serialize for AuditLog {
+    fn ser(&self) -> serde::Value {
+        serde::Value::Map(vec![("events".to_string(), self.events.ser())])
+    }
+}
+
+impl Deserialize for AuditLog {
+    fn de(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v.as_map().ok_or_else(|| serde::DeError::expected("map", "AuditLog"))?;
+        Ok(AuditLog {
+            events: Vec::de(serde::field(map, "events", "AuditLog")?)?,
+            oracle: None,
+        })
+    }
 }
 
 impl AuditLog {
@@ -225,10 +269,37 @@ impl AuditLog {
         Self::default()
     }
 
-    /// Appends an event, returning its index.
+    /// Appends an event, returning its index. An attached oracle observes
+    /// the event immediately.
     pub fn push(&mut self, event: AuditEvent) -> usize {
         self.events.push(event);
-        self.events.len() - 1
+        let idx = self.events.len() - 1;
+        if let Some(oracle) = &mut self.oracle {
+            oracle.observe(idx, &self.events[idx]);
+        }
+        idx
+    }
+
+    /// Subscribes an oracle set to this log. Events already recorded are
+    /// replayed to the set first (so attachment order cannot lose
+    /// evidence); every subsequent [`AuditLog::push`] streams to it.
+    /// Replaces any previous subscription.
+    pub fn attach_oracle(&mut self, mut oracle: crate::policy::OracleSet) {
+        for (idx, event) in self.events.iter().enumerate() {
+            oracle.observe(idx, event);
+        }
+        self.oracle = Some(Box::new(oracle));
+    }
+
+    /// Removes and returns the subscribed oracle set, ready for
+    /// [`crate::policy::OracleSet::finish`].
+    pub fn detach_oracle(&mut self) -> Option<crate::policy::OracleSet> {
+        self.oracle.take().map(|b| *b)
+    }
+
+    /// Whether an oracle set is subscribed.
+    pub fn has_oracle(&self) -> bool {
+        self.oracle.is_some()
     }
 
     /// All events in order.

@@ -28,7 +28,7 @@
 //! use epa_sandbox::cred::{Gid, Uid};
 //! use epa_sandbox::mode::Mode;
 //! use epa_sandbox::os::Os;
-//! use epa_sandbox::policy::PolicyEngine;
+//! use epa_sandbox::policy::OracleSet;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut os = Os::new();
@@ -36,12 +36,15 @@
 //! os.fs.mkdir_p("/var/spool", Uid::ROOT, Gid::ROOT, Mode::new(0o755))?;
 //! os.fs.put_file("/usr/bin/lpr", "", Uid::ROOT, Gid::ROOT, Mode::new(0o4755))?;
 //!
-//! // Spawn a SUID-root process for an unprivileged invoker and write a spool file.
+//! // Subscribe the detector pipeline, then spawn a SUID-root process for
+//! // an unprivileged invoker and write a spool file.
+//! os.audit.attach_oracle(OracleSet::standard());
 //! let pid = os.spawn(os.scenario.invoker, Some("/usr/bin/lpr"), vec![], BTreeMap::new(), "/")?;
 //! os.sys_write_file(pid, "lpr:create", "/var/spool/job", "data", 0o660)?;
 //!
 //! // The oracle finds nothing wrong with the unperturbed run.
-//! assert!(PolicyEngine::new().evaluate(&os.audit).is_empty());
+//! let verdicts = os.audit.detach_oracle().expect("attached above").finish();
+//! assert!(verdicts.is_empty());
 //! # Ok(())
 //! # }
 //! ```
@@ -72,7 +75,7 @@ pub use data::{Data, Label, PathArg};
 pub use error::{Errno, SysError, SysResult};
 pub use mode::{Access, Mode};
 pub use os::{Os, ScenarioMeta};
-pub use policy::{PolicyEngine, Violation, ViolationKind};
+pub use policy::{Detector, Evidence, InvariantSpec, OracleSet, PolicyEngine, Verdict, Violation, ViolationKind};
 pub use process::Pid;
 pub use syscall::{InteractionRef, Interceptor, SysReturn, Syscall};
 pub use trace::{InputSemantic, ObjectRef, OpKind, SiteId};

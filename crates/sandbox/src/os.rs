@@ -1247,7 +1247,7 @@ impl Os {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::PolicyEngine;
+    use crate::policy::OracleSet;
 
     /// A minimal lpr-like world: root-SUID binary, spool dir, invoker.
     fn world() -> Os {
@@ -1313,7 +1313,7 @@ mod tests {
             .unwrap();
         os.sys_write_file(pid, "lpr:create", "/var/spool/job1", "print me", 0o660)
             .unwrap();
-        assert!(PolicyEngine::new().evaluate(&os.audit).is_empty());
+        assert!(OracleSet::standard().evaluate_log(&os.audit).is_empty());
     }
 
     #[test]
@@ -1326,7 +1326,7 @@ mod tests {
             .unwrap();
         os.sys_write_file(pid, "lpr:create", "/var/spool/job1", "evil", 0o660)
             .unwrap();
-        let v = PolicyEngine::new().evaluate(&os.audit);
+        let v = OracleSet::standard().evaluate_log(&os.audit);
         assert!(
             v.iter().any(|x| x.kind == crate::policy::ViolationKind::IntegrityWrite),
             "expected integrity violation, got {v:?}"
@@ -1343,7 +1343,7 @@ mod tests {
             .unwrap();
         let secret = os.sys_read_file(pid, "app:read", "/etc/shadow").unwrap();
         os.sys_print(pid, "app:print", secret).unwrap();
-        let v = PolicyEngine::new().evaluate(&os.audit);
+        let v = OracleSet::standard().evaluate_log(&os.audit);
         assert!(v.iter().any(|x| x.kind == crate::policy::ViolationKind::Disclosure));
     }
 
@@ -1377,7 +1377,7 @@ mod tests {
         let path_list = Data::from("/home/evil/bin:/usr/bin");
         let out = os.sys_exec(pid, "app:exec", "tar", vec![], Some(path_list)).unwrap();
         assert_eq!(out.resolved, "/home/evil/bin/tar");
-        let v = PolicyEngine::new().evaluate(&os.audit);
+        let v = OracleSet::standard().evaluate_log(&os.audit);
         assert!(v.iter().any(|x| x.kind == crate::policy::ViolationKind::UntrustedExec));
     }
 
@@ -1527,7 +1527,7 @@ mod tests {
         let mut buf = FixedBuf::new("line", 4);
         let out = os.mem_copy(pid, &mut buf, &Data::from("AAAAAAAA"), CopyDiscipline::Unchecked);
         assert!(matches!(out, CopyOutcome::Overflowed { .. }));
-        let v = PolicyEngine::new().evaluate(&os.audit);
+        let v = OracleSet::standard().evaluate_log(&os.audit);
         assert!(v
             .iter()
             .any(|x| x.kind == crate::policy::ViolationKind::MemoryCorruption));

@@ -2,8 +2,10 @@
 //!
 //! A 195-entry database in the spirit of the CERIAS collection the paper
 //! analyzed (§2.4), with an EAI classifier that derives each entry's
-//! category from structured *mechanism evidence*, and the four frequency
-//! tables the paper reports.
+//! category from structured *mechanism evidence*, the four frequency
+//! tables the paper reports, and the oracle linkage that classifies live
+//! campaign verdicts (policy family × fault category) into the same
+//! taxonomy ([`classify_violation`], [`suite_class_rollup`]).
 //!
 //! The original database is proprietary; entries here are synthetic
 //! recreations modeled on era advisories, calibrated so the classification
@@ -26,7 +28,10 @@ pub mod data;
 pub mod entry;
 pub mod tables;
 
-pub use classify::{classify, Classification, Exclusion};
+pub use classify::{
+    classify, classify_mechanism, classify_violation, mechanism_for_violation, render_class_rollup, suite_class_rollup,
+    violation_class, ClassRollup, Classification, Exclusion,
+};
 pub use data::entries;
 pub use entry::{AttributeFault, InputFlaw, InputSource, Mechanism, OsFamily, PlainFault, VulnEntry};
 pub use tables::{compute, Table1, Table2, Table3, Table4, Tables};

@@ -8,7 +8,7 @@ use epa::sandbox::data::{Data, PathArg};
 use epa::sandbox::fs::FileTag;
 use epa::sandbox::mode::Mode;
 use epa::sandbox::os::Os;
-use epa::sandbox::policy::{PolicyEngine, ViolationKind};
+use epa::sandbox::policy::{OracleSet, ViolationKind};
 use epa::sandbox::process::Pid;
 
 fn world() -> Os {
@@ -48,7 +48,7 @@ fn cwd_taint_flows_into_relative_writes() {
         Data::from("/work/dropzone").with_label(epa::sandbox::data::Label::Untrusted { source: "test".into() });
     os.sys_chdir(pid, "t:chdir", PathArg::from(&tainted_dir)).unwrap();
     os.sys_write_file(pid, "t:write", "out.txt", "data", 0o644).unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(
         v.iter().any(|x| x.kind == ViolationKind::TaintedPrivilegedOp),
         "relative write inherits the cwd's taint: {v:?}"
@@ -73,7 +73,7 @@ fn clean_chdir_clears_previous_taint() {
     // Back to a clean, program-chosen directory.
     os.sys_chdir(pid, "t:chdir2", "/tmp").unwrap();
     os.sys_write_file(pid, "t:write", "out.txt", "data", 0o644).unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(v.is_empty(), "taint must not outlive the tainted cwd: {v:?}");
 }
 
@@ -94,7 +94,7 @@ fn absolute_writes_ignore_cwd_taint() {
     os.sys_chdir(pid, "t:chdir", PathArg::from(&tainted_dir)).unwrap();
     os.sys_write_file(pid, "t:write", "/tmp/out.txt", "data", 0o600)
         .unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(
         v.is_empty(),
         "an absolute path does not land where the cwd pointed: {v:?}"
@@ -107,7 +107,7 @@ fn appending_to_a_file_created_this_run_is_not_integrity_violation() {
     let pid = spawn_suid(&mut os);
     os.sys_create_excl(pid, "t:create", "/tmp/own.tmp", 0o600).unwrap();
     os.sys_append(pid, "t:append", "/tmp/own.tmp", "more", 0o600).unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(v.is_empty(), "a program may append to its own fresh files: {v:?}");
 }
 
@@ -125,7 +125,7 @@ fn appending_to_a_preexisting_foreign_file_is_integrity_violation() {
         .unwrap();
     let pid = spawn_suid(&mut os);
     os.sys_append(pid, "t:append", "/tmp/foreign", "mine", 0o600).unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(v.iter().any(|x| x.kind == ViolationKind::IntegrityWrite), "{v:?}");
 }
 
@@ -146,7 +146,7 @@ fn unlink_then_recreate_clears_created_by_self_history() {
         )
         .unwrap();
     os.sys_write_file(pid, "t:rewrite", "/tmp/cycle", "x", 0o600).unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(
         v.iter().any(|x| x.kind == ViolationKind::IntegrityWrite),
         "the earlier create must not whitelist the attacker's replacement: {v:?}"
@@ -164,7 +164,7 @@ fn secret_written_to_invoker_readable_file_is_disclosure() {
     let secret = os.sys_read_file(pid, "t:read", "/etc/shadow").unwrap();
     os.sys_write_file(pid, "t:write", "/tmp/drop.txt", secret, 0o644)
         .unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(v.iter().any(|x| x.kind == ViolationKind::Disclosure), "{v:?}");
 }
 
@@ -180,8 +180,43 @@ fn secret_written_to_private_file_is_not_disclosure() {
     // Mode 0600, owner root: the invoker cannot read the copy.
     os.sys_write_file(pid, "t:write", "/tmp/private.bak", secret, 0o600)
         .unwrap();
-    let v = PolicyEngine::new().evaluate(&os.audit);
+    let v = OracleSet::standard().evaluate_log(&os.audit);
     assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn incremental_subscription_sees_what_the_batch_scan_sees() {
+    // The same disclosure scenario twice: once with the oracle subscribed
+    // to the audit log while the syscalls happen, once re-scanned post-hoc.
+    let judge = |subscribe: bool| {
+        let mut os = world();
+        os.fs
+            .put_file("/etc/shadow", "root:HASH", Uid::ROOT, Gid::ROOT, Mode::new(0o600))
+            .unwrap();
+        os.fs.tag("/etc/shadow", FileTag::Secret).unwrap();
+        if subscribe {
+            os.audit.attach_oracle(OracleSet::standard());
+        }
+        assert_eq!(os.audit.has_oracle(), subscribe);
+        let pid = spawn_suid(&mut os);
+        let secret = os.sys_read_file(pid, "t:read", "/etc/shadow").unwrap();
+        os.sys_write_file(pid, "t:write", "/tmp/drop.txt", secret, 0o644)
+            .unwrap();
+        match os.audit.detach_oracle() {
+            Some(mut oracle) => oracle.finish(),
+            None => OracleSet::standard().evaluate_log(&os.audit),
+        }
+    };
+    let incremental = judge(true);
+    let batch = judge(false);
+    assert_eq!(incremental, batch);
+    let disclosure = incremental
+        .iter()
+        .find(|v| v.kind == ViolationKind::Disclosure)
+        .expect("disclosure detected");
+    // The evidence chain points at the implicated write event.
+    assert_eq!(disclosure.evidence.first_index(), Some(disclosure.event_index));
+    assert!(disclosure.evidence.items[0].summary.contains("/tmp/drop.txt"));
 }
 
 #[test]
