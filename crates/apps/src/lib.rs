@@ -77,14 +77,33 @@ pub(crate) fn assert_evidence_in_bounds(out: &epa_core::campaign::RunOutcome) {
 /// A [`epa_core::engine::SpecError`] if any world spec fails to
 /// materialize (the specs are tested, so this is effectively infallible).
 pub fn standard_suite() -> Result<epa_core::engine::Suite, epa_core::engine::SpecError> {
-    let mut suite = epa_core::engine::Suite::new();
-    suite.register(Lpr, &lpr::spec())?;
-    suite.register(Turnin, &turnin::spec())?;
-    suite.register(FontPurge, &fontpurge::spec())?;
-    suite.register(NtLogon, &ntlogon::spec())?;
-    suite.register(Fingerd, &fingerd::spec())?;
-    suite.register(Authd, &authd::spec())?;
-    suite.register(MailNotify, &mailnotify::spec())?;
-    suite.register(Backupd, &backupd::spec())?;
-    Ok(suite)
+    standard_suite_with_options(epa_core::campaign::CampaignOptions::default())
+}
+
+/// As [`standard_suite`], with explicit [`epa_core::campaign::CampaignOptions`]
+/// installed on every registered session — how the planner benches build
+/// the exhaustive (`dedup: false`) baseline and how callers opt into
+/// budgeted campaigns across the whole suite.
+///
+/// # Errors
+///
+/// A [`epa_core::engine::SpecError`] if any world spec fails to
+/// materialize.
+pub fn standard_suite_with_options(
+    options: epa_core::campaign::CampaignOptions,
+) -> Result<epa_core::engine::Suite, epa_core::engine::SpecError> {
+    let engine = epa_core::engine::Engine::new().with_options(options);
+    engine.suite_of(vec![
+        (
+            Box::new(Lpr) as Box<dyn epa_sandbox::app::Application + Send + Sync>,
+            lpr::spec(),
+        ),
+        (Box::new(Turnin), turnin::spec()),
+        (Box::new(FontPurge), fontpurge::spec()),
+        (Box::new(NtLogon), ntlogon::spec()),
+        (Box::new(Fingerd), fingerd::spec()),
+        (Box::new(Authd), authd::spec()),
+        (Box::new(MailNotify), mailnotify::spec()),
+        (Box::new(Backupd), backupd::spec()),
+    ])
 }

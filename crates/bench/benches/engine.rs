@@ -13,7 +13,10 @@
 //! incremental (audit-log-subscribed) oracle against the retired post-hoc
 //! batch scan over the standard suite's full injected workload and writes
 //! `BENCH_oracle.json` (the oracle redesign requires the incremental path
-//! to be no slower than the batch scan).
+//! to be no slower than the batch scan), and finally measures the
+//! dedup+memo planner against exhaustive re-execution over a two-pass
+//! suite workload and writes `BENCH_planner.json` (the planner must
+//! execute strictly fewer runs with a byte-identical verdict set).
 
 use std::time::{Duration, Instant};
 
@@ -457,6 +460,118 @@ fn emit_oracle_bench_json() {
     );
 }
 
+/// One comparable line per record: identity plus the serialized verdicts.
+/// Two suite reports with equal digests found exactly the same violations
+/// on exactly the same jobs — the planner's no-lost-detections criterion.
+fn verdict_set(report: &epa_core::engine::suite::SuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in &report.reports {
+        for rec in &r.records {
+            let verdicts = serde_json::to_string(&rec.violations).expect("verdicts serialize");
+            let _ = writeln!(
+                out,
+                "{}|{}|{}|{}|{verdicts}",
+                r.app, rec.site, rec.occurrence, rec.fault_id
+            );
+        }
+    }
+    out
+}
+
+/// Measures the dedup+memo planner against exhaustive re-execution over a
+/// cross-run workload — the eight-application standard suite executed
+/// twice, a regression re-run's shape. The exhaustive baseline (dedup off,
+/// a cold cache per pass) re-executes every `(site, occurrence, fault)`
+/// job both times; the planner suite keeps its suite-scoped `ResultCache`
+/// across the passes, so the second pass replays entirely from memo.
+/// Asserts strictly fewer runs executed, byte-identical verdict sets, and
+/// unchanged suite totals, then writes `BENCH_planner.json`.
+fn emit_planner_bench_json() {
+    let exhaustive_options = CampaignOptions {
+        dedup: false,
+        ..Default::default()
+    };
+    let fresh_exhaustive = || epa_apps::standard_suite_with_options(exhaustive_options.clone()).expect("valid specs");
+
+    // Deterministic counts, outside the timed region.
+    let planner_suite = epa_apps::standard_suite().expect("valid specs");
+    let p1 = planner_suite.execute();
+    let p2 = planner_suite.execute();
+    let e1 = fresh_exhaustive().execute();
+    let e2 = fresh_exhaustive().execute();
+
+    // The planner must not change a single number the paper reports…
+    assert_eq!(p1.total_injected(), e1.total_injected());
+    assert_eq!(p1.total_violated(), e1.total_violated());
+    assert_eq!(p2.total_injected(), e2.total_injected());
+    assert_eq!(p2.total_violated(), e2.total_violated());
+    // …and must find the exact verdict set of exhaustive execution.
+    assert_eq!(
+        verdict_set(&p1),
+        verdict_set(&e1),
+        "pass 1 verdicts must be byte-identical"
+    );
+    assert_eq!(
+        verdict_set(&p2),
+        verdict_set(&e2),
+        "pass 2 verdicts must be byte-identical"
+    );
+
+    let exhaustive_runs = e1.total_runs_executed() + e2.total_runs_executed();
+    let planner_runs = p1.total_runs_executed() + p2.total_runs_executed();
+    let planner_hits = p1.total_cache_hits() + p2.total_cache_hits();
+    assert_eq!(
+        p2.total_runs_executed(),
+        0,
+        "the second memoized pass must replay entirely from cache"
+    );
+    assert!(
+        planner_runs < exhaustive_runs,
+        "dedup+memo must execute strictly fewer runs ({planner_runs} vs {exhaustive_runs})"
+    );
+
+    let samples = 9;
+    let planner_ns = median_ns(samples, || {
+        let suite = epa_apps::standard_suite().expect("valid specs");
+        let _ = suite.execute();
+        suite.execute().total_runs_executed()
+    });
+    let exhaustive_ns = median_ns(samples, || {
+        let _ = fresh_exhaustive().execute();
+        fresh_exhaustive().execute().total_runs_executed()
+    });
+    let speedup = exhaustive_ns as f64 / planner_ns.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"planner\",\n  \"suite_apps\": {},\n  \"passes\": 2,\n  \"samples\": {samples},\n  \
+         \"exhaustive_runs_executed\": {exhaustive_runs},\n  \"planner_runs_executed\": {planner_runs},\n  \
+         \"planner_cache_hits\": {planner_hits},\n  \"verdicts\": {},\n  \
+         \"verdict_sets_identical\": true,\n  \"exhaustive_ns\": {exhaustive_ns},\n  \
+         \"planner_ns\": {planner_ns},\n  \"exhaustive_over_planner\": {speedup:.2}\n}}\n",
+        p1.reports.len(),
+        p1.total_violated() + p2.total_violated()
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_planner.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {} (planner {planner_runs} runs vs exhaustive {exhaustive_runs}; \
+             {planner_hits} replays; {speedup:.2}x wall-clock)",
+            path.display()
+        ),
+        Err(e) => eprintln!("BENCH_planner.json not written: {e}"),
+    }
+    // The two-pass wall-clock gate: replaying a pass must not be slower
+    // than re-executing it (5% margin for scheduler noise, as elsewhere).
+    assert!(
+        planner_ns as f64 <= exhaustive_ns as f64 * 1.05,
+        "memoized two-pass suite must not be slower than exhaustive \
+         (planner {planner_ns}ns > exhaustive {exhaustive_ns}ns + 5% margin)"
+    );
+}
+
 criterion_group!(
     benches,
     bench_campaigns,
@@ -469,11 +584,13 @@ criterion_group!(
 // A hand-rolled `main` instead of `criterion_main!`: the criterion groups
 // run first, then the snapshot-vs-deep-clone measurement is written to
 // BENCH_engine.json, the pooled-executor-vs-fanout measurement to
-// BENCH_executor.json, and the incremental-vs-batch oracle measurement to
-// BENCH_oracle.json.
+// BENCH_executor.json, the incremental-vs-batch oracle measurement to
+// BENCH_oracle.json, and the dedup+memo planner measurement to
+// BENCH_planner.json.
 fn main() {
     benches();
     emit_bench_json();
     emit_executor_bench_json();
     emit_oracle_bench_json();
+    emit_planner_bench_json();
 }

@@ -26,6 +26,7 @@ use epa_sandbox::trace::{SiteId, SiteSummary};
 
 use crate::catalog::{faults_for_site, DirectContext};
 use crate::engine::executor::Executor;
+use crate::engine::planner::{ResultCache, RunDigest, Schedule, YieldStats};
 use crate::inject::{InjectionHook, InjectionPlan};
 use crate::perturb::ConcreteFault;
 use crate::report::{CampaignReport, FaultRecord};
@@ -125,6 +126,53 @@ impl TestSetup {
             oracle.register(spec.detector());
         }
         oracle
+    }
+
+    /// A content fingerprint of the frozen setup: the pristine world's
+    /// substrates (file system, users, registry, network, scenario) plus
+    /// every spawn parameter and declared invariant.
+    ///
+    /// This is the memoization scope half of the planner's
+    /// `(fingerprint, FaultKey)` cache key: two runs can only replay each
+    /// other when they start from byte-identical worlds with identical
+    /// spawn parameters. The hash is cheap in the engine's terms because a
+    /// [`crate::engine::Session`] freezes one pristine world and snapshots
+    /// it copy-on-write per run — the frozen state is hashed once per
+    /// campaign, never per injected run.
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        let mut part = |label: &str, json: String| {
+            text.push_str(label);
+            text.push('=');
+            text.push_str(&json);
+            text.push('\n');
+        };
+        let world = &self.world;
+        part("fs", serde_json::to_string(&world.fs).expect("vfs serializes"));
+        part("users", serde_json::to_string(&world.users).expect("users serialize"));
+        part(
+            "registry",
+            serde_json::to_string(&world.registry).expect("registry serializes"),
+        );
+        part("net", serde_json::to_string(&world.net).expect("network serializes"));
+        part(
+            "scenario",
+            serde_json::to_string(&world.scenario).expect("scenario serializes"),
+        );
+        part("procs", world.procs.len().to_string());
+        part("created", format!("{:?}", world.created_paths().collect::<Vec<_>>()));
+        part("audit", world.audit.len().to_string());
+        part("trace", world.trace.len().to_string());
+        part("program", format!("{:?}", self.program));
+        part("invoker", format!("{:?}", self.invoker));
+        part("args", format!("{:?}", self.args));
+        part("env", format!("{:?}", self.env));
+        part("cwd", self.cwd.clone());
+        part(
+            "invariants",
+            serde_json::to_string(&self.invariants).expect("invariants serialize"),
+        );
+        crate::engine::planner::fnv1a(text.as_bytes())
     }
 }
 
@@ -264,6 +312,28 @@ pub struct CampaignOptions {
     pub max_occurrences_per_site: usize,
     /// Run injected experiments on worker threads.
     pub parallel: bool,
+    /// Collapse jobs whose canonical [`crate::engine::planner::FaultKey`]s
+    /// are equal: only the first executes, the rest replay its outcome with
+    /// `cache_hit: true`. On by default — replays are byte-identical by
+    /// construction, so every verdict (and every paper number) is
+    /// preserved. Turn off to force the exhaustive pre-planner behaviour
+    /// (the equivalence baseline the property tests compare against).
+    pub dedup: bool,
+    /// A shared [`crate::engine::planner::ResultCache`] memoizing
+    /// `(setup fingerprint, FaultKey) -> RunDigest` across campaigns and
+    /// executions. `None` (the default) keeps memoization plan-local;
+    /// [`crate::engine::Suite`] installs one suite-scoped cache across all
+    /// of its campaigns.
+    pub cache: Option<crate::engine::planner::ResultCache>,
+    /// Execute at most this many *runs* (cache replays are free), picking
+    /// the next job adaptively by observed per-EAI-category verdict yield
+    /// ([`crate::engine::planner::YieldStats`]). `None` — the default, and
+    /// what every paper table uses — executes the exhaustive plan in plan
+    /// order. Budgeted execution is inherently sequential (each pick feeds
+    /// on the previous outcome), so it ignores
+    /// [`CampaignOptions::parallel`] within one campaign; a suite still
+    /// interleaves budgeted campaigns across its worker pool.
+    pub plan_budget: Option<usize>,
 }
 
 impl Default for CampaignOptions {
@@ -274,6 +344,9 @@ impl Default for CampaignOptions {
             max_faults_per_site: None,
             max_occurrences_per_site: 1,
             parallel: false,
+            dedup: true,
+            cache: None,
+            plan_budget: None,
         }
     }
 }
@@ -360,6 +433,9 @@ pub struct Campaign<'a> {
     app: &'a dyn Application,
     setup: &'a TestSetup,
     options: CampaignOptions,
+    /// The memoization scope (app identity + setup fingerprint), computed
+    /// at most once per campaign — the world hash is cheap, but not free.
+    scope: std::sync::OnceLock<u64>,
 }
 
 impl<'a> Campaign<'a> {
@@ -373,13 +449,19 @@ impl<'a> Campaign<'a> {
             app,
             setup,
             options: CampaignOptions::default(),
+            scope: std::sync::OnceLock::new(),
         }
     }
 
     /// As [`Campaign::new`], without the deprecation: the engine layer
     /// builds campaigns internally.
     pub(crate) fn build(app: &'a dyn Application, setup: &'a TestSetup, options: CampaignOptions) -> Self {
-        Campaign { app, setup, options }
+        Campaign {
+            app,
+            setup,
+            options,
+            scope: std::sync::OnceLock::new(),
+        }
     }
 
     /// Replaces the options.
@@ -387,6 +469,24 @@ impl<'a> Campaign<'a> {
     pub fn with_options(mut self, options: CampaignOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Installs `cache` as the campaign's result cache unless the options
+    /// already carry one (the suite-scoped default; an explicit per-session
+    /// cache wins).
+    pub(crate) fn ensure_cache(&mut self, cache: ResultCache) {
+        if self.options.cache.is_none() {
+            self.options.cache = Some(cache);
+        }
+    }
+
+    /// The `(setup fingerprint, application)` memoization scope of this
+    /// campaign's runs — see [`TestSetup::fingerprint`].
+    pub fn scope(&self) -> u64 {
+        *self.scope.get_or_init(|| {
+            let text = format!("{}\n{:016x}", self.app.name(), self.setup.fingerprint());
+            crate::engine::planner::fnv1a(text.as_bytes())
+        })
     }
 
     /// Steps 1–5: trace the application and build the fault plan.
@@ -456,6 +556,7 @@ impl<'a> Campaign<'a> {
             exit: outcome.exit,
             crashed: outcome.crashed,
             audit_events: outcome.os.audit.len(),
+            cache_hit: false,
             violations: outcome.violations,
         }
     }
@@ -480,20 +581,28 @@ impl<'a> Campaign<'a> {
             .filter(|s| s.included && !s.faults.is_empty())
             .collect();
         let total = full.sites.iter().filter(|s| !s.faults.is_empty()).count();
-        let executor = self.executor();
         let mut records = Vec::new();
         let mut covered = 0usize;
+        // `plan_budget` caps executed runs across the whole incremental
+        // campaign, not per site batch: the remaining allowance carries
+        // over, decremented by what each batch actually executed.
+        let mut budget_left = self.options.plan_budget;
         for site in &perturbable {
-            // Each site's batch goes through the executor, so the
-            // incremental §3.3 criterion run honors `options.parallel`
-            // too; records stay in plan order within the batch.
+            // Each site's batch goes through the planner (dedup + memo +
+            // parallel execution), so the incremental §3.3 criterion run
+            // honors the planning options too; records stay in plan order
+            // within the batch.
             let jobs = site.jobs();
-            if self.options.parallel && jobs.len() > 1 {
-                records.extend(executor.run_indexed(&jobs, |_, job| self.run_job(job), &mut |_, _| {}));
-            } else {
-                records.extend(jobs.iter().map(|job| self.run_job(job)));
+            let batch = self.run_jobs_with(&jobs, budget_left, &mut |_| {});
+            if let Some(left) = &mut budget_left {
+                *left = left.saturating_sub(batch.iter().filter(|r| !r.cache_hit).count());
             }
-            covered += 1;
+            // Under a budget, a site whose batch produced nothing was not
+            // perturbed and must not count toward the coverage criterion.
+            if !batch.is_empty() || self.options.plan_budget.is_none() {
+                covered += 1;
+            }
+            records.extend(batch);
             if total > 0 && covered as f64 / total as f64 >= min_interaction_coverage {
                 break;
             }
@@ -518,22 +627,166 @@ impl<'a> Campaign<'a> {
     /// engine's [`crate::engine::Suite`] streaming API builds on.
     pub fn execute_plan_with(&self, plan: &CampaignPlan, on_record: &mut dyn FnMut(&FaultRecord)) -> CampaignReport {
         let jobs = plan.jobs();
-        let records: Vec<FaultRecord> = if self.options.parallel && jobs.len() > 1 {
+        let records = self.run_jobs(&jobs, on_record);
+        self.report_from(plan, records)
+    }
+
+    /// Runs a flat job list through the planner: canonical-fault dedup,
+    /// cache memoization, then execution of the remaining misses — in plan
+    /// order (parallel over the executor's shared queue when the options
+    /// ask for it), or adaptively when a
+    /// [`CampaignOptions::plan_budget`] caps the run count. Replayed
+    /// records never occupy a worker slot.
+    ///
+    /// The returned records are in plan order; budget-dropped jobs are
+    /// absent. `on_record` observes every record (executed and replayed) in
+    /// completion order.
+    pub(crate) fn run_jobs(&self, jobs: &[InjectionPlan], on_record: &mut dyn FnMut(&FaultRecord)) -> Vec<FaultRecord> {
+        self.run_jobs_with(jobs, self.options.plan_budget, on_record)
+    }
+
+    /// As [`Campaign::run_jobs`], with an explicit execution budget — the
+    /// remaining per-campaign allowance when the caller splits one
+    /// campaign across several batches ([`Campaign::execute_until`]).
+    fn run_jobs_with(
+        &self,
+        jobs: &[InjectionPlan],
+        plan_budget: Option<usize>,
+        on_record: &mut dyn FnMut(&FaultRecord),
+    ) -> Vec<FaultRecord> {
+        let cache = self.options.cache.clone();
+        let scope = if cache.is_some() { self.scope() } else { 0 };
+        let schedule = self.schedule(jobs);
+        let mut slots: Vec<Option<FaultRecord>> = jobs.iter().map(|_| None).collect();
+
+        // Cache-resolved canonicals (and their aliases) replay inline.
+        for (idx, digest) in &schedule.resolved {
+            let record = digest.replay(&jobs[*idx]);
+            on_record(&record);
+            slots[*idx] = Some(record);
+            for &alias in schedule.aliases_of(*idx) {
+                let record = digest.replay(&jobs[alias]);
+                on_record(&record);
+                slots[alias] = Some(record);
+            }
+        }
+
+        if let Some(budget) = plan_budget {
+            // Budgeted execution: sequential by construction — every pick
+            // feeds on the verdict yield of everything observed so far,
+            // including the replays above.
+            let mut stats = YieldStats::new();
+            for record in slots.iter().flatten() {
+                stats.observe(record.category, !record.tolerated());
+            }
+            let mut remaining = schedule.pending.clone();
+            let mut executed = 0usize;
+            while executed < budget && !remaining.is_empty() {
+                let pos = stats.pick(&remaining, jobs);
+                let idx = remaining.remove(pos);
+                let record = self.run_job(&jobs[idx]);
+                executed += 1;
+                stats.observe(record.category, !record.tolerated());
+                on_record(&record);
+                self.finish_canonical(
+                    &schedule,
+                    jobs,
+                    idx,
+                    record,
+                    scope,
+                    cache.as_ref(),
+                    &mut slots,
+                    on_record,
+                );
+            }
+        } else if self.options.parallel && schedule.pending.len() > 1 {
             // One shared queue over bounded workers (no static `i % workers`
             // partitioning): idle workers steal the next unclaimed job, and
             // the executor reassembles plan order from the job indices.
-            self.executor()
-                .run_indexed(&jobs, |_, job| self.run_job(job), &mut |_, r| on_record(r))
+            let pending_jobs: Vec<&InjectionPlan> = schedule.pending.iter().map(|&i| &jobs[i]).collect();
+            let executed = self
+                .executor()
+                .run_indexed(&pending_jobs, |_, job| self.run_job(job), &mut |_, r| on_record(r));
+            for (k, record) in executed.into_iter().enumerate() {
+                let idx = schedule.pending[k];
+                self.finish_canonical(
+                    &schedule,
+                    jobs,
+                    idx,
+                    record,
+                    scope,
+                    cache.as_ref(),
+                    &mut slots,
+                    on_record,
+                );
+            }
         } else {
-            jobs.iter()
-                .map(|j| {
-                    let r = self.run_job(j);
-                    on_record(&r);
-                    r
-                })
-                .collect()
-        };
-        self.report_from(plan, records)
+            for &idx in &schedule.pending {
+                let record = self.run_job(&jobs[idx]);
+                on_record(&record);
+                self.finish_canonical(
+                    &schedule,
+                    jobs,
+                    idx,
+                    record,
+                    scope,
+                    cache.as_ref(),
+                    &mut slots,
+                    on_record,
+                );
+            }
+        }
+        slots.into_iter().flatten().collect()
+    }
+
+    /// Canonicalizes a flat job list against this campaign's scope, cache,
+    /// and dedup setting (the planner's entry point; the suite's pooled
+    /// queue drives the schedule itself so cache replays never occupy a
+    /// worker slot).
+    pub(crate) fn schedule(&self, jobs: &[InjectionPlan]) -> Schedule {
+        let scope = if self.options.cache.is_some() { self.scope() } else { 0 };
+        Schedule::build(jobs, scope, self.options.cache.as_ref(), self.options.dedup)
+    }
+
+    /// Memoizes one executed run's digest under this campaign's scope.
+    pub(crate) fn memoize(&self, key: &crate::engine::planner::FaultKey, digest: RunDigest) {
+        if let Some(cache) = &self.options.cache {
+            cache.insert(self.scope(), key, digest);
+        }
+    }
+
+    /// The configured per-campaign execution budget, if any.
+    pub(crate) fn plan_budget(&self) -> Option<usize> {
+        self.options.plan_budget
+    }
+
+    /// Books one executed canonical record: memoizes its digest, replays
+    /// its aliases, and files everything into the plan-order slots.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_canonical(
+        &self,
+        schedule: &Schedule,
+        jobs: &[InjectionPlan],
+        idx: usize,
+        record: FaultRecord,
+        scope: u64,
+        cache: Option<&ResultCache>,
+        slots: &mut [Option<FaultRecord>],
+        on_record: &mut dyn FnMut(&FaultRecord),
+    ) {
+        let aliases = schedule.aliases_of(idx);
+        if cache.is_some() || !aliases.is_empty() {
+            let digest = RunDigest::of(&record);
+            if let Some(c) = cache {
+                c.insert(scope, schedule.key(idx), digest.clone());
+            }
+            for &alias in aliases {
+                let replay = digest.replay(&jobs[alias]);
+                on_record(&replay);
+                slots[alias] = Some(replay);
+            }
+        }
+        slots[idx] = Some(record);
     }
 
     /// A hardware-bounded pool for this campaign's injected runs.
@@ -549,7 +802,17 @@ impl<'a> Campaign<'a> {
         // catalog has something to perturb — pure-output sites (prints) have
         // no applicable faults and do not count against coverage.
         let perturbable = plan.sites.iter().filter(|s| !s.faults.is_empty()).count();
-        let perturbed_sites = plan.sites.iter().filter(|s| s.included && !s.faults.is_empty()).count();
+        let perturbed_sites = if self.options.plan_budget.is_some() {
+            // A budget may drop a planned site entirely; coverage counts
+            // only sites that actually received a (possibly replayed) run.
+            let touched: BTreeSet<&str> = records.iter().map(|r| r.site.as_str()).collect();
+            plan.sites
+                .iter()
+                .filter(|s| s.included && !s.faults.is_empty() && touched.contains(s.summary.site.0.as_str()))
+                .count()
+        } else {
+            plan.sites.iter().filter(|s| s.included && !s.faults.is_empty()).count()
+        };
         CampaignReport {
             app: self.app.name().to_string(),
             total_sites: perturbable,
@@ -685,7 +948,7 @@ mod tests {
             .execute();
         assert_eq!(report.perturbed_sites, 1);
         assert_eq!(report.injected(), 2);
-        assert!(report.interaction_coverage().value() < 1.0);
+        assert!(report.interaction_coverage().value_or(1.0) < 1.0);
     }
 
     #[test]
@@ -742,7 +1005,7 @@ mod tests {
         // MiniLpr has two perturbable sites; 0.5 coverage stops after one.
         let half = Campaign::new(&MiniLpr, &s).execute_until(0.5);
         assert_eq!(half.perturbed_sites, 1);
-        assert_eq!(half.interaction_coverage().value(), 0.5);
+        assert_eq!(half.interaction_coverage().fraction(), Some(0.5));
         assert!(half.injected() < 9);
         // 1.0 coverage runs everything.
         let full = Campaign::new(&MiniLpr, &s).execute_until(1.0);
@@ -771,5 +1034,140 @@ mod tests {
         assert!(out.has_crashed());
         assert_eq!(out.crashed.as_deref(), Some("deliberate crash for harness robustness"));
         assert_eq!(out.exit, None);
+    }
+
+    /// Strips the planner's replay flag so replayed reports compare equal
+    /// to executed ones field-for-field.
+    fn without_cache_flags(mut report: CampaignReport) -> CampaignReport {
+        for r in &mut report.records {
+            r.cache_hit = false;
+        }
+        report
+    }
+
+    #[test]
+    fn memoized_rerun_replays_every_record_byte_identically() {
+        let s = setup();
+        let cache = crate::engine::planner::ResultCache::new();
+        let options = CampaignOptions {
+            cache: Some(cache.clone()),
+            ..Default::default()
+        };
+        let first = Campaign::new(&MiniLpr, &s).with_options(options.clone()).execute();
+        assert_eq!(first.cache_hits(), 0, "a cold cache replays nothing");
+        let second = Campaign::new(&MiniLpr, &s).with_options(options).execute();
+        assert_eq!(
+            second.cache_hits(),
+            second.injected(),
+            "a warm cache replays everything"
+        );
+        assert_eq!(second.runs_executed(), 0);
+        assert_eq!(without_cache_flags(second), without_cache_flags(first.clone()));
+        // And the memoized report still matches the exhaustive baseline.
+        let exhaustive = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                dedup: false,
+                ..Default::default()
+            })
+            .execute();
+        assert_eq!(without_cache_flags(first), exhaustive);
+    }
+
+    #[test]
+    fn cache_does_not_leak_across_applications() {
+        let s = setup();
+        let cache = crate::engine::planner::ResultCache::new();
+        let options = CampaignOptions {
+            cache: Some(cache.clone()),
+            ..Default::default()
+        };
+        let _ = Campaign::new(&MiniLpr, &s).with_options(options.clone()).execute();
+        // A different application over the same world must not replay the
+        // MiniLpr outcomes: its scope differs.
+        struct OtherLpr;
+        impl Application for OtherLpr {
+            fn name(&self) -> &'static str {
+                "other-lpr"
+            }
+            fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+                MiniLpr.run(os, pid)
+            }
+        }
+        let other = Campaign::new(&OtherLpr, &s).with_options(options).execute();
+        assert_eq!(other.cache_hits(), 0);
+        assert_eq!(other.runs_executed(), other.injected());
+    }
+
+    #[test]
+    fn budgeted_campaign_executes_at_most_the_budget() {
+        let s = setup();
+        let full = Campaign::new(&MiniLpr, &s).execute();
+        let budgeted = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                plan_budget: Some(3),
+                ..Default::default()
+            })
+            .execute();
+        assert_eq!(budgeted.runs_executed(), 3);
+        assert!(budgeted.injected() <= full.injected());
+        // Every budgeted record matches its exhaustive twin exactly.
+        for record in &budgeted.records {
+            let twin = full
+                .records
+                .iter()
+                .find(|r| r.fault_id == record.fault_id && r.site == record.site && r.occurrence == record.occurrence)
+                .expect("budgeted records are a subset of the exhaustive plan");
+            assert_eq!(twin, record);
+        }
+        // A budget at least as large as the plan reproduces it exactly.
+        let generous = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                plan_budget: Some(full.injected()),
+                ..Default::default()
+            })
+            .execute();
+        assert_eq!(generous.injected(), full.injected());
+        assert_eq!(generous.violated(), full.violated());
+    }
+
+    #[test]
+    fn execute_until_budget_caps_the_whole_campaign_not_each_batch() {
+        let s = setup();
+        // MiniLpr's full incremental campaign is 9 runs over 2 sites; a
+        // budget of 3 must cap the *campaign*, not allow 3 per site.
+        let budgeted = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                plan_budget: Some(3),
+                ..Default::default()
+            })
+            .execute_until(1.0);
+        assert_eq!(budgeted.runs_executed(), 3);
+        // A zero budget executes nothing and must not claim coverage.
+        let none = Campaign::new(&MiniLpr, &s)
+            .with_options(CampaignOptions {
+                plan_budget: Some(0),
+                ..Default::default()
+            })
+            .execute_until(1.0);
+        assert_eq!(none.injected(), 0);
+        assert_eq!(none.perturbed_sites, 0);
+    }
+
+    #[test]
+    fn scope_is_stable_and_world_sensitive() {
+        let s = setup();
+        let a = Campaign::new(&MiniLpr, &s).scope();
+        let b = Campaign::new(&MiniLpr, &s).scope();
+        assert_eq!(a, b, "same app, same frozen world, same scope");
+        let mut s2 = setup();
+        s2.world
+            .fs
+            .put_file("/etc/extra", "x", Uid::ROOT, Gid::ROOT, Mode::new(0o644))
+            .unwrap();
+        assert_ne!(
+            Campaign::new(&MiniLpr, &s2).scope(),
+            a,
+            "a changed world changes the scope"
+        );
     }
 }

@@ -36,11 +36,18 @@ pub struct DirectContext<'a> {
 }
 
 impl DirectContext<'_> {
+    /// Absolutizes and lexically cleans an object path, so every fault id
+    /// and payload target is canonical at the source: a site that names
+    /// its object `./report.txt` and one that names it `report.txt` yield
+    /// byte-identical faults (and therefore one planner
+    /// [`crate::engine::planner::FaultKey`], not two). `..` components
+    /// survive cleaning — the VFS resolves them physically, so rewriting
+    /// them textually could retarget the fault across a symlinked parent.
     fn absolutize(&self, p: &str) -> String {
         if path::is_absolute(p) {
-            p.to_string()
+            path::clean(p)
         } else {
-            path::join(self.cwd, p)
+            path::clean(&path::join(self.cwd, p))
         }
     }
 }

@@ -29,20 +29,37 @@ impl Ratio {
         Ratio { hits, total }
     }
 
-    /// The ratio as a float; 1.0 for an empty denominator (vacuous truth:
-    /// nothing to cover means fully covered).
-    pub fn value(&self) -> f64 {
+    /// The ratio as a float, or `None` for an empty denominator.
+    ///
+    /// An empty denominator means the quantity is *undefined*, not
+    /// satisfied: callers must decide explicitly what vacuousness means for
+    /// their metric ([`Ratio::value_or`]). The old `value()` accessor
+    /// returned 1.0 here, which let a campaign over a world exposing zero
+    /// interaction points report full interaction coverage and land in the
+    /// Safe region of Figure 2 despite having tested nothing.
+    pub fn fraction(&self) -> Option<f64> {
         if self.total == 0 {
-            1.0
+            None
         } else {
-            self.hits as f64 / self.total as f64
+            Some(self.hits as f64 / self.total as f64)
         }
+    }
+
+    /// The ratio as a float, with an explicit value for the empty
+    /// denominator. Fault coverage passes 1.0 (vacuous truth: zero injected
+    /// faults means zero intolerated faults); interaction coverage must
+    /// never do so (see [`Ratio::fraction`]).
+    pub fn value_or(&self, vacuous: f64) -> f64 {
+        self.fraction().unwrap_or(vacuous)
     }
 }
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.value() * 100.0)
+        match self.fraction() {
+            Some(v) => write!(f, "{}/{} ({:.1}%)", self.hits, self.total, v * 100.0),
+            None => write!(f, "{}/{} (n/a)", self.hits, self.total),
+        }
     }
 }
 
@@ -53,6 +70,12 @@ pub struct AdequacyPoint {
     pub interaction: f64,
     /// Fault coverage in `[0, 1]`.
     pub fault: f64,
+    /// True when the campaign exposed **zero perturbable interaction
+    /// points**, so interaction coverage is undefined. A vacuous point
+    /// always classifies as [`AdequacyRegion::Inadequate`]: a test that
+    /// perturbed nothing says nothing, no matter what its (equally vacuous)
+    /// fault coverage reads.
+    pub vacuous: bool,
 }
 
 impl AdequacyPoint {
@@ -61,11 +84,28 @@ impl AdequacyPoint {
         AdequacyPoint {
             interaction: interaction.clamp(0.0, 1.0),
             fault: fault.clamp(0.0, 1.0),
+            vacuous: false,
         }
     }
 
-    /// Classifies the point against thresholds.
+    /// The point of a campaign with no perturbable interaction points:
+    /// interaction coverage is undefined (rendered `n/a`, stored 0.0) and
+    /// the point classifies as [`AdequacyRegion::Inadequate`] regardless of
+    /// thresholds.
+    pub fn vacuous(fault: f64) -> Self {
+        AdequacyPoint {
+            interaction: 0.0,
+            fault: fault.clamp(0.0, 1.0),
+            vacuous: true,
+        }
+    }
+
+    /// Classifies the point against thresholds. A [`AdequacyPoint::vacuous`]
+    /// point is always [`AdequacyRegion::Inadequate`].
     pub fn region(&self, thresholds: AdequacyThresholds) -> AdequacyRegion {
+        if self.vacuous {
+            return AdequacyRegion::Inadequate;
+        }
         let ic_high = self.interaction >= thresholds.interaction_high;
         let fc_high = self.fault >= thresholds.fault_high;
         match (ic_high, fc_high) {
@@ -79,7 +119,11 @@ impl AdequacyPoint {
 
 impl fmt::Display for AdequacyPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(interaction={:.2}, fault={:.2})", self.interaction, self.fault)
+        if self.vacuous {
+            write!(f, "(interaction=n/a, fault={:.2})", self.fault)
+        } else {
+            write!(f, "(interaction={:.2}, fault={:.2})", self.interaction, self.fault)
+        }
     }
 }
 
@@ -146,9 +190,32 @@ mod tests {
 
     #[test]
     fn ratio_handles_empty_denominator() {
-        assert_eq!(Ratio::new(0, 0).value(), 1.0);
-        assert_eq!(Ratio::new(1, 2).value(), 0.5);
+        assert_eq!(Ratio::new(0, 0).fraction(), None);
+        assert_eq!(Ratio::new(0, 0).value_or(1.0), 1.0);
+        assert_eq!(Ratio::new(0, 0).value_or(0.0), 0.0);
+        assert_eq!(Ratio::new(1, 2).fraction(), Some(0.5));
+        assert_eq!(Ratio::new(1, 2).value_or(1.0), 0.5);
         assert_eq!(Ratio::new(3, 4).to_string(), "3/4 (75.0%)");
+    }
+
+    #[test]
+    fn empty_denominator_renders_na_not_100_percent() {
+        assert_eq!(Ratio::new(0, 0).to_string(), "0/0 (n/a)");
+    }
+
+    #[test]
+    fn vacuous_point_is_never_safe() {
+        let t = AdequacyThresholds::default();
+        let p = AdequacyPoint::vacuous(1.0);
+        assert_eq!(p.region(t), AdequacyRegion::Inadequate);
+        assert_eq!(p.region(t).figure2_point(), 1);
+        // Even absurdly lax thresholds cannot move a vacuous point.
+        let lax = AdequacyThresholds {
+            interaction_high: 0.0,
+            fault_high: 0.0,
+        };
+        assert_eq!(p.region(lax), AdequacyRegion::Inadequate);
+        assert_eq!(p.to_string(), "(interaction=n/a, fault=1.00)");
     }
 
     #[test]

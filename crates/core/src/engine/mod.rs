@@ -13,10 +13,19 @@
 //! 3. **[`Suite`]** (`suite`) — many `(application, world)` pairs executed
 //!    as one batch, streaming [`SuiteEvent`]s and aggregating into a
 //!    [`SuiteReport`] with cross-application rollups.
-//! 4. **[`Executor`]** (`executor`) — the single suite-wide work pool:
+//! 4. **[`planner`]** — the adaptive fault-space planner between the fault
+//!    plan and the executor: canonicalizes every job into a
+//!    content-addressed [`planner::FaultKey`], dedups equivalent jobs
+//!    within a plan, memoizes `(setup fingerprint, FaultKey) -> RunDigest`
+//!    in a suite-scoped [`planner::ResultCache`] so identical runs replay
+//!    from cache instead of re-executing, and (opt-in, via
+//!    [`crate::campaign::CampaignOptions::plan_budget`]) prioritizes
+//!    remaining jobs by observed per-EAI-category verdict yield.
+//! 5. **[`Executor`]** (`executor`) — the single suite-wide work pool:
 //!    every injected run (across all applications) goes into one shared
 //!    queue drained by at most `available_parallelism` workers, with
-//!    deterministic plan-order reassembly of the results.
+//!    deterministic plan-order reassembly of the results. Cache replays
+//!    resolve inline on the calling thread and never occupy a worker slot.
 //!
 //! The pre-engine driver, [`crate::campaign::Campaign`], remains underneath
 //! as the single-campaign primitive; its deprecated constructor keeps old
@@ -62,11 +71,13 @@
 //! ```
 
 pub mod executor;
+pub mod planner;
 pub mod session;
 pub mod spec;
 pub mod suite;
 
 pub use executor::Executor;
+pub use planner::{CacheStats, FaultKey, ResultCache, RunDigest};
 pub use session::Session;
 pub use spec::{
     DirSpec, FileSpec, InboundSpec, IpcSpec, RegKeySpec, ScenarioBuilder, ServiceSpec, SpecError, SymlinkSpec,

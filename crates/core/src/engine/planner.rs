@@ -1,0 +1,595 @@
+//! The adaptive fault-space planner: canonical-fault dedup, cross-run
+//! memoization, and optional yield-guided prioritization.
+//!
+//! The paper's §3.2 adequacy metric and §3.3 step 5 assume the fault plan
+//! enumerates the *useful* perturbation space, but a naive planner
+//! materializes every `(site × catalog pattern)` pair and re-runs
+//! byte-identical faults across the suite. This module sits between the
+//! fault plan ([`crate::campaign::CampaignPlan`]) and the work-stealing
+//! [`crate::engine::Executor`] and prunes that space without losing a
+//! single detection:
+//!
+//! 1. **Canonicalization** — every planned job collapses to a
+//!    content-addressed [`FaultKey`]: fault variant + normalized target +
+//!    struck occurrence (+ input semantics for indirect faults). Identity
+//!    fields that cannot change what the run *does* — the fault id, its
+//!    human-readable description, its EAI category label — are excluded,
+//!    so two catalog patterns that compile to the same executable
+//!    perturbation share a key.
+//! 2. **Dedup** — within one plan, only the first job of each key executes;
+//!    the rest are *aliases*, replayed from the canonical job's
+//!    [`RunDigest`] with their own identity fields and `cache_hit: true`.
+//! 3. **Memoization** — a suite-scoped [`ResultCache`] maps
+//!    `(setup fingerprint, FaultKey) -> RunDigest`. Identical runs across
+//!    applications, repeated campaigns, or whole suite re-executions are
+//!    replayed from cache instead of re-executed. The fingerprint is cheap
+//!    because a [`crate::engine::Session`] freezes one pristine world and
+//!    every run starts from a copy-on-write snapshot of it: the frozen
+//!    world is hashed once per campaign, not once per run.
+//! 4. **Prioritization** (opt-in) — with
+//!    [`crate::campaign::CampaignOptions::plan_budget`] set, remaining jobs
+//!    are ordered by observed per-EAI-category verdict yield ([`YieldStats`])
+//!    and only `budget` runs execute. The default (`None`) keeps exhaustive
+//!    plan order, so all paper numbers are reproduced exactly.
+//!
+//! Cache hits never occupy executor worker slots: the scheduling layer
+//! resolves them inline on the calling thread and only true misses are
+//! handed to the pool.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::inject::InjectionPlan;
+use crate::model::EaiCategory;
+use crate::perturb::{DirectFault, FaultPayload};
+use crate::report::FaultRecord;
+
+/// 64-bit FNV-1a over a byte string — the workspace's content-address hash
+/// (stable across runs and platforms, no external dependency).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The payload with its file-system target fields lexically cleaned
+/// ([`epa_sandbox::path::clean`]: `//` and `.` collapsed), so two catalog
+/// entries addressing the same object through cosmetically different
+/// spellings canonicalize to one [`FaultKey`]. `..` components are
+/// deliberately **kept**: the VFS resolves them physically (across
+/// symlinked directories), so textual `..` resolution could conflate
+/// faults that actually strike different inodes. Indirect faults are
+/// returned untouched: they are literal value mutations and their planted
+/// text must stay byte-exact.
+fn normalized_payload(payload: &FaultPayload) -> FaultPayload {
+    let FaultPayload::Direct(df) = payload else {
+        return payload.clone();
+    };
+    let n = |p: &str| epa_sandbox::path::clean(p);
+    let direct = match df {
+        DirectFault::FileMakeExist { path } => DirectFault::FileMakeExist { path: n(path) },
+        DirectFault::FileMakeMissing { path } => DirectFault::FileMakeMissing { path: n(path) },
+        DirectFault::FileChownAttacker { path } => DirectFault::FileChownAttacker { path: n(path) },
+        DirectFault::FileChownRoot { path } => DirectFault::FileChownRoot { path: n(path) },
+        DirectFault::FilePermRestrict { path } => DirectFault::FilePermRestrict { path: n(path) },
+        DirectFault::FilePermOpen { path } => DirectFault::FilePermOpen { path: n(path) },
+        DirectFault::FilePermNoExec { path } => DirectFault::FilePermNoExec { path: n(path) },
+        DirectFault::SymlinkSwap { path, target } => DirectFault::SymlinkSwap {
+            path: n(path),
+            target: n(target),
+        },
+        DirectFault::ModifyContent { path, content } => DirectFault::ModifyContent {
+            path: n(path),
+            content: content.clone(),
+        },
+        DirectFault::RenameAway { path } => DirectFault::RenameAway { path: n(path) },
+        DirectFault::WorkingDirectory { dir } => DirectFault::WorkingDirectory { dir: n(dir) },
+        other => other.clone(),
+    };
+    FaultPayload::Direct(direct)
+}
+
+/// The content-addressed canonical identity of one planned injection.
+///
+/// Two jobs with equal keys perform byte-identical perturbations at the
+/// same point of the same execution, so they must produce byte-identical
+/// outcomes; the planner executes one and replays the other.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultKey {
+    repr: String,
+    digest: u64,
+}
+
+impl FaultKey {
+    /// Canonicalizes a planned injection.
+    ///
+    /// The key covers everything that determines execution: the targeted
+    /// site, the struck occurrence (normalized to 0 for faults that are not
+    /// [`crate::perturb::ConcreteFault::occurrence_sensitive`] — the hook
+    /// strikes the first matching input for those regardless of the planned
+    /// occurrence), the input semantics an indirect fault is aimed at, and
+    /// the normalized executable payload. It deliberately excludes the
+    /// fault id, description, and EAI category: those ride along on the
+    /// record but cannot change what the run does.
+    pub fn of(job: &InjectionPlan) -> FaultKey {
+        let occurrence = if job.fault.occurrence_sensitive() {
+            job.occurrence
+        } else {
+            0
+        };
+        let semantic = match job.fault.semantic {
+            Some(s) => format!("{s:?}"),
+            None => "-".to_string(),
+        };
+        let payload = serde_json::to_string(&normalized_payload(&job.fault.payload))
+            .expect("fault payloads serialize infallibly");
+        let repr = format!("{}#{occurrence}|{semantic}|{payload}", job.site);
+        let digest = fnv1a(repr.as_bytes());
+        FaultKey { repr, digest }
+    }
+
+    /// The canonical text the key hashes.
+    pub fn repr(&self) -> &str {
+        &self.repr
+    }
+
+    /// The FNV-1a content address of [`FaultKey::repr`].
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl fmt::Display for FaultKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.digest)
+    }
+}
+
+/// The outcome fields of one executed run — everything a [`FaultRecord`]
+/// carries except the plan-side identity (site, occurrence, fault id,
+/// category, description), which each replayed record takes from its own
+/// job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDigest {
+    /// Whether the fault fired during the run.
+    pub applied: bool,
+    /// The application's exit status.
+    pub exit: Option<i32>,
+    /// The panic payload, if the application crashed.
+    pub crashed: Option<String>,
+    /// Length of the run's audit log.
+    pub audit_events: usize,
+    /// The oracle's verdicts, with evidence chains.
+    pub violations: Vec<epa_sandbox::policy::Verdict>,
+}
+
+impl RunDigest {
+    /// Extracts the outcome of an executed record.
+    pub fn of(record: &FaultRecord) -> RunDigest {
+        RunDigest {
+            applied: record.applied,
+            exit: record.exit,
+            crashed: record.crashed.clone(),
+            audit_events: record.audit_events,
+            violations: record.violations.clone(),
+        }
+    }
+
+    /// Materializes a record for `job` from this digest: identity fields
+    /// from the job, outcome fields from the digest, flagged as a replay.
+    pub fn replay(&self, job: &InjectionPlan) -> FaultRecord {
+        FaultRecord {
+            site: job.site.to_string(),
+            occurrence: job.occurrence,
+            fault_id: job.fault.id.clone(),
+            category: job.fault.category,
+            description: job.fault.description.clone(),
+            applied: self.applied,
+            exit: self.exit,
+            crashed: self.crashed.clone(),
+            audit_events: self.audit_events,
+            cache_hit: true,
+            violations: self.violations.clone(),
+        }
+    }
+}
+
+/// Observable counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct `(scope, key)` entries stored.
+    pub entries: usize,
+    /// Lookups that found a digest.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Scope → canonical key text → digest. Two levels so lookups index by
+    /// `&str` without cloning the (payload-carrying) key text; the text is
+    /// only cloned on an actual insertion.
+    map: BTreeMap<u64, BTreeMap<String, RunDigest>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A suite-scoped memo of executed runs: `(scope, FaultKey) -> RunDigest`.
+///
+/// `scope` is the campaign's setup fingerprint (application identity plus
+/// the frozen world's content hash — see
+/// [`crate::campaign::TestSetup::fingerprint`]), so a hit is only possible
+/// when the *entire* run would be byte-identical. Entries are keyed by the
+/// key's full canonical text, not its 64-bit digest, so hash collisions
+/// cannot replay the wrong run.
+///
+/// The handle is cheaply cloneable (`Arc`-backed) and thread-safe; a
+/// [`crate::engine::Suite`] installs one shared cache across all of its
+/// campaigns, and callers can hold onto it across suite executions for
+/// cross-run memoization.
+#[derive(Clone, Default)]
+pub struct ResultCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up the digest of an identical prior run, counting the outcome.
+    pub fn lookup(&self, scope: u64, key: &FaultKey) -> Option<RunDigest> {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        match inner.map.get(&scope).and_then(|m| m.get(key.repr())) {
+            Some(d) => {
+                let d = d.clone();
+                inner.hits += 1;
+                Some(d)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the digest of an executed run.
+    pub fn insert(&self, scope: u64, key: &FaultKey, digest: RunDigest) {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        inner.map.entry(scope).or_default().insert(key.repr.clone(), digest);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("result cache lock");
+        CacheStats {
+            entries: inner.map.values().map(BTreeMap::len).sum(),
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+}
+
+impl fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResultCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+/// One plan's jobs after canonicalization: who executes, who replays.
+///
+/// Indices throughout refer to positions in the job list the schedule was
+/// built from (plan order).
+#[derive(Debug)]
+pub struct Schedule {
+    keys: Vec<FaultKey>,
+    canonical: Vec<usize>,
+    aliases: BTreeMap<usize, Vec<usize>>,
+    /// Canonical jobs resolved from the [`ResultCache`] at schedule time,
+    /// with their digests — these (and their aliases) replay inline and
+    /// never reach the executor.
+    pub resolved: Vec<(usize, RunDigest)>,
+    /// Canonical jobs that must execute, in plan order.
+    pub pending: Vec<usize>,
+}
+
+impl Schedule {
+    /// Canonicalizes `jobs` and splits them into cache-resolved replays and
+    /// pending executions.
+    ///
+    /// With `dedup` off every job is its own canonical (no aliasing); the
+    /// cache, when given, is still consulted per job. With neither dedup
+    /// nor cache this degenerates to the exhaustive plan: every job
+    /// pending, in plan order.
+    pub fn build(jobs: &[InjectionPlan], scope: u64, cache: Option<&ResultCache>, dedup: bool) -> Schedule {
+        let keys: Vec<FaultKey> = jobs.iter().map(FaultKey::of).collect();
+        let mut first_of: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut canonical = Vec::with_capacity(jobs.len());
+        let mut aliases: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let canon = if dedup {
+                *first_of.entry(key.repr()).or_insert(i)
+            } else {
+                i
+            };
+            canonical.push(canon);
+            if canon != i {
+                aliases.entry(canon).or_default().push(i);
+            }
+        }
+        let mut resolved = Vec::new();
+        let mut pending = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if canonical[i] != i {
+                continue;
+            }
+            match cache.and_then(|c| c.lookup(scope, key)) {
+                Some(digest) => resolved.push((i, digest)),
+                None => pending.push(i),
+            }
+        }
+        Schedule {
+            keys,
+            canonical,
+            aliases,
+            resolved,
+            pending,
+        }
+    }
+
+    /// The canonical key of job `idx`.
+    pub fn key(&self, idx: usize) -> &FaultKey {
+        &self.keys[idx]
+    }
+
+    /// The canonical job index job `idx` collapsed onto (itself when it is
+    /// the canonical).
+    pub fn canonical_of(&self, idx: usize) -> usize {
+        self.canonical[idx]
+    }
+
+    /// The later plan positions that replay canonical job `idx`.
+    pub fn aliases_of(&self, idx: usize) -> &[usize] {
+        self.aliases.get(&idx).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total jobs the schedule covers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the schedule covers no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Per-EAI-category verdict-yield statistics driving budgeted
+/// prioritization.
+///
+/// Every observed record updates its category's `(runs, violated)` pair;
+/// [`YieldStats::pick`] selects the remaining job whose category currently
+/// scores highest under a Laplace-smoothed yield estimate
+/// `(violated + 1) / (runs + 2)`, breaking ties toward the earliest plan
+/// position. Unobserved categories score 0.5 — optimistic enough to get
+/// sampled, pessimistic enough that a productive category dominates.
+#[derive(Debug, Clone, Default)]
+pub struct YieldStats {
+    by_category: BTreeMap<EaiCategory, (usize, usize)>,
+}
+
+impl YieldStats {
+    /// An empty observer.
+    pub fn new() -> YieldStats {
+        YieldStats::default()
+    }
+
+    /// Folds one record (executed or replayed) into the statistics.
+    pub fn observe(&mut self, category: EaiCategory, violated: bool) {
+        let e = self.by_category.entry(category).or_insert((0, 0));
+        e.0 += 1;
+        if violated {
+            e.1 += 1;
+        }
+    }
+
+    /// The current yield score of a category.
+    pub fn score(&self, category: EaiCategory) -> f64 {
+        let (runs, violated) = self.by_category.get(&category).copied().unwrap_or((0, 0));
+        (violated + 1) as f64 / (runs + 2) as f64
+    }
+
+    /// Picks the position (into `remaining`) of the next job to run:
+    /// highest category score, ties to the lowest plan index.
+    /// Deterministic for a given observation history.
+    pub fn pick(&self, remaining: &[usize], jobs: &[InjectionPlan]) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::MIN;
+        for (pos, &idx) in remaining.iter().enumerate() {
+            let s = self.score(jobs[idx].fault.category);
+            if s > best_score {
+                best = pos;
+                best_score = s;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IndirectKind;
+    use crate::perturb::{ConcreteFault, IndirectFault};
+    use epa_sandbox::trace::{InputSemantic, SiteId};
+
+    fn direct_job(id: &str, site: &str, occurrence: usize, path: &str) -> InjectionPlan {
+        InjectionPlan {
+            site: SiteId::new(site),
+            occurrence,
+            fault: ConcreteFault {
+                id: id.to_string(),
+                category: EaiCategory::Other,
+                semantic: None,
+                description: format!("make {path} exist"),
+                payload: FaultPayload::Direct(DirectFault::FileMakeExist { path: path.to_string() }),
+            },
+        }
+    }
+
+    fn indirect_job(id: &str, site: &str, occurrence: usize) -> InjectionPlan {
+        InjectionPlan {
+            site: SiteId::new(site),
+            occurrence,
+            fault: ConcreteFault {
+                id: id.to_string(),
+                category: EaiCategory::Indirect(IndirectKind::UserInput),
+                semantic: Some(InputSemantic::UserFileName),
+                description: "lengthen".to_string(),
+                payload: FaultPayload::Indirect(IndirectFault::Lengthen { by: 64 }),
+            },
+        }
+    }
+
+    #[test]
+    fn equivalent_payloads_share_a_key_distinct_ids_do_not_matter() {
+        let a = direct_job("direct:fs:exist@/tmp/f", "s", 0, "/tmp/f");
+        let b = direct_job("some:other:id", "s", 0, "/tmp//./f");
+        assert_eq!(FaultKey::of(&a), FaultKey::of(&b));
+        let c = direct_job("direct:fs:exist@/tmp/g", "s", 0, "/tmp/g");
+        assert_ne!(FaultKey::of(&a), FaultKey::of(&c));
+        let d = direct_job("direct:fs:exist@/tmp/f", "other-site", 0, "/tmp/f");
+        assert_ne!(FaultKey::of(&a), FaultKey::of(&d), "the struck site changes the run");
+    }
+
+    #[test]
+    fn dotdot_targets_never_dedup_lexically() {
+        // The VFS resolves `..` physically (across symlinked parents), so
+        // `/var/run/../f` and `/var/f` may be different inodes — their
+        // faults must keep distinct keys.
+        let via_parent = direct_job("x", "s", 0, "/var/run/../f");
+        let direct = direct_job("y", "s", 0, "/var/f");
+        assert_ne!(FaultKey::of(&via_parent), FaultKey::of(&direct));
+    }
+
+    #[test]
+    fn occurrence_canonicalizes_only_for_semantics_addressed_faults() {
+        // Direct faults are occurrence-sensitive: later hits are distinct.
+        let d0 = direct_job("x", "s", 0, "/tmp/f");
+        let d1 = direct_job("x", "s", 1, "/tmp/f");
+        assert_ne!(FaultKey::of(&d0), FaultKey::of(&d1));
+        // Semantics-addressed indirect faults strike the first matching
+        // input regardless of the planned occurrence: the keys collapse.
+        let i0 = indirect_job("y", "s", 0);
+        let i1 = indirect_job("y", "s", 1);
+        assert_eq!(FaultKey::of(&i0), FaultKey::of(&i1));
+    }
+
+    #[test]
+    fn schedule_dedups_within_a_plan() {
+        let jobs = vec![
+            direct_job("a", "s", 0, "/tmp/f"),
+            direct_job("b", "s", 0, "/tmp//f"),
+            direct_job("c", "s", 0, "/tmp/g"),
+        ];
+        let schedule = Schedule::build(&jobs, 7, None, true);
+        assert_eq!(schedule.pending, vec![0, 2]);
+        assert_eq!(schedule.canonical_of(1), 0);
+        assert_eq!(schedule.aliases_of(0), &[1]);
+        assert!(schedule.resolved.is_empty());
+        assert_eq!(schedule.len(), 3);
+        // With dedup off every job stands alone.
+        let exhaustive = Schedule::build(&jobs, 7, None, false);
+        assert_eq!(exhaustive.pending, vec![0, 1, 2]);
+        assert!(exhaustive.aliases_of(0).is_empty());
+    }
+
+    #[test]
+    fn cache_resolves_across_schedules_and_scopes_isolate() {
+        let jobs = vec![direct_job("a", "s", 0, "/tmp/f")];
+        let cache = ResultCache::new();
+        let first = Schedule::build(&jobs, 1, Some(&cache), true);
+        assert_eq!(first.pending, vec![0]);
+        let digest = RunDigest {
+            applied: true,
+            exit: Some(0),
+            crashed: None,
+            audit_events: 3,
+            violations: Vec::new(),
+        };
+        cache.insert(1, first.key(0), digest.clone());
+        // Same scope: replayed. Different scope (another app/world): miss.
+        let again = Schedule::build(&jobs, 1, Some(&cache), true);
+        assert!(again.pending.is_empty());
+        assert_eq!(again.resolved.len(), 1);
+        assert_eq!(again.resolved[0].1, digest);
+        let other = Schedule::build(&jobs, 2, Some(&cache), true);
+        assert_eq!(other.pending, vec![0]);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hits >= 1 && stats.misses >= 2);
+    }
+
+    #[test]
+    fn replayed_records_keep_their_own_identity() {
+        let canon = direct_job("direct:fs:exist@/tmp/f", "s", 0, "/tmp/f");
+        let alias = direct_job("another:pattern", "s", 0, "/tmp//f");
+        let digest = RunDigest {
+            applied: true,
+            exit: Some(1),
+            crashed: None,
+            audit_events: 9,
+            violations: Vec::new(),
+        };
+        let r = digest.replay(&alias);
+        assert_eq!(r.fault_id, "another:pattern");
+        assert_eq!(r.site, "s");
+        assert!(r.cache_hit);
+        assert_eq!(r.exit, Some(1));
+        assert_eq!(r.audit_events, 9);
+        let c = digest.replay(&canon);
+        assert_eq!(c.fault_id, "direct:fs:exist@/tmp/f");
+    }
+
+    #[test]
+    fn yield_stats_prioritize_productive_categories_deterministically() {
+        let jobs = vec![
+            indirect_job("i0", "s", 0),         // Indirect(UserInput)
+            direct_job("d0", "s", 0, "/tmp/f"), // Other
+            direct_job("d1", "s", 0, "/tmp/g"), // Other
+        ];
+        let mut stats = YieldStats::new();
+        // Nothing observed: every category scores 0.5, ties to plan order.
+        assert_eq!(stats.pick(&[0, 1, 2], &jobs), 0);
+        // The Other category keeps violating: it wins.
+        stats.observe(EaiCategory::Other, true);
+        stats.observe(EaiCategory::Other, true);
+        stats.observe(EaiCategory::Indirect(IndirectKind::UserInput), false);
+        assert!(stats.score(EaiCategory::Other) > stats.score(EaiCategory::Indirect(IndirectKind::UserInput)));
+        assert_eq!(stats.pick(&[0, 1, 2], &jobs), 1, "earliest job of the best category");
+        // A dead category decays below an unobserved one.
+        let mut cold = YieldStats::new();
+        for _ in 0..8 {
+            cold.observe(EaiCategory::Other, false);
+        }
+        assert!(cold.score(EaiCategory::Other) < 0.5);
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Pinned so cache keys stay comparable across runs and platforms.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -55,6 +55,16 @@ impl Session {
         self
     }
 
+    /// Installs a shared [`crate::engine::planner::ResultCache`]: campaigns
+    /// run from this session memoize every executed run and replay
+    /// identical ones (here and in any other session sharing the cache)
+    /// instead of re-executing them.
+    #[must_use]
+    pub fn with_result_cache(mut self, cache: crate::engine::planner::ResultCache) -> Session {
+        self.options.cache = Some(cache);
+        self
+    }
+
     /// The frozen setup.
     pub fn setup(&self) -> &TestSetup {
         &self.setup

@@ -24,6 +24,7 @@ use epa_sandbox::app::Application;
 use crate::campaign::{Campaign, CampaignPlan};
 use crate::coverage::{AdequacyPoint, Ratio};
 use crate::engine::executor::Executor;
+use crate::engine::planner::{ResultCache, RunDigest, Schedule, YieldStats};
 use crate::engine::session::Session;
 use crate::engine::spec::{SpecError, WorldSpec};
 use crate::inject::InjectionPlan;
@@ -71,12 +72,30 @@ pub enum SuiteEvent {
 pub struct Suite {
     entries: Vec<SuiteEntry>,
     sequential: bool,
+    cache: ResultCache,
 }
 
 impl Suite {
-    /// An empty suite.
+    /// An empty suite with a fresh suite-scoped [`ResultCache`].
     pub fn new() -> Suite {
         Suite::default()
+    }
+
+    /// Replaces the suite-scoped result cache — hand the same cache to
+    /// several suites (or keep it across repeated [`Suite::execute`] calls;
+    /// the default cache already persists for the suite's lifetime) for
+    /// cross-run memoization: any run whose `(setup fingerprint, FaultKey)`
+    /// was executed before is replayed instead of re-executed.
+    #[must_use]
+    pub fn with_result_cache(mut self, cache: ResultCache) -> Suite {
+        self.cache = cache;
+        self
+    }
+
+    /// The suite-scoped result cache (e.g. for
+    /// [`crate::engine::planner::ResultCache::stats`]).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.cache
     }
 
     /// Registers an application with a declarative world.
@@ -138,12 +157,25 @@ impl Suite {
     /// is always in registration order and byte-identical between the two
     /// paths.
     pub fn execute_with(&self, on_event: &mut dyn FnMut(SuiteEvent)) -> SuiteReport {
+        // Every campaign plans and executes through the suite-scoped result
+        // cache (unless its session already carries an explicit one).
+        let campaigns: Vec<Campaign<'_>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut campaign = e.session.campaign(e.app.as_ref() as &dyn Application);
+                campaign.ensure_cache(self.cache.clone());
+                campaign
+            })
+            .collect();
+
         if self.sequential {
             let mut reports = Vec::with_capacity(self.entries.len());
-            for entry in &self.entries {
+            for (entry, campaign) in self.entries.iter().zip(&campaigns) {
                 let name = entry.app.name().to_string();
                 on_event(SuiteEvent::AppStarted { app: name.clone() });
-                let report = entry.session.execute_streaming(entry.app.as_ref(), &mut |r| {
+                let plan = campaign.plan();
+                let report = campaign.execute_plan_with(&plan, &mut |r| {
                     on_event(SuiteEvent::Record {
                         app: name.clone(),
                         record: r.clone(),
@@ -159,15 +191,15 @@ impl Suite {
         }
 
         // The pooled path: one shared queue for the whole suite. Each
-        // application contributes a planning job; completing it fans its
-        // `(site, occurrence, fault)` injection jobs back onto the same
-        // queue, so idle workers steal across application boundaries and
-        // the slowest campaign no longer pins a whole thread.
-        let campaigns: Vec<Campaign<'_>> = self
-            .entries
-            .iter()
-            .map(|e| e.session.campaign(e.app.as_ref() as &dyn Application))
-            .collect();
+        // application contributes a planning job; completing it runs the
+        // planner over its `(site, occurrence, fault)` jobs — cache hits
+        // and dedup aliases replay inline on the calling thread, never
+        // occupying a worker slot — and fans only the remaining canonical
+        // misses back onto the same queue, so idle workers steal across
+        // application boundaries and the slowest campaign no longer pins a
+        // whole thread. A budgeted campaign enqueues one job at a time
+        // (each pick feeds on the previous outcome) while other campaigns
+        // keep the workers busy.
         for entry in &self.entries {
             on_event(SuiteEvent::AppStarted {
                 app: entry.app.name().to_string(),
@@ -190,31 +222,61 @@ impl Suite {
             },
             &mut |done| match done {
                 SuiteDone::Planned { app, plan } => {
+                    let name = self.entries[app].app.name();
                     let jobs = plan.jobs();
+                    let schedule = campaigns[app].schedule(&jobs);
                     let slot = &mut slots[app];
                     slot.records = (0..jobs.len()).map(|_| None).collect();
-                    slot.pending = jobs.len();
+                    slot.budget_left = campaigns[app].plan_budget();
+                    slot.budgeted = slot.budget_left.is_some();
+                    slot.remaining = schedule.pending.clone();
                     slot.plan = Some(plan);
-                    if jobs.is_empty() {
-                        finish_app(&campaigns[app], self.entries[app].app.name(), slot, on_event);
+                    // Cache replays (and their aliases) resolve inline.
+                    for (idx, digest) in &schedule.resolved {
+                        for &i in std::iter::once(idx).chain(schedule.aliases_of(*idx)) {
+                            let record = digest.replay(&jobs[i]);
+                            slot.stats.observe(record.category, !record.tolerated());
+                            on_event(SuiteEvent::Record {
+                                app: name.to_string(),
+                                record: record.clone(),
+                            });
+                            slot.records[i] = Some(record);
+                        }
                     }
-                    jobs.into_iter()
-                        .enumerate()
-                        .map(|(idx, plan)| SuiteJob::Inject { app, idx, plan })
-                        .collect()
+                    slot.jobs = jobs;
+                    slot.schedule = Some(schedule);
+                    let follow_ups = slot.enqueue_next(app);
+                    if slot.idle() {
+                        finish_app(&campaigns[app], name, slot, on_event);
+                    }
+                    follow_ups
                 }
                 SuiteDone::Ran { app, idx, record } => {
+                    let name = self.entries[app].app.name();
                     on_event(SuiteEvent::Record {
-                        app: self.entries[app].app.name().to_string(),
+                        app: name.to_string(),
                         record: record.clone(),
                     });
                     let slot = &mut slots[app];
-                    slot.records[idx] = Some(record);
-                    slot.pending -= 1;
-                    if slot.pending == 0 {
-                        finish_app(&campaigns[app], self.entries[app].app.name(), slot, on_event);
+                    let schedule = slot.schedule.as_ref().expect("schedule arrives before its records");
+                    slot.stats.observe(record.category, !record.tolerated());
+                    let digest = RunDigest::of(&record);
+                    campaigns[app].memoize(schedule.key(idx), digest.clone());
+                    for &alias in schedule.aliases_of(idx) {
+                        let replay = digest.replay(&slot.jobs[alias]);
+                        on_event(SuiteEvent::Record {
+                            app: name.to_string(),
+                            record: replay.clone(),
+                        });
+                        slot.records[alias] = Some(replay);
                     }
-                    Vec::new()
+                    slot.records[idx] = Some(record);
+                    slot.outstanding -= 1;
+                    let follow_ups = slot.enqueue_next(app);
+                    if slot.idle() {
+                        finish_app(&campaigns[app], name, slot, on_event);
+                    }
+                    follow_ups
                 }
             },
         );
@@ -256,20 +318,85 @@ enum SuiteDone {
 #[derive(Default)]
 struct AppSlot {
     plan: Option<Box<CampaignPlan>>,
+    jobs: Vec<InjectionPlan>,
+    schedule: Option<Schedule>,
     records: Vec<Option<FaultRecord>>,
-    pending: usize,
+    /// Pending canonical job indices not yet handed to the queue.
+    remaining: Vec<usize>,
+    /// Jobs on the queue (or running) whose results are still due.
+    outstanding: usize,
+    /// Runs this campaign may still execute (`None` = unbudgeted).
+    budget_left: Option<usize>,
+    /// Whether a budget was ever in force (a budget may legitimately leave
+    /// record slots empty; an unbudgeted campaign must fill every one).
+    budgeted: bool,
+    stats: YieldStats,
     report: Option<CampaignReport>,
+}
+
+impl AppSlot {
+    /// Moves schedulable canonical jobs from `remaining` onto the shared
+    /// queue: all of them in plan order (exhaustive), or exactly one chosen
+    /// by observed verdict yield (budgeted — each pick feeds on the
+    /// previous outcome, so at most one of this campaign's jobs is in
+    /// flight while other campaigns keep the workers busy).
+    fn enqueue_next(&mut self, app: usize) -> Vec<SuiteJob> {
+        match self.budget_left {
+            None => {
+                let drained = std::mem::take(&mut self.remaining);
+                self.outstanding += drained.len();
+                drained
+                    .into_iter()
+                    .map(|idx| SuiteJob::Inject {
+                        app,
+                        idx,
+                        plan: self.jobs[idx].clone(),
+                    })
+                    .collect()
+            }
+            Some(0) => {
+                self.remaining.clear();
+                Vec::new()
+            }
+            Some(ref mut budget) => {
+                if self.remaining.is_empty() || self.outstanding > 0 {
+                    return Vec::new();
+                }
+                *budget -= 1;
+                let pos = self.stats.pick(&self.remaining, &self.jobs);
+                let idx = self.remaining.remove(pos);
+                self.outstanding = 1;
+                vec![SuiteJob::Inject {
+                    app,
+                    idx,
+                    plan: self.jobs[idx].clone(),
+                }]
+            }
+        }
+    }
+
+    /// True once planning happened, nothing is in flight, and nothing more
+    /// will be enqueued — i.e. the campaign is ready to fold into a report.
+    fn idle(&self) -> bool {
+        self.schedule.is_some() && self.outstanding == 0 && self.remaining.is_empty() && self.report.is_none()
+    }
 }
 
 /// Folds a finished application's records (already in plan order by index)
 /// into its report and emits `AppFinished`.
 fn finish_app(campaign: &Campaign<'_>, name: &str, slot: &mut AppSlot, on_event: &mut dyn FnMut(SuiteEvent)) {
     let plan = slot.plan.take().expect("plan arrives before its records");
-    let records: Vec<FaultRecord> = slot
-        .records
-        .drain(..)
-        .map(|r| r.expect("all records complete before the app finishes"))
-        .collect();
+    // Only a budget may legitimately drop jobs; an unbudgeted campaign
+    // missing a record is an accounting bug and must fail loudly, not
+    // silently truncate the report.
+    let records: Vec<FaultRecord> = if slot.budgeted {
+        slot.records.drain(..).flatten().collect()
+    } else {
+        slot.records
+            .drain(..)
+            .map(|r| r.expect("all records complete before the app finishes"))
+            .collect()
+    };
     let report = campaign.report_from(&plan, records);
     on_event(SuiteEvent::AppFinished {
         app: name.to_string(),
@@ -302,6 +429,19 @@ impl SuiteReport {
         self.reports.iter().map(CampaignReport::violated).sum()
     }
 
+    /// Total records replayed from the planner's result cache (or from an
+    /// equivalent earlier job of the same plan) across the suite.
+    pub fn total_cache_hits(&self) -> usize {
+        self.reports.iter().map(CampaignReport::cache_hits).sum()
+    }
+
+    /// Total runs that actually executed across the suite — the planner's
+    /// headline number: `total_injected - total_cache_hits`, never more
+    /// than the exhaustive plan size.
+    pub fn total_runs_executed(&self) -> usize {
+        self.reports.iter().map(CampaignReport::runs_executed).sum()
+    }
+
     /// Applications whose campaign surfaced at least one violation.
     pub fn vulnerable_apps(&self) -> Vec<&str> {
         self.reports
@@ -326,10 +466,17 @@ impl SuiteReport {
         )
     }
 
-    /// The suite's aggregate adequacy point (cross-application rollup of the
-    /// paper's Figure 2 metric).
+    /// The suite's aggregate adequacy point (cross-application rollup of
+    /// the paper's Figure 2 metric). As with a single campaign, fault
+    /// coverage is vacuously true over zero injections but a suite whose
+    /// worlds exposed zero perturbable interaction points is
+    /// [`crate::coverage::AdequacyRegion::Inadequate`], never Safe.
     pub fn adequacy(&self) -> AdequacyPoint {
-        AdequacyPoint::new(self.interaction_coverage().value(), self.fault_coverage().value())
+        let fault = self.fault_coverage().value_or(1.0);
+        match self.interaction_coverage().fraction() {
+            Some(interaction) => AdequacyPoint::new(interaction, fault),
+            None => AdequacyPoint::vacuous(fault),
+        }
     }
 
     /// Per-category `(injected, violated)` counts rolled up across every
@@ -356,6 +503,14 @@ impl SuiteReport {
             self.total_injected(),
             self.total_violated()
         );
+        if self.total_cache_hits() > 0 {
+            let _ = writeln!(
+                s,
+                "  runs executed: {}   replayed from cache: {}",
+                self.total_runs_executed(),
+                self.total_cache_hits()
+            );
+        }
         let _ = writeln!(
             s,
             "  interaction coverage: {}   fault coverage: {}",
@@ -403,6 +558,7 @@ mod tests {
             exit: Some(0),
             crashed: None,
             audit_events: 1,
+            cache_hit: false,
             violations: if violated {
                 vec![epa_sandbox::policy::Verdict::from_violation(
                     epa_sandbox::policy::Violation::new(
@@ -439,8 +595,8 @@ mod tests {
         assert_eq!(suite.total_injected(), 4);
         assert_eq!(suite.total_violated(), 1);
         assert_eq!(suite.vulnerable_apps(), vec!["a"]);
-        assert_eq!(suite.fault_coverage().value(), 0.75);
-        assert_eq!(suite.interaction_coverage().value(), 0.5);
+        assert_eq!(suite.fault_coverage().fraction(), Some(0.75));
+        assert_eq!(suite.interaction_coverage().fraction(), Some(0.5));
         let by_cat = suite.by_category();
         assert_eq!(by_cat.len(), 1);
         assert_eq!(by_cat.values().next(), Some(&(4usize, 1usize)));
@@ -449,5 +605,32 @@ mod tests {
         let text = suite.render_text();
         assert!(text.contains("suite: 2 applications"));
         assert!(text.contains("per-category rollup"));
+    }
+
+    #[test]
+    fn cache_rollups_count_replays() {
+        let mut a = report("a", vec![record(true), record(false)]);
+        a.records[1].cache_hit = true;
+        let suite = SuiteReport {
+            reports: vec![a, report("b", vec![record(false)])],
+        };
+        assert_eq!(suite.total_injected(), 3);
+        assert_eq!(suite.total_cache_hits(), 1);
+        assert_eq!(suite.total_runs_executed(), 2);
+        let text = suite.render_text();
+        assert!(text.contains("runs executed: 2   replayed from cache: 1"), "{text}");
+    }
+
+    #[test]
+    fn empty_suite_rolls_up_vacuous_not_safe() {
+        use crate::coverage::{AdequacyRegion, AdequacyThresholds};
+        let suite = SuiteReport { reports: vec![] };
+        assert_eq!(suite.interaction_coverage().fraction(), None);
+        let point = suite.adequacy();
+        assert!(point.vacuous);
+        assert_eq!(point.region(AdequacyThresholds::default()), AdequacyRegion::Inadequate);
+        let text = suite.render_text();
+        assert!(text.contains("0/0 (n/a)"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 }

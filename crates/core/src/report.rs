@@ -34,6 +34,12 @@ pub struct FaultRecord {
     /// `violations` must stay inside (machine-checkable from the serialized
     /// record alone).
     pub audit_events: usize,
+    /// True when this record was **replayed** rather than executed: the
+    /// planner resolved it from the suite-scoped
+    /// [`crate::engine::planner::ResultCache`] (or from an equivalent job
+    /// earlier in the same plan) instead of occupying a worker slot. Its
+    /// outcome fields are byte-identical to the source run's.
+    pub cache_hit: bool,
     /// Verdicts the oracle pipeline detected, each carrying its evidence
     /// chain (a `Verdict` dereferences to its `Violation`).
     pub violations: Vec<Verdict>,
@@ -90,17 +96,37 @@ impl CampaignReport {
     }
 
     /// The paper's step-10 vulnerability assessment score: `count / n`.
+    /// An empty campaign scores 0.0 (never `NaN`): no injected runs means
+    /// no observed violations.
     pub fn vulnerability_score(&self) -> f64 {
-        if self.injected() == 0 {
-            0.0
-        } else {
-            self.violated() as f64 / self.injected() as f64
-        }
+        Ratio::new(self.violated(), self.injected()).value_or(0.0)
+    }
+
+    /// Number of records resolved from the planner's result cache (or from
+    /// an equivalent earlier job in the same plan) instead of executed.
+    pub fn cache_hits(&self) -> usize {
+        self.records.iter().filter(|r| r.cache_hit).count()
+    }
+
+    /// Number of records that actually occupied a worker slot: injected
+    /// runs minus cache hits.
+    pub fn runs_executed(&self) -> usize {
+        self.injected() - self.cache_hits()
     }
 
     /// The Figure 2 adequacy point for this campaign.
+    ///
+    /// Fault coverage keeps its vacuous-truth reading (zero injected faults
+    /// means zero intolerated faults, so 1.0); interaction coverage does
+    /// **not** — a world exposing zero perturbable interaction points has
+    /// *undefined* interaction coverage, and the campaign classifies as
+    /// [`crate::coverage::AdequacyRegion::Inadequate`], never Safe.
     pub fn adequacy(&self) -> AdequacyPoint {
-        AdequacyPoint::new(self.interaction_coverage().value(), self.fault_coverage().value())
+        let fault = self.fault_coverage().value_or(1.0);
+        match self.interaction_coverage().fraction() {
+            Some(interaction) => AdequacyPoint::new(interaction, fault),
+            None => AdequacyPoint::vacuous(fault),
+        }
     }
 
     /// Iterates all violating records.
@@ -161,6 +187,14 @@ impl CampaignReport {
             self.violated(),
             self.vulnerability_score()
         );
+        if self.cache_hits() > 0 {
+            let _ = writeln!(
+                s,
+                "  runs executed: {}   replayed from cache: {}",
+                self.runs_executed(),
+                self.cache_hits()
+            );
+        }
         let region = self.adequacy().region(AdequacyThresholds::default());
         let _ = writeln!(s, "  adequacy: {} -> {}", self.adequacy(), region);
         let _ = writeln!(s, "  per-site results:");
@@ -205,6 +239,7 @@ mod tests {
             exit: Some(0),
             crashed: None,
             audit_events: 1,
+            cache_hit: false,
             violations: if violated {
                 vec![Verdict::from_violation(Violation::new(
                     ViolationKind::Disclosure,
@@ -238,9 +273,11 @@ mod tests {
         let r = report();
         assert_eq!(r.injected(), 4);
         assert_eq!(r.violated(), 1);
-        assert_eq!(r.fault_coverage().value(), 0.75);
-        assert_eq!(r.interaction_coverage().value(), 1.0);
+        assert_eq!(r.fault_coverage().fraction(), Some(0.75));
+        assert_eq!(r.interaction_coverage().fraction(), Some(1.0));
         assert!((r.vulnerability_score() - 0.25).abs() < 1e-9);
+        assert_eq!(r.cache_hits(), 0);
+        assert_eq!(r.runs_executed(), 4);
     }
 
     #[test]
@@ -288,6 +325,58 @@ mod tests {
             records: vec![],
         };
         assert_eq!(r.vulnerability_score(), 0.0);
-        assert_eq!(r.fault_coverage().value(), 1.0);
+        assert_eq!(
+            r.fault_coverage().value_or(1.0),
+            1.0,
+            "fault coverage stays vacuously true"
+        );
+        assert_eq!(r.interaction_coverage().fraction(), None);
+    }
+
+    #[test]
+    fn zero_site_campaign_is_inadequate_not_safe() {
+        use crate::coverage::{AdequacyRegion, AdequacyThresholds};
+        let r = CampaignReport {
+            app: "inert".into(),
+            total_sites: 0,
+            perturbed_sites: 0,
+            clean_violations: 0,
+            records: vec![],
+        };
+        let point = r.adequacy();
+        assert!(point.vacuous);
+        assert_eq!(
+            point.region(AdequacyThresholds::default()),
+            AdequacyRegion::Inadequate,
+            "a campaign that tested nothing must never read as Safe"
+        );
+    }
+
+    #[test]
+    fn empty_report_renders_na_without_nan() {
+        let r = CampaignReport {
+            app: "x".into(),
+            total_sites: 0,
+            perturbed_sites: 0,
+            clean_violations: 0,
+            records: vec![],
+        };
+        let text = r.render_text();
+        assert!(text.contains("interaction coverage: 0/0 (n/a)"), "{text}");
+        assert!(text.contains("fault coverage: 0/0 (n/a)"), "{text}");
+        assert!(text.contains("adequacy: (interaction=n/a, fault=1.00)"), "{text}");
+        assert!(text.contains("inadequate"), "{text}");
+        assert!(text.contains("vulnerability score: 0.000"), "{text}");
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn cache_hits_render_and_roll_up() {
+        let mut r = report();
+        r.records[2].cache_hit = true;
+        assert_eq!(r.cache_hits(), 1);
+        assert_eq!(r.runs_executed(), 3);
+        let text = r.render_text();
+        assert!(text.contains("runs executed: 3   replayed from cache: 1"), "{text}");
     }
 }

@@ -189,6 +189,15 @@ impl Os {
         }
     }
 
+    /// Physical paths this world has recorded as created by its own run
+    /// (oracle support: a program re-writing its own fresh files is not an
+    /// integrity problem). A pristine world has none; world fingerprints
+    /// include the set so a non-pristine world can never alias a pristine
+    /// one.
+    pub fn created_paths(&self) -> impl Iterator<Item = &str> {
+        self.created_paths.iter().map(String::as_str)
+    }
+
     /// Installs the fault-injection hook for the next run.
     pub fn set_interceptor(&mut self, hook: Box<dyn Interceptor>) {
         self.interceptor = Some(hook);

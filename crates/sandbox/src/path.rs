@@ -81,6 +81,29 @@ pub fn normalize(path: &str) -> String {
     }
 }
 
+/// Lexically cleans a path: collapses `//` and `.` components, leaving
+/// `..` **untouched**.
+///
+/// Unlike [`normalize`], this never rewrites which object a path names:
+/// the VFS resolves `..` *physically* (following the real parent chain,
+/// even across symlinked directories), so `/var/run/../x` and `/var/x`
+/// can be different inodes when `/var/run` is a symlink — textual `..`
+/// resolution would conflate them. Use `clean` wherever a canonical
+/// spelling is wanted without changing resolution semantics (fault
+/// targets, content-addressed keys).
+pub fn clean(path: &str) -> String {
+    let absolute = is_absolute(path);
+    let kept: Vec<&str> = components(path).filter(|c| *c != ".").collect();
+    let body = kept.join("/");
+    if absolute {
+        format!("/{body}")
+    } else if body.is_empty() {
+        ".".to_string()
+    } else {
+        body
+    }
+}
+
 /// The final component of a path, if any.
 pub fn file_name(path: &str) -> Option<&str> {
     components(path).last()
@@ -125,6 +148,19 @@ mod tests {
         assert_eq!(join("/etc/", "passwd"), "/etc/passwd");
         assert_eq!(join("/etc", ""), "/etc");
         assert_eq!(join("", "x"), "x");
+    }
+
+    #[test]
+    fn clean_collapses_but_preserves_dotdot() {
+        assert_eq!(clean("/a//b/./c"), "/a/b/c");
+        assert_eq!(
+            clean("/var/run/../x"),
+            "/var/run/../x",
+            "`..` resolution is physical, not lexical"
+        );
+        assert_eq!(clean("./a/./b"), "a/b");
+        assert_eq!(clean("/"), "/");
+        assert_eq!(clean("."), ".");
     }
 
     #[test]

@@ -100,7 +100,7 @@ fn fixed_turnin_tolerates_all_41_faults() {
     assert_eq!(report.total_sites, 8, "the fix does not change the interaction surface");
     assert_eq!(report.injected(), 41);
     assert_eq!(report.violated(), 0, "{:#?}", report.violations().collect::<Vec<_>>());
-    assert_eq!(report.fault_coverage().value(), 1.0);
+    assert_eq!(report.fault_coverage().fraction(), Some(1.0));
 }
 
 #[test]

@@ -34,7 +34,7 @@ fn the_standard_suite_runs_all_eight_apps_in_one_batch() {
     assert_eq!(turnin.injected(), 41);
     assert_eq!(turnin.violated(), 9);
     assert!(report.total_injected() > 100);
-    assert!(report.fault_coverage().value() > 0.0 && report.fault_coverage().value() < 1.0);
+    assert!(report.fault_coverage().value_or(1.0) > 0.0 && report.fault_coverage().value_or(1.0) < 1.0);
 }
 
 #[test]
@@ -109,7 +109,7 @@ fn engine_options_propagate_to_sessions() {
     let session = engine.session(&lpr::spec()).expect("valid spec");
     let report = session.execute(&Lpr);
     assert_eq!(report.perturbed_sites, 1, "engine options reached the campaign");
-    assert!(report.interaction_coverage().value() < 1.0);
+    assert!(report.interaction_coverage().value_or(1.0) < 1.0);
 }
 
 #[test]

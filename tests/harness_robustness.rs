@@ -146,7 +146,18 @@ fn campaign_with_no_interaction_points_is_empty_not_broken() {
     assert_eq!(report.total_sites, 0);
     assert_eq!(report.injected(), 0);
     assert_eq!(report.vulnerability_score(), 0.0);
-    assert_eq!(report.fault_coverage().value(), 1.0, "vacuously covered");
+    assert_eq!(report.fault_coverage().value_or(1.0), 1.0, "vacuously covered");
+    // The vacuous-coverage regression (issue 5): interaction coverage over
+    // zero sites is undefined, not 100%, and a campaign that tested
+    // nothing must land in the Inadequate region of Figure 2 — never Safe.
+    use epa::core::coverage::{AdequacyRegion, AdequacyThresholds};
+    assert_eq!(report.interaction_coverage().fraction(), None);
+    let point = report.adequacy();
+    assert!(point.vacuous);
+    assert_eq!(point.region(AdequacyThresholds::default()), AdequacyRegion::Inadequate);
+    let text = report.render_text();
+    assert!(text.contains("0/0 (n/a)"), "{text}");
+    assert!(!text.contains("NaN"), "{text}");
 }
 
 #[test]

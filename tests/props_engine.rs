@@ -47,11 +47,16 @@ fn op_strategy() -> impl Strategy<Value = OpKind> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Ratios stay in [0, 1] for any counts.
+    /// Ratios stay in [0, 1] for any counts, and only the empty
+    /// denominator is undefined.
     #[test]
     fn ratio_bounds(hits in 0usize..1000, extra in 0usize..1000) {
         let r = Ratio::new(hits, hits + extra);
-        prop_assert!((0.0..=1.0).contains(&r.value()));
+        match r.fraction() {
+            Some(v) => prop_assert!((0.0..=1.0).contains(&v)),
+            None => prop_assert_eq!(r.total, 0),
+        }
+        prop_assert!((0.0..=1.0).contains(&r.value_or(1.0)));
     }
 
     /// Adequacy points clamp and classify into exactly one region.
