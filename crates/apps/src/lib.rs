@@ -32,6 +32,7 @@ pub mod fontpurge;
 pub mod lpr;
 pub mod mailnotify;
 pub mod ntlogon;
+pub mod scripted;
 pub mod turnin;
 pub mod worlds;
 
@@ -42,6 +43,7 @@ pub use fontpurge::{FontPurge, FontPurgeFixed};
 pub use lpr::{Lpr, LprFixed};
 pub use mailnotify::{MailNotify, MailNotifyFixed};
 pub use ntlogon::{NtLogon, NtLogonFixed};
+pub use scripted::ScriptedApp;
 pub use turnin::{Turnin, TurninFixed};
 
 /// Shared assertions for the per-application oracle tests: every verdict

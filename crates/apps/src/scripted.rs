@@ -1,0 +1,68 @@
+//! The scripted-behavior application adapter for the synthesized corpus.
+//!
+//! [`ScriptedApp`] turns a corpus [`BehaviorScript`] — a serializable list
+//! of environment interactions the generator synthesizes alongside each
+//! world — into a first-class [`Application`] the engine can trace,
+//! perturb, and batch like any hand-written case study. The corpus layer
+//! in `epa-core` deliberately never names a concrete application type;
+//! this adapter is what the `reproduce` binary, the corpus bench, and the
+//! property tests hand to
+//! [`epa_core::corpus::harness::differential_check`] via its factory
+//! argument.
+
+use std::sync::Arc;
+
+use epa_core::corpus::{BehaviorScript, Scenario};
+use epa_sandbox::app::Application;
+use epa_sandbox::os::Os;
+use epa_sandbox::process::Pid;
+
+/// An [`Application`] driven entirely by a corpus behavior script.
+#[derive(Debug, Clone)]
+pub struct ScriptedApp {
+    script: BehaviorScript,
+}
+
+impl ScriptedApp {
+    /// Wraps a behavior script.
+    pub fn new(script: BehaviorScript) -> ScriptedApp {
+        ScriptedApp { script }
+    }
+
+    /// The adapter for one synthesized scenario.
+    pub fn for_scenario(scenario: &Scenario) -> ScriptedApp {
+        ScriptedApp::new(scenario.script.clone())
+    }
+
+    /// The factory closure the corpus harness consumes: every scenario maps
+    /// to its own scripted adapter.
+    pub fn factory() -> impl Fn(&Scenario) -> Arc<dyn Application + Send + Sync> + Sync {
+        |scenario: &Scenario| Arc::new(ScriptedApp::for_scenario(scenario))
+    }
+}
+
+impl Application for ScriptedApp {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        self.script.run(os, pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_core::corpus::{differential_check, synthesize_one, DEFAULT_CORPUS_SEED};
+
+    #[test]
+    fn scripted_app_drives_a_synthesized_scenario_end_to_end() {
+        let scenario = synthesize_one(DEFAULT_CORPUS_SEED, 3);
+        let factory = ScriptedApp::factory();
+        let outcome = differential_check(&scenario, &factory);
+        assert!(outcome.divergence.is_none(), "divergence: {:?}", outcome.divergence);
+        assert!(outcome.injected > 0, "scenario exposed no perturbable sites");
+        assert!(outcome.paths.len() >= 6, "expected every execution path to run");
+    }
+}

@@ -4,6 +4,7 @@
 //! cargo run -p epa-bench --bin reproduce -- all
 //! cargo run -p epa-bench --bin reproduce -- table1 turnin figure2
 //! cargo run -p epa-bench --bin reproduce -- suite --json   # + SUITE_report.json
+//! cargo run -p epa-bench --bin reproduce -- corpus --json --seed 7 --count 32
 //! ```
 
 use epa_bench::experiments;
@@ -24,8 +25,18 @@ const EXPERIMENTS: &[&str] = &[
     "placement",
     "patterns",
     "suite",
+    "corpus",
     "clean",
 ];
+
+/// Options shared by the experiments that take values (currently only the
+/// corpus sweep).
+#[derive(Clone, Copy)]
+struct RunOptions {
+    json: bool,
+    seed: Option<u64>,
+    count: Option<usize>,
+}
 
 /// Where machine-readable artifacts land: the workspace root, next to
 /// `BENCH_engine.json`.
@@ -35,7 +46,8 @@ fn workspace_artifact(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
-fn run(name: &str, json: bool) -> Result<(), String> {
+fn run(name: &str, opts: RunOptions) -> Result<(), String> {
+    let json = opts.json;
     match name {
         "table1" => print!("{}", experiments::table1()),
         "table2" => print!("{}", experiments::table2()),
@@ -69,6 +81,25 @@ fn run(name: &str, json: bool) -> Result<(), String> {
                 println!("wrote {}", path.display());
             }
         }
+        "corpus" => {
+            let seed = opts.seed.unwrap_or(epa_core::corpus::DEFAULT_CORPUS_SEED);
+            let count = opts.count.unwrap_or(120);
+            let report = experiments::corpus(seed, count);
+            print!("{}", report.render_text());
+            if json {
+                let path = workspace_artifact("CORPUS_report.json");
+                let text =
+                    serde_json::to_string_pretty(&report).map_err(|e| format!("serializing the corpus report: {e}"))?;
+                std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
+            if report.divergences > 0 {
+                return Err(format!(
+                    "corpus: {} scenario(s) diverged across execution paths (seeds are in the dashboard above)",
+                    report.divergences
+                ));
+            }
+        }
         "clean" => {
             println!("Clean-run baseline (violations in unperturbed runs):");
             for (app, n) in experiments::clean_baseline() {
@@ -81,9 +112,40 @@ fn run(name: &str, json: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--flag value` pair out of `args`, removing both tokens.
+/// Accepts decimal or `0x`-prefixed hex values.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse::<u64>(),
+    };
+    parsed.map(Some).map_err(|_| format!("{flag}: `{raw}` is not a number"))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let (seed, count) =
+        match (|| Ok::<_, String>((take_value(&mut args, "--seed")?, take_value(&mut args, "--count")?)))() {
+            Ok(values) => values,
+            Err(e) => {
+                eprintln!("reproduce: {e}");
+                std::process::exit(2);
+            }
+        };
     let json = args.iter().any(|a| a == "--json");
+    let opts = RunOptions {
+        json,
+        seed,
+        count: count.map(|c| c as usize),
+    };
     let names: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--json").collect();
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
         EXPERIMENTS.to_vec()
@@ -92,9 +154,12 @@ fn main() {
     };
     let mut failed = false;
     for name in selected {
-        if let Err(e) = run(name, json) {
+        if let Err(e) = run(name, opts) {
             eprintln!("reproduce: {e}");
-            eprintln!("available: {} (plus the --json flag)", EXPERIMENTS.join(", "));
+            eprintln!(
+                "available: {} (plus --json, and --seed/--count for corpus)",
+                EXPERIMENTS.join(", ")
+            );
             failed = true;
         }
     }

@@ -698,6 +698,18 @@ pub fn suite() -> SuiteReport {
 }
 
 // ----------------------------------------------------------------------
+// The property-based scenario corpus
+// ----------------------------------------------------------------------
+
+/// Synthesizes `count` scenarios from `seed`, runs each through every
+/// execution path via the differential harness (scripted-adapter apps),
+/// and returns the corpus adequacy dashboard.
+pub fn corpus(seed: u64, count: usize) -> epa_core::corpus::CorpusReport {
+    let factory = epa_apps::ScriptedApp::factory();
+    epa_core::corpus::run_corpus(&epa_core::corpus::CorpusConfig { seed, count }, &factory)
+}
+
+// ----------------------------------------------------------------------
 // Sanity: every clean world is violation-free
 // ----------------------------------------------------------------------
 

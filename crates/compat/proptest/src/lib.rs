@@ -5,7 +5,9 @@
 //! `&str`-regex strategies, [`collection::vec`], [`string::string_regex`],
 //! [`strategy::Just`], [`strategy::Union`] (behind `prop_oneof!`), and the
 //! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Generation is
-//! purely random (no shrinking) and deterministic per test function.
+//! purely random (no shrinking) and deterministic per test function; the
+//! `EPA_PROPTEST_SEED` environment variable overrides the seed for exact
+//! replay, and a failing test prints the seed it ran under.
 
 #![warn(rust_2018_idioms)]
 
@@ -14,19 +16,84 @@ pub mod test_runner {
 
     use rand::{Rng, SeedableRng};
 
+    /// The seed `proptest!` runs under when [`ENV_SEED_VAR`] is unset.
+    pub const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Environment variable overriding the property-test seed, so a CI
+    /// failure replays exactly: `EPA_PROPTEST_SEED=<decimal or 0x-hex>`.
+    pub const ENV_SEED_VAR: &str = "EPA_PROPTEST_SEED";
+
+    /// The seed the next `proptest!` invocation will run under:
+    /// [`ENV_SEED_VAR`] when set (decimal or `0x`-prefixed hex), else
+    /// [`DEFAULT_SEED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but does not parse as a `u64`, so a
+    /// typo in CI cannot silently fall back to the default seed.
+    pub fn resolved_seed() -> u64 {
+        match std::env::var(ENV_SEED_VAR) {
+            Ok(raw) => {
+                parse_seed(&raw).unwrap_or_else(|| panic!("{ENV_SEED_VAR}={raw:?} is not a u64 (decimal or 0x-hex)"))
+            }
+            Err(_) => DEFAULT_SEED,
+        }
+    }
+
+    fn parse_seed(raw: &str) -> Option<u64> {
+        let raw = raw.trim();
+        if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            raw.parse().ok()
+        }
+    }
+
+    /// Prints the active seed if the test panics, so any failure carries
+    /// its exact replay instructions. Created by `proptest!` at the top of
+    /// every generated test function.
+    #[derive(Debug)]
+    pub struct SeedReporter {
+        seed: u64,
+    }
+
+    impl SeedReporter {
+        /// Arms the reporter for a run under `seed`.
+        pub fn new(seed: u64) -> Self {
+            SeedReporter { seed }
+        }
+    }
+
+    impl Drop for SeedReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: failing run used seed {seed:#x}; replay with {ENV_SEED_VAR}={seed}",
+                    seed = self.seed
+                );
+            }
+        }
+    }
+
     /// The generator driving `proptest!`: the `rand` stand-in's `StdRng`
-    /// from a fixed seed, so failures reproduce run-to-run.
+    /// from an explicit seed, so failures reproduce run-to-run.
     #[derive(Debug, Clone)]
     pub struct TestRng {
         inner: rand::rngs::StdRng,
     }
 
     impl TestRng {
-        /// Builds the fixed-seed generator used by `proptest!`.
-        pub fn deterministic() -> Self {
+        /// Builds the generator for an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
             TestRng {
-                inner: rand::rngs::StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15),
+                inner: rand::rngs::StdRng::seed_from_u64(seed),
             }
+        }
+
+        /// Builds the fixed-seed generator used by `proptest!` when no
+        /// seed override is in effect.
+        pub fn deterministic() -> Self {
+            TestRng::from_seed(DEFAULT_SEED)
         }
 
         /// Returns a uniform value in `[0, n)`.
@@ -506,7 +573,9 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            let mut rng = $crate::test_runner::TestRng::deterministic();
+            let seed = $crate::test_runner::resolved_seed();
+            let _replay = $crate::test_runner::SeedReporter::new(seed);
+            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
             for _case in 0..config.cases {
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
                 $body

@@ -26,7 +26,7 @@ use epa_sandbox::trace::{SiteId, SiteSummary};
 
 use crate::catalog::{faults_for_site, DirectContext};
 use crate::engine::executor::Executor;
-use crate::engine::planner::{ResultCache, RunDigest, Schedule, YieldStats};
+use crate::engine::planner::{Claim, FaultKey, ResultCache, RunDigest, Schedule, YieldStats};
 use crate::inject::{InjectionHook, InjectionPlan};
 use crate::perturb::ConcreteFault;
 use crate::report::{CampaignReport, FaultRecord};
@@ -561,6 +561,27 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// As [`Campaign::run_job`], but claim-aware: with a result cache
+    /// installed, at most one thread — across parallel workers, the suite's
+    /// pool, and even simultaneous suites sharing the cache — executes each
+    /// `(scope, FaultKey)`; concurrent callers block on the in-flight claim
+    /// ([`ResultCache::begin`]) and replay the winner's digest. Without a
+    /// cache this is exactly [`Campaign::run_job`].
+    pub(crate) fn run_job_cached(&self, job: &InjectionPlan) -> FaultRecord {
+        let Some(cache) = self.options.cache.clone() else {
+            return self.run_job(job);
+        };
+        let key = FaultKey::of(job);
+        match cache.begin(self.scope(), &key) {
+            Claim::Replay(digest) => digest.replay(job),
+            Claim::Execute(token) => {
+                let record = self.run_job(job);
+                token.fulfill(RunDigest::of(&record));
+                record
+            }
+        }
+    }
+
     /// Steps 6–10: execute the plan and report.
     pub fn execute(&self) -> CampaignReport {
         let plan = self.plan();
@@ -684,8 +705,13 @@ impl<'a> Campaign<'a> {
             while executed < budget && !remaining.is_empty() {
                 let pos = stats.pick(&remaining, jobs);
                 let idx = remaining.remove(pos);
-                let record = self.run_job(&jobs[idx]);
-                executed += 1;
+                let record = self.run_job_cached(&jobs[idx]);
+                // A claim replay (another thread, or a duplicate key in an
+                // undeduped plan, already executed this run) is free: only
+                // actual executions spend the budget.
+                if !record.cache_hit {
+                    executed += 1;
+                }
                 stats.observe(record.category, !record.tolerated());
                 on_record(&record);
                 self.finish_canonical(
@@ -704,9 +730,11 @@ impl<'a> Campaign<'a> {
             // partitioning): idle workers steal the next unclaimed job, and
             // the executor reassembles plan order from the job indices.
             let pending_jobs: Vec<&InjectionPlan> = schedule.pending.iter().map(|&i| &jobs[i]).collect();
-            let executed = self
-                .executor()
-                .run_indexed(&pending_jobs, |_, job| self.run_job(job), &mut |_, r| on_record(r));
+            let executed =
+                self.executor()
+                    .run_indexed(&pending_jobs, |_, job| self.run_job_cached(job), &mut |_, r| {
+                        on_record(r)
+                    });
             for (k, record) in executed.into_iter().enumerate() {
                 let idx = schedule.pending[k];
                 self.finish_canonical(
@@ -722,7 +750,7 @@ impl<'a> Campaign<'a> {
             }
         } else {
             for &idx in &schedule.pending {
-                let record = self.run_job(&jobs[idx]);
+                let record = self.run_job_cached(&jobs[idx]);
                 on_record(&record);
                 self.finish_canonical(
                     &schedule,

@@ -1,0 +1,428 @@
+//! Seed-reproducible scenario synthesis on the in-tree proptest strategies.
+//!
+//! [`synthesize`] derives one independent RNG per scenario index from the
+//! corpus seed (a splitmix64-style mix), so scenario `i` is identical no
+//! matter how many scenarios surround it, and the whole corpus is
+//! reproducible from `(seed, count)` alone. Drafting runs in two stages:
+//! proptest [`Strategy`] draws build an intermediate draft, and an
+//! assembly pass resolves the draft against a fixed, always-valid base world
+//! — every synthesized [`WorldSpec`] passes [`WorldSpec::validate`] and
+//! [`WorldSpec::materialize`] by construction.
+//!
+//! The draw distribution is deliberately biased toward the shapes the paper
+//! found fruitful: re-read (occurrence-heavy, TOCTTOU) file sites,
+//! privileged SUID-root programs, symlink chains, and registry/network
+//! interaction mixes.
+
+use proptest::collection;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+use epa_sandbox::cred::{Gid, Uid};
+use epa_sandbox::os::ScenarioMeta;
+use epa_sandbox::policy::InvariantSpec;
+
+use super::behavior::{BehaviorScript, BehaviorStep};
+use super::Scenario;
+use crate::engine::spec::{ScenarioBuilder, WorldSpec};
+
+/// Default corpus seed (`"EPA0"` as bytes), used when none is given.
+pub const DEFAULT_CORPUS_SEED: u64 = 0x4550_4130;
+
+/// Parameters of one corpus synthesis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Master seed every per-scenario RNG derives from.
+    pub seed: u64,
+    /// Number of scenarios to synthesize.
+    pub count: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: DEFAULT_CORPUS_SEED,
+            count: 120,
+        }
+    }
+}
+
+/// splitmix64 finalizer: derives the per-scenario seed from `(seed, index)`
+/// so each scenario owns an independent, order-insensitive RNG stream.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How privileged the program under test is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgramKind {
+    /// SUID-root (the paper's high-stakes case; drawn most often).
+    SuidRoot,
+    /// Root-owned, invoked by root.
+    Root,
+    /// Unprivileged.
+    Plain,
+}
+
+/// Raw strategy draws, before resolution against the base world.
+#[derive(Debug, Clone)]
+struct Draft {
+    program_kind: ProgramKind,
+    /// `(name, content, mode_pick, owner_pick)` per data file.
+    files: Vec<(String, String, u8, u8)>,
+    /// Symlink chain length under `/tmp` (0 disables).
+    chain_len: u8,
+    /// What the chain ultimately points at.
+    chain_target: u8,
+    /// `(key_suffix, world_writable_pick, value_name, value_data)`.
+    regs: Vec<(String, u8, String, String)>,
+    /// `(host_pick, port, trusted_pick)` per remote service.
+    services: Vec<(u8, u16, u8)>,
+    /// Inbound network message `(enable_pick, port_pick, payload)`.
+    inbound: (u8, u16, String),
+    /// IPC message `(enable_pick, payload)`.
+    ipc: (u8, String),
+    /// `(NAME_suffix, value)` env vars.
+    envs: Vec<(String, String)>,
+    /// Extra argv entries after the fixed first argument.
+    extra_args: Vec<String>,
+    /// Which oracle invariant (if any) to declare.
+    invariant_pick: u8,
+    /// `(kind, selector, aux)` per scripted step.
+    steps: Vec<(u8, u8, u8)>,
+}
+
+/// Draws a [`Draft`] from `rng`. Field-by-field `generate` calls on one RNG
+/// keep this a single deterministic stream per scenario.
+fn draft(rng: &mut TestRng) -> Draft {
+    Draft {
+        // 4-in-6 SUID-root: privileged spawns are where perturbation pays.
+        program_kind: match (0u8..6).generate(rng) {
+            0..=3 => ProgramKind::SuidRoot,
+            4 => ProgramKind::Root,
+            _ => ProgramKind::Plain,
+        },
+        files: collection::vec(("[a-z]{2,6}", "[a-z0-9 ]{0,16}", 0u8..4, 0u8..3), 0..4).generate(rng),
+        chain_len: (0u8..3).generate(rng),
+        chain_target: (0u8..3).generate(rng),
+        regs: collection::vec(("[A-Za-z]{2,8}", 0u8..2, "[a-z]{2,6}", "[a-z0-9/.]{1,12}"), 0..3).generate(rng),
+        services: collection::vec((0u8..3, 1024u16..9000, 0u8..2), 0..3).generate(rng),
+        inbound: (
+            (0u8..2).generate(rng),
+            (1024u16..9000).generate(rng),
+            "[a-z ]{1,12}".generate(rng),
+        ),
+        ipc: ((0u8..2).generate(rng), "[a-z ]{1,12}".generate(rng)),
+        envs: collection::vec(("[A-Z]{2,5}", "[a-z0-9/:]{1,12}"), 0..3).generate(rng),
+        extra_args: collection::vec("[a-z]{1,8}", 0..2).generate(rng),
+        invariant_pick: (0u8..3).generate(rng),
+        steps: collection::vec((0u8..12, 0u8..8, 0u8..8), 3..10).generate(rng),
+    }
+}
+
+/// The modes data files may carry (index by the draft's `mode_pick`).
+const FILE_MODES: [u16; 4] = [0o644, 0o600, 0o666, 0o444];
+
+/// Resolves a draft against the fixed base world into a valid spec plus the
+/// script that exercises it. `index` suffixes every generated path/name so
+/// fingerprints differ across scenario slots even for identical draws.
+fn assemble(index: usize, draft: &Draft) -> (WorldSpec, BehaviorScript) {
+    let meta = ScenarioMeta::default();
+    let invoker = meta.invoker;
+    let invoker_gid = meta.invoker_gid;
+    let attacker = meta.attacker;
+    let attacker_gid = meta.attacker_gid;
+
+    let mut b = ScenarioBuilder::new()
+        .user("root", Uid::ROOT, Gid::ROOT, "/root")
+        .user("student", invoker, invoker_gid, "/home/student")
+        .user("evil", attacker, attacker_gid, "/home/evil")
+        .dir("/tmp", Uid::ROOT, Gid::ROOT, 0o1777)
+        .dir("/home/evil", attacker, attacker_gid, 0o755)
+        .dir("/home/evil/bin", attacker, attacker_gid, 0o755)
+        .dir("/var/spool/gen", Uid::ROOT, Gid::ROOT, 0o777)
+        .dir("/data", Uid::ROOT, Gid::ROOT, 0o777)
+        .dir("/etc/cron.d", Uid::ROOT, Gid::ROOT, 0o755)
+        .root_file("/etc/passwd", "root:0:0:", 0o644)
+        .root_file("/etc/shadow", "root:HASH", 0o600)
+        .root_file("/etc/system.conf", "mods=core", 0o644)
+        .root_file("/usr/bin/helper", "", 0o755)
+        .cwd("/tmp");
+
+    // Program under test.
+    let program = format!("/usr/bin/genapp{index}");
+    b = match draft.program_kind {
+        ProgramKind::SuidRoot => b.suid_root_program(&program),
+        ProgramKind::Root => b.root_program(&program).invoker(Uid::ROOT),
+        ProgramKind::Plain => b.file(&program, "", invoker, invoker_gid, 0o755).program(&program),
+    };
+
+    // Data files — unique, index-suffixed paths.
+    let mut file_paths = Vec::new();
+    for (j, (name, content, mode_pick, owner_pick)) in draft.files.iter().enumerate() {
+        let path = format!("/data/f{index}-{j}-{name}");
+        let (owner, group) = match owner_pick {
+            0 => (Uid::ROOT, Gid::ROOT),
+            1 => (invoker, invoker_gid),
+            _ => (attacker, attacker_gid),
+        };
+        b = b.file(
+            &path,
+            content.as_str(),
+            owner,
+            group,
+            FILE_MODES[*mode_pick as usize % 4],
+        );
+        file_paths.push(path);
+    }
+
+    // Symlink chain: /tmp/gen{index}-link0 -> ... -> target.
+    let chain_target = match draft.chain_target {
+        0 => file_paths.first().cloned().unwrap_or_else(|| "/etc/passwd".to_string()),
+        1 => "/etc/passwd".to_string(),
+        _ => "/etc/shadow".to_string(),
+    };
+    let mut chain_head: Option<String> = None;
+    let mut prev = chain_target;
+    for k in 0..draft.chain_len {
+        let link = format!("/tmp/gen{index}-link{k}");
+        b = b.symlink(&link, &prev);
+        prev = link.clone();
+        chain_head = Some(link);
+    }
+
+    // Registry keys (+ one value each).
+    let mut reg_entries = Vec::new();
+    for (j, (suffix, ww, value_name, value_data)) in draft.regs.iter().enumerate() {
+        let key = format!("Software/Gen{index}-{j}-{suffix}");
+        b = b
+            .registry_key(&key, *ww == 1)
+            .registry_value(value_name.as_str(), value_data.as_str());
+        reg_entries.push((key, value_name.clone()));
+    }
+
+    // Remote services, each resolvable via DNS.
+    let mut service_endpoints = Vec::new();
+    for (j, (host_pick, port, trusted_pick)) in draft.services.iter().enumerate() {
+        let host = match host_pick {
+            0 => meta.trusted_host.clone(),
+            1 => meta.attacker_host.clone(),
+            _ => format!("svc{index}-{j}.example.org"),
+        };
+        if !service_endpoints.iter().any(|(h, _)| *h == host) {
+            b = b
+                .dns(&host, format!("10.0.{}.{j}", index % 250))
+                .service(&host, *port, *trusted_pick == 1);
+            service_endpoints.push((host, *port));
+        }
+    }
+
+    // Optional genuine inbound traffic.
+    let inbound_port = (draft.inbound.0 == 1).then(|| {
+        b = b
+            .clone()
+            .inbound_message(draft.inbound.1, &meta.trusted_host, draft.inbound.2.as_str());
+        draft.inbound.1
+    });
+    let ipc_channel = (draft.ipc.0 == 1).then(|| {
+        let channel = format!("gen{index}-chan");
+        b = b.clone().ipc_message(&channel, "peerd", draft.ipc.1.as_str());
+        channel
+    });
+
+    // Environment and argv.
+    let mut env_names = Vec::new();
+    for (suffix, value) in &draft.envs {
+        let name = format!("GEN_{suffix}");
+        if !env_names.contains(&name) {
+            b = b.env(&name, value.as_str());
+            env_names.push(name);
+        }
+    }
+    let mut args = vec![format!("input{index}.txt")];
+    args.extend(draft.extra_args.iter().cloned());
+    b = b.args(args);
+
+    b = match draft.invariant_pick {
+        0 => b.invariant(InvariantSpec::file_pristine("/etc/shadow")),
+        1 => b.invariant(InvariantSpec::forbid_exec("/home/evil")),
+        _ => b,
+    };
+
+    let spec = b.build();
+
+    // Script: fixed prologue guarantees at least one perturbable site of
+    // each of the arg/check-then-use families, then the drawn step mix.
+    let mut steps = vec![
+        BehaviorStep::ReadArg { index: 0 },
+        BehaviorStep::StatThenWrite {
+            path: format!("/var/spool/gen/out{index}"),
+            content: "result".to_string(),
+            mode: 0o644,
+        },
+    ];
+    let read_target = |sel: u8| -> String {
+        if let Some(head) = &chain_head {
+            if sel.is_multiple_of(3) {
+                return head.clone();
+            }
+        }
+        file_paths
+            .get(sel as usize % file_paths.len().max(1))
+            .cloned()
+            .unwrap_or_else(|| "/etc/passwd".to_string())
+    };
+    for (j, (kind, sel, aux)) in draft.steps.iter().enumerate() {
+        let step = match kind {
+            // Re-read bias: kinds 0 and 1 both read, often more than once,
+            // through a single site — the occurrence-sensitive shape.
+            0 | 1 => BehaviorStep::ReadFile {
+                path: read_target(*sel),
+                times: 1 + (*aux as usize % 3),
+            },
+            2 => BehaviorStep::ReadEnv {
+                name: env_names
+                    .get(*sel as usize % env_names.len().max(1))
+                    .cloned()
+                    .unwrap_or_else(|| "PATH".to_string()),
+            },
+            3 => BehaviorStep::StatThenWrite {
+                path: format!("/data/gen{index}-tmp{j}"),
+                content: "staged".to_string(),
+                mode: 0o644,
+            },
+            4 => BehaviorStep::CreateExclusive {
+                path: format!("/tmp/gen{index}-excl{j}"),
+                mode: 0o600,
+            },
+            5 => BehaviorStep::Append {
+                path: read_target(*sel),
+                content: "log entry".to_string(),
+            },
+            6 => match &chain_head {
+                Some(head) => BehaviorStep::ReadLink { path: head.clone() },
+                None => BehaviorStep::Stat {
+                    path: "/etc/passwd".to_string(),
+                },
+            },
+            7 => BehaviorStep::ListDir {
+                path: "/data".to_string(),
+            },
+            8 => BehaviorStep::Exec {
+                path: "/usr/bin/helper".to_string(),
+            },
+            9 => match reg_entries.get(*sel as usize % reg_entries.len().max(1)) {
+                Some((key, value)) if *aux % 2 == 0 => BehaviorStep::RegRead {
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+                Some((key, value)) => BehaviorStep::RegWrite {
+                    key: key.clone(),
+                    value: value.clone(),
+                    data: "updated".to_string(),
+                },
+                None => BehaviorStep::ReadFile {
+                    path: "/etc/passwd".to_string(),
+                    times: 2,
+                },
+            },
+            10 => match service_endpoints.get(*sel as usize % service_endpoints.len().max(1)) {
+                Some((host, port)) if *aux % 2 == 0 => BehaviorStep::NetExchange {
+                    host: host.clone(),
+                    port: *port,
+                    payload: "hello".to_string(),
+                },
+                Some((host, _)) => BehaviorStep::DnsLookup { host: host.clone() },
+                None => BehaviorStep::DnsLookup {
+                    host: meta.trusted_host.clone(),
+                },
+            },
+            _ => match (inbound_port, &ipc_channel) {
+                (Some(port), _) if *aux % 2 == 0 => BehaviorStep::NetReceive { port },
+                (_, Some(channel)) => BehaviorStep::IpcReceive {
+                    channel: channel.clone(),
+                },
+                (Some(port), None) => BehaviorStep::NetReceive { port },
+                (None, None) => BehaviorStep::ReadEnv {
+                    name: "PATH".to_string(),
+                },
+            },
+        };
+        steps.push(step);
+    }
+    steps.push(BehaviorStep::Print {
+        text: format!("done{index}"),
+    });
+
+    (spec, BehaviorScript::new(steps))
+}
+
+/// Synthesizes the scenario at `index` of the corpus seeded with `seed`.
+///
+/// Deterministic and order-insensitive: the same `(seed, index)` always
+/// yields the same scenario, regardless of the surrounding corpus size.
+pub fn synthesize_one(seed: u64, index: usize) -> Scenario {
+    let scenario_seed = mix(seed, index as u64);
+    let mut rng = TestRng::from_seed(scenario_seed);
+    let d = draft(&mut rng);
+    let (spec, script) = assemble(index, &d);
+    debug_assert!(spec.validate().is_ok(), "generated spec must validate");
+    Scenario {
+        id: format!("gen-{seed:016x}-{index:04}"),
+        seed: scenario_seed,
+        spec,
+        script,
+    }
+}
+
+/// Synthesizes the full corpus described by `config`.
+pub fn synthesize(config: &CorpusConfig) -> Vec<Scenario> {
+    (0..config.count).map(|i| synthesize_one(config.seed, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic_and_valid() {
+        let config = CorpusConfig { seed: 42, count: 24 };
+        let a = synthesize(&config);
+        let b = synthesize(&config);
+        assert_eq!(a.len(), 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fingerprint(), y.fingerprint());
+            x.spec.validate().expect("generated spec validates");
+            x.spec.materialize().expect("generated spec materializes");
+        }
+    }
+
+    #[test]
+    fn scenarios_are_order_insensitive() {
+        let lone = synthesize_one(7, 5);
+        let in_corpus = synthesize(&CorpusConfig { seed: 7, count: 10 });
+        assert_eq!(lone.fingerprint(), in_corpus[5].fingerprint());
+    }
+
+    #[test]
+    fn corpus_mixes_interaction_families() {
+        use std::collections::BTreeSet;
+        let corpus = synthesize(&CorpusConfig { seed: 1, count: 40 });
+        let mut tags = BTreeSet::new();
+        let mut suid = 0;
+        for s in &corpus {
+            if s.spec.files.iter().any(|f| f.mode & 0o4000 != 0) {
+                suid += 1;
+            }
+            for step in &s.script.steps {
+                tags.insert(format!("{step:?}").split(' ').next().unwrap_or("").to_string());
+            }
+        }
+        // Privileged spawns dominate, and the step mix spans many families.
+        assert!(suid > 20, "SUID bias missing: {suid}/40");
+        assert!(tags.len() >= 10, "step diversity too low: {tags:?}");
+    }
+}

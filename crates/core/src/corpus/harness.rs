@@ -1,0 +1,401 @@
+//! The differential corpus harness: one scenario, every execution path,
+//! byte-identical verdicts — or a minimized counterexample.
+//!
+//! The engine grew several ways to execute the same campaign (sequential,
+//! pooled executor, suite pool, dedup/memoizing planner, budgeted adaptive
+//! planner, incremental vs. batch oracle). All of them promise the same
+//! verdict set; [`differential_check`] holds them to it. Each path's report
+//! is flattened to a canonical per-record digest line — deliberately
+//! *excluding* the `cache_hit` provenance flag, which is the only field a
+//! replay may legitimately differ in — and compared byte-for-byte against
+//! the sequential baseline.
+//!
+//! [`run_corpus`] sweeps a whole synthesized corpus, shrinks any divergence
+//! to a minimal world diff ([`mod@super::shrink`]), and rolls the results
+//! into a [`super::report::CorpusReport`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use epa_sandbox::app::Application;
+use epa_sandbox::os::Os;
+use epa_sandbox::process::Pid;
+
+use super::report::CorpusReport;
+use super::{shrink, Scenario};
+use crate::campaign::{run_once, run_once_batch_oracle, CampaignOptions};
+use crate::coverage::AdequacyPoint;
+use crate::engine::planner::ResultCache;
+use crate::engine::{Session, Suite};
+use crate::inject::InjectionHook;
+use crate::report::CampaignReport;
+use crate::report::FaultRecord;
+
+/// Builds the application driven by a scenario's script.
+///
+/// The corpus layer stays app-crate-free: `epa-core` never names a concrete
+/// application type. Callers (the `reproduce` binary, benches, tests) pass
+/// a factory producing the `epa-apps` scripted adapter — or any other
+/// [`Application`] — for each scenario.
+pub type AppFactory<'a> = &'a (dyn Fn(&Scenario) -> Arc<dyn Application + Send + Sync> + Sync);
+
+/// Adapter registering one shared [`Application`] with a [`Suite`] (which
+/// takes ownership; the blanket impls only cover `&T` and `Box<T>`).
+struct SharedApp(Arc<dyn Application + Send + Sync>);
+
+impl Application for SharedApp {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+        self.0.run(os, pid)
+    }
+}
+
+/// One execution path's flattened outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathOutcome {
+    /// Path name (`sequential`, `executor`, `suite`, `planner-cold`,
+    /// `planner-warm`, `budgeted`, `batch-oracle`).
+    pub path: String,
+    /// Canonical digest lines, one per injected record, in plan order.
+    pub lines: Vec<String>,
+    /// Runs that occupied a worker slot on this path.
+    pub runs_executed: usize,
+    /// Records replayed from the planner cache on this path.
+    pub cache_hits: usize,
+}
+
+/// A cross-path disagreement (or a panic) on one scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// The diverging path.
+    pub path: String,
+    /// What differed (first differing digest line, or the panic payload).
+    pub detail: String,
+    /// The scenario's RNG seed, for exact replay.
+    pub seed: u64,
+    /// Minimal world diff from pristine that still reproduces the
+    /// divergence (filled by [`run_corpus`]'s shrinking pass).
+    pub minimized: Vec<String>,
+}
+
+/// The differential verdict on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario identifier.
+    pub id: String,
+    /// Per-scenario RNG seed (logged for exact CI replay).
+    pub seed: u64,
+    /// Perturbable interaction points the baseline exposed.
+    pub sites: usize,
+    /// Faults injected by the baseline.
+    pub injected: usize,
+    /// Injected runs that violated the policy.
+    pub violated: usize,
+    /// Violations in the unperturbed run.
+    pub clean_violations: usize,
+    /// The scenario's Figure 2 adequacy point.
+    pub adequacy: AdequacyPoint,
+    /// Per-EAI-category `(injected, violated)` counts.
+    pub by_category: Vec<(String, usize, usize)>,
+    /// Every path's flattened outcome (baseline first).
+    pub paths: Vec<PathOutcome>,
+    /// The first divergence, if any path disagreed with the baseline.
+    pub divergence: Option<Divergence>,
+}
+
+/// Canonical digest of one record: every observable field *except*
+/// `cache_hit` (replay provenance is the one legitimate cross-path
+/// difference) and the free-text description (redundant with `fault_id`).
+fn record_line(r: &FaultRecord) -> String {
+    let violations = serde_json::to_string(&r.violations).expect("verdicts serialize");
+    format!(
+        "{}|{}|{}|{}|{:?}|{:?}|{}|{}",
+        r.site, r.occurrence, r.fault_id, r.applied, r.exit, r.crashed, r.audit_events, violations
+    )
+}
+
+fn report_outcome(path: &str, report: &CampaignReport) -> PathOutcome {
+    PathOutcome {
+        path: path.to_string(),
+        lines: report.records.iter().map(record_line).collect(),
+        runs_executed: report.runs_executed(),
+        cache_hits: report.cache_hits(),
+    }
+}
+
+/// The campaign options every path shares: strike every traced occurrence
+/// of every site (the corpus is biased toward occurrence-sensitive shapes,
+/// so first-hit-only plans would under-exercise it).
+fn base_options() -> CampaignOptions {
+    CampaignOptions {
+        max_occurrences_per_site: usize::MAX,
+        dedup: false,
+        ..CampaignOptions::default()
+    }
+}
+
+/// Runs one path, converting a panic anywhere inside the engine into a
+/// divergence instead of tearing the harness down.
+fn run_path<T>(name: &str, seed: u64, f: impl FnOnce() -> T) -> Result<T, Divergence> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let text = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        Divergence {
+            path: name.to_string(),
+            detail: format!("panicked: {text}"),
+            seed,
+            minimized: Vec::new(),
+        }
+    })
+}
+
+/// First difference between a path's lines and the baseline's, as a
+/// replay-ready description.
+fn diff_lines(baseline: &PathOutcome, candidate: &PathOutcome, seed: u64) -> Option<Divergence> {
+    if baseline.lines == candidate.lines {
+        return None;
+    }
+    let detail = if baseline.lines.len() != candidate.lines.len() {
+        format!(
+            "record count: baseline {} vs {} {}",
+            baseline.lines.len(),
+            candidate.path,
+            candidate.lines.len()
+        )
+    } else {
+        let i = baseline
+            .lines
+            .iter()
+            .zip(&candidate.lines)
+            .position(|(a, b)| a != b)
+            .expect("unequal line vectors differ somewhere");
+        format!(
+            "record {i}: baseline `{}` vs {} `{}`",
+            baseline.lines[i], candidate.path, candidate.lines[i]
+        )
+    };
+    Some(Divergence {
+        path: candidate.path.clone(),
+        detail,
+        seed,
+        minimized: Vec::new(),
+    })
+}
+
+/// Runs `scenario` through every execution path and compares verdicts.
+///
+/// Paths, all against the same materialized setup:
+///
+/// 1. `sequential` — the baseline: in-order, no dedup, no cache;
+/// 2. `executor` — the pooled work-stealing executor;
+/// 3. `suite` — the suite's expanding plan/inject pool (suite-scoped cache);
+/// 4. `planner-cold` / `planner-warm` — canonical-fault dedup plus a fresh
+///    [`ResultCache`], executed twice (the warm pass must replay, and still
+///    agree byte-for-byte);
+/// 5. `budgeted` — the adaptive planner with a budget covering the whole
+///    plan;
+/// 6. `batch-oracle` — every injection re-run under the retired post-hoc
+///    oracle, plus a clean-run incremental/batch cross-check.
+pub fn differential_check(scenario: &Scenario, factory: AppFactory<'_>) -> ScenarioOutcome {
+    let seed = scenario.seed;
+    let app = factory(scenario);
+    let mut paths: Vec<PathOutcome> = Vec::new();
+    let mut divergence: Option<Divergence> = None;
+
+    let outcome = |report: &CampaignReport, sites: usize| ScenarioOutcome {
+        id: scenario.id.clone(),
+        seed,
+        sites,
+        injected: report.injected(),
+        violated: report.violated(),
+        clean_violations: report.clean_violations,
+        adequacy: report.adequacy(),
+        by_category: report.by_category().into_iter().map(|(c, (i, v))| (c, i, v)).collect(),
+        paths: Vec::new(),
+        divergence: None,
+    };
+
+    let setup = match scenario.spec.materialize() {
+        Ok(setup) => setup,
+        Err(err) => {
+            // Generator-invariant breach: surface it as a divergence rather
+            // than panicking the sweep.
+            return ScenarioOutcome {
+                id: scenario.id.clone(),
+                seed,
+                sites: 0,
+                injected: 0,
+                violated: 0,
+                clean_violations: 0,
+                adequacy: AdequacyPoint::vacuous(1.0),
+                by_category: Vec::new(),
+                paths: Vec::new(),
+                divergence: Some(Divergence {
+                    path: "materialize".to_string(),
+                    detail: format!("world failed to materialize: {err:?}"),
+                    seed,
+                    minimized: Vec::new(),
+                }),
+            };
+        }
+    };
+
+    let session = |options: CampaignOptions| Session::from_setup(setup.clone()).with_options(options);
+
+    // Path 1: sequential baseline.
+    let baseline_report = match run_path("sequential", seed, || session(base_options()).execute(&*app)) {
+        Ok(report) => report,
+        Err(d) => {
+            return ScenarioOutcome {
+                id: scenario.id.clone(),
+                seed,
+                sites: 0,
+                injected: 0,
+                violated: 0,
+                clean_violations: 0,
+                adequacy: AdequacyPoint::vacuous(1.0),
+                by_category: Vec::new(),
+                paths: Vec::new(),
+                divergence: Some(d),
+            };
+        }
+    };
+    let baseline = report_outcome("sequential", &baseline_report);
+    let mut summary = outcome(&baseline_report, baseline_report.total_sites);
+    paths.push(baseline.clone());
+
+    let mut check = |name: &str, run: &mut dyn FnMut() -> PathOutcome| {
+        if divergence.is_some() {
+            return;
+        }
+        match run_path(name, seed, &mut *run) {
+            Ok(candidate) => {
+                if divergence.is_none() {
+                    divergence = diff_lines(&baseline, &candidate, seed);
+                }
+                paths.push(candidate);
+            }
+            Err(d) => divergence = Some(d),
+        }
+    };
+
+    // Path 2: pooled executor.
+    check("executor", &mut || {
+        let options = CampaignOptions {
+            parallel: true,
+            ..base_options()
+        };
+        report_outcome("executor", &session(options).execute(&*app))
+    });
+
+    // Path 3: the suite's expanding plan/inject pool (suite-scoped cache).
+    check("suite", &mut || {
+        let mut suite = Suite::new();
+        suite.register_session(
+            SharedApp(Arc::clone(&app)),
+            Session::from_setup(setup.clone()).with_options(base_options()),
+        );
+        let report = suite.execute();
+        let campaign = report.reports.first().expect("suite ran exactly one campaign");
+        report_outcome("suite", campaign)
+    });
+
+    // Paths 4a/4b: dedup + memoizing planner, cold then warm.
+    let cache = ResultCache::new();
+    let planner_options = || CampaignOptions {
+        dedup: true,
+        cache: Some(cache.clone()),
+        ..base_options()
+    };
+    check("planner-cold", &mut || {
+        report_outcome("planner-cold", &session(planner_options()).execute(&*app))
+    });
+    check("planner-warm", &mut || {
+        let report = session(planner_options()).execute(&*app);
+        let warm = report_outcome("planner-warm", &report);
+        assert!(
+            report.injected() == 0 || report.cache_hits() > 0,
+            "warm planner pass replayed nothing"
+        );
+        warm
+    });
+
+    // Path 5: budgeted adaptive execution, budget covering the whole plan.
+    check("budgeted", &mut || {
+        let options = CampaignOptions {
+            dedup: true,
+            plan_budget: Some(baseline_report.injected()),
+            ..base_options()
+        };
+        report_outcome("budgeted", &session(options).execute(&*app))
+    });
+
+    // Path 6: the retired batch oracle, job by job, plus the clean run.
+    check("batch-oracle", &mut || {
+        let plan = session(base_options()).plan(&*app);
+        let mut lines = Vec::new();
+        for job in plan.jobs() {
+            let (hook, fired) = InjectionHook::new(job.clone());
+            let run = run_once_batch_oracle(&setup, &*app, Some(Box::new(hook)));
+            let violations = serde_json::to_string(&run.violations).expect("verdicts serialize");
+            lines.push(format!(
+                "{}|{}|{}|{}|{:?}|{:?}|{}|{}",
+                job.site,
+                job.occurrence,
+                job.fault.id,
+                fired.get(),
+                run.exit,
+                run.crashed,
+                run.os.audit.len(),
+                violations
+            ));
+        }
+        let clean_incremental = run_once(&setup, &*app, None);
+        let clean_batch = run_once_batch_oracle(&setup, &*app, None);
+        assert_eq!(
+            serde_json::to_string(&clean_incremental.violations).expect("verdicts serialize"),
+            serde_json::to_string(&clean_batch.violations).expect("verdicts serialize"),
+            "clean run: incremental vs batch oracle verdicts differ"
+        );
+        let executed = lines.len();
+        PathOutcome {
+            path: "batch-oracle".to_string(),
+            lines,
+            runs_executed: executed,
+            cache_hits: 0,
+        }
+    });
+
+    summary.paths = paths;
+    summary.divergence = divergence;
+    summary
+}
+
+/// Sweeps a synthesized corpus through [`differential_check`], shrinking
+/// every divergence to a minimal world diff, and rolls up the dashboard.
+pub fn run_corpus(config: &super::CorpusConfig, factory: AppFactory<'_>) -> CorpusReport {
+    let scenarios = super::generate::synthesize(config);
+    let mut outcomes = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let mut outcome = differential_check(scenario, factory);
+        if let Some(d) = &mut outcome.divergence {
+            let failing_path = d.path.clone();
+            let result = shrink::shrink(scenario, &mut |candidate| {
+                differential_check(candidate, factory)
+                    .divergence
+                    .is_some_and(|cd| cd.path == failing_path)
+            });
+            d.minimized = result.diff_from_pristine;
+        }
+        outcomes.push(outcome);
+    }
+    CorpusReport::from_outcomes(config.seed, &outcomes)
+}

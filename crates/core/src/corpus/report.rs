@@ -1,0 +1,185 @@
+//! The corpus adequacy dashboard: per-scenario Figure 2 points, region
+//! rollups, and coverage histograms over the whole synthesized corpus.
+//!
+//! One [`CorpusReport`] summarizes a [`run_corpus`] sweep: how many
+//! scenarios landed in each adequacy region, where the fault- and
+//! interaction-coverage mass sits (ten-bucket histograms), per-EAI-category
+//! injected/violated counts, and — first of all — whether any execution
+//! path diverged. Serialization is deterministic (sorted maps, ordered
+//! vectors) so the report round-trips byte-identically; [`render_text`]
+//! prints the dashboard with each scenario's RNG seed for exact replay.
+//!
+//! [`run_corpus`]: super::harness::run_corpus
+//! [`render_text`]: CorpusReport::render_text
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use super::harness::ScenarioOutcome;
+use crate::coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds};
+
+/// One scenario's row in the dashboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioAdequacy {
+    /// Scenario identifier.
+    pub id: String,
+    /// The scenario's RNG seed (replay with `reproduce -- corpus --seed`).
+    pub seed: u64,
+    /// Perturbable interaction points exposed.
+    pub sites: usize,
+    /// Faults injected by the baseline path.
+    pub injected: usize,
+    /// Injected runs that violated the policy.
+    pub violated: usize,
+    /// Runs that occupied a worker slot on the baseline path.
+    pub runs_executed: usize,
+    /// Records replayed from the planner cache across the planner paths.
+    pub cache_hits: usize,
+    /// The Figure 2 adequacy point.
+    pub adequacy: AdequacyPoint,
+    /// The adequacy region the point classifies into.
+    pub region: String,
+    /// First cross-path divergence, if any (path plus detail).
+    pub divergence: Option<String>,
+}
+
+/// The corpus-level dashboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusReport {
+    /// The corpus master seed.
+    pub seed: u64,
+    /// Scenarios synthesized and checked.
+    pub scenarios: usize,
+    /// Scenarios with at least one cross-path divergence (must be zero).
+    pub divergences: usize,
+    /// Scenarios classifying as [`AdequacyRegion::Safe`].
+    pub safe: usize,
+    /// Scenarios classifying as [`AdequacyRegion::Insecure`] (a violation
+    /// was provoked at adequate coverage) — the corpus' "Vulnerable" bucket.
+    pub vulnerable: usize,
+    /// Scenarios in either inadequate region (including vacuous coverage).
+    pub inadequate: usize,
+    /// Ids of the vulnerable scenarios.
+    pub vulnerable_scenarios: Vec<String>,
+    /// Ten-bucket histogram of per-scenario fault coverage (`[i/10,
+    /// (i+1)/10)`; exactly 1.0 lands in the last bucket).
+    pub fault_histogram: Vec<usize>,
+    /// Ten-bucket histogram of per-scenario interaction coverage.
+    pub interaction_histogram: Vec<usize>,
+    /// Per-EAI-category `(injected, violated)` counts across the corpus.
+    pub by_category: BTreeMap<String, (usize, usize)>,
+    /// Every scenario's dashboard row, in corpus order.
+    pub per_scenario: Vec<ScenarioAdequacy>,
+}
+
+/// Buckets a coverage value into the ten-bucket histogram index.
+fn bucket(value: f64) -> usize {
+    ((value * 10.0).floor() as usize).min(9)
+}
+
+impl CorpusReport {
+    /// Rolls up a sweep's outcomes into the dashboard.
+    pub fn from_outcomes(seed: u64, outcomes: &[ScenarioOutcome]) -> CorpusReport {
+        let thresholds = AdequacyThresholds::default();
+        let mut report = CorpusReport {
+            seed,
+            scenarios: outcomes.len(),
+            divergences: 0,
+            safe: 0,
+            vulnerable: 0,
+            inadequate: 0,
+            vulnerable_scenarios: Vec::new(),
+            fault_histogram: vec![0; 10],
+            interaction_histogram: vec![0; 10],
+            by_category: BTreeMap::new(),
+            per_scenario: Vec::new(),
+        };
+        for outcome in outcomes {
+            let region = outcome.adequacy.region(thresholds);
+            match region {
+                AdequacyRegion::Safe => report.safe += 1,
+                AdequacyRegion::Insecure => {
+                    report.vulnerable += 1;
+                    report.vulnerable_scenarios.push(outcome.id.clone());
+                }
+                AdequacyRegion::Inadequate | AdequacyRegion::InadequateNarrow => {
+                    report.inadequate += 1;
+                }
+            }
+            report.fault_histogram[bucket(outcome.adequacy.fault)] += 1;
+            report.interaction_histogram[bucket(outcome.adequacy.interaction)] += 1;
+            for (category, injected, violated) in &outcome.by_category {
+                let e = report.by_category.entry(category.clone()).or_insert((0, 0));
+                e.0 += injected;
+                e.1 += violated;
+            }
+            if outcome.divergence.is_some() {
+                report.divergences += 1;
+            }
+            let baseline = outcome.paths.first();
+            report.per_scenario.push(ScenarioAdequacy {
+                id: outcome.id.clone(),
+                seed: outcome.seed,
+                sites: outcome.sites,
+                injected: outcome.injected,
+                violated: outcome.violated,
+                runs_executed: baseline.map_or(0, |p| p.runs_executed),
+                cache_hits: outcome.paths.iter().map(|p| p.cache_hits).sum(),
+                adequacy: outcome.adequacy,
+                region: format!("{region:?}"),
+                divergence: outcome.divergence.as_ref().map(|d| {
+                    let minimized = if d.minimized.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" [minimized to {} entries]", d.minimized.len())
+                    };
+                    format!("{}: {}{minimized}", d.path, d.detail)
+                }),
+            });
+        }
+        report
+    }
+
+    /// The human-readable dashboard: rollups, histograms, and one row per
+    /// scenario including its replay seed.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Corpus dashboard (seed {:#x})", self.seed);
+        let _ = writeln!(
+            s,
+            "  scenarios: {}  divergences: {}  safe: {}  vulnerable: {}  inadequate: {}",
+            self.scenarios, self.divergences, self.safe, self.vulnerable, self.inadequate
+        );
+        let histogram = |label: &str, h: &[usize]| {
+            let cells: Vec<String> = h.iter().map(|c| c.to_string()).collect();
+            format!("  {label} coverage 0.0..1.0: [{}]", cells.join(" "))
+        };
+        let _ = writeln!(s, "{}", histogram("fault", &self.fault_histogram));
+        let _ = writeln!(s, "{}", histogram("interaction", &self.interaction_histogram));
+        let _ = writeln!(s, "  by category (injected/violated):");
+        for (category, (injected, violated)) in &self.by_category {
+            let _ = writeln!(s, "    {category}: {injected}/{violated}");
+        }
+        for row in &self.per_scenario {
+            let _ = writeln!(
+                s,
+                "  {} seed={:#018x} sites={} injected={} violated={} adequacy=({:.2},{:.2}) {}{}",
+                row.id,
+                row.seed,
+                row.sites,
+                row.injected,
+                row.violated,
+                row.adequacy.interaction,
+                row.adequacy.fault,
+                row.region,
+                match &row.divergence {
+                    Some(d) => format!(" DIVERGED {d}"),
+                    None => String::new(),
+                }
+            );
+        }
+        s
+    }
+}

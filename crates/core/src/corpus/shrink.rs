@@ -1,0 +1,279 @@
+//! Proptest-style greedy shrinking for corpus scenarios.
+//!
+//! Given a scenario on which some property fails (a cross-path divergence,
+//! a panic), [`shrink`] removes one optional ingredient at a time — script
+//! steps, declared files, symlinks, registry keys, network state, env
+//! vars, invariants, even base directories — keeping a removal only when
+//! the shrunk world still materializes *and* still reproduces the failure,
+//! and iterates to a fixpoint. The result is the smallest [`WorldSpec`]
+//! diff from pristine (an empty spec) that still fails, which is what a
+//! divergence report shows instead of a 30-entry generated world.
+//!
+//! Deterministic: candidates are tried in a fixed order, so the same input
+//! and predicate always shrink to the same scenario.
+//!
+//! [`WorldSpec`]: crate::engine::spec::WorldSpec
+
+use super::Scenario;
+
+/// The outcome of one shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized scenario (still reproduces the failure).
+    pub scenario: Scenario,
+    /// Candidate worlds tried (predicate invocations, counting the initial
+    /// confirmation).
+    pub iterations: usize,
+    /// Ingredients removed from the original.
+    pub removed: usize,
+    /// The minimized scenario as a diff from the pristine (empty) spec:
+    /// one line per surviving world entry or script step.
+    pub diff_from_pristine: Vec<String>,
+}
+
+/// All single-removal neighbours of `scenario`, in deterministic order.
+fn candidates(scenario: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut Scenario)| {
+        let mut c = scenario.clone();
+        f(&mut c);
+        out.push(c);
+    };
+    for i in 0..scenario.script.steps.len() {
+        push(&|c| {
+            c.script.steps.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.files.len() {
+        push(&|c| {
+            c.spec.files.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.symlinks.len() {
+        push(&|c| {
+            c.spec.symlinks.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.tags.len() {
+        push(&|c| {
+            c.spec.tags.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.reg_keys.len() {
+        push(&|c| {
+            c.spec.reg_keys.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.dns.len() {
+        push(&|c| {
+            c.spec.dns.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.services.len() {
+        push(&|c| {
+            c.spec.services.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.inbound.len() {
+        push(&|c| {
+            c.spec.inbound.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.ipc.len() {
+        push(&|c| {
+            c.spec.ipc.remove(i);
+        });
+    }
+    for key in scenario.spec.env.keys().cloned().collect::<Vec<_>>() {
+        push(&|c| {
+            c.spec.env.remove(&key);
+        });
+    }
+    for i in 0..scenario.spec.args.len() {
+        push(&|c| {
+            c.spec.args.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.invariants.len() {
+        push(&|c| {
+            c.spec.invariants.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.dirs.len() {
+        push(&|c| {
+            c.spec.dirs.remove(i);
+        });
+    }
+    for i in 0..scenario.spec.users.len() {
+        push(&|c| {
+            c.spec.users.remove(i);
+        });
+    }
+    out
+}
+
+/// Renders a scenario as its diff from the pristine (empty) spec.
+fn spec_diff(scenario: &Scenario) -> Vec<String> {
+    let spec = &scenario.spec;
+    let mut out = Vec::new();
+    for u in &spec.users {
+        out.push(format!("user {} uid={:?}", u.name, u.uid));
+    }
+    for d in &spec.dirs {
+        out.push(format!("dir {} mode={:o}", d.path, d.mode));
+    }
+    for f in &spec.files {
+        out.push(format!("file {} mode={:o} owner={:?}", f.path, f.mode, f.owner));
+    }
+    for s in &spec.symlinks {
+        out.push(format!("symlink {} -> {}", s.link, s.target));
+    }
+    for (path, tag) in &spec.tags {
+        out.push(format!("tag {path} {tag:?}"));
+    }
+    for k in &spec.reg_keys {
+        out.push(format!(
+            "regkey {} world_writable={} values={}",
+            k.key,
+            k.world_writable,
+            k.values.len()
+        ));
+    }
+    for (name, addr) in &spec.dns {
+        out.push(format!("dns {name} -> {addr}"));
+    }
+    for s in &spec.services {
+        out.push(format!("service {}:{} trusted={}", s.host, s.port, s.trusted));
+    }
+    for m in &spec.inbound {
+        out.push(format!("inbound :{} from {}", m.port, m.from));
+    }
+    for m in &spec.ipc {
+        out.push(format!("ipc {} from {}", m.channel, m.from));
+    }
+    if let Some(program) = &spec.program {
+        out.push(format!("program {program}"));
+    }
+    if !spec.args.is_empty() {
+        out.push(format!("args {:?}", spec.args));
+    }
+    for (k, v) in &spec.env {
+        out.push(format!("env {k}={v}"));
+    }
+    out.push(format!("cwd {}", spec.cwd));
+    for inv in &spec.invariants {
+        out.push(format!("invariant {inv:?}"));
+    }
+    for (i, step) in scenario.script.steps.iter().enumerate() {
+        out.push(format!("step {i}: {step:?}"));
+    }
+    out
+}
+
+/// Backstop on predicate invocations — generated worlds are small, so real
+/// shrinks finish in tens of probes; this only guards a pathological
+/// predicate.
+const MAX_PROBES: usize = 20_000;
+
+/// Greedily minimizes `scenario` while `reproduces` keeps returning `true`.
+///
+/// The predicate receives candidate scenarios that already materialize
+/// (invalid removals are pruned before the predicate runs, so it only sees
+/// runnable worlds). If the predicate rejects the *input* scenario, the
+/// input is returned unshrunk.
+pub fn shrink(scenario: &Scenario, reproduces: &mut dyn FnMut(&Scenario) -> bool) -> ShrinkResult {
+    let mut probes = 1usize;
+    if !reproduces(scenario) {
+        return ShrinkResult {
+            scenario: scenario.clone(),
+            iterations: probes,
+            removed: 0,
+            diff_from_pristine: spec_diff(scenario),
+        };
+    }
+    let mut current = scenario.clone();
+    let mut removed = 0usize;
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            if probes >= MAX_PROBES {
+                break;
+            }
+            if candidate.spec.materialize().is_err() {
+                continue;
+            }
+            probes += 1;
+            if reproduces(&candidate) {
+                current = candidate;
+                removed += 1;
+                progressed = true;
+                break; // indices shifted; re-enumerate from the new current
+            }
+        }
+        if !progressed || probes >= MAX_PROBES {
+            break;
+        }
+    }
+    ShrinkResult {
+        diff_from_pristine: spec_diff(&current),
+        scenario: current,
+        iterations: probes,
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::generate::{synthesize_one, DEFAULT_CORPUS_SEED};
+    use super::*;
+
+    #[test]
+    fn shrinking_a_trivially_true_predicate_strips_the_world_bare() {
+        let scenario = synthesize_one(DEFAULT_CORPUS_SEED, 0);
+        let result = shrink(&scenario, &mut |_| true);
+        // Everything optional goes; what's left is the materialization
+        // floor (program file, invoker's account, cwd).
+        assert!(result.scenario.script.steps.is_empty());
+        assert!(result.scenario.spec.symlinks.is_empty());
+        assert!(result.scenario.spec.reg_keys.is_empty());
+        assert!(result.removed > 0);
+        result
+            .scenario
+            .spec
+            .materialize()
+            .expect("shrunk world still materializes");
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failing_property() {
+        let scenario = synthesize_one(DEFAULT_CORPUS_SEED, 1);
+        // "Failure": the script still contains a check-then-use step.
+        let fails = |s: &Scenario| {
+            s.script
+                .steps
+                .iter()
+                .any(|st| matches!(st, crate::corpus::BehaviorStep::StatThenWrite { .. }))
+        };
+        let result = shrink(&scenario, &mut |s| fails(s));
+        assert!(fails(&result.scenario), "shrunk scenario lost the property");
+        assert_eq!(
+            result
+                .scenario
+                .script
+                .steps
+                .iter()
+                .filter(|st| matches!(st, crate::corpus::BehaviorStep::StatThenWrite { .. }))
+                .count(),
+            1,
+            "shrinker should keep exactly one reproducing step"
+        );
+    }
+
+    #[test]
+    fn rejected_input_returns_unshrunk() {
+        let scenario = synthesize_one(DEFAULT_CORPUS_SEED, 2);
+        let result = shrink(&scenario, &mut |_| false);
+        assert_eq!(result.scenario, scenario);
+        assert_eq!(result.removed, 0);
+    }
+}

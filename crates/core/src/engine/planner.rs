@@ -38,7 +38,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::inject::InjectionPlan;
 use crate::model::EaiCategory;
@@ -209,14 +209,34 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// One memo slot: either an in-flight claim or a completed digest.
+#[derive(Debug, Clone)]
+enum CacheSlot {
+    /// Some thread holds a [`ClaimToken`] for this key and is executing the
+    /// run right now; concurrent claimants block in [`ResultCache::begin`]
+    /// until the slot turns [`CacheSlot::Ready`] (or the claim is
+    /// abandoned).
+    Pending,
+    /// The run completed with this digest.
+    Ready(RunDigest),
+}
+
 #[derive(Default)]
 struct CacheInner {
-    /// Scope → canonical key text → digest. Two levels so lookups index by
+    /// Scope → canonical key text → slot. Two levels so lookups index by
     /// `&str` without cloning the (payload-carrying) key text; the text is
     /// only cloned on an actual insertion.
-    map: BTreeMap<u64, BTreeMap<String, RunDigest>>,
+    map: BTreeMap<u64, BTreeMap<String, CacheSlot>>,
     hits: u64,
     misses: u64,
+}
+
+#[derive(Default)]
+struct CacheShared {
+    state: Mutex<CacheInner>,
+    /// Signalled whenever a slot changes state (fulfilled or abandoned),
+    /// waking [`ResultCache::begin`] waiters.
+    settled: Condvar,
 }
 
 /// A suite-scoped memo of executed runs: `(scope, FaultKey) -> RunDigest`.
@@ -232,9 +252,88 @@ struct CacheInner {
 /// [`crate::engine::Suite`] installs one shared cache across all of its
 /// campaigns, and callers can hold onto it across suite executions for
 /// cross-run memoization.
+///
+/// Beyond completed digests the cache tracks *in-flight claims*
+/// ([`ResultCache::begin`]): when two threads — parallel campaign workers,
+/// or two whole suites sharing one cache — race to execute the same
+/// `(scope, key)`, exactly one wins the claim and executes; the others
+/// block until the winner's digest lands and then replay it. No
+/// `(fingerprint, FaultKey)` ever executes twice through claim-aware call
+/// paths.
 #[derive(Clone, Default)]
 pub struct ResultCache {
-    inner: Arc<Mutex<CacheInner>>,
+    inner: Arc<CacheShared>,
+}
+
+/// The outcome of [`ResultCache::begin`]: either a digest to replay, or an
+/// exclusive license to execute the run.
+#[derive(Debug)]
+pub enum Claim {
+    /// An identical run already completed (possibly on another thread,
+    /// which this call waited for): replay its digest.
+    Replay(RunDigest),
+    /// This caller owns the run. Execute it and call
+    /// [`ClaimToken::fulfill`]; dropping the token unfulfilled (for
+    /// example, during a panic) abandons the claim and wakes any waiters
+    /// so one of them can claim instead.
+    Execute(ClaimToken),
+}
+
+/// Exclusive license to execute one `(scope, key)` run; see [`Claim`].
+pub struct ClaimToken {
+    shared: Arc<CacheShared>,
+    scope: u64,
+    repr: String,
+    fulfilled: bool,
+}
+
+impl fmt::Debug for ClaimToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClaimToken")
+            .field("scope", &self.scope)
+            .field("repr", &self.repr)
+            .field("fulfilled", &self.fulfilled)
+            .finish()
+    }
+}
+
+impl ClaimToken {
+    /// Publishes the executed run's digest, releasing every waiter blocked
+    /// on this claim.
+    pub fn fulfill(mut self, digest: RunDigest) {
+        {
+            let mut state = self.shared.state.lock().expect("result cache lock");
+            state
+                .map
+                .entry(self.scope)
+                .or_default()
+                .insert(self.repr.clone(), CacheSlot::Ready(digest));
+        }
+        self.fulfilled = true;
+        self.shared.settled.notify_all();
+    }
+}
+
+impl Drop for ClaimToken {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // Abandon: clear the pending slot (unless someone already published
+        // a digest over it) and wake waiters so one of them re-claims.
+        // Recover from poison rather than panicking inside a panic.
+        let mut state = match self.shared.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(slots) = state.map.get_mut(&self.scope) {
+            if matches!(slots.get(self.repr.as_str()), Some(CacheSlot::Pending)) {
+                slots.remove(self.repr.as_str());
+            }
+        }
+        drop(state);
+        self.shared.settled.notify_all();
+    }
 }
 
 impl ResultCache {
@@ -243,33 +342,95 @@ impl ResultCache {
         ResultCache::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.state.lock().expect("result cache lock")
+    }
+
     /// Looks up the digest of an identical prior run, counting the outcome.
+    ///
+    /// Never blocks: an in-flight claim reads as a miss, so schedule
+    /// construction (which runs on the suite's event-loop thread) stays
+    /// non-blocking; the executing path resolves the race in
+    /// [`ResultCache::begin`] instead.
     pub fn lookup(&self, scope: u64, key: &FaultKey) -> Option<RunDigest> {
-        let mut inner = self.inner.lock().expect("result cache lock");
+        let mut inner = self.lock();
         match inner.map.get(&scope).and_then(|m| m.get(key.repr())) {
-            Some(d) => {
+            Some(CacheSlot::Ready(d)) => {
                 let d = d.clone();
                 inner.hits += 1;
                 Some(d)
             }
-            None => {
+            Some(CacheSlot::Pending) | None => {
                 inner.misses += 1;
                 None
             }
         }
     }
 
-    /// Stores the digest of an executed run.
-    pub fn insert(&self, scope: u64, key: &FaultKey, digest: RunDigest) {
-        let mut inner = self.inner.lock().expect("result cache lock");
-        inner.map.entry(scope).or_default().insert(key.repr.clone(), digest);
+    /// Claims the right to execute `(scope, key)`, or waits out a
+    /// concurrent executor and replays its digest.
+    ///
+    /// Exactly one caller receives [`Claim::Execute`] per unsettled key;
+    /// everyone else blocks until the claim settles. A completed digest
+    /// returns [`Claim::Replay`] immediately. Callers must not hold the
+    /// returned token across another `begin` on the same thread (the
+    /// engine executes one job at a time per worker, so this cannot
+    /// deadlock in practice).
+    pub fn begin(&self, scope: u64, key: &FaultKey) -> Claim {
+        let mut state = self.lock();
+        loop {
+            match state.map.get(&scope).and_then(|m| m.get(key.repr())) {
+                Some(CacheSlot::Ready(d)) => {
+                    let d = d.clone();
+                    state.hits += 1;
+                    return Claim::Replay(d);
+                }
+                Some(CacheSlot::Pending) => {
+                    state = self.inner.settled.wait(state).expect("result cache lock");
+                }
+                None => {
+                    state
+                        .map
+                        .entry(scope)
+                        .or_default()
+                        .insert(key.repr().to_string(), CacheSlot::Pending);
+                    state.misses += 1;
+                    return Claim::Execute(ClaimToken {
+                        shared: Arc::clone(&self.inner),
+                        scope,
+                        repr: key.repr().to_string(),
+                        fulfilled: false,
+                    });
+                }
+            }
+        }
     }
 
-    /// Current counters.
+    /// Stores the digest of an executed run, settling any in-flight claim
+    /// for the same key.
+    pub fn insert(&self, scope: u64, key: &FaultKey, digest: RunDigest) {
+        {
+            let mut inner = self.lock();
+            inner
+                .map
+                .entry(scope)
+                .or_default()
+                .insert(key.repr.clone(), CacheSlot::Ready(digest));
+        }
+        self.inner.settled.notify_all();
+    }
+
+    /// Current counters. `entries` counts completed digests only, not
+    /// in-flight claims.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("result cache lock");
+        let inner = self.lock();
         CacheStats {
-            entries: inner.map.values().map(BTreeMap::len).sum(),
+            entries: inner
+                .map
+                .values()
+                .flat_map(BTreeMap::values)
+                .filter(|slot| matches!(slot, CacheSlot::Ready(_)))
+                .count(),
             hits: inner.hits,
             misses: inner.misses,
         }
@@ -584,6 +745,64 @@ mod tests {
             cold.observe(EaiCategory::Other, false);
         }
         assert!(cold.score(EaiCategory::Other) < 0.5);
+    }
+
+    #[test]
+    fn claims_serialize_concurrent_executions_of_one_key() {
+        // begin() hands out exactly one Execute; a concurrent begin blocks
+        // until fulfill and replays the published digest.
+        let job = direct_job("a", "s", 0, "/tmp/f");
+        let key = FaultKey::of(&job);
+        let cache = ResultCache::new();
+        let Claim::Execute(token) = cache.begin(9, &key) else {
+            panic!("first claim must execute");
+        };
+        let waiter = {
+            let cache = cache.clone();
+            let key = key.clone();
+            std::thread::spawn(move || match cache.begin(9, &key) {
+                Claim::Replay(d) => d,
+                Claim::Execute(_) => panic!("claimed key must not re-execute"),
+            })
+        };
+        // Give the waiter a moment to block, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let digest = RunDigest {
+            applied: true,
+            exit: Some(0),
+            crashed: None,
+            audit_events: 1,
+            violations: Vec::new(),
+        };
+        token.fulfill(digest.clone());
+        assert_eq!(waiter.join().expect("waiter thread"), digest);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn abandoned_claims_wake_waiters_who_reclaim() {
+        let job = direct_job("a", "s", 0, "/tmp/f");
+        let key = FaultKey::of(&job);
+        let cache = ResultCache::new();
+        let token = match cache.begin(3, &key) {
+            Claim::Execute(t) => t,
+            Claim::Replay(_) => panic!("empty cache cannot replay"),
+        };
+        // Pending slots read as misses and are invisible to stats/lookup.
+        assert_eq!(cache.lookup(3, &key), None);
+        assert_eq!(cache.stats().entries, 0);
+        drop(token); // abandon, as a panicking worker would
+        match cache.begin(3, &key) {
+            Claim::Execute(t) => t.fulfill(RunDigest {
+                applied: false,
+                exit: Some(0),
+                crashed: None,
+                audit_events: 0,
+                violations: Vec::new(),
+            }),
+            Claim::Replay(_) => panic!("abandoned claim must be reclaimable"),
+        }
+        assert!(matches!(cache.begin(3, &key), Claim::Replay(_)));
     }
 
     #[test]

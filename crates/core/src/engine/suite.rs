@@ -217,7 +217,10 @@ impl Suite {
                 SuiteJob::Inject { app, idx, plan } => SuiteDone::Ran {
                     app,
                     idx,
-                    record: campaigns[app].run_job(&plan),
+                    // Claim-aware: when several suites share one cache, a
+                    // run another suite is executing right now is waited
+                    // out and replayed instead of duplicated.
+                    record: campaigns[app].run_job_cached(&plan),
                 },
             },
             &mut |done| match done {

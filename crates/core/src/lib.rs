@@ -19,6 +19,10 @@
 //! * [`coverage`] — the two-dimensional adequacy metric (paper §3.2,
 //!   Figure 2);
 //! * [`report`] — per-fault records, coverage and vulnerability scores;
+//! * [`corpus`] — the property-based scenario corpus: seed-reproducible
+//!   world synthesis, the differential harness holding every execution
+//!   path to byte-identical verdicts, divergence shrinking, and the
+//!   corpus adequacy dashboard;
 //! * [`baselines`] — Fuzz and AVA comparators (paper §5).
 //!
 //! # Example: the paper's §3.4 `lpr` experiment, declaratively
@@ -65,6 +69,7 @@
 pub mod baselines;
 pub mod campaign;
 pub mod catalog;
+pub mod corpus;
 pub mod coverage;
 pub mod engine;
 pub mod inject;

@@ -1,0 +1,102 @@
+//! Concurrency test: one [`ResultCache`] shared by two simultaneous suites.
+//!
+//! Two threads execute the *same* two-campaign suite at the same time over
+//! one shared cache. The claim protocol must guarantee (a) no `(setup
+//! fingerprint, FaultKey)` pair is ever executed twice — across both
+//! threads, the total number of executed runs equals one cold suite's —
+//! and (b) every replayed record is byte-identical (minus the replay flag)
+//! to the verdicts of an exhaustive cache-free run.
+
+use epa::apps::ScriptedApp;
+use epa::core::campaign::CampaignOptions;
+use epa::core::corpus::{synthesize_one, DEFAULT_CORPUS_SEED};
+use epa::core::engine::planner::ResultCache;
+use epa::core::engine::{Session, Suite};
+use epa::core::report::CampaignReport;
+
+/// The two corpus worlds the racing suites run (fixed indices so the test
+/// is deterministic; both provoke injectable sites).
+const INDICES: [usize; 2] = [3, 5];
+
+/// Strips the replay flag so replayed and executed twins compare equal.
+fn executed_view(report: &CampaignReport) -> CampaignReport {
+    let mut stripped = report.clone();
+    for r in &mut stripped.records {
+        r.cache_hit = false;
+    }
+    stripped
+}
+
+/// Builds the standard racing suite: both corpus apps, sequential within
+/// the thread (the race under test is *between* threads, on the cache).
+fn build_suite(cache: &ResultCache) -> Suite {
+    let mut suite = Suite::new().with_result_cache(cache.clone()).sequential();
+    for index in INDICES {
+        let scenario = synthesize_one(DEFAULT_CORPUS_SEED, index);
+        let setup = scenario.spec.materialize().expect("corpus worlds materialize");
+        suite.register_session(ScriptedApp::for_scenario(&scenario), Session::from_setup(setup));
+    }
+    suite
+}
+
+#[test]
+fn simultaneous_suites_share_one_cache_without_duplicate_executions() {
+    // Exhaustive cache-free baseline: the verdict set every path must find.
+    let exhaustive: Vec<CampaignReport> = INDICES
+        .iter()
+        .map(|&index| {
+            let scenario = synthesize_one(DEFAULT_CORPUS_SEED, index);
+            let setup = scenario.spec.materialize().unwrap();
+            let session = Session::from_setup(setup).with_options(CampaignOptions {
+                dedup: false,
+                ..CampaignOptions::default()
+            });
+            session.execute(&ScriptedApp::for_scenario(&scenario))
+        })
+        .collect();
+    let injected: usize = exhaustive.iter().map(CampaignReport::injected).sum();
+    assert!(injected > 0, "the corpus worlds must provoke injectable sites");
+
+    // Cold single-threaded suite: the canonical execution count.
+    let cold = build_suite(&ResultCache::new()).execute();
+    let cold_runs: usize = cold.reports.iter().map(CampaignReport::runs_executed).sum();
+    assert!(cold_runs > 0);
+
+    // The race: two identical suites, one cache, simultaneous execution.
+    let shared = ResultCache::new();
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| build_suite(&shared).execute());
+        let tb = scope.spawn(|| build_suite(&shared).execute());
+        (ta.join().expect("suite thread A"), tb.join().expect("suite thread B"))
+    });
+
+    // (a) No duplicate executions: each (fingerprint, FaultKey) ran exactly
+    // once across both threads, so the executed-run totals sum to one cold
+    // suite's worth — the claim protocol parked the loser of every race.
+    let runs_a: usize = a.reports.iter().map(CampaignReport::runs_executed).sum();
+    let runs_b: usize = b.reports.iter().map(CampaignReport::runs_executed).sum();
+    assert_eq!(
+        runs_a + runs_b,
+        cold_runs,
+        "racing suites re-executed a cached run (A={runs_a}, B={runs_b}, cold={cold_runs})"
+    );
+    let hits: usize = a.reports.iter().chain(&b.reports).map(CampaignReport::cache_hits).sum();
+    assert_eq!(
+        runs_a + runs_b + hits,
+        2 * injected,
+        "every planned run is accounted for"
+    );
+
+    // (b) Byte-identical verdicts: both racing suites reproduce the
+    // exhaustive cache-free reports exactly, replay flag aside.
+    for (label, report) in [("A", &a), ("B", &b)] {
+        assert_eq!(report.reports.len(), exhaustive.len());
+        for (got, want) in report.reports.iter().zip(&exhaustive) {
+            assert_eq!(
+                &executed_view(got),
+                want,
+                "thread {label} diverged from the exhaustive baseline"
+            );
+        }
+    }
+}
