@@ -64,9 +64,8 @@ impl Application for Authd {
         let mut authed = false;
         let mut session: Option<Data> = None;
         for _ in 0..3 {
-            let msg = match os.sys_net_recv(pid, "authd:recv", AUTHD_PORT, InputSemantic::NetPacket) {
-                Ok(m) => m,
-                Err(_) => break,
+            let Ok(msg) = os.sys_net_recv(pid, "authd:recv", AUTHD_PORT, InputSemantic::NetPacket) else {
+                break;
             };
             // Flaw: unchecked copy of the line.
             let mut line = FixedBuf::new("linebuf", 256);
@@ -134,9 +133,8 @@ impl Application for AuthdFixed {
         let mut state = 0u8; // 0 = expect HELO, 1 = expect AUTH, 2 = expect CMD
         let mut authed = false;
         for _ in 0..3 {
-            let msg = match os.sys_net_recv(pid, "authd:recv", AUTHD_PORT, InputSemantic::NetPacket) {
-                Ok(m) => m,
-                Err(_) => break,
+            let Ok(msg) = os.sys_net_recv(pid, "authd:recv", AUTHD_PORT, InputSemantic::NetPacket) else {
+                break;
             };
             let mut line = FixedBuf::new("linebuf", 256);
             os.mem_copy(pid, &mut line, &msg.data, CopyDiscipline::Checked);

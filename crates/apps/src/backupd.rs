@@ -51,12 +51,9 @@ impl Application for Backupd {
             .ok()
             .and_then(|raw| parse_mask(&raw))
             .unwrap_or(0o077);
-        let shadow = match os.sys_read_file(pid, "backupd:read_shadow", "/etc/shadow") {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "backupd:err", "backupd: cannot read shadow\n");
-                return 1;
-            }
+        let Ok(shadow) = os.sys_read_file(pid, "backupd:read_shadow", "/etc/shadow") else {
+            let _ = os.sys_print(pid, "backupd:err", "backupd: cannot read shadow\n");
+            return 1;
         };
         let mode = 0o666 & !mask;
         if os
@@ -86,12 +83,9 @@ impl Application for BackupdFixed {
             .ok()
             .and_then(|raw| parse_mask(&raw))
             .unwrap_or(0o077);
-        let shadow = match os.sys_read_file(pid, "backupd:read_shadow", "/etc/shadow") {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "backupd:err", "backupd: cannot read shadow\n");
-                return 1;
-            }
+        let Ok(shadow) = os.sys_read_file(pid, "backupd:read_shadow", "/etc/shadow") else {
+            let _ = os.sys_print(pid, "backupd:err", "backupd: cannot read shadow\n");
+            return 1;
         };
         // Fix 1: sensitive snapshots are never created wider than 0600,
         // whatever the environment claims the mask is.

@@ -86,9 +86,8 @@ impl Application for Fingerd {
     }
 
     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-        let msg = match os.sys_net_recv(pid, "fingerd:recv", FINGER_PORT, InputSemantic::NetPacket) {
-            Ok(m) => m,
-            Err(_) => return 1,
+        let Ok(msg) = os.sys_net_recv(pid, "fingerd:recv", FINGER_PORT, InputSemantic::NetPacket) else {
+            return 1;
         };
         // Flaw 1: unchecked copy of the request line.
         let mut reqbuf = FixedBuf::new("reqbuf", 512);
@@ -124,9 +123,8 @@ impl Application for FingerdFixed {
     }
 
     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-        let msg = match os.sys_net_recv(pid, "fingerd:recv", FINGER_PORT, InputSemantic::NetPacket) {
-            Ok(m) => m,
-            Err(_) => return 1,
+        let Ok(msg) = os.sys_net_recv(pid, "fingerd:recv", FINGER_PORT, InputSemantic::NetPacket) else {
+            return 1;
         };
         let mut reqbuf = FixedBuf::new("reqbuf", 512);
         os.mem_copy(pid, &mut reqbuf, &msg.data, CopyDiscipline::Checked);
@@ -151,11 +149,10 @@ impl Application for FingerdFixed {
         let plan_path = PathArg::clean(format!("/home/{username}/.plan"));
         let readable = os
             .sys_lstat(pid, "fingerd:read_plan", plan_path.clone())
-            .map(|st| {
+            .is_ok_and(|st| {
                 st.file_type == epa_sandbox::fs::FileType::Regular
                     && st.mode.other_allows(epa_sandbox::mode::Access::Read)
-            })
-            .unwrap_or(false);
+            });
         if !readable {
             let _ = os.sys_net_send(pid, "fingerd:reply", &msg.claimed_from, 1023, "finger: not available\n");
             return 0;

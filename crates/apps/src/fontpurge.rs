@@ -50,12 +50,9 @@ impl Application for FontPurge {
             let key = font_key(i);
             let read_site = format!("fontpurge:read_key{i}");
             let purge_site = format!("fontpurge:purge{i}");
-            let path = match os.sys_reg_read(pid, &read_site, &key, "Path", InputSemantic::FsFileName) {
-                Ok(d) => d,
-                Err(_) => {
-                    let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: {key} missing\n"));
-                    continue;
-                }
+            let Ok(path) = os.sys_reg_read(pid, &read_site, &key, "Path", InputSemantic::FsFileName) else {
+                let _ = os.sys_print(pid, "fontpurge:warn", format!("fontpurge: {key} missing\n"));
+                continue;
             };
             // Flaw: the file named by an anyone-writable key is deleted with
             // no check of what it actually is.
@@ -95,9 +92,8 @@ impl Application for FontPurgeFixed {
             let key = font_key(i);
             let read_site = format!("fontpurge:read_key{i}");
             let purge_site = format!("fontpurge:purge{i}");
-            let path = match os.sys_reg_read(pid, &read_site, &key, "Path", InputSemantic::FsFileName) {
-                Ok(d) => d,
-                Err(_) => continue,
+            let Ok(path) = os.sys_reg_read(pid, &read_site, &key, "Path", InputSemantic::FsFileName) else {
+                continue;
             };
             let text = path.text();
             // Fix: confine deletions to the font directory, refuse

@@ -22,6 +22,7 @@
 //! [`standard_suite`] registers all eight vulnerable applications on one
 //! [`epa_core::engine::Suite`] for batch execution.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -70,6 +71,26 @@ pub(crate) fn assert_evidence_in_bounds(out: &epa_core::campaign::RunOutcome) {
     }
 }
 
+/// A boxed application ready for suite registration.
+pub type BoxedApp = Box<dyn epa_sandbox::app::Application + Send + Sync>;
+
+/// All eight vulnerable case-study applications paired with their world
+/// specs, in the canonical suite order — the single source both
+/// [`standard_suite`] and the static analyzer's lint/bench sweeps draw
+/// from, so "the standard suite" means the same eight worlds everywhere.
+pub fn standard_apps() -> Vec<(BoxedApp, epa_core::engine::WorldSpec)> {
+    vec![
+        (Box::new(Lpr) as BoxedApp, lpr::spec()),
+        (Box::new(Turnin), turnin::spec()),
+        (Box::new(FontPurge), fontpurge::spec()),
+        (Box::new(NtLogon), ntlogon::spec()),
+        (Box::new(Fingerd), fingerd::spec()),
+        (Box::new(Authd), authd::spec()),
+        (Box::new(MailNotify), mailnotify::spec()),
+        (Box::new(Backupd), backupd::spec()),
+    ]
+}
+
 /// All eight vulnerable case-study applications with their worlds,
 /// registered on one [`epa_core::engine::Suite`] ready to execute as a
 /// batch.
@@ -95,17 +116,5 @@ pub fn standard_suite_with_options(
     options: epa_core::campaign::CampaignOptions,
 ) -> Result<epa_core::engine::Suite, epa_core::engine::SpecError> {
     let engine = epa_core::engine::Engine::new().with_options(options);
-    engine.suite_of(vec![
-        (
-            Box::new(Lpr) as Box<dyn epa_sandbox::app::Application + Send + Sync>,
-            lpr::spec(),
-        ),
-        (Box::new(Turnin), turnin::spec()),
-        (Box::new(FontPurge), fontpurge::spec()),
-        (Box::new(NtLogon), ntlogon::spec()),
-        (Box::new(Fingerd), fingerd::spec()),
-        (Box::new(Authd), authd::spec()),
-        (Box::new(MailNotify), mailnotify::spec()),
-        (Box::new(Backupd), backupd::spec()),
-    ])
+    engine.suite_of(standard_apps())
 }

@@ -48,12 +48,9 @@ impl Application for Lpr {
 
     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
         // Which file does the user want printed?
-        let job_name = match os.sys_arg(pid, "lpr:read_args", 0, InputSemantic::UserFileName) {
-            Ok(a) => a,
-            Err(_) => {
-                let _ = os.sys_print(pid, "lpr:usage", "usage: lpr file\n");
-                return 2;
-            }
+        let Ok(job_name) = os.sys_arg(pid, "lpr:read_args", 0, InputSemantic::UserFileName) else {
+            let _ = os.sys_print(pid, "lpr:usage", "usage: lpr file\n");
+            return 2;
         };
         // Read the job content.
         let job = match os.sys_read_file(pid, "lpr:read_input", PathArg::from(&job_name)) {
@@ -89,12 +86,9 @@ impl Application for LprFixed {
     }
 
     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-        let job_name = match os.sys_arg(pid, "lpr:read_args", 0, InputSemantic::UserFileName) {
-            Ok(a) => a,
-            Err(_) => {
-                let _ = os.sys_print(pid, "lpr:usage", "usage: lpr file\n");
-                return 2;
-            }
+        let Ok(job_name) = os.sys_arg(pid, "lpr:read_args", 0, InputSemantic::UserFileName) else {
+            let _ = os.sys_print(pid, "lpr:usage", "usage: lpr file\n");
+            return 2;
         };
         // Fix: the access(2) pattern — the *real* uid must be able to read
         // the job file; the SUID program must not become a read oracle.
@@ -114,12 +108,9 @@ impl Application for LprFixed {
                 return 1;
             }
         }
-        let job = match os.sys_read_file(pid, "lpr:read_input", PathArg::from(&job_name)) {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: cannot open\n", job_name.text()));
-                return 1;
-            }
+        let Ok(job) = os.sys_read_file(pid, "lpr:read_input", PathArg::from(&job_name)) else {
+            let _ = os.sys_print(pid, "lpr:err", format!("lpr: {}: cannot open\n", job_name.text()));
+            return 1;
         };
         // open(n, O_CREAT|O_EXCL|O_WRONLY, 0660): refuses anything that
         // already occupies the name, dangling symlinks included.

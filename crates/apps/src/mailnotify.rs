@@ -66,12 +66,9 @@ impl Application for MailNotify {
             .sys_getenv(pid, "mailnotify:getenv_path", "PATH", InputSemantic::EnvPathList)
             .unwrap_or_else(|_| Data::from("/usr/bin:/bin"));
 
-        let msg = match os.sys_proc_recv(pid, "mailnotify:recv", CHANNEL, InputSemantic::ProcMessage) {
-            Ok(m) => m,
-            Err(_) => {
-                let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: no mail\n");
-                return 0;
-            }
+        let Ok(msg) = os.sys_proc_recv(pid, "mailnotify:recv", CHANNEL, InputSemantic::ProcMessage) else {
+            let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: no mail\n");
+            return 0;
         };
         // Flaw: unchecked copy of the daemon's message.
         let mut headbuf = FixedBuf::new("headbuf", 1024);
@@ -121,12 +118,9 @@ impl Application for MailNotifyFixed {
         // PATH is read but never used for resolution.
         let _ = os.sys_getenv(pid, "mailnotify:getenv_path", "PATH", InputSemantic::EnvPathList);
 
-        let msg = match os.sys_proc_recv(pid, "mailnotify:recv", CHANNEL, InputSemantic::ProcMessage) {
-            Ok(m) => m,
-            Err(_) => {
-                let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: no mail\n");
-                return 0;
-            }
+        let Ok(msg) = os.sys_proc_recv(pid, "mailnotify:recv", CHANNEL, InputSemantic::ProcMessage) else {
+            let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: no mail\n");
+            return 0;
         };
         let mut headbuf = FixedBuf::new("headbuf", 1024);
         os.mem_copy(pid, &mut headbuf, &msg.data, CopyDiscipline::Checked);
@@ -135,8 +129,7 @@ impl Application for MailNotifyFixed {
         let expected_owner = os.scenario.invoker;
         let ok = os
             .sys_lstat(pid, "mailnotify:append_box", MAILBOX)
-            .map(|st| st.file_type == epa_sandbox::fs::FileType::Regular && st.owner == expected_owner)
-            .unwrap_or(false);
+            .is_ok_and(|st| st.file_type == epa_sandbox::fs::FileType::Regular && st.owner == expected_owner);
         if !ok {
             let _ = os.sys_print(pid, "mailnotify:warn", "mailnotify: mailbox not trusted, skipping\n");
             return 1;
@@ -158,12 +151,9 @@ impl Application for MailNotifyFixed {
 
         // Fix: absolute, verified helper.
         let helper = "/usr/bin/mail";
-        let trusted = os
-            .sys_lstat(pid, "mailnotify:exec_mail", helper)
-            .map(|st| {
-                st.file_type == epa_sandbox::fs::FileType::Regular && st.owner.is_root() && !st.mode.world_writable()
-            })
-            .unwrap_or(false);
+        let trusted = os.sys_lstat(pid, "mailnotify:exec_mail", helper).is_ok_and(|st| {
+            st.file_type == epa_sandbox::fs::FileType::Regular && st.owner.is_root() && !st.mode.world_writable()
+        });
         if trusted {
             let _ = os.sys_exec(pid, "mailnotify:exec_mail", helper, vec![Data::from("-s")], None);
         } else {

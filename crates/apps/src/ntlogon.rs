@@ -231,14 +231,11 @@ impl Application for NtLogonFixed {
         ) {
             let arg = PathArg::from(&help);
             // Fix: only relay world-readable, Administrator-owned files.
-            let readable = os
-                .sys_lstat(pid, "ntlogon:read_help", arg.clone())
-                .map(|st| {
-                    st.file_type == epa_sandbox::fs::FileType::Regular
-                        && st.owner == Uid::ROOT
-                        && st.mode.other_allows(epa_sandbox::mode::Access::Read)
-                })
-                .unwrap_or(false);
+            let readable = os.sys_lstat(pid, "ntlogon:read_help", arg.clone()).is_ok_and(|st| {
+                st.file_type == epa_sandbox::fs::FileType::Regular
+                    && st.owner == Uid::ROOT
+                    && st.mode.other_allows(epa_sandbox::mode::Access::Read)
+            });
             if readable {
                 if let Ok(content) = os.sys_read_file(pid, "ntlogon:read_help", arg) {
                     let _ = os.sys_print(pid, "ntlogon:welcome", content);

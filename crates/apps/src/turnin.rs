@@ -164,29 +164,22 @@ impl Application for Turnin {
             .unwrap_or_else(|_| Data::from("/usr/bin:/bin"));
 
         // ---- interaction point 3: the configuration file ---------------
-        let cf = match os.sys_read_file(pid, S_CONFIG, CONFIG_FILE) {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "turnin:error", "turnin: cannot open turnin.cf\n");
-                return 1;
-            }
+        let Ok(cf) = os.sys_read_file(pid, S_CONFIG, CONFIG_FILE) else {
+            let _ = os.sys_print(pid, "turnin:error", "turnin: cannot open turnin.cf\n");
+            return 1;
         };
-        let account_raw = match find_account(&cf, &inv.course.text()) {
-            Some((a, _uid)) => a,
-            None => {
-                // Flaw: the error message echoes the raw configuration —
-                // harmless for a malformed config, catastrophic when the
-                // config has been swapped for a secret file.
-                let mut msg = Data::from("turnin: course not found; config was:\n");
-                msg.append(&cf);
-                let _ = os.sys_print(pid, "turnin:error", msg);
-                return 1;
-            }
+        let Some((account_raw, _uid)) = find_account(&cf, &inv.course.text()) else {
+            // Flaw: the error message echoes the raw configuration —
+            // harmless for a malformed config, catastrophic when the
+            // config has been swapped for a secret file.
+            let mut msg = Data::from("turnin: course not found; config was:\n");
+            msg.append(&cf);
+            let _ = os.sys_print(pid, "turnin:error", msg);
+            return 1;
         };
         // The parsed account name initializes an internal entity.
-        let account = match os.sys_bind(pid, S_CONFIG, "account", InputSemantic::FsFileName, account_raw) {
-            Ok(a) => a,
-            Err(_) => return 1,
+        let Ok(account) = os.sys_bind(pid, S_CONFIG, "account", InputSemantic::FsFileName, account_raw) else {
+            return 1;
         };
         let mut submit = Data::from("/home/");
         submit.append(&account);
@@ -195,12 +188,9 @@ impl Application for Turnin {
 
         // ---- interaction point 4: the project list ---------------------
         let projlist_path = submit_dir.join(&PathArg::clean("Projlist"));
-        let listing = match os.sys_read_file(pid, S_PROJLIST, &projlist_path) {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "turnin:error", "turnin: can not find project list file\n");
-                return 9;
-            }
+        let Ok(listing) = os.sys_read_file(pid, S_PROJLIST, &projlist_path) else {
+            let _ = os.sys_print(pid, "turnin:error", "turnin: can not find project list file\n");
+            return 9;
         };
         // Flaw: relays the file content to the student without asking
         // whether the student could have read it (the paper's first
@@ -322,23 +312,16 @@ impl Application for TurninFixed {
                 return 1;
             }
         }
-        let cf = match os.sys_read_file(pid, S_CONFIG, CONFIG_FILE) {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "turnin:error", "turnin: cannot open turnin.cf\n");
-                return 1;
-            }
+        let Ok(cf) = os.sys_read_file(pid, S_CONFIG, CONFIG_FILE) else {
+            let _ = os.sys_print(pid, "turnin:error", "turnin: cannot open turnin.cf\n");
+            return 1;
         };
-        let (account_raw, account_uid) = match find_account(&cf, &inv.course.text()) {
-            Some(found) => found,
-            None => {
-                let _ = os.sys_print(pid, "turnin:error", "turnin: course not found\n");
-                return 1;
-            }
+        let Some((account_raw, account_uid)) = find_account(&cf, &inv.course.text()) else {
+            let _ = os.sys_print(pid, "turnin:error", "turnin: course not found\n");
+            return 1;
         };
-        let account = match os.sys_bind(pid, S_CONFIG, "account", InputSemantic::FsFileName, account_raw) {
-            Ok(a) => a,
-            Err(_) => return 1,
+        let Ok(account) = os.sys_bind(pid, S_CONFIG, "account", InputSemantic::FsFileName, account_raw) else {
+            return 1;
         };
         // Fix: validate the parsed account before using it in a path.
         if !Self::valid_account(&account.text()) {
@@ -366,12 +349,9 @@ impl Application for TurninFixed {
                 return 9;
             }
         };
-        let listing = match os.sys_read_file(pid, S_PROJLIST, &projlist_path) {
-            Ok(d) => d,
-            Err(_) => {
-                let _ = os.sys_print(pid, "turnin:error", "turnin: can not find project list file\n");
-                return 9;
-            }
+        let Ok(listing) = os.sys_read_file(pid, S_PROJLIST, &projlist_path) else {
+            let _ = os.sys_print(pid, "turnin:error", "turnin: can not find project list file\n");
+            return 9;
         };
         if printable {
             let mut banner = Data::from("turnin: projects for ");

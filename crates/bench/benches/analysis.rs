@@ -1,0 +1,170 @@
+//! The static-analysis bench and soundness gate.
+//!
+//! Runs the eight-application standard suite cold under three option sets:
+//! *exhaustive* — the paper-faithful baseline that perturbs every traced
+//! occurrence of every interaction point (dedup off, occurrence cap off,
+//! static pruning off, so every planned job occupies a worker slot);
+//! *planned* — the Planner's canonical plan with pruning off; and
+//! *pruned* — the default (canonical-fault dedup plus the static analyzer
+//! dropping `ProvablyInert` jobs). Asserts the planned and pruned verdict
+//! streams are byte-identical and that every pruned-suite verdict appears
+//! verbatim in the exhaustive stream, then sweeps a 120-scenario corpus
+//! with pruning off/on under otherwise identical options and asserts
+//! byte-identical streams there too. Writes `BENCH_analysis.json`: plan
+//! sizes, executed-run counts, the reduction percentages, and the
+//! cold-suite wall-clocks.
+//!
+//! Gates: verdict equality on every app and every scenario, and a >= 20%
+//! reduction in executed runs on the standard suite's cold pass relative
+//! to the occurrence-exhaustive baseline.
+
+use std::time::Instant;
+
+use epa_apps::ScriptedApp;
+use epa_core::campaign::CampaignOptions;
+use epa_core::corpus::{synthesize, CorpusConfig, DEFAULT_CORPUS_SEED};
+use epa_core::engine::Session;
+use epa_core::report::{CampaignReport, FaultRecord};
+
+/// Canonical digest of one record, excluding the `cache_hit`/`pruned`
+/// provenance flags — the same observable surface the corpus differential
+/// harness compares.
+fn record_line(r: &FaultRecord) -> String {
+    let violations = serde_json::to_string(&r.violations).expect("verdicts serialize");
+    format!(
+        "{}|{}|{}|{}|{:?}|{:?}|{}|{}",
+        r.site, r.occurrence, r.fault_id, r.applied, r.exit, r.crashed, r.audit_events, violations
+    )
+}
+
+fn lines(report: &CampaignReport) -> Vec<String> {
+    report.records.iter().map(record_line).collect()
+}
+
+/// One cold pass over the whole standard suite under `options`: per-app
+/// reports in registration order, plus the wall-clock.
+fn cold_suite(options: &CampaignOptions) -> (Vec<CampaignReport>, u128) {
+    let suite = epa_apps::standard_suite_with_options(options.clone()).expect("the case-study specs are valid");
+    let start = Instant::now();
+    let report = suite.execute();
+    (report.reports, start.elapsed().as_nanos())
+}
+
+fn main() {
+    let exhaustive_options = CampaignOptions {
+        dedup: false,
+        static_prune: false,
+        max_occurrences_per_site: usize::MAX,
+        ..CampaignOptions::default()
+    };
+    let planned_options = CampaignOptions {
+        static_prune: false,
+        ..CampaignOptions::default()
+    };
+    let pruned_options = CampaignOptions::default();
+    assert!(pruned_options.static_prune, "static pruning is the default");
+
+    // The standard suite, cold: occurrence-exhaustive vs planned vs pruned.
+    let (exhaustive, exhaustive_ns) = cold_suite(&exhaustive_options);
+    let (planned, _) = cold_suite(&planned_options);
+    let (pruned, pruned_ns) = cold_suite(&pruned_options);
+    assert_eq!(exhaustive.len(), pruned.len());
+    assert_eq!(planned.len(), pruned.len());
+    for ((e, n), p) in exhaustive.iter().zip(&planned).zip(&pruned) {
+        // Pruning must be invisible: identical streams on the common plan.
+        assert_eq!(
+            lines(n),
+            lines(p),
+            "pruned suite verdicts diverged from the planned baseline on `{}`",
+            n.app
+        );
+        // And the canonical plan's verdicts must all appear verbatim in the
+        // occurrence-exhaustive stream (which additionally carries the
+        // occurrence>0 strikes the canonical plan folds away).
+        let superset: std::collections::BTreeSet<String> = lines(e).into_iter().collect();
+        for line in lines(p) {
+            assert!(
+                superset.contains(&line),
+                "pruned verdict missing from the exhaustive stream on `{}`: {line}",
+                p.app
+            );
+        }
+    }
+
+    let injected: usize = exhaustive.iter().map(CampaignReport::injected).sum();
+    let exhaustive_runs: usize = exhaustive.iter().map(CampaignReport::runs_executed).sum();
+    let planned_runs: usize = planned.iter().map(CampaignReport::runs_executed).sum();
+    let pruned_runs: usize = pruned.iter().map(CampaignReport::runs_executed).sum();
+    let pruned_records: usize = pruned.iter().map(CampaignReport::pruned).sum();
+    let reduction_pct = 100.0 * (exhaustive_runs - pruned_runs) as f64 / exhaustive_runs.max(1) as f64;
+    let prune_only_pct = 100.0 * (planned_runs - pruned_runs) as f64 / planned_runs.max(1) as f64;
+
+    // The corpus sweep: identical options modulo `static_prune`, so the
+    // measured delta is the analyzer's alone.
+    let config = CorpusConfig {
+        seed: DEFAULT_CORPUS_SEED,
+        count: 120,
+    };
+    assert!(config.count >= 100, "the soundness gate runs at 100+-scenario scale");
+    let corpus = synthesize(&config);
+    let mut corpus_injected = 0usize;
+    let mut corpus_pruned = 0usize;
+    for scenario in &corpus {
+        let setup = scenario.spec.materialize().expect("corpus worlds materialize");
+        let app = ScriptedApp::for_scenario(scenario);
+        let off = Session::from_setup(setup.clone())
+            .with_options(planned_options.clone())
+            .execute(&app);
+        let on = Session::from_setup(setup)
+            .with_options(pruned_options.clone())
+            .execute(&app);
+        assert_eq!(
+            lines(&off),
+            lines(&on),
+            "pruned corpus verdicts diverged from exhaustive on {} (seed {:#x})",
+            scenario.id,
+            scenario.seed
+        );
+        corpus_injected += on.injected();
+        corpus_pruned += on.pruned();
+    }
+    let corpus_pruned_pct = 100.0 * corpus_pruned as f64 / corpus_injected.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"analysis\",\n  \"suite\": {{\n    \"apps\": {},\n    \"injected\": {injected},\n    \
+         \"exhaustive_runs\": {exhaustive_runs},\n    \"planned_runs\": {planned_runs},\n    \
+         \"pruned_runs\": {pruned_runs},\n    \"pruned_records\": {pruned_records},\n    \
+         \"reduction_pct\": {reduction_pct:.2},\n    \"prune_only_pct\": {prune_only_pct:.2},\n    \
+         \"exhaustive_ns\": {exhaustive_ns},\n    \"pruned_ns\": {pruned_ns}\n  }},\n  \"corpus\": {{\n    \
+         \"seed\": {},\n    \"scenarios\": {},\n    \"injected\": {corpus_injected},\n    \
+         \"pruned_records\": {corpus_pruned},\n    \"pruned_pct\": {corpus_pruned_pct:.2},\n    \
+         \"divergences\": 0\n  }}\n}}\n",
+        exhaustive.len(),
+        config.seed,
+        config.count
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_analysis.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {} (suite: {exhaustive_runs} -> {pruned_runs} runs, -{reduction_pct:.1}%; \
+             corpus: {corpus_pruned}/{corpus_injected} pruned)",
+            path.display()
+        ),
+        Err(e) => eprintln!("BENCH_analysis.json not written: {e}"),
+    }
+
+    assert!(
+        reduction_pct >= 20.0,
+        "the pre-pruned plan must cut executed runs by >= 20% on the cold suite (got {reduction_pct:.2}%)"
+    );
+    assert!(
+        pruned_records > 0,
+        "the analyzer must prove at least one suite job inert"
+    );
+    assert!(
+        corpus_pruned > 0,
+        "the analyzer must prove at least one corpus job inert"
+    );
+}

@@ -50,7 +50,7 @@ fn bench_campaigns(c: &mut Criterion) {
         ..Default::default()
     });
     g.bench_function("turnin_full_campaign_parallel", |b| {
-        b.iter(|| turnin_parallel.execute(&Turnin))
+        b.iter(|| turnin_parallel.execute(&Turnin));
     });
     let suite = epa_apps::standard_suite().expect("valid specs");
     g.bench_function("standard_suite_all_eight_apps", |b| b.iter(|| suite.execute()));
@@ -61,10 +61,10 @@ fn bench_setup(c: &mut Criterion) {
     let mut g = c.benchmark_group("setup");
     let setup = worlds::lpr_world();
     g.bench_function("lpr_world_snapshot_clone", |b| {
-        b.iter_batched(|| (), |_| setup.world.clone(), BatchSize::SmallInput)
+        b.iter_batched(|| (), |_| setup.world.clone(), BatchSize::SmallInput);
     });
     g.bench_function("lpr_world_deep_clone", |b| {
-        b.iter_batched(|| (), |_| setup.world.deep_clone(), BatchSize::SmallInput)
+        b.iter_batched(|| (), |_| setup.world.deep_clone(), BatchSize::SmallInput);
     });
     g.finish();
 }
@@ -74,7 +74,7 @@ fn bench_single_run(c: &mut Criterion) {
     let setup = worlds::turnin_world();
     g.bench_function("turnin_clean_run", |b| b.iter(|| run_once(&setup, &Turnin, None)));
     g.bench_function("world_clone", |b| {
-        b.iter_batched(|| (), |_| setup.world.clone(), BatchSize::SmallInput)
+        b.iter_batched(|| (), |_| setup.world.clone(), BatchSize::SmallInput);
     });
     g.finish();
 }
@@ -97,10 +97,10 @@ fn bench_vfs(c: &mut Criterion) {
     fs.god_symlink("/srv/link", "/srv/data/dir25").unwrap();
     let cred = Credentials::user(Uid(1001), Gid(100));
     g.bench_function("resolve_deep_path", |b| {
-        b.iter(|| fs.walk("/srv/data/dir25/file5", true, Some(&cred)).unwrap())
+        b.iter(|| fs.walk("/srv/data/dir25/file5", true, Some(&cred)).unwrap());
     });
     g.bench_function("resolve_through_symlink", |b| {
-        b.iter(|| fs.walk("/srv/link/file5", true, Some(&cred)).unwrap())
+        b.iter(|| fs.walk("/srv/link/file5", true, Some(&cred)).unwrap());
     });
     g.bench_function("stat", |b| b.iter(|| fs.stat("/srv/data/dir10/file1", None).unwrap()));
     g.finish();
@@ -194,7 +194,7 @@ fn emit_executor_bench_json() {
     let pooled_ns = median_ns(samples, || {
         pooled_injected = suite.execute().total_injected();
     });
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let available = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let peak_workers = executor::peak_live_workers();
     assert!(
         peak_workers <= available,
@@ -277,15 +277,14 @@ fn run_unjudged(setup: &TestSetup, app: &dyn Application, hook: Option<Box<dyn I
     if let Some(h) = hook {
         os.set_interceptor(h);
     }
-    let pid = match os.spawn(
+    let Ok(pid) = os.spawn(
         setup.invoker,
         setup.program.as_deref(),
         setup.args.clone(),
         setup.env.clone(),
         &setup.cwd,
-    ) {
-        Ok(p) => p,
-        Err(_) => return os,
+    ) else {
+        return os;
     };
     if let Ok(code) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app.run(&mut os, pid))) {
         os.set_exit(pid, code);

@@ -5,112 +5,13 @@
 //! cargo run -p epa-bench --bin reproduce -- table1 turnin figure2
 //! cargo run -p epa-bench --bin reproduce -- suite --json   # + SUITE_report.json
 //! cargo run -p epa-bench --bin reproduce -- corpus --json --seed 7 --count 32
+//! cargo run -p epa-bench --bin reproduce -- lint --json    # + LINT_report.json
 //! ```
+//!
+//! The subcommand table (names, flags, descriptions, dispatch) lives in
+//! [`epa_bench::cli`]; this binary only parses arguments.
 
-use epa_bench::experiments;
-
-const EXPERIMENTS: &[&str] = &[
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "table5",
-    "table6",
-    "figure1",
-    "figure2",
-    "lpr",
-    "turnin",
-    "registry",
-    "comparison",
-    "placement",
-    "patterns",
-    "suite",
-    "corpus",
-    "clean",
-];
-
-/// Options shared by the experiments that take values (currently only the
-/// corpus sweep).
-#[derive(Clone, Copy)]
-struct RunOptions {
-    json: bool,
-    seed: Option<u64>,
-    count: Option<usize>,
-}
-
-/// Where machine-readable artifacts land: the workspace root, next to
-/// `BENCH_engine.json`.
-fn workspace_artifact(name: &str) -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join(name)
-}
-
-fn run(name: &str, opts: RunOptions) -> Result<(), String> {
-    let json = opts.json;
-    match name {
-        "table1" => print!("{}", experiments::table1()),
-        "table2" => print!("{}", experiments::table2()),
-        "table3" => print!("{}", experiments::table3()),
-        "table4" => print!("{}", experiments::table4()),
-        "table5" => print!("{}", experiments::table5()),
-        "table6" => print!("{}", experiments::table6()),
-        "figure1" => print!("{}", experiments::figure1().render()),
-        "figure2" => print!("{}", experiments::figure2().render()),
-        "lpr" => print!("{}", experiments::lpr_34().render()),
-        "turnin" => print!("{}", experiments::turnin_41().render()),
-        "registry" => print!("{}", experiments::registry_42().render()),
-        "comparison" => print!("{}", experiments::comparison().render()),
-        "placement" => print!("{}", experiments::placement().render()),
-        "patterns" => print!("{}", experiments::patterns().render()),
-        "suite" => {
-            let report = experiments::suite();
-            print!("{}", report.render_text());
-            // Roll the verdict stream up by vulnerability class: each
-            // verdict's policy family crossed with its fault's EAI category,
-            // classified against the epa-vulndb taxonomy.
-            print!(
-                "{}",
-                epa_vulndb::render_class_rollup(&epa_vulndb::suite_class_rollup(&report))
-            );
-            if json {
-                let path = workspace_artifact("SUITE_report.json");
-                let text =
-                    serde_json::to_string_pretty(&report).map_err(|e| format!("serializing the suite report: {e}"))?;
-                std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
-                println!("wrote {}", path.display());
-            }
-        }
-        "corpus" => {
-            let seed = opts.seed.unwrap_or(epa_core::corpus::DEFAULT_CORPUS_SEED);
-            let count = opts.count.unwrap_or(120);
-            let report = experiments::corpus(seed, count);
-            print!("{}", report.render_text());
-            if json {
-                let path = workspace_artifact("CORPUS_report.json");
-                let text =
-                    serde_json::to_string_pretty(&report).map_err(|e| format!("serializing the corpus report: {e}"))?;
-                std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
-                println!("wrote {}", path.display());
-            }
-            if report.divergences > 0 {
-                return Err(format!(
-                    "corpus: {} scenario(s) diverged across execution paths (seeds are in the dashboard above)",
-                    report.divergences
-                ));
-            }
-        }
-        "clean" => {
-            println!("Clean-run baseline (violations in unperturbed runs):");
-            for (app, n) in experiments::clean_baseline() {
-                println!("  {app:<16} {n}");
-            }
-        }
-        other => return Err(format!("unknown experiment `{other}`")),
-    }
-    println!();
-    Ok(())
-}
+use epa_bench::cli::{self, RunOptions};
 
 /// Parses a `--flag value` pair out of `args`, removing both tokens.
 /// Accepts decimal or `0x`-prefixed hex values.
@@ -146,20 +47,21 @@ fn main() {
         seed,
         count: count.map(|c| c as usize),
     };
+    if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        print!("{}", cli::usage());
+        return;
+    }
     let names: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--json").collect();
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
-        EXPERIMENTS.to_vec()
+        cli::SUBCOMMANDS.iter().map(|s| s.name).collect()
     } else {
         names
     };
     let mut failed = false;
     for name in selected {
-        if let Err(e) = run(name, opts) {
+        if let Err(e) = cli::run(name, opts) {
             eprintln!("reproduce: {e}");
-            eprintln!(
-                "available: {} (plus --json, and --seed/--count for corpus)",
-                EXPERIMENTS.join(", ")
-            );
+            eprint!("{}", cli::usage());
             failed = true;
         }
     }

@@ -787,3 +787,63 @@ mod tests {
         assert_eq!(r.after_violations, 0);
     }
 }
+
+// ----------------------------------------------------------------------
+// The static analyzer's world linter
+// ----------------------------------------------------------------------
+
+/// One standard-suite world's static-analysis verdict: the lint report
+/// plus the fault-relevance tally over its full injection plan.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LintSummary {
+    /// Application name (the lint subject).
+    pub app: String,
+    /// Jobs the analyzer proved must be executed.
+    pub relevant: usize,
+    /// Jobs the analyzer proved inert (droppable without running).
+    pub inert: usize,
+    /// Jobs the analyzer could not classify (always executed).
+    pub unknown: usize,
+    /// World-lint diagnostics (EPA0001–EPA0005).
+    pub report: epa_core::LintReport,
+}
+
+impl LintSummary {
+    /// Renders the tally line plus the lint report.
+    pub fn render(&self) -> String {
+        format!(
+            "{}  [relevance: {} relevant, {} provably inert, {} unknown]\n",
+            self.report.render_text(),
+            self.relevant,
+            self.inert,
+            self.unknown
+        )
+    }
+}
+
+/// Lints every standard-suite world through the static analysis layer:
+/// materialize the spec, trace one clean run, classify the full fault plan
+/// (`Relevant` / `ProvablyInert` / `Unknown`), and check the world
+/// declarations for dead or contradictory entries (EPA0001–EPA0005).
+pub fn lint() -> Vec<LintSummary> {
+    let budget = CampaignOptions::default().max_occurrences_per_site;
+    epa_apps::standard_apps()
+        .into_iter()
+        .map(|(app, spec)| {
+            let setup = spec.materialize().expect("the case-study specs are valid");
+            let session = Session::from_setup(setup.clone());
+            let plan = session.plan(&*app);
+            let analysis = epa_core::AppAnalysis::from_clean_run(&setup, &plan.clean);
+            let jobs = plan.jobs();
+            let (relevant, inert, unknown) = analysis.tally(&jobs);
+            let report = epa_core::lint_setup(app.name(), &spec, &analysis, &jobs, Some(budget));
+            LintSummary {
+                app: app.name().to_string(),
+                relevant,
+                inert,
+                unknown,
+                report,
+            }
+        })
+        .collect()
+}

@@ -6,9 +6,11 @@
 //! rendering in the paper's layout, so `cargo run -p epa-bench --bin
 //! reproduce -- all` regenerates the whole evaluation section.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod experiments;
 
 pub use experiments::*;

@@ -1,0 +1,1032 @@
+//! Static EAI-site analysis: prove fault relevance *before* execution.
+//!
+//! The paper derives its perturbation points from a static model of
+//! environment–application interactions (§3.3 steps 1–3); the engine's
+//! planner, by contrast, enumerates every catalog fault against every
+//! traced site and relies on execution to discover that many of them
+//! cannot matter. This module closes that gap with three artifacts:
+//!
+//! 1. **A site model.** [`statics::static_model`] walks a
+//!    [`crate::corpus::BehaviorScript`] and its
+//!    [`crate::engine::spec::WorldSpec`] *without executing*, producing the
+//!    statically reachable site set with per-site facts (path aliasing
+//!    through symlink chains, privilege context, input taint, re-read /
+//!    TOCTTOU windows). For hand-written applications — which exist as
+//!    code, not data — the clean-run trace *is* the model (the paper's
+//!    step-2 execution trace), wrapped by [`AppAnalysis`].
+//!
+//! 2. **A fault-relevance relation.** [`AppAnalysis::classify`] maps each
+//!    planned `fault × site × occurrence` job to [`Relevance::Relevant`],
+//!    [`Relevance::ProvablyInert`] (with a machine-checkable
+//!    [`Justification`]), or [`Relevance::Unknown`]. The planner drops only
+//!    `ProvablyInert` jobs (see `CampaignOptions::static_prune`), recording
+//!    them as `pruned` replays whose outcome is synthesized from the clean
+//!    run — sound because an inert fault's run is, by construction,
+//!    byte-identical to the clean run.
+//!
+//! 3. **A world linter.** [`lint`] checks a world spec against the model
+//!    and emits stable diagnostics (`EPA0001`…`EPA0005`) with severities,
+//!    rendered and JSON output — `reproduce -- lint` in the CLI.
+//!
+//! # Soundness of `ProvablyInert`
+//!
+//! Everything rests on determinism: an injected run and the clean run are
+//! byte-identical up to the moment the fault first acts. Four proof shapes
+//! are used, each carried as a [`Justification`]:
+//!
+//! - **State no-op** (direct faults). The fault is applied to a scratch
+//!   copy of the pristine world; if the serialized file-system, registry,
+//!   and network state is unchanged, the application is a no-op *on the
+//!   pristine state*. The proof transfers to injection time iff nothing in
+//!   the clean-trace prefix before the strike point could have changed the
+//!   state the fault reads (its *guard set*): no mutation of the target
+//!   path, no alias-structure change (rename/symlink/unlink-of-a-link),
+//!   no `..`-ambiguity. When any of those occur the job stays
+//!   [`Relevance::Unknown`] and executes normally.
+//! - **Grants preserved** (the chown direct faults). Re-owning a file
+//!   *does* change state, but the change is unobservable when the target
+//!   is a plain, alias-free file whose *untrusted-owner* status does not
+//!   flip under the new owner (the `Untrusted` label carries only the
+//!   path, so equal status means equal labels), every at-or-after-strike
+//!   touch of it is a successful content read (reads are the only file
+//!   accesses whose audit record omits the owner), and the read grant is
+//!   identical under the old and new ownership for every credential that
+//!   performs one plus the invoker (whose read grant decides the `Secret`
+//!   label).
+//! - **Never fires** (indirect faults). An indirect fault strikes the
+//!   first *successful* receive at its site matching its semantic (or, for
+//!   semantic-free faults, its exact occurrence). If the clean trace has no
+//!   such successful event, the hook never mutates anything and the whole
+//!   run replays the clean outcome with `applied: false`.
+//! - **Identity transform** (indirect faults). The fault fires, but its
+//!   transform maps the value received at the strike point to itself —
+//!   checked by running the *actual* [`crate::perturb::IndirectFault`]
+//!   mutation on the value recovered from the pristine world (environment
+//!   variables and argv are immutable for the whole run; registry values
+//!   are guarded against pre-strike writes). `set_bytes` preserves labels,
+//!   so an identical byte string means an identical payload.
+//!
+//! Both proofs are cross-checked dynamically: the corpus differential
+//! harness runs every scenario with pruning on and off and asserts
+//! byte-identical verdict sets, and `tests/props_analysis.rs` force-runs
+//! every pruned job and compares it against its synthesized record.
+
+pub mod lint;
+pub mod statics;
+
+pub use lint::{lint_scenario, lint_setup, Diagnostic, LintReport, Severity};
+pub use statics::{static_model, StaticModel, StaticSite};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use epa_sandbox::audit::AuditEvent;
+use epa_sandbox::cred::{Credentials, Gid, Uid};
+use epa_sandbox::data::Data;
+use epa_sandbox::fs::Vfs;
+use epa_sandbox::mode::Access;
+use epa_sandbox::os::Os;
+use epa_sandbox::path;
+use epa_sandbox::process::Pid;
+use epa_sandbox::trace::{ObjectRef, OpKind, SiteId, TraceEvent};
+
+use crate::campaign::{RunOutcome, TestSetup};
+use crate::engine::planner::{fnv1a, RunDigest};
+use crate::inject::InjectionPlan;
+use crate::perturb::{DirectFault, FaultPayload, IndirectFault};
+
+/// The machine-checkable reason a fault is provably inert.
+///
+/// Justifications are data, not prose: each one names the exact facts a
+/// checker (or a force-run, as `tests/props_analysis.rs` does) can verify
+/// independently.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Justification {
+    /// Applying the direct fault to the pristine world changes no
+    /// file-system, registry, or network state, and no clean-trace event
+    /// before the strike point touches the fault's guard set — so applying
+    /// it mid-run is the same no-op.
+    StateNoOp {
+        /// The fault's guard paths (physical forms).
+        guards: Vec<String>,
+        /// Clean-trace events checked against the guard set (the strike
+        /// point's sequence number — everything before it was scanned).
+        prefix_len: usize,
+        /// Whether the (no-op) application reports success, i.e. the
+        /// `applied` flag the synthesized record carries.
+        applies_cleanly: bool,
+    },
+    /// Chowning the target to `root:root` preserves every access decision
+    /// the rest of the run makes: the target is a plain, alias-free file
+    /// whose owner is already root or the invoker (so the `Untrusted`
+    /// label test is unchanged), every at-or-after-strike touch of it is a
+    /// successful content read, and the read grant is unchanged for every
+    /// credential that performs one — and for the invoker, whose read
+    /// grant decides the `Secret` label.
+    GrantsPreserved {
+        /// The target's physical path.
+        path: String,
+        /// Successful at-or-after-strike reads verified.
+        suffix_reads: usize,
+        /// Credentials checked for read-grant equivalence.
+        creds_checked: usize,
+    },
+    /// The indirect fault's trigger never occurs: no successful receive at
+    /// the site matches its semantic/occurrence in the clean trace, so the
+    /// hook never rewrites any value.
+    NeverFires {
+        /// The targeted site.
+        site: String,
+        /// The targeted occurrence (meaningful for semantic-free faults).
+        occurrence: usize,
+        /// Successful matching events found in the clean trace (always 0).
+        matching_ok_events: usize,
+    },
+    /// The indirect fault fires, but its transform maps the received value
+    /// to itself: the rewrite is byte-identical and label-preserving, so
+    /// the application sees exactly the clean payload (with
+    /// `applied: true`).
+    IdentityTransform {
+        /// The strike site.
+        site: String,
+        /// Where the strike value was recovered from (`env:NAME`, `argv`,
+        /// `reg:KEY\VALUE`).
+        source: String,
+        /// Candidate values verified as fixed points of the transform.
+        values_checked: usize,
+    },
+}
+
+/// The relevance of one planned fault job, as far as static reasoning can
+/// tell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relevance {
+    /// The fault demonstrably perturbs state or input; the run must
+    /// execute.
+    Relevant,
+    /// The run provably replays the clean outcome; executing it would be
+    /// wasted work. Carries the synthesized `applied` flag and the proof.
+    ProvablyInert {
+        /// Whether the (inert) fault would still report "applied".
+        applied: bool,
+        /// The machine-checkable proof.
+        justification: Justification,
+    },
+    /// Static reasoning could not decide; the run executes normally.
+    Unknown {
+        /// Why the analysis gave up (diagnostic, not proof).
+        reason: String,
+    },
+}
+
+impl Relevance {
+    /// True for [`Relevance::ProvablyInert`].
+    pub fn is_inert(&self) -> bool {
+        matches!(self, Relevance::ProvablyInert { .. })
+    }
+}
+
+/// One clean-trace event with the derived facts relevance checks consume.
+#[derive(Debug, Clone)]
+struct EventFact {
+    seq: usize,
+    site: SiteId,
+    occurrence: usize,
+    op: OpKind,
+    object: ObjectRef,
+    /// Physical forms of a file object: (final-symlink-kept, fully
+    /// resolved), both against the *pristine* world.
+    physical: Option<(String, String)>,
+    semantic: Option<epa_sandbox::trace::InputSemantic>,
+    ok: bool,
+}
+
+impl EventFact {
+    fn matches_guard(&self, guard: &str) -> bool {
+        let Some((nofollow, follow)) = &self.physical else {
+            return false;
+        };
+        if nofollow == guard || follow == guard {
+            return true;
+        }
+        // Deleting an ancestor directory removes the guarded path with it.
+        if self.op == OpKind::Delete {
+            let prefix = format!("{}/", follow.trim_end_matches('/'));
+            if guard.starts_with(&prefix) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// File-system operations that can change world state (the guard-set scan
+/// treats every other op as a pure read).
+fn mutates_fs(op: OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::CreateFile
+            | OpKind::CreateExcl
+            | OpKind::WriteFile
+            | OpKind::Delete
+            | OpKind::Mkdir
+            | OpKind::Chmod
+            | OpKind::Chown
+            | OpKind::Symlink
+            | OpKind::Rename
+    )
+}
+
+/// Operations that consume or mutate network/IPC state mid-run.
+fn mutates_net(op: OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::NetConnect | OpKind::NetSend | OpKind::NetRecv | OpKind::ProcRecv
+    )
+}
+
+/// What part of the world a direct fault reads and writes.
+enum Footprint {
+    /// File-system fault over these target paths.
+    Fs(Vec<String>),
+    /// Registry fault (conservatively keyed on any registry write).
+    Registry,
+    /// Network/IPC/DNS fault (conservatively keyed on any net activity).
+    Net,
+    /// Process-state fault (working directory) — never analyzed.
+    Process,
+}
+
+fn footprint(fault: &DirectFault) -> Footprint {
+    match fault {
+        DirectFault::FileMakeExist { path }
+        | DirectFault::FileMakeMissing { path }
+        | DirectFault::FileChownAttacker { path }
+        | DirectFault::FileChownRoot { path }
+        | DirectFault::FilePermRestrict { path }
+        | DirectFault::FilePermOpen { path }
+        | DirectFault::FilePermNoExec { path }
+        | DirectFault::ModifyContent { path, .. }
+        | DirectFault::RenameAway { path } => Footprint::Fs(vec![path.clone()]),
+        DirectFault::SymlinkSwap { path, target } => Footprint::Fs(vec![path.clone(), target.clone()]),
+        DirectFault::WorkingDirectory { .. } => Footprint::Process,
+        DirectFault::RegistryOpenAcl { .. } => Footprint::Registry,
+        // The planted value may also create a payload file, so this fault
+        // straddles registry and file system; the fs guard is the payload
+        // path itself.
+        DirectFault::RegistrySetValue { .. } => Footprint::Registry,
+        DirectFault::NetSpoofNext { .. }
+        | DirectFault::NetOmitStep { .. }
+        | DirectFault::NetDuplicateStep { .. }
+        | DirectFault::NetSwapSteps { .. }
+        | DirectFault::NetShareSocket { .. }
+        | DirectFault::NetDenyService { .. }
+        | DirectFault::NetDistrustEntity { .. }
+        | DirectFault::DnsDeny
+        | DirectFault::IpcSpoofNext { .. }
+        | DirectFault::IpcDistrust { .. }
+        | DirectFault::IpcDeny { .. } => Footprint::Net,
+        // Future catalog growth lands here: never analyzed, always run.
+        #[allow(unreachable_patterns)]
+        _ => Footprint::Process,
+    }
+}
+
+/// Content fingerprint of the mutable world substrate (file system,
+/// registry, network) — the state a direct fault can touch.
+fn state_fingerprint(os: &Os) -> u64 {
+    let fs = serde_json::to_string(&os.fs).expect("vfs serializes");
+    let registry = serde_json::to_string(&os.registry).expect("registry serializes");
+    let net = serde_json::to_string(&os.net).expect("network serializes");
+    fnv1a(format!("{fs}\n{registry}\n{net}").as_bytes())
+}
+
+/// Physical forms of `path` against `fs`: `(final-symlink-kept, fully
+/// resolved)`. Missing suffixes are appended lexically to the deepest
+/// resolvable ancestor, so two spellings of the same missing file still
+/// collapse onto one physical name.
+fn physical_forms(fs: &Vfs, p: &str) -> (String, String) {
+    let nofollow = match fs.walk(p, false, None) {
+        Ok(w) => w.physical,
+        Err(_) => lexical_fallback(fs, p),
+    };
+    let follow = match fs.walk(p, true, None) {
+        Ok(w) => w.physical,
+        Err(_) => nofollow.clone(),
+    };
+    (nofollow, follow)
+}
+
+fn lexical_fallback(fs: &Vfs, p: &str) -> String {
+    let cleaned = path::clean(p);
+    let Some(parent) = path::parent(&cleaned) else {
+        return cleaned;
+    };
+    let Some(name) = path::file_name(&cleaned) else {
+        return cleaned;
+    };
+    let resolved_parent = match fs.walk(&parent, true, None) {
+        Ok(w) => w.physical,
+        Err(_) => lexical_fallback(fs, &parent),
+    };
+    if resolved_parent == "/" {
+        format!("/{name}")
+    } else {
+        format!("{resolved_parent}/{name}")
+    }
+}
+
+/// The per-application analysis: clean-run facts plus the pristine world,
+/// ready to classify any planned fault job.
+///
+/// Built once per campaign plan (the clean run the plan already performs is
+/// the model input) and shared read-only afterwards; classifications are
+/// memoized per canonical job content.
+pub struct AppAnalysis {
+    events: Vec<EventFact>,
+    by_site: BTreeMap<SiteId, Vec<usize>>,
+    /// First sequence number after which the pristine alias map is no
+    /// longer trustworthy (a rename/symlink/unlink-of-a-link or a
+    /// `..`-carrying object appeared), `usize::MAX` when the whole trace is
+    /// alias-stable.
+    hazard_from: usize,
+    pristine: Os,
+    pristine_fp: u64,
+    /// The spawn argument vector (immutable for the whole run).
+    setup_args: Vec<String>,
+    /// The spawn environment (immutable: the sandbox has no `setenv`).
+    setup_env: BTreeMap<String, String>,
+    /// Credentials that performed each successful content read in the
+    /// clean run, keyed by physical path (from the audit log).
+    read_creds: BTreeMap<String, Vec<Credentials>>,
+    clean_exit: Option<i32>,
+    clean_crashed: Option<String>,
+    clean_audit_events: usize,
+    clean_violations: Vec<epa_sandbox::policy::Verdict>,
+    memo: Mutex<BTreeMap<String, Relevance>>,
+}
+
+impl std::fmt::Debug for AppAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppAnalysis")
+            .field("events", &self.events.len())
+            .field("sites", &self.by_site.len())
+            .field("hazard_from", &self.hazard_from)
+            .finish()
+    }
+}
+
+impl AppAnalysis {
+    /// Builds the analysis from a setup's pristine world and its clean-run
+    /// outcome (the trace must come from an uninjected run).
+    pub fn from_clean_run(setup: &TestSetup, clean: &RunOutcome) -> AppAnalysis {
+        let pristine = setup.world.clone();
+        let mut events = Vec::new();
+        let mut by_site: BTreeMap<SiteId, Vec<usize>> = BTreeMap::new();
+        let mut hazard_from = usize::MAX;
+        // Relative spellings resolve against the working directory, which
+        // starts at the spawn cwd and moves with each successful `Chdir` —
+        // the same join the sandbox performs.
+        let mut cwd = setup.cwd.clone();
+        for ev in clean.os.trace.events() {
+            let fact = Self::fact_of(&pristine.fs, &cwd, ev);
+            if hazard_from == usize::MAX && Self::is_hazard(&pristine.fs, &fact) {
+                hazard_from = fact.seq;
+            }
+            if fact.op == OpKind::Chdir && fact.ok {
+                if let Some((_, follow)) = &fact.physical {
+                    cwd = follow.clone();
+                }
+            }
+            by_site.entry(fact.site.clone()).or_default().push(events.len());
+            events.push(fact);
+        }
+        let pristine_fp = state_fingerprint(&pristine);
+        let mut read_creds: BTreeMap<String, Vec<Credentials>> = BTreeMap::new();
+        for ev in clean.os.audit.events() {
+            if let AuditEvent::FileRead { path, by, .. } = ev {
+                read_creds.entry(path.clone()).or_default().push(*by);
+            }
+        }
+        AppAnalysis {
+            events,
+            by_site,
+            hazard_from,
+            pristine,
+            pristine_fp,
+            setup_args: setup.args.clone(),
+            setup_env: setup.env.clone(),
+            read_creds,
+            clean_exit: clean.exit,
+            clean_crashed: clean.crashed.clone(),
+            clean_audit_events: clean.os.audit.len(),
+            clean_violations: clean.violations.clone(),
+            memo: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn fact_of(fs: &Vfs, cwd: &str, ev: &TraceEvent) -> EventFact {
+        let physical = match &ev.object {
+            ObjectRef::File(p) if path::is_absolute(p) => Some(physical_forms(fs, p)),
+            ObjectRef::File(p) if !path::contains_dotdot(p) => Some(physical_forms(fs, &path::join(cwd, p))),
+            _ => None,
+        };
+        EventFact {
+            seq: ev.seq,
+            site: ev.site.clone(),
+            occurrence: ev.occurrence,
+            op: ev.op,
+            object: ev.object.clone(),
+            physical,
+            semantic: ev.semantic,
+            ok: ev.ok,
+        }
+    }
+
+    /// An event invalidates pristine-world alias reasoning when it changes
+    /// (or may change) the link structure, or when its object cannot be
+    /// resolved unambiguously.
+    fn is_hazard(fs: &Vfs, fact: &EventFact) -> bool {
+        match fact.op {
+            OpKind::Rename | OpKind::Symlink => true,
+            OpKind::Delete => {
+                // Unlinking a symlink changes the alias map.
+                if let ObjectRef::File(p) = &fact.object {
+                    match (fs.walk(p, false, None), fs.walk(p, true, None)) {
+                        (Ok(a), Ok(b)) => a.id != b.id,
+                        (Ok(_), Err(_)) => true, // dangling link
+                        _ => false,
+                    }
+                } else {
+                    false
+                }
+            }
+            _ => match &fact.object {
+                // `..` may hop through a symlink'd ancestor; an object
+                // that did not resolve has no trustworthy physical form.
+                ObjectRef::File(p) => path::contains_dotdot(p) || fact.physical.is_none(),
+                _ => false,
+            },
+        }
+    }
+
+    /// The clean-run outcome as a digest with an explicit `applied` flag —
+    /// what a pruned job's record replays.
+    fn clean_digest(&self, applied: bool) -> RunDigest {
+        RunDigest {
+            applied,
+            exit: self.clean_exit,
+            crashed: self.clean_crashed.clone(),
+            audit_events: self.clean_audit_events,
+            violations: self.clean_violations.clone(),
+        }
+    }
+
+    /// Every distinct site the clean trace reached.
+    pub fn traced_sites(&self) -> BTreeSet<SiteId> {
+        self.by_site.keys().cloned().collect()
+    }
+
+    /// Physical paths the clean run touched (any file object, read or
+    /// write), in pristine-world terms.
+    pub fn touched_paths(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for ev in &self.events {
+            if let Some((a, b)) = &ev.physical {
+                out.insert(a.clone());
+                out.insert(b.clone());
+            }
+        }
+        out
+    }
+
+    /// Physical paths the clean run created or wrote.
+    pub fn written_paths(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for ev in &self.events {
+            if ev.ok && mutates_fs(ev.op) {
+                if let Some((a, b)) = &ev.physical {
+                    out.insert(a.clone());
+                    out.insert(b.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Static occurrence bound per site, from the clean trace.
+    pub fn site_hits(&self) -> BTreeMap<SiteId, usize> {
+        self.by_site.iter().map(|(s, evs)| (s.clone(), evs.len())).collect()
+    }
+
+    /// Classifies one planned job. Sound by construction: only jobs whose
+    /// runs provably replay the clean outcome come back
+    /// [`Relevance::ProvablyInert`].
+    pub fn classify(&self, job: &InjectionPlan) -> Relevance {
+        let key = format!(
+            "{}#{}|{}",
+            job.site,
+            job.occurrence,
+            serde_json::to_string(&job.fault).expect("faults serialize")
+        );
+        if let Some(hit) = self.memo.lock().expect("analysis memo poisoned").get(&key) {
+            return hit.clone();
+        }
+        let result = match &job.fault.payload {
+            FaultPayload::Direct(df) => self.classify_direct(job, df),
+            FaultPayload::Indirect(_) => self.classify_indirect(job),
+        };
+        self.memo
+            .lock()
+            .expect("analysis memo poisoned")
+            .insert(key, result.clone());
+        result
+    }
+
+    /// The synthesized replay digest for a provably inert job, `None` for
+    /// anything that must execute.
+    pub fn pruned_digest(&self, job: &InjectionPlan) -> Option<RunDigest> {
+        match self.classify(job) {
+            Relevance::ProvablyInert { applied, .. } => Some(self.clean_digest(applied)),
+            _ => None,
+        }
+    }
+
+    fn strike_event(&self, site: &SiteId, occurrence: usize) -> Option<&EventFact> {
+        self.by_site
+            .get(site)?
+            .iter()
+            .map(|&i| &self.events[i])
+            .find(|e| e.occurrence == occurrence)
+    }
+
+    fn classify_direct(&self, job: &InjectionPlan, df: &DirectFault) -> Relevance {
+        let Some(strike) = self.strike_event(&job.site, job.occurrence) else {
+            return Relevance::Unknown {
+                reason: format!("site {}#{} absent from the clean trace", job.site, job.occurrence),
+            };
+        };
+        let guards = match footprint(df) {
+            Footprint::Process => {
+                return Relevance::Unknown {
+                    reason: "process-state faults are never analyzed statically".to_string(),
+                }
+            }
+            Footprint::Registry => {
+                if self
+                    .events
+                    .iter()
+                    .take_while(|e| e.seq < strike.seq)
+                    .any(|e| matches!(e.op, OpKind::RegWrite | OpKind::RegDelete))
+                {
+                    return Relevance::Unknown {
+                        reason: "registry mutated before the strike point".to_string(),
+                    };
+                }
+                Vec::new()
+            }
+            Footprint::Net => {
+                if self
+                    .events
+                    .iter()
+                    .take_while(|e| e.seq < strike.seq)
+                    .any(|e| mutates_net(e.op))
+                {
+                    return Relevance::Unknown {
+                        reason: "network state consumed before the strike point".to_string(),
+                    };
+                }
+                Vec::new()
+            }
+            Footprint::Fs(targets) => {
+                if strike.seq > 0 && self.hazard_from < strike.seq {
+                    return Relevance::Unknown {
+                        reason: format!("alias structure may change at clean-trace event {}", self.hazard_from),
+                    };
+                }
+                let mut guards = Vec::new();
+                for t in &targets {
+                    if !path::is_absolute(t) || path::contains_dotdot(t) {
+                        return Relevance::Unknown {
+                            reason: format!("target `{t}` is not an unambiguous absolute path"),
+                        };
+                    }
+                    let (nofollow, follow) = physical_forms(&self.pristine.fs, t);
+                    if nofollow != follow {
+                        // The target is itself a symlink: god-mode fault
+                        // application and app-level access disagree on
+                        // which object they touch.
+                        return Relevance::Unknown {
+                            reason: format!("target `{t}` resolves through a symlink"),
+                        };
+                    }
+                    guards.push(follow);
+                }
+                for e in self.events.iter().take_while(|e| e.seq < strike.seq) {
+                    if mutates_fs(e.op) && guards.iter().any(|g| e.matches_guard(g)) {
+                        return Relevance::Unknown {
+                            reason: format!("clean-trace event {} mutates guard path before the strike", e.seq),
+                        };
+                    }
+                }
+                guards
+            }
+        };
+        // The guard set is clean: the fault meets exactly the pristine
+        // state. Probe whether applying it there changes anything.
+        let mut probe = self.pristine.clone();
+        let applies_cleanly = df.apply(&mut probe, Pid(0)).is_ok();
+        if state_fingerprint(&probe) == self.pristine_fp {
+            return Relevance::ProvablyInert {
+                applied: applies_cleanly,
+                justification: Justification::StateNoOp {
+                    guards,
+                    prefix_len: strike.seq,
+                    applies_cleanly,
+                },
+            };
+        }
+        // A chown fault changes state, but the change may still be
+        // invisible to every remaining access.
+        let new_owner = match df {
+            DirectFault::FileChownRoot { .. } => Some((Uid::ROOT, Gid::ROOT)),
+            DirectFault::FileChownAttacker { .. } => {
+                let s = &self.pristine.scenario;
+                Some((s.attacker, s.attacker_gid))
+            }
+            _ => None,
+        };
+        if let Some((no, ng)) = new_owner {
+            if applies_cleanly {
+                if let Some(justification) = self.chown_grants_preserved(&guards, strike.seq, no, ng) {
+                    return Relevance::ProvablyInert {
+                        applied: true,
+                        justification,
+                    };
+                }
+            }
+        }
+        Relevance::Relevant
+    }
+
+    /// Proof attempt for [`Justification::GrantsPreserved`]: re-owning
+    /// `guards[0]` to `new_owner:new_group` at the strike point is
+    /// unobservable.
+    ///
+    /// Requires the whole trace to be alias-stable (suffix spellings must
+    /// keep resolving as in the pristine world), the target to be a plain
+    /// non-symlink file whose *untrusted-owner* status does not flip (the
+    /// `Untrusted` read label carries only the path, so equal status means
+    /// equal labels), every at-or-after-strike event touching it to be a
+    /// successful content read — the one file access whose audit record
+    /// and payload omit the owner — and the read grant to be identical
+    /// under the old and new ownership for the invoker (the `Secret`-label
+    /// test) and for every credential the clean run's audit log shows
+    /// reading the file.
+    fn chown_grants_preserved(
+        &self,
+        guards: &[String],
+        strike_seq: usize,
+        new_owner: Uid,
+        new_group: Gid,
+    ) -> Option<Justification> {
+        let [target] = guards else { return None };
+        if self.hazard_from != usize::MAX {
+            return None;
+        }
+        let walked = self.pristine.fs.walk(target, false, None).ok()?;
+        let inode = self.pristine.fs.inode(walked.id).ok()?;
+        if !inode.is_file() {
+            return None;
+        }
+        let (owner, group, mode) = (inode.owner, inode.group, inode.mode);
+        let invoker = self.pristine.scenario.invoker;
+        let untrusted = |o: Uid| !o.is_root() && o != invoker;
+        if untrusted(owner) != untrusted(new_owner) {
+            return None;
+        }
+        let mut suffix_reads = 0usize;
+        for e in self.events.iter().filter(|e| e.seq >= strike_seq) {
+            if e.matches_guard(target) {
+                if e.op == OpKind::ReadFile && e.ok {
+                    suffix_reads += 1;
+                } else {
+                    return None;
+                }
+            }
+        }
+        let mut creds = vec![self.pristine.invoker_cred()];
+        creds.extend(self.read_creds.get(target).into_iter().flatten().copied());
+        for cred in &creds {
+            if mode.grants(owner, group, cred, Access::Read) != mode.grants(new_owner, new_group, cred, Access::Read) {
+                return None;
+            }
+        }
+        Some(Justification::GrantsPreserved {
+            path: target.clone(),
+            suffix_reads,
+            creds_checked: creds.len(),
+        })
+    }
+
+    fn classify_indirect(&self, job: &InjectionPlan) -> Relevance {
+        let Some(site_events) = self.by_site.get(&job.site) else {
+            return Relevance::Unknown {
+                reason: format!("site {} absent from the clean trace", job.site),
+            };
+        };
+        let strike = match job.fault.semantic {
+            // Semantic-matched faults strike the first successful receive
+            // with that semantic, at any occurrence.
+            Some(sem) => site_events
+                .iter()
+                .map(|&i| &self.events[i])
+                .find(|e| e.ok && e.semantic == Some(sem)),
+            // Semantic-free faults strike their exact occurrence.
+            None => match self.strike_event(&job.site, job.occurrence) {
+                Some(e) if e.ok => Some(e),
+                Some(_) => None,
+                None => {
+                    return Relevance::Unknown {
+                        reason: format!("site {}#{} absent from the clean trace", job.site, job.occurrence),
+                    }
+                }
+            },
+        };
+        let Some(strike) = strike else {
+            return Relevance::ProvablyInert {
+                applied: false,
+                justification: Justification::NeverFires {
+                    site: job.site.to_string(),
+                    occurrence: job.occurrence,
+                    matching_ok_events: 0,
+                },
+            };
+        };
+        if let FaultPayload::Indirect(f) = &job.fault.payload {
+            if let Some(justification) = self.identity_inert(f, strike) {
+                return Relevance::ProvablyInert {
+                    applied: true,
+                    justification,
+                };
+            }
+        }
+        Relevance::Relevant
+    }
+
+    /// Proof attempt for [`Justification::IdentityTransform`]: the fault
+    /// fires at `strike` but rewrites the received value to itself.
+    ///
+    /// The strike value is recovered from the pristine world — spawn
+    /// environment and argv are immutable for the whole run (the sandbox
+    /// has no `setenv`, and events before the strike are unperturbed), and
+    /// registry values are guarded against pre-strike writes. The traced
+    /// argv object does not say which index was read, so every argument
+    /// must be a fixed point. The check runs the *actual*
+    /// [`IndirectFault::apply_to_data`] mutation, which preserves labels,
+    /// so byte equality means the payload is identical.
+    fn identity_inert(&self, fault: &IndirectFault, strike: &EventFact) -> Option<Justification> {
+        let (source, values): (String, Vec<String>) = match (strike.op, &strike.object) {
+            (OpKind::Getenv, ObjectRef::EnvVar(name)) => {
+                (format!("env:{name}"), vec![self.setup_env.get(name)?.clone()])
+            }
+            (OpKind::ReadArg, ObjectRef::Args) => {
+                if self.setup_args.is_empty() {
+                    return None;
+                }
+                ("argv".to_string(), self.setup_args.clone())
+            }
+            (OpKind::RegRead, ObjectRef::RegValue(key, value)) => {
+                if self
+                    .events
+                    .iter()
+                    .any(|e| e.seq < strike.seq && matches!(e.op, OpKind::RegWrite | OpKind::RegDelete))
+                {
+                    return None;
+                }
+                let (text, _) = self.pristine.registry.get_value(key, value).ok()?;
+                (format!("reg:{key}\\{value}"), vec![text])
+            }
+            _ => return None,
+        };
+        for v in &values {
+            let mut data = Data::from(v.clone());
+            fault.apply_to_data(&mut data);
+            if data.text() != *v {
+                return None;
+            }
+        }
+        Some(Justification::IdentityTransform {
+            site: strike.site.to_string(),
+            source,
+            values_checked: values.len(),
+        })
+    }
+
+    /// Relevance tallies over a job list: `(relevant, inert, unknown)`.
+    pub fn tally(&self, jobs: &[InjectionPlan]) -> (usize, usize, usize) {
+        let mut relevant = 0;
+        let mut inert = 0;
+        let mut unknown = 0;
+        for job in jobs {
+            match self.classify(job) {
+                Relevance::Relevant => relevant += 1,
+                Relevance::ProvablyInert { .. } => inert += 1,
+                Relevance::Unknown { .. } => unknown += 1,
+            }
+        }
+        (relevant, inert, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_once, Campaign, CampaignOptions};
+    use crate::engine::spec::WorldSpec;
+    use epa_sandbox::app::Application;
+    use epa_sandbox::cred::{Gid, Uid};
+    use epa_sandbox::os::Os;
+    use epa_sandbox::trace::InputSemantic;
+
+    /// Reads a config that exists, probes one that doesn't, then writes a
+    /// report — a miniature of the standard apps' shapes.
+    struct Probe;
+    impl Application for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+            let _ = os.sys_read_file(pid, "probe:conf", "/etc/probe.conf");
+            let _ = os.sys_read_file(pid, "probe:opt", "/etc/probe.local");
+            let _ = os.sys_getenv(pid, "probe:env", "PROBE_MODE", InputSemantic::EnvValue);
+            let _ = os.sys_write_file(pid, "probe:out", "/var/probe.out", "report", 0o644);
+            0
+        }
+    }
+
+    fn setup() -> crate::campaign::TestSetup {
+        let scenario = epa_sandbox::os::ScenarioMeta::default();
+        WorldSpec::builder()
+            .user("root", Uid::ROOT, Gid::ROOT, "/root")
+            .user("student", scenario.invoker, scenario.invoker_gid, "/home/student")
+            .root_file("/etc/probe.conf", "mode=safe", 0o644)
+            .dir("/var", Uid::ROOT, Gid::ROOT, 0o755)
+            .build()
+            .materialize()
+            .expect("probe world materializes")
+    }
+
+    fn analysis_of(setup: &crate::campaign::TestSetup) -> AppAnalysis {
+        let clean = run_once(setup, &Probe, None);
+        AppAnalysis::from_clean_run(setup, &clean)
+    }
+
+    fn job(site: &str, occurrence: usize, fault: crate::perturb::ConcreteFault) -> InjectionPlan {
+        InjectionPlan {
+            site: SiteId::new(site),
+            occurrence,
+            fault,
+        }
+    }
+
+    #[test]
+    fn missing_file_direct_noops_are_inert_and_existing_targets_are_relevant() {
+        let setup = setup();
+        let analysis = analysis_of(&setup);
+        let mk = |df: DirectFault| crate::perturb::ConcreteFault {
+            id: "t".into(),
+            category: crate::model::EaiCategory::Other,
+            semantic: None,
+            description: String::new(),
+            payload: FaultPayload::Direct(df),
+        };
+        // Removing a file that is not there is a no-op.
+        let inert = analysis.classify(&job(
+            "probe:opt",
+            0,
+            mk(DirectFault::FileMakeMissing {
+                path: "/etc/probe.local".into(),
+            }),
+        ));
+        assert!(inert.is_inert(), "got {inert:?}");
+        // Removing a file that *is* there changes the world.
+        let relevant = analysis.classify(&job(
+            "probe:conf",
+            0,
+            mk(DirectFault::FileMakeMissing {
+                path: "/etc/probe.conf".into(),
+            }),
+        ));
+        assert_eq!(relevant, Relevance::Relevant);
+        // Chowning an already-root-owned file to root is a no-op.
+        let chown = analysis.classify(&job(
+            "probe:conf",
+            0,
+            mk(DirectFault::FileChownRoot {
+                path: "/etc/probe.conf".into(),
+            }),
+        ));
+        assert!(chown.is_inert(), "got {chown:?}");
+        // Working-directory faults are never analyzed.
+        let wd = analysis.classify(&job(
+            "probe:conf",
+            0,
+            mk(DirectFault::WorkingDirectory { dir: "/tmp".into() }),
+        ));
+        assert!(matches!(wd, Relevance::Unknown { .. }));
+    }
+
+    #[test]
+    fn failed_receive_makes_indirect_faults_inert() {
+        let setup = setup();
+        let analysis = analysis_of(&setup);
+        let indirect = |sem| crate::perturb::ConcreteFault {
+            id: "t".into(),
+            category: crate::model::EaiCategory::Other,
+            semantic: sem,
+            description: String::new(),
+            payload: FaultPayload::Indirect(crate::perturb::IndirectFault::MakeRelative),
+        };
+        // PROBE_MODE is unset: the getenv fails, nothing to rewrite.
+        let env = analysis.classify(&job("probe:env", 0, indirect(Some(InputSemantic::EnvValue))));
+        assert!(env.is_inert(), "got {env:?}");
+        // The existing config read succeeds: the fault fires.
+        let conf = analysis.classify(&job("probe:conf", 0, indirect(None)));
+        assert_eq!(conf, Relevance::Relevant);
+        // The missing-file read fails: occurrence-matched fault never fires.
+        let opt = analysis.classify(&job("probe:opt", 0, indirect(None)));
+        assert!(opt.is_inert(), "got {opt:?}");
+    }
+
+    #[test]
+    fn pruned_digest_replays_the_clean_outcome() {
+        let setup = setup();
+        let clean = run_once(&setup, &Probe, None);
+        let analysis = AppAnalysis::from_clean_run(&setup, &clean);
+        let fault = crate::perturb::ConcreteFault {
+            id: "t".into(),
+            category: crate::model::EaiCategory::Other,
+            semantic: None,
+            description: String::new(),
+            payload: FaultPayload::Direct(DirectFault::FileMakeMissing {
+                path: "/etc/probe.local".into(),
+            }),
+        };
+        let digest = analysis
+            .pruned_digest(&job("probe:opt", 0, fault.clone()))
+            .expect("provably inert");
+        assert_eq!(digest.exit, clean.exit);
+        assert_eq!(digest.audit_events, clean.os.audit.len());
+        assert_eq!(digest.violations.len(), clean.violations.len());
+        // The no-op still "applies" (the god-mode mutation reports Ok).
+        assert!(digest.applied);
+        // Force-run the job: the real record must match the synthesis.
+        let campaign = Campaign::build(&Probe, &setup, CampaignOptions::default());
+        let record = campaign.run_job(&job("probe:opt", 0, fault));
+        assert_eq!(record.applied, digest.applied);
+        assert_eq!(record.exit, digest.exit);
+        assert_eq!(record.audit_events, digest.audit_events);
+        assert_eq!(record.violations.len(), digest.violations.len());
+    }
+
+    #[test]
+    fn guard_mutation_before_the_strike_demotes_to_unknown() {
+        struct WriteThenStat;
+        impl Application for WriteThenStat {
+            fn name(&self) -> &'static str {
+                "write-then-stat"
+            }
+            fn run(&self, os: &mut Os, pid: Pid) -> i32 {
+                let _ = os.sys_write_file(pid, "w:make", "/var/w.tmp", "x", 0o644);
+                let _ = os.sys_stat(pid, "w:check", "/var/w.tmp");
+                0
+            }
+        }
+        let scenario = epa_sandbox::os::ScenarioMeta::default();
+        let setup = WorldSpec::builder()
+            .user("root", Uid::ROOT, Gid::ROOT, "/root")
+            .user("student", scenario.invoker, scenario.invoker_gid, "/home/student")
+            .dir("/var", Uid::ROOT, Gid::ROOT, 0o755)
+            .build()
+            .materialize()
+            .expect("world materializes");
+        let clean = run_once(&setup, &WriteThenStat, None);
+        let analysis = AppAnalysis::from_clean_run(&setup, &clean);
+        let fault = crate::perturb::ConcreteFault {
+            id: "t".into(),
+            category: crate::model::EaiCategory::Other,
+            semantic: None,
+            description: String::new(),
+            payload: FaultPayload::Direct(DirectFault::FileMakeMissing {
+                path: "/var/w.tmp".into(),
+            }),
+        };
+        // At the stat site the file exists *because the app created it*:
+        // the pristine-world no-op proof must not transfer.
+        let v = analysis.classify(&job("w:check", 0, fault));
+        assert!(matches!(v, Relevance::Unknown { .. }), "got {v:?}");
+    }
+}

@@ -147,9 +147,8 @@ mod tests {
             "overflowing"
         }
         fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-            let arg = match os.sys_arg(pid, "ovf:arg", 0, InputSemantic::UserFileName) {
-                Ok(a) => a,
-                Err(_) => return 2,
+            let Ok(arg) = os.sys_arg(pid, "ovf:arg", 0, InputSemantic::UserFileName) else {
+                return 2;
             };
             let mut buf = FixedBuf::new("argbuf", 512);
             os.mem_copy(pid, &mut buf, &arg, CopyDiscipline::Unchecked);

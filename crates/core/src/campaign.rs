@@ -256,24 +256,21 @@ fn run_once_impl(
     if let Some(h) = hook {
         os.set_interceptor(h);
     }
-    let pid = match os.spawn(
+    let Ok(pid) = os.spawn(
         setup.invoker,
         setup.program.as_deref(),
         setup.args.clone(),
         setup.env.clone(),
         &setup.cwd,
-    ) {
-        Ok(p) => p,
-        Err(_) => {
-            let violations = verdicts(&mut os);
-            return RunOutcome {
-                os,
-                pid: None,
-                exit: None,
-                crashed: None,
-                violations,
-            };
-        }
+    ) else {
+        let violations = verdicts(&mut os);
+        return RunOutcome {
+            os,
+            pid: None,
+            exit: None,
+            crashed: None,
+            violations,
+        };
     };
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| app.run(&mut os, pid)));
     let (exit, crashed) = match result {
@@ -334,6 +331,17 @@ pub struct CampaignOptions {
     /// [`CampaignOptions::parallel`] within one campaign; a suite still
     /// interleaves budgeted campaigns across its worker pool.
     pub plan_budget: Option<usize>,
+    /// Pre-prune the plan with the static analysis layer: jobs the
+    /// [`crate::analysis::AppAnalysis`] classifies as
+    /// [`crate::analysis::Relevance::ProvablyInert`] are never executed —
+    /// their records are synthesized from the clean run and flagged
+    /// [`FaultRecord::pruned`], mirroring `cache_hit`. On by default:
+    /// pruned records are byte-identical to what the run would have
+    /// produced (the corpus differential harness and
+    /// `tests/props_analysis.rs` pin this), so every verdict and every
+    /// paper number is preserved. Turn off to force the exhaustive
+    /// behaviour (the soundness baseline).
+    pub static_prune: bool,
 }
 
 impl Default for CampaignOptions {
@@ -347,6 +355,7 @@ impl Default for CampaignOptions {
             dedup: true,
             cache: None,
             plan_budget: None,
+            static_prune: true,
         }
     }
 }
@@ -436,6 +445,10 @@ pub struct Campaign<'a> {
     /// The memoization scope (app identity + setup fingerprint), computed
     /// at most once per campaign — the world hash is cheap, but not free.
     scope: std::sync::OnceLock<u64>,
+    /// The static analysis of this campaign's clean run, built at most once
+    /// (by [`Campaign::plan`], or lazily by the scheduler) and only when
+    /// [`CampaignOptions::static_prune`] is on.
+    analysis: std::sync::OnceLock<std::sync::Arc<crate::analysis::AppAnalysis>>,
 }
 
 impl<'a> Campaign<'a> {
@@ -450,6 +463,7 @@ impl<'a> Campaign<'a> {
             setup,
             options: CampaignOptions::default(),
             scope: std::sync::OnceLock::new(),
+            analysis: std::sync::OnceLock::new(),
         }
     }
 
@@ -461,6 +475,7 @@ impl<'a> Campaign<'a> {
             setup,
             options,
             scope: std::sync::OnceLock::new(),
+            analysis: std::sync::OnceLock::new(),
         }
     }
 
@@ -489,9 +504,32 @@ impl<'a> Campaign<'a> {
         })
     }
 
+    /// This campaign's static analysis, when pre-pruning is enabled: built
+    /// from a clean run at most once. [`Campaign::plan`] seeds it with the
+    /// plan's own clean run; a direct [`Campaign::schedule`] call (no plan)
+    /// performs one clean run lazily — clean runs are deterministic, so
+    /// both paths build identical analyses.
+    pub(crate) fn analysis(&self) -> Option<std::sync::Arc<crate::analysis::AppAnalysis>> {
+        if !self.options.static_prune {
+            return None;
+        }
+        Some(
+            self.analysis
+                .get_or_init(|| {
+                    let clean = run_once(self.setup, self.app, None);
+                    std::sync::Arc::new(crate::analysis::AppAnalysis::from_clean_run(self.setup, &clean))
+                })
+                .clone(),
+        )
+    }
+
     /// Steps 1–5: trace the application and build the fault plan.
     pub fn plan(&self) -> CampaignPlan {
         let clean = run_once(self.setup, self.app, None);
+        if self.options.static_prune {
+            self.analysis
+                .get_or_init(|| std::sync::Arc::new(crate::analysis::AppAnalysis::from_clean_run(self.setup, &clean)));
+        }
         let summaries = clean.os.trace.sites();
         let reaccessed = clean.os.trace.reaccessed_files();
         let mut exec_resolutions: BTreeMap<String, String> = BTreeMap::new();
@@ -557,6 +595,7 @@ impl<'a> Campaign<'a> {
             crashed: outcome.crashed,
             audit_events: outcome.os.audit.len(),
             cache_hit: false,
+            pruned: false,
             violations: outcome.violations,
         }
     }
@@ -616,7 +655,7 @@ impl<'a> Campaign<'a> {
             let jobs = site.jobs();
             let batch = self.run_jobs_with(&jobs, budget_left, &mut |_| {});
             if let Some(left) = &mut budget_left {
-                *left = left.saturating_sub(batch.iter().filter(|r| !r.cache_hit).count());
+                *left = left.saturating_sub(batch.iter().filter(|r| !r.cache_hit && !r.pruned).count());
             }
             // Under a budget, a site whose batch produced nothing was not
             // perturbed and must not count toward the coverage criterion.
@@ -680,6 +719,19 @@ impl<'a> Campaign<'a> {
         let schedule = self.schedule(jobs);
         let mut slots: Vec<Option<FaultRecord>> = jobs.iter().map(|_| None).collect();
 
+        // Statically pruned canonicals (and their aliases) replay their
+        // synthesized clean-run digests inline.
+        for (idx, digest) in &schedule.pruned {
+            let record = digest.replay_pruned(&jobs[*idx]);
+            on_record(&record);
+            slots[*idx] = Some(record);
+            for &alias in schedule.aliases_of(*idx) {
+                let record = digest.replay_pruned(&jobs[alias]);
+                on_record(&record);
+                slots[alias] = Some(record);
+            }
+        }
+
         // Cache-resolved canonicals (and their aliases) replay inline.
         for (idx, digest) in &schedule.resolved {
             let record = digest.replay(&jobs[*idx]);
@@ -733,7 +785,7 @@ impl<'a> Campaign<'a> {
             let executed =
                 self.executor()
                     .run_indexed(&pending_jobs, |_, job| self.run_job_cached(job), &mut |_, r| {
-                        on_record(r)
+                        on_record(r);
                     });
             for (k, record) in executed.into_iter().enumerate() {
                 let idx = schedule.pending[k];
@@ -773,7 +825,14 @@ impl<'a> Campaign<'a> {
     /// worker slot).
     pub(crate) fn schedule(&self, jobs: &[InjectionPlan]) -> Schedule {
         let scope = if self.options.cache.is_some() { self.scope() } else { 0 };
-        Schedule::build(jobs, scope, self.options.cache.as_ref(), self.options.dedup)
+        let analysis = self.analysis();
+        let prune = analysis
+            .as_ref()
+            .map(|a| move |job: &InjectionPlan| a.pruned_digest(job));
+        let prune_ref: Option<crate::engine::planner::PruneFn<'_>> = prune
+            .as_ref()
+            .map(|f| f as &dyn Fn(&InjectionPlan) -> Option<RunDigest>);
+        Schedule::build(jobs, scope, self.options.cache.as_ref(), self.options.dedup, prune_ref)
     }
 
     /// Memoizes one executed run's digest under this campaign's scope.
@@ -869,9 +928,8 @@ mod tests {
             "mini-lpr"
         }
         fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-            let job = match os.sys_arg(pid, "lpr:arg", 0, InputSemantic::UserFileName) {
-                Ok(j) => j,
-                Err(_) => return 2,
+            let Ok(job) = os.sys_arg(pid, "lpr:arg", 0, InputSemantic::UserFileName) else {
+                return 2;
             };
             // Vulnerable: creat without O_EXCL, like the BSD lpr of §3.4.
             if os
@@ -1086,8 +1144,8 @@ mod tests {
         let second = Campaign::new(&MiniLpr, &s).with_options(options).execute();
         assert_eq!(
             second.cache_hits(),
-            second.injected(),
-            "a warm cache replays everything"
+            second.injected() - second.pruned(),
+            "a warm cache replays every executed run"
         );
         assert_eq!(second.runs_executed(), 0);
         assert_eq!(without_cache_flags(second), without_cache_flags(first.clone()));
@@ -1123,7 +1181,7 @@ mod tests {
         }
         let other = Campaign::new(&OtherLpr, &s).with_options(options).execute();
         assert_eq!(other.cache_hits(), 0);
-        assert_eq!(other.runs_executed(), other.injected());
+        assert_eq!(other.runs_executed(), other.injected() - other.pruned());
     }
 
     #[test]
@@ -1170,10 +1228,12 @@ mod tests {
             })
             .execute_until(1.0);
         assert_eq!(budgeted.runs_executed(), 3);
-        // A zero budget executes nothing and must not claim coverage.
+        // A zero budget executes nothing and must not claim coverage
+        // (pruning off: a synthesized inert record would count as injected).
         let none = Campaign::new(&MiniLpr, &s)
             .with_options(CampaignOptions {
                 plan_budget: Some(0),
+                static_prune: false,
                 ..Default::default()
             })
             .execute_until(1.0);

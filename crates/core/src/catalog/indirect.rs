@@ -270,7 +270,7 @@ pub fn table5_rows() -> Vec<CatalogRow> {
         CatalogRow {
             entity: entity.to_string(),
             item: item.to_string(),
-            injections: injections.iter().map(|s| s.to_string()).collect(),
+            injections: injections.iter().map(std::string::ToString::to_string).collect(),
         }
     }
     vec![

@@ -6,9 +6,14 @@
 //! planner, incremental vs. batch oracle). All of them promise the same
 //! verdict set; [`differential_check`] holds them to it. Each path's report
 //! is flattened to a canonical per-record digest line — deliberately
-//! *excluding* the `cache_hit` provenance flag, which is the only field a
-//! replay may legitimately differ in — and compared byte-for-byte against
-//! the sequential baseline.
+//! *excluding* the `cache_hit` and `pruned` provenance flags, the only
+//! fields a replay (or a statically pruned synthesis) may legitimately
+//! differ in — and compared byte-for-byte against the sequential baseline.
+//!
+//! Path #8 (`pruned`) is the soundness gate for the static analyzer: the
+//! same scenario with [`CampaignOptions::static_prune`] on must reproduce
+//! the exhaustive (pruning-off) verdict set exactly, so a `ProvablyInert`
+//! classification that was wrong shows up as a corpus divergence.
 //!
 //! [`run_corpus`] sweeps a whole synthesized corpus, shrinks any divergence
 //! to a minimal world diff ([`mod@super::shrink`]), and rolls the results
@@ -59,7 +64,7 @@ impl Application for SharedApp {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PathOutcome {
     /// Path name (`sequential`, `executor`, `suite`, `planner-cold`,
-    /// `planner-warm`, `budgeted`, `batch-oracle`).
+    /// `planner-warm`, `budgeted`, `batch-oracle`, `pruned`).
     pub path: String,
     /// Canonical digest lines, one per injected record, in plan order.
     pub lines: Vec<String>,
@@ -67,6 +72,8 @@ pub struct PathOutcome {
     pub runs_executed: usize,
     /// Records replayed from the planner cache on this path.
     pub cache_hits: usize,
+    /// Records synthesized by the static analyzer on this path.
+    pub pruned: usize,
 }
 
 /// A cross-path disagreement (or a panic) on one scenario.
@@ -109,8 +116,9 @@ pub struct ScenarioOutcome {
 }
 
 /// Canonical digest of one record: every observable field *except*
-/// `cache_hit` (replay provenance is the one legitimate cross-path
-/// difference) and the free-text description (redundant with `fault_id`).
+/// `cache_hit` and `pruned` (replay/prune provenance is the one legitimate
+/// cross-path difference) and the free-text description (redundant with
+/// `fault_id`).
 fn record_line(r: &FaultRecord) -> String {
     let violations = serde_json::to_string(&r.violations).expect("verdicts serialize");
     format!(
@@ -125,16 +133,20 @@ fn report_outcome(path: &str, report: &CampaignReport) -> PathOutcome {
         lines: report.records.iter().map(record_line).collect(),
         runs_executed: report.runs_executed(),
         cache_hits: report.cache_hits(),
+        pruned: report.pruned(),
     }
 }
 
 /// The campaign options every path shares: strike every traced occurrence
 /// of every site (the corpus is biased toward occurrence-sensitive shapes,
-/// so first-hit-only plans would under-exercise it).
+/// so first-hit-only plans would under-exercise it). Static pruning is off
+/// so paths 1–7 stay the exhaustive ground truth; path #8 turns it back on
+/// and must agree with them byte-for-byte.
 fn base_options() -> CampaignOptions {
     CampaignOptions {
         max_occurrences_per_site: usize::MAX,
         dedup: false,
+        static_prune: false,
         ..CampaignOptions::default()
     }
 }
@@ -203,7 +215,11 @@ fn diff_lines(baseline: &PathOutcome, candidate: &PathOutcome, seed: u64) -> Opt
 /// 5. `budgeted` — the adaptive planner with a budget covering the whole
 ///    plan;
 /// 6. `batch-oracle` — every injection re-run under the retired post-hoc
-///    oracle, plus a clean-run incremental/batch cross-check.
+///    oracle, plus a clean-run incremental/batch cross-check;
+/// 7. `pruned` — the static analyzer's pre-pruned plan (dedup on, so
+///    canonical-alias replay composes with prune synthesis): every record
+///    the analyzer refuses to execute must still carry the exhaustive
+///    verdict, byte-for-byte.
 pub fn differential_check(scenario: &Scenario, factory: AppFactory<'_>) -> ScenarioOutcome {
     let seed = scenario.seed;
     let app = factory(scenario);
@@ -371,7 +387,21 @@ pub fn differential_check(scenario: &Scenario, factory: AppFactory<'_>) -> Scena
             lines,
             runs_executed: executed,
             cache_hits: 0,
+            pruned: 0,
         }
+    });
+
+    // Path 8: the statically pre-pruned plan. The analyzer may only drop
+    // `ProvablyInert` jobs, whose synthesized records must match the
+    // exhaustive baseline's byte-for-byte — any unsound classification
+    // diverges here and gets shrunk to a minimal world.
+    check("pruned", &mut || {
+        let options = CampaignOptions {
+            dedup: true,
+            static_prune: true,
+            ..base_options()
+        };
+        report_outcome("pruned", &session(options).execute(&*app))
     });
 
     summary.paths = paths;

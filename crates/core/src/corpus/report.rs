@@ -153,7 +153,7 @@ impl CorpusReport {
             self.scenarios, self.divergences, self.safe, self.vulnerable, self.inadequate
         );
         let histogram = |label: &str, h: &[usize]| {
-            let cells: Vec<String> = h.iter().map(|c| c.to_string()).collect();
+            let cells: Vec<String> = h.iter().map(std::string::ToString::to_string).collect();
             format!("  {label} coverage 0.0..1.0: [{}]", cells.join(" "))
         };
         let _ = writeln!(s, "{}", histogram("fault", &self.fault_histogram));

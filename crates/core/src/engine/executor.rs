@@ -87,7 +87,7 @@ impl Default for Executor {
 impl Executor {
     /// A pool sized to the hardware: `available_parallelism` workers.
     pub fn new() -> Executor {
-        Executor::with_workers(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        Executor::with_workers(std::thread::available_parallelism().map_or(4, std::num::NonZero::get))
     }
 
     /// A pool with an explicit worker ceiling (clamped to at least 1).

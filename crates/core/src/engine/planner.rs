@@ -193,6 +193,29 @@ impl RunDigest {
             crashed: self.crashed.clone(),
             audit_events: self.audit_events,
             cache_hit: true,
+            pruned: false,
+            violations: self.violations.clone(),
+        }
+    }
+
+    /// Materializes a record for `job` from this digest, flagged as
+    /// **statically pruned**: the analysis layer proved the fault inert and
+    /// synthesized this digest from the clean run, so no run (and no cache
+    /// entry) backs it. Mirrors [`RunDigest::replay`], with `pruned` set
+    /// instead of `cache_hit`.
+    pub fn replay_pruned(&self, job: &InjectionPlan) -> FaultRecord {
+        FaultRecord {
+            site: job.site.to_string(),
+            occurrence: job.occurrence,
+            fault_id: job.fault.id.clone(),
+            category: job.fault.category,
+            description: job.fault.description.clone(),
+            applied: self.applied,
+            exit: self.exit,
+            crashed: self.crashed.clone(),
+            audit_events: self.audit_events,
+            cache_hit: false,
+            pruned: true,
             violations: self.violations.clone(),
         }
     }
@@ -461,19 +484,39 @@ pub struct Schedule {
     /// with their digests — these (and their aliases) replay inline and
     /// never reach the executor.
     pub resolved: Vec<(usize, RunDigest)>,
+    /// Canonical jobs the static analysis proved inert at schedule time,
+    /// with their synthesized clean-run digests — these (and their aliases)
+    /// replay inline as `pruned` records and never reach the executor or
+    /// the cache.
+    pub pruned: Vec<(usize, RunDigest)>,
     /// Canonical jobs that must execute, in plan order.
     pub pending: Vec<usize>,
 }
 
+/// A static pre-pruning oracle for [`Schedule::build`]: `Some(digest)`
+/// means the job is provably inert and `digest` is the synthesized outcome
+/// to replay; `None` means the job must execute. Must be content-
+/// deterministic per job (equal jobs ⇒ equal answers) so canonicalization
+/// on or off classifies identically.
+pub type PruneFn<'a> = &'a dyn Fn(&InjectionPlan) -> Option<RunDigest>;
+
 impl Schedule {
-    /// Canonicalizes `jobs` and splits them into cache-resolved replays and
-    /// pending executions.
+    /// Canonicalizes `jobs` and splits them into statically pruned replays,
+    /// cache-resolved replays, and pending executions.
     ///
-    /// With `dedup` off every job is its own canonical (no aliasing); the
-    /// cache, when given, is still consulted per job. With neither dedup
-    /// nor cache this degenerates to the exhaustive plan: every job
-    /// pending, in plan order.
-    pub fn build(jobs: &[InjectionPlan], scope: u64, cache: Option<&ResultCache>, dedup: bool) -> Schedule {
+    /// Per canonical job, `prune` is consulted **before** the cache: a
+    /// provably inert job costs nothing and must not populate (or consume)
+    /// cache entries. With `dedup` off every job is its own canonical (no
+    /// aliasing); the cache, when given, is still consulted per job. With
+    /// no dedup, no cache, and no pruner this degenerates to the exhaustive
+    /// plan: every job pending, in plan order.
+    pub fn build(
+        jobs: &[InjectionPlan],
+        scope: u64,
+        cache: Option<&ResultCache>,
+        dedup: bool,
+        prune: Option<PruneFn<'_>>,
+    ) -> Schedule {
         let keys: Vec<FaultKey> = jobs.iter().map(FaultKey::of).collect();
         let mut first_of: BTreeMap<&str, usize> = BTreeMap::new();
         let mut canonical = Vec::with_capacity(jobs.len());
@@ -490,9 +533,14 @@ impl Schedule {
             }
         }
         let mut resolved = Vec::new();
+        let mut pruned = Vec::new();
         let mut pending = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             if canonical[i] != i {
+                continue;
+            }
+            if let Some(digest) = prune.and_then(|p| p(&jobs[i])) {
+                pruned.push((i, digest));
                 continue;
             }
             match cache.and_then(|c| c.lookup(scope, key)) {
@@ -505,6 +553,7 @@ impl Schedule {
             canonical,
             aliases,
             resolved,
+            pruned,
             pending,
         }
     }
@@ -522,7 +571,7 @@ impl Schedule {
 
     /// The later plan positions that replay canonical job `idx`.
     pub fn aliases_of(&self, idx: usize) -> &[usize] {
-        self.aliases.get(&idx).map(Vec::as_slice).unwrap_or(&[])
+        self.aliases.get(&idx).map_or(&[], Vec::as_slice)
     }
 
     /// Total jobs the schedule covers.
@@ -664,14 +713,14 @@ mod tests {
             direct_job("b", "s", 0, "/tmp//f"),
             direct_job("c", "s", 0, "/tmp/g"),
         ];
-        let schedule = Schedule::build(&jobs, 7, None, true);
+        let schedule = Schedule::build(&jobs, 7, None, true, None);
         assert_eq!(schedule.pending, vec![0, 2]);
         assert_eq!(schedule.canonical_of(1), 0);
         assert_eq!(schedule.aliases_of(0), &[1]);
         assert!(schedule.resolved.is_empty());
         assert_eq!(schedule.len(), 3);
         // With dedup off every job stands alone.
-        let exhaustive = Schedule::build(&jobs, 7, None, false);
+        let exhaustive = Schedule::build(&jobs, 7, None, false, None);
         assert_eq!(exhaustive.pending, vec![0, 1, 2]);
         assert!(exhaustive.aliases_of(0).is_empty());
     }
@@ -680,7 +729,7 @@ mod tests {
     fn cache_resolves_across_schedules_and_scopes_isolate() {
         let jobs = vec![direct_job("a", "s", 0, "/tmp/f")];
         let cache = ResultCache::new();
-        let first = Schedule::build(&jobs, 1, Some(&cache), true);
+        let first = Schedule::build(&jobs, 1, Some(&cache), true, None);
         assert_eq!(first.pending, vec![0]);
         let digest = RunDigest {
             applied: true,
@@ -691,11 +740,11 @@ mod tests {
         };
         cache.insert(1, first.key(0), digest.clone());
         // Same scope: replayed. Different scope (another app/world): miss.
-        let again = Schedule::build(&jobs, 1, Some(&cache), true);
+        let again = Schedule::build(&jobs, 1, Some(&cache), true, None);
         assert!(again.pending.is_empty());
         assert_eq!(again.resolved.len(), 1);
         assert_eq!(again.resolved[0].1, digest);
-        let other = Schedule::build(&jobs, 2, Some(&cache), true);
+        let other = Schedule::build(&jobs, 2, Some(&cache), true, None);
         assert_eq!(other.pending, vec![0]);
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);

@@ -137,9 +137,8 @@ mod tests {
             "mini-lpr"
         }
         fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-            let job = match os.sys_arg(pid, "lpr:arg", 0, InputSemantic::UserFileName) {
-                Ok(j) => j,
-                Err(_) => return 2,
+            let Ok(job) = os.sys_arg(pid, "lpr:arg", 0, InputSemantic::UserFileName) else {
+                return 2;
             };
             if os
                 .sys_write_file(pid, "lpr:create", "/var/spool/lpd/job", job, 0o660)

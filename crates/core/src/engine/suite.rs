@@ -234,6 +234,19 @@ impl Suite {
                     slot.budgeted = slot.budget_left.is_some();
                     slot.remaining = schedule.pending.clone();
                     slot.plan = Some(plan);
+                    // Statically pruned jobs (and their aliases) resolve
+                    // inline from their synthesized clean-run digests.
+                    for (idx, digest) in &schedule.pruned {
+                        for &i in std::iter::once(idx).chain(schedule.aliases_of(*idx)) {
+                            let record = digest.replay_pruned(&jobs[i]);
+                            slot.stats.observe(record.category, !record.tolerated());
+                            on_event(SuiteEvent::Record {
+                                app: name.to_string(),
+                                record: record.clone(),
+                            });
+                            slot.records[i] = Some(record);
+                        }
+                    }
                     // Cache replays (and their aliases) resolve inline.
                     for (idx, digest) in &schedule.resolved {
                         for &i in std::iter::once(idx).chain(schedule.aliases_of(*idx)) {
@@ -562,6 +575,7 @@ mod tests {
             crashed: None,
             audit_events: 1,
             cache_hit: false,
+            pruned: false,
             violations: if violated {
                 vec![epa_sandbox::policy::Verdict::from_violation(
                     epa_sandbox::policy::Violation::new(

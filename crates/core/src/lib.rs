@@ -19,6 +19,9 @@
 //! * [`coverage`] — the two-dimensional adequacy metric (paper §3.2,
 //!   Figure 2);
 //! * [`report`] — per-fault records, coverage and vulnerability scores;
+//! * [`analysis`] — the static analysis layer: the reachable-site model,
+//!   the fault-relevance relation the Planner pre-prunes with, and the
+//!   world linter (`EPA0001`…`EPA0005`);
 //! * [`corpus`] — the property-based scenario corpus: seed-reproducible
 //!   world synthesis, the differential harness holding every execution
 //!   path to byte-identical verdicts, divergence shrinking, and the
@@ -63,9 +66,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analysis;
 pub mod baselines;
 pub mod campaign;
 pub mod catalog;
@@ -77,6 +82,7 @@ pub mod model;
 pub mod perturb;
 pub mod report;
 
+pub use analysis::{lint_scenario, lint_setup, AppAnalysis, Diagnostic, LintReport, Relevance, Severity};
 pub use campaign::{run_once, run_once_batch_oracle, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
 pub use catalog::{direct_faults_for, faults_for_site, indirect_faults_for, table5_rows, table6_rows};
 pub use coverage::{AdequacyPoint, AdequacyRegion, AdequacyThresholds, Ratio};

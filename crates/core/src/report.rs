@@ -40,6 +40,12 @@ pub struct FaultRecord {
     /// earlier in the same plan) instead of occupying a worker slot. Its
     /// outcome fields are byte-identical to the source run's.
     pub cache_hit: bool,
+    /// True when this record was **statically pruned**: the analysis layer
+    /// proved the fault inert ([`crate::analysis::Relevance::ProvablyInert`])
+    /// and the planner synthesized the record from the clean run instead of
+    /// executing it. Mirrors [`FaultRecord::cache_hit`] — outcome fields are
+    /// byte-identical to what the run would have produced.
+    pub pruned: bool,
     /// Verdicts the oracle pipeline detected, each carrying its evidence
     /// chain (a `Verdict` dereferences to its `Violation`).
     pub violations: Vec<Verdict>,
@@ -108,10 +114,16 @@ impl CampaignReport {
         self.records.iter().filter(|r| r.cache_hit).count()
     }
 
+    /// Number of records the static analysis pruned (synthesized from the
+    /// clean run instead of executed).
+    pub fn pruned(&self) -> usize {
+        self.records.iter().filter(|r| r.pruned).count()
+    }
+
     /// Number of records that actually occupied a worker slot: injected
-    /// runs minus cache hits.
+    /// runs minus cache hits minus statically pruned records.
     pub fn runs_executed(&self) -> usize {
-        self.injected() - self.cache_hits()
+        self.injected() - self.cache_hits() - self.pruned()
     }
 
     /// The Figure 2 adequacy point for this campaign.
@@ -187,12 +199,13 @@ impl CampaignReport {
             self.violated(),
             self.vulnerability_score()
         );
-        if self.cache_hits() > 0 {
+        if self.cache_hits() > 0 || self.pruned() > 0 {
             let _ = writeln!(
                 s,
-                "  runs executed: {}   replayed from cache: {}",
+                "  runs executed: {}   replayed from cache: {}   statically pruned: {}",
                 self.runs_executed(),
-                self.cache_hits()
+                self.cache_hits(),
+                self.pruned()
             );
         }
         let region = self.adequacy().region(AdequacyThresholds::default());
@@ -240,6 +253,7 @@ mod tests {
             crashed: None,
             audit_events: 1,
             cache_hit: false,
+            pruned: false,
             violations: if violated {
                 vec![Verdict::from_violation(Violation::new(
                     ViolationKind::Disclosure,

@@ -68,9 +68,8 @@ mod tests {
         fn run(&self, os: &mut Os, pid: Pid) -> i32 {
             let args: Vec<String> = os.procs.get(pid).map(|p| p.args.clone()).unwrap_or_default();
             for (i, _) in args.iter().enumerate() {
-                let a = match os.sys_arg(pid, "echo:arg", i, crate::trace::InputSemantic::Opaque) {
-                    Ok(a) => a,
-                    Err(_) => return 1,
+                let Ok(a) = os.sys_arg(pid, "echo:arg", i, crate::trace::InputSemantic::Opaque) else {
+                    return 1;
                 };
                 if os.sys_print(pid, "echo:print", a).is_err() {
                     return 1;

@@ -347,7 +347,7 @@ impl Vfs {
                         if *child == id {
                             return Some(format!("/{}", t.join("/")));
                         }
-                        if self.inode(*child).map(Inode::is_dir).unwrap_or(false) {
+                        if self.inode(*child).is_ok_and(Inode::is_dir) {
                             stack.push((*child, t));
                         }
                     }

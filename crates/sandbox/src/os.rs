@@ -276,7 +276,10 @@ impl Os {
 
     /// The captured stdout of a process.
     pub fn stdout_text(&self, pid: Pid) -> String {
-        self.procs.get(pid).map(|p| p.stdout_text()).unwrap_or_default()
+        self.procs
+            .get(pid)
+            .map(super::process::Process::stdout_text)
+            .unwrap_or_default()
     }
 
     /// Copies data into a fixed buffer under the given discipline, raising
@@ -284,11 +287,7 @@ impl Os {
     pub fn mem_copy(&mut self, pid: Pid, buf: &mut FixedBuf, data: &Data, discipline: CopyDiscipline) -> CopyOutcome {
         let out = buf.copy_from(data, discipline);
         if let CopyOutcome::Overflowed { attempted } = out {
-            let by = self
-                .procs
-                .get(pid)
-                .map(|p| p.cred)
-                .unwrap_or_else(|_| Credentials::root());
+            let by = self.procs.get(pid).map_or_else(|_| Credentials::root(), |p| p.cred);
             self.audit.push(AuditEvent::MemoryCorruption {
                 buffer: buf.name().to_string(),
                 capacity: buf.capacity(),
@@ -357,6 +356,7 @@ impl Os {
             h.before(self, &point, &call);
         }
         let mut result = self.dispatch(pid, call);
+        self.trace.set_outcome(seq, result.is_ok());
         if let Some(h) = hook.as_mut() {
             h.after(self, &point, &mut result);
         }
@@ -523,8 +523,7 @@ impl Os {
         let invoker_could_read_after = self
             .fs
             .stat(physical, None)
-            .map(|st| st.mode.grants(st.owner, st.group, &invoker, Access::Read))
-            .unwrap_or(false);
+            .is_ok_and(|st| st.mode.grants(st.owner, st.group, &invoker, Access::Read));
         self.audit.push(AuditEvent::FileWrite(WriteInfo {
             path: physical.to_string(),
             existed_before,

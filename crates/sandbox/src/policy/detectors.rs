@@ -230,7 +230,9 @@ impl Detector for TaintedPrivilegedOpDetector {
 
     fn observe(&mut self, idx: usize, event: &AuditEvent) {
         match event {
-            AuditEvent::FileWrite(w) if w.by.is_privileged() && w.path_taint.iter().any(|l| l.is_untrusted()) => {
+            AuditEvent::FileWrite(w)
+                if w.by.is_privileged() && w.path_taint.iter().any(super::super::data::Label::is_untrusted) =>
+            {
                 self.found.push(verdict(
                     self.name(),
                     ViolationKind::TaintedPrivilegedOp,
@@ -250,7 +252,7 @@ impl Detector for TaintedPrivilegedOpDetector {
                 let sensitive = tags.contains(&FileTag::Protected)
                     || tags.contains(&FileTag::Critical)
                     || tags.contains(&FileTag::Secret);
-                if by.is_privileged() && sensitive && path_taint.iter().any(|l| l.is_untrusted()) {
+                if by.is_privileged() && sensitive && path_taint.iter().any(super::super::data::Label::is_untrusted) {
                     self.found.push(verdict(
                         self.name(),
                         ViolationKind::TaintedPrivilegedOp,
@@ -262,7 +264,7 @@ impl Detector for TaintedPrivilegedOpDetector {
                 }
             }
             AuditEvent::RegistryDelete { key, path_taint, by }
-                if by.is_privileged() && path_taint.iter().any(|l| l.is_untrusted()) =>
+                if by.is_privileged() && path_taint.iter().any(super::super::data::Label::is_untrusted) =>
             {
                 self.found.push(verdict(
                     self.name(),
@@ -298,8 +300,8 @@ impl Detector for SpoofedActionDetector {
         match event {
             AuditEvent::FileWrite(w) => {
                 let privileged = w.by.is_elevated() || w.by.is_privileged();
-                let spoofed =
-                    w.data_labels.iter().any(|l| l.is_spoofed()) || w.path_taint.iter().any(|l| l.is_spoofed());
+                let spoofed = w.data_labels.iter().any(super::super::data::Label::is_spoofed)
+                    || w.path_taint.iter().any(super::super::data::Label::is_spoofed);
                 if privileged && spoofed {
                     self.found.push(verdict(
                         self.name(),
@@ -319,7 +321,8 @@ impl Detector for SpoofedActionDetector {
                 ..
             } => {
                 let privileged = by.is_elevated() || by.is_privileged();
-                let spoofed = path_taint.iter().any(|l| l.is_spoofed()) || arg_labels.iter().any(|l| l.is_spoofed());
+                let spoofed = path_taint.iter().any(super::super::data::Label::is_spoofed)
+                    || arg_labels.iter().any(super::super::data::Label::is_spoofed);
                 if privileged && spoofed {
                     self.found.push(verdict(
                         self.name(),

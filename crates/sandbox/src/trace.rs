@@ -225,6 +225,10 @@ pub struct TraceEvent {
     pub semantic: Option<InputSemantic>,
     /// How many times this site had executed before (0-based).
     pub occurrence: usize,
+    /// Whether the dispatched operation succeeded — the static analysis
+    /// layer's ground truth for "this interaction actually received a
+    /// value" (an indirect fault can only strike a successful receive).
+    pub ok: bool,
 }
 
 /// The trace of one run.
@@ -253,8 +257,17 @@ impl Trace {
             object,
             semantic,
             occurrence,
+            ok: true,
         });
         occurrence
+    }
+
+    /// Stamps the dispatch outcome onto event `seq` (recorded optimistically
+    /// as `ok: true`; the dispatcher corrects it once the operation ran).
+    pub fn set_outcome(&mut self, seq: usize, ok: bool) {
+        if let Some(ev) = self.events.get_mut(seq) {
+            ev.ok = ok;
+        }
     }
 
     /// All events in order.

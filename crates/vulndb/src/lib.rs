@@ -20,6 +20,7 @@
 //! println!("{}", tables.table1.render());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

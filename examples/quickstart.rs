@@ -24,9 +24,8 @@ impl Application for SpoolIt {
     }
 
     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-        let msg = match os.sys_arg(pid, "spoolit:arg", 0, InputSemantic::UserFileName) {
-            Ok(m) => m,
-            Err(_) => return 2,
+        let Ok(msg) = os.sys_arg(pid, "spoolit:arg", 0, InputSemantic::UserFileName) else {
+            return 2;
         };
         // The flaw: create-or-truncate with no O_EXCL and no lstat.
         match os.sys_write_file(pid, "spoolit:create", "/var/spool/msg", msg, 0o660) {

@@ -23,6 +23,9 @@
 //! `Campaign` → `Session`/`Suite` migration notes), `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use epa_apps as apps;
 pub use epa_core as core;
 pub use epa_core::engine;

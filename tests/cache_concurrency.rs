@@ -81,8 +81,9 @@ fn simultaneous_suites_share_one_cache_without_duplicate_executions() {
         "racing suites re-executed a cached run (A={runs_a}, B={runs_b}, cold={cold_runs})"
     );
     let hits: usize = a.reports.iter().chain(&b.reports).map(CampaignReport::cache_hits).sum();
+    let pruned: usize = a.reports.iter().chain(&b.reports).map(CampaignReport::pruned).sum();
     assert_eq!(
-        runs_a + runs_b + hits,
+        runs_a + runs_b + hits + pruned,
         2 * injected,
         "every planned run is accounted for"
     );

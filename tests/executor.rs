@@ -13,7 +13,7 @@ use epa::core::engine::executor::{self, Executor};
 static POOL_LOCK: Mutex<()> = Mutex::new(());
 
 fn available() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
 }
 
 #[test]

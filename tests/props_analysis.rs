@@ -1,0 +1,207 @@
+//! Property tests for the static analysis layer: the static site model
+//! must over-approximate the dynamic trace, every `ProvablyInert` verdict
+//! must survive a force-run, lint output must be deterministic, and the
+//! planner's `FaultKey` canonicalization must stay *more* conservative
+//! than the analyzer's alias resolution.
+
+use std::collections::BTreeSet;
+
+use epa::apps::ScriptedApp;
+use epa::core::analysis::{lint_scenario, static_model, AppAnalysis};
+use epa::core::campaign::CampaignOptions;
+use epa::core::corpus::{synthesize, CorpusConfig, DEFAULT_CORPUS_SEED};
+use epa::core::engine::planner::{FaultKey, RunDigest};
+use epa::core::engine::Session;
+
+/// A handful of distinct corpus seeds, covering the default plus arbitrary
+/// offsets — each synthesizes a different randomized world population.
+const SEEDS: [u64; 4] = [DEFAULT_CORPUS_SEED, 7, 0xBEEF, 0x1234_5678];
+
+fn corpus(seed: u64, count: usize) -> Vec<epa::core::corpus::Scenario> {
+    synthesize(&CorpusConfig { seed, count })
+}
+
+/// The paper's step-1 guarantee: the static walk of script × world is an
+/// over-approximation of execution — every site the dynamic clean run
+/// traces is in the statically reachable set, and no site ever exceeds its
+/// static hit bound.
+#[test]
+fn traced_sites_are_a_subset_of_the_static_model() {
+    for seed in SEEDS {
+        for scenario in corpus(seed, 24) {
+            let model = static_model(&scenario.spec, &scenario.script);
+            let reachable = model.reachable();
+            let bounds = model.hit_bounds();
+            let setup = scenario.spec.materialize().expect("corpus worlds materialize");
+            let app = ScriptedApp::for_scenario(&scenario);
+            let session = Session::from_setup(setup.clone());
+            let plan = session.plan(&app);
+            let analysis = AppAnalysis::from_clean_run(&setup, &plan.clean);
+            let traced: BTreeSet<_> = analysis.traced_sites();
+            for site in &traced {
+                assert!(
+                    reachable.contains(site),
+                    "{} (seed {seed:#x}): traced site {site} missing from the static model",
+                    scenario.id
+                );
+            }
+            for (site, hits) in analysis.site_hits() {
+                let bound = bounds.get(&site).copied().unwrap_or(0);
+                assert!(
+                    hits <= bound,
+                    "{} (seed {seed:#x}): site {site} traced {hits} hits over its static bound {bound}",
+                    scenario.id
+                );
+            }
+        }
+    }
+}
+
+/// The soundness property behind `static_prune`: force-running a job the
+/// analyzer proved inert produces exactly the synthesized record — same
+/// applied flag, same exit, same audit-log length, and zero verdicts beyond
+/// the clean run's.
+#[test]
+fn provably_inert_jobs_survive_a_force_run() {
+    let mut checked = 0usize;
+    for scenario in corpus(DEFAULT_CORPUS_SEED, 40) {
+        let setup = scenario.spec.materialize().expect("corpus worlds materialize");
+        let app = ScriptedApp::for_scenario(&scenario);
+        let session = Session::from_setup(setup.clone()).with_options(CampaignOptions {
+            static_prune: false,
+            ..Default::default()
+        });
+        let plan = session.plan(&app);
+        let analysis = AppAnalysis::from_clean_run(&setup, &plan.clean);
+        let inert: Vec<_> = plan
+            .jobs()
+            .into_iter()
+            .filter(|job| analysis.classify(job).is_inert())
+            .collect();
+        if inert.is_empty() {
+            continue;
+        }
+        // Force-run the whole plan (pruning off) and compare each inert
+        // job's executed record against its synthesized digest.
+        let report = session.execute_plan(&app, &plan);
+        for job in &inert {
+            let synthesized = analysis.pruned_digest(job).expect("inert jobs synthesize a digest");
+            let executed = report
+                .records
+                .iter()
+                .find(|r| {
+                    r.site == job.site.to_string() && r.occurrence == job.occurrence && r.fault_id == job.fault.id
+                })
+                .expect("every planned job produces a record");
+            assert!(
+                !executed.pruned && !executed.cache_hit,
+                "{}: the force-run must actually execute {}",
+                scenario.id,
+                job.fault.id
+            );
+            assert_eq!(
+                RunDigest::of(executed),
+                synthesized,
+                "{}: force-run of provably-inert {} at {}#{} diverged from its synthesized record",
+                scenario.id,
+                job.fault.id,
+                job.site,
+                job.occurrence
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "the corpus must exercise at least one inert proof");
+}
+
+/// Lint output is a pure function of the scenario: re-linting the same
+/// world yields byte-identical text and JSON, independent synthesis of the
+/// same seed yields the same reports, and different seeds lint without
+/// panicking.
+#[test]
+fn lint_output_is_deterministic() {
+    for seed in SEEDS {
+        let first = corpus(seed, 12);
+        let second = corpus(seed, 12);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            let ra = lint_scenario(a);
+            let rb = lint_scenario(b);
+            assert_eq!(ra, rb, "lint diverged across synthesis of seed {seed:#x}");
+            assert_eq!(ra.render_text(), rb.render_text());
+            assert_eq!(
+                serde_json::to_string(&ra).unwrap(),
+                serde_json::to_string(&rb).unwrap(),
+                "JSON rendering diverged for {} (seed {seed:#x})",
+                a.id
+            );
+            // Re-rendering the same report is stable too.
+            assert_eq!(ra.render_text(), ra.render_text());
+        }
+    }
+}
+
+/// Documented divergence between the planner's `FaultKey` canonicalization
+/// and the analyzer's alias resolution — audited, intentional, and safe in
+/// exactly one direction.
+///
+/// `FaultKey` normalizes payload paths *lexically* (`path::clean`: `//`
+/// and `.` collapse, `..` kept) and never consults the world, so two
+/// catalog faults addressing one inode through a symlink and through its
+/// physical path get **different** keys: the planner executes both rather
+/// than conflating them. The analyzer resolves the same spellings to one
+/// physical form. The asymmetry is sound — a missed dedup costs a run,
+/// while a false merge would replay a wrong outcome — and must stay this
+/// way unless `FaultKey` learns to resolve against the frozen world.
+#[test]
+fn fault_key_stays_lexical_where_alias_analysis_resolves() {
+    use epa::core::inject::InjectionPlan;
+    use epa::core::model::EaiCategory;
+    use epa::core::perturb::{ConcreteFault, DirectFault, FaultPayload};
+    use epa::sandbox::trace::SiteId;
+
+    let fault = |path: &str| InjectionPlan {
+        site: SiteId::new("probe:read"),
+        occurrence: 0,
+        fault: ConcreteFault {
+            id: format!("probe:{path}"),
+            category: EaiCategory::Other,
+            description: String::new(),
+            semantic: None,
+            payload: FaultPayload::Direct(DirectFault::FileMakeMissing { path: path.to_string() }),
+        },
+    };
+
+    // Lexical cleanups the key does collapse.
+    assert_eq!(
+        FaultKey::of(&fault("/etc//passwd")),
+        FaultKey::of(&fault("/etc/./passwd")),
+        "cosmetic spellings must share one canonical key"
+    );
+
+    // A symlink alias the key deliberately does NOT collapse, even though
+    // the analyzer resolves both spellings to the same physical file.
+    let mut spec = epa::core::engine::WorldSpec::default();
+    spec.symlinks.push(epa::core::engine::spec::SymlinkSpec {
+        link: "/var/log".to_string(),
+        target: "/data/log".to_string(),
+    });
+    let via_link = "/var/log/app.log";
+    let physical = "/data/log/app.log";
+    let (resolved, aliased) = epa::core::analysis::statics::resolve_alias(&spec, via_link);
+    assert!(aliased);
+    assert_eq!(resolved, physical, "the analyzer resolves the alias");
+    assert_ne!(
+        FaultKey::of(&fault(via_link)),
+        FaultKey::of(&fault(physical)),
+        "FaultKey must keep alias spellings distinct (conservative: no false merges)"
+    );
+
+    // `..` components likewise stay distinct: textual resolution could
+    // conflate faults that strike different inodes across symlinked dirs.
+    assert_ne!(
+        FaultKey::of(&fault("/etc/app/../passwd")),
+        FaultKey::of(&fault("/etc/passwd")),
+        "`..` spellings must not be textually resolved"
+    );
+}

@@ -22,9 +22,8 @@ impl Application for Walker {
     }
 
     fn run(&self, os: &mut Os, pid: Pid) -> i32 {
-        let arg = match os.sys_arg(pid, "walker:arg", 0, InputSemantic::UserFileName) {
-            Ok(a) => a,
-            Err(_) => return 2,
+        let Ok(arg) = os.sys_arg(pid, "walker:arg", 0, InputSemantic::UserFileName) else {
+            return 2;
         };
         let mut seen = 0usize;
         for path in &self.files {
