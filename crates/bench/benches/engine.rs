@@ -209,11 +209,35 @@ fn emit_executor_bench_json() {
     assert_eq!(pooled_injected, fanout_injected);
     let speedup = fanout_ns as f64 / pooled_ns.max(1) as f64;
 
+    // The default path above sizes the pool from `available_parallelism`;
+    // with one CPU that is the inline no-thread path and the high-water
+    // gauge legitimately reads 0. Re-run at pinned multi-worker counts so
+    // the gauge is exercised (and recorded non-zero) on any hardware.
+    let overridden: Vec<(usize, usize)> = [4usize, 8]
+        .iter()
+        .map(|&w| {
+            executor::reset_peak_live_workers();
+            let suite_w = epa_apps::standard_suite().expect("valid specs").with_workers(w);
+            assert_eq!(suite_w.execute().total_injected(), pooled_injected);
+            let peak = executor::peak_live_workers();
+            assert!(
+                (1..=w).contains(&peak),
+                "suite pinned to {w} workers must record a 1..={w} high-water, saw {peak}"
+            );
+            (w, peak)
+        })
+        .collect();
+    let overridden_json = overridden
+        .iter()
+        .map(|(w, peak)| format!("    {{\"workers\": {w}, \"peak_live_workers\": {peak}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"bench\": \"executor\",\n  \"suite_apps\": {},\n  \"samples\": {samples},\n  \
          \"pooled_suite_ns\": {pooled_ns},\n  \"per_app_fanout_ns\": {fanout_ns},\n  \
          \"fanout_over_pooled\": {speedup:.2},\n  \"available_parallelism\": {available},\n  \
-         \"peak_live_workers\": {peak_workers}\n}}\n",
+         \"peak_live_workers\": {peak_workers},\n  \"workers_override\": [\n{overridden_json}\n  ]\n}}\n",
         cases.len()
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -309,11 +309,11 @@ fn state_fingerprint(os: &Os) -> u64 {
 /// collapse onto one physical name.
 fn physical_forms(fs: &Vfs, p: &str) -> (String, String) {
     let nofollow = match fs.walk(p, false, None) {
-        Ok(w) => w.physical,
+        Ok(w) => w.physical.to_string(),
         Err(_) => lexical_fallback(fs, p),
     };
     let follow = match fs.walk(p, true, None) {
-        Ok(w) => w.physical,
+        Ok(w) => w.physical.to_string(),
         Err(_) => nofollow.clone(),
     };
     (nofollow, follow)
@@ -328,7 +328,7 @@ fn lexical_fallback(fs: &Vfs, p: &str) -> String {
         return cleaned;
     };
     let resolved_parent = match fs.walk(&parent, true, None) {
-        Ok(w) => w.physical,
+        Ok(w) => w.physical.to_string(),
         Err(_) => lexical_fallback(fs, &parent),
     };
     if resolved_parent == "/" {
@@ -407,7 +407,7 @@ impl AppAnalysis {
         let mut read_creds: BTreeMap<String, Vec<Credentials>> = BTreeMap::new();
         for ev in clean.os.audit.events() {
             if let AuditEvent::FileRead { path, by, .. } = ev {
-                read_creds.entry(path.clone()).or_default().push(*by);
+                read_creds.entry(path.to_string()).or_default().push(*by);
             }
         }
         AppAnalysis {

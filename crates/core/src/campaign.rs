@@ -309,6 +309,12 @@ pub struct CampaignOptions {
     pub max_occurrences_per_site: usize,
     /// Run injected experiments on worker threads.
     pub parallel: bool,
+    /// Worker-thread ceiling for parallel execution. `None` (the default)
+    /// sizes the pool to the hardware — or to the `EPA_WORKERS`
+    /// environment variable when set (see [`crate::engine::Executor::new`]).
+    /// Benches and CI set an explicit count to measure 1/4/8-worker
+    /// throughput on arbitrary hardware.
+    pub workers: Option<usize>,
     /// Collapse jobs whose canonical [`crate::engine::planner::FaultKey`]s
     /// are equal: only the first executes, the rest replay its outcome with
     /// `cache_hit: true`. On by default — replays are byte-identical by
@@ -352,6 +358,7 @@ impl Default for CampaignOptions {
             max_faults_per_site: None,
             max_occurrences_per_site: 1,
             parallel: false,
+            workers: None,
             dedup: true,
             cache: None,
             plan_budget: None,
@@ -540,7 +547,7 @@ impl<'a> Campaign<'a> {
             {
                 exec_resolutions
                     .entry(requested.clone())
-                    .or_insert_with(|| resolved.clone());
+                    .or_insert_with(|| resolved.to_string());
             }
         }
         let ctx = DirectContext {
@@ -876,9 +883,13 @@ impl<'a> Campaign<'a> {
         slots[idx] = Some(record);
     }
 
-    /// A hardware-bounded pool for this campaign's injected runs.
+    /// A hardware-bounded pool for this campaign's injected runs, honoring
+    /// an explicit [`CampaignOptions::workers`] override when set.
     fn executor(&self) -> Executor {
-        Executor::new()
+        match self.options.workers {
+            Some(w) => Executor::with_workers(w),
+            None => Executor::new(),
+        }
     }
 
     /// Folds executed records into the campaign report (shared by the

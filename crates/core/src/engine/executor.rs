@@ -1,16 +1,19 @@
-//! The suite-wide work pool: one shared injected-run queue, worker count
-//! bounded by the hardware, deterministic plan-order reassembly.
+//! The suite-wide work pool: sharded per-worker deques with a steal path,
+//! worker count bounded by the hardware (overridable via `EPA_WORKERS`),
+//! deterministic plan-order reassembly.
 //!
 //! Before this module existed the workspace had two uncoordinated layers of
 //! parallelism: [`crate::engine::Suite`] spawned one thread per registered
 //! application while every campaign could additionally fan out
 //! `available_parallelism` workers with static `i % workers` partitioning —
 //! oversubscribing the machine and leaving fast workers idle behind slow
-//! static partitions. The [`Executor`] replaces both: every injected run in
-//! a suite (or campaign) goes into **one shared queue** that idle workers
-//! pull from, so load balances dynamically ("work stealing" from the shared
-//! tail) and the total number of live worker threads never exceeds
-//! [`std::thread::available_parallelism`]. Results stream back over an
+//! static partitions. The [`Executor`] replaces both. Static job lists
+//! ([`Executor::run_indexed`]) are claimed from a lock-free atomic cursor.
+//! Expanding queues ([`Executor::run_expanding`]) used to funnel every
+//! worker through one `Mutex<VecDeque>` + `Condvar`; that single hot lock
+//! is now **sharded**: each worker owns a deque, pops its own front, and
+//! steals from sibling tails when empty, so queue contention is spread
+//! over `workers` locks instead of one. Results stream back over an
 //! `mpsc` channel to the *calling* thread (so callbacks need no `Sync`) and
 //! are reassembled into deterministic plan order by job index, keeping
 //! pooled reports byte-identical to sequential ones.
@@ -54,11 +57,107 @@ impl Drop for WorkerGauge {
     }
 }
 
-/// The shared job queue (guarded by a mutex; workers sleep on the condvar
-/// while it is empty and not yet closed).
-struct Shared<J> {
-    queue: VecDeque<J>,
-    closed: bool,
+/// The sharded job queue backing [`Executor::run_expanding`]: one deque
+/// per worker plus a pool-wide pending count and sleep signal.
+///
+/// A worker pops the *front* of its own shard and steals from the *back*
+/// of sibling shards, so under load each worker mostly touches its own
+/// lock. `pending` counts queued-but-unclaimed jobs; it is decremented
+/// inside the owning shard's critical section, which orders every
+/// decrement before [`ShardedQueue::close`]'s final reset (close takes
+/// each shard lock while draining).
+struct ShardedQueue<J> {
+    shards: Vec<Mutex<VecDeque<J>>>,
+    pending: AtomicUsize,
+    /// `true` once the pool is closed; the mutex also anchors the condvar
+    /// sleep of idle workers.
+    closed: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl<J> ShardedQueue<J> {
+    fn new(workers: usize) -> ShardedQueue<J> {
+        ShardedQueue {
+            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            closed: Mutex::new(false),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Distributes `jobs` round-robin across shards starting at `from`,
+    /// then wakes every sleeping worker. Only the collector thread pushes,
+    /// so distribution order is deterministic for a given completion order.
+    fn push_many(&self, from: usize, jobs: Vec<J>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let n = jobs.len();
+        for (k, job) in jobs.into_iter().enumerate() {
+            let shard = (from + k) % self.shards.len();
+            self.shards[shard].lock().expect("shard lock").push_back(job);
+        }
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        // Empty critical section: pairs the wake-up with the sleep below
+        // so a worker cannot check `pending`, miss this push, and then
+        // sleep through the notify.
+        drop(self.closed.lock().expect("queue lock"));
+        self.ready.notify_all();
+    }
+
+    /// One pass over the shards: own front first, then sibling tails.
+    fn try_pop(&self, worker: usize) -> Option<J> {
+        let n = self.shards.len();
+        for k in 0..n {
+            let victim = (worker + k) % n;
+            let mut shard = self.shards[victim].lock().expect("shard lock");
+            let job = if k == 0 { shard.pop_front() } else { shard.pop_back() };
+            if let Some(job) = job {
+                // Decrement while still holding the shard lock (see the
+                // struct docs for why this orders against `close`).
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The blocking pop workers loop on: `None` means closed and empty.
+    fn pop(&self, worker: usize) -> Option<J> {
+        loop {
+            if self.pending.load(Ordering::SeqCst) > 0 {
+                if let Some(job) = self.try_pop(worker) {
+                    return Some(job);
+                }
+                // Raced with a sibling for the last job; fall through to
+                // the sleep check rather than spinning.
+            }
+            let mut closed = self.closed.lock().expect("queue lock");
+            loop {
+                if self.pending.load(Ordering::SeqCst) > 0 {
+                    break;
+                }
+                if *closed {
+                    return None;
+                }
+                closed = self.ready.wait(closed).expect("queue lock");
+            }
+        }
+    }
+
+    /// Closes the pool (optionally discarding queued jobs) and wakes every
+    /// sleeper. Only the collector thread calls this, so the drain cannot
+    /// race a concurrent push.
+    fn close(&self, drain: bool) {
+        if drain {
+            for shard in &self.shards {
+                shard.lock().expect("shard lock").clear();
+            }
+            self.pending.store(0, Ordering::SeqCst);
+        }
+        *self.closed.lock().expect("queue lock") = true;
+        self.ready.notify_all();
+    }
 }
 
 /// A bounded pool executing jobs from one shared queue.
@@ -85,9 +184,18 @@ impl Default for Executor {
 }
 
 impl Executor {
-    /// A pool sized to the hardware: `available_parallelism` workers.
+    /// A pool sized to the hardware (`available_parallelism` workers),
+    /// unless the `EPA_WORKERS` environment variable overrides the count
+    /// (any positive integer; benches and CI use it to measure fixed
+    /// worker counts on arbitrary hardware).
     pub fn new() -> Executor {
-        Executor::with_workers(std::thread::available_parallelism().map_or(4, std::num::NonZero::get))
+        let hw = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        let workers = std::env::var("EPA_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|w| *w > 0)
+            .unwrap_or(hw);
+        Executor::with_workers(workers)
     }
 
     /// A pool with an explicit worker ceiling (clamped to at least 1).
@@ -181,47 +289,24 @@ impl Executor {
         if outstanding == 0 {
             return;
         }
-        let shared = Mutex::new(Shared {
-            queue: VecDeque::from(seed),
-            closed: false,
-        });
-        let ready = Condvar::new();
-        let close_queue = |drain: bool| {
-            let mut state = shared.lock().expect("queue lock");
-            if drain {
-                state.queue.clear();
-            }
-            state.closed = true;
-            drop(state);
-            ready.notify_all();
-        };
+        let queue = ShardedQueue::new(self.workers);
+        queue.push_many(0, seed);
+        // Follow-up batches keep rotating through the shards so no worker
+        // starves when completions cluster on one job's children.
+        let mut next_shard = 0usize;
         std::thread::scope(|scope| {
             // Workers send caught panics instead of unwinding in place:
             // a silently dead worker would leave its siblings asleep on
             // the condvar and the collector blocked on `recv` forever.
             type Caught = Box<dyn std::any::Any + Send>;
             let (tx, rx) = mpsc::channel::<Result<T, Caught>>();
-            for _ in 0..self.workers {
+            for w in 0..self.workers {
                 let tx = tx.clone();
-                let shared = &shared;
-                let ready = &ready;
+                let queue = &queue;
                 let step = &step;
                 scope.spawn(move || {
                     let _gauge = WorkerGauge::enter();
-                    loop {
-                        let job = {
-                            let mut state = shared.lock().expect("queue lock");
-                            loop {
-                                if let Some(j) = state.queue.pop_front() {
-                                    break Some(j);
-                                }
-                                if state.closed {
-                                    break None;
-                                }
-                                state = ready.wait(state).expect("queue lock");
-                            }
-                        };
-                        let Some(job) = job else { break };
+                    while let Some(job) = queue.pop(w) {
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| step(job)));
                         let failed = outcome.is_err();
                         if tx.send(outcome).is_err() || failed {
@@ -241,27 +326,26 @@ impl Executor {
                         {
                             Ok(follow_ups) => follow_ups,
                             Err(payload) => {
-                                close_queue(true);
+                                queue.close(true);
                                 std::panic::resume_unwind(payload);
                             }
                         };
                         if !follow_ups.is_empty() {
                             outstanding += follow_ups.len();
-                            let mut state = shared.lock().expect("queue lock");
-                            state.queue.extend(follow_ups);
-                            drop(state);
-                            ready.notify_all();
+                            let count = follow_ups.len();
+                            queue.push_many(next_shard, follow_ups);
+                            next_shard = (next_shard + count) % self.workers;
                         }
                     }
                     Err(payload) => {
                         // Wake and release every worker before re-raising,
                         // or the scope join below would deadlock.
-                        close_queue(true);
+                        queue.close(true);
                         std::panic::resume_unwind(payload);
                     }
                 }
             }
-            close_queue(false);
+            queue.close(false);
         });
     }
 }

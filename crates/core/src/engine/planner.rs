@@ -65,11 +65,16 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// faults that actually strike different inodes. Indirect faults are
 /// returned untouched: they are literal value mutations and their planted
 /// text must stay byte-exact.
+///
+/// Cleaning goes through the process-wide path interner
+/// ([`epa_sandbox::intern`]): a campaign canonicalizes the same catalog
+/// targets over and over, so after the first job per target the clean is
+/// a table hit instead of a re-scan.
 fn normalized_payload(payload: &FaultPayload) -> FaultPayload {
     let FaultPayload::Direct(df) = payload else {
         return payload.clone();
     };
-    let n = |p: &str| epa_sandbox::path::clean(p);
+    let n = |p: &str| epa_sandbox::intern::intern(p).as_str().to_string();
     let direct = match df {
         DirectFault::FileMakeExist { path } => DirectFault::FileMakeExist { path: n(path) },
         DirectFault::FileMakeMissing { path } => DirectFault::FileMakeMissing { path: n(path) },

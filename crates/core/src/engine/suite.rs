@@ -73,6 +73,7 @@ pub struct Suite {
     entries: Vec<SuiteEntry>,
     sequential: bool,
     cache: ResultCache,
+    workers: Option<usize>,
 }
 
 impl Suite {
@@ -144,6 +145,15 @@ impl Suite {
         self
     }
 
+    /// Pins the pooled path to an explicit worker count instead of the
+    /// hardware/`EPA_WORKERS` default — how benches and the determinism
+    /// tests measure 1/4/8-worker throughput on arbitrary machines.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Suite {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Executes every registered campaign, discarding the event stream.
     pub fn execute(&self) -> SuiteReport {
         self.execute_with(&mut |_| {})
@@ -207,7 +217,11 @@ impl Suite {
         }
         let mut slots: Vec<AppSlot> = (0..self.entries.len()).map(|_| AppSlot::default()).collect();
         let seed: Vec<SuiteJob> = (0..self.entries.len()).map(SuiteJob::Plan).collect();
-        Executor::new().run_expanding(
+        let executor = match self.workers {
+            Some(w) => Executor::with_workers(w),
+            None => Executor::new(),
+        };
+        executor.run_expanding(
             seed,
             |job| match job {
                 SuiteJob::Plan(app) => SuiteDone::Planned {

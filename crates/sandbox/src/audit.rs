@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::cred::{Credentials, Uid};
 use crate::data::Label;
 use crate::fs::FileTag;
+use crate::intern::PathSym;
 
 /// Where emitted data became observable.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,8 +48,10 @@ impl fmt::Display for SinkKind {
 /// Facts captured when a file is written or created.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WriteInfo {
-    /// Physical path written (symlinks already expanded).
-    pub path: String,
+    /// Physical path written (symlinks already expanded). An interned
+    /// symbol: copying the event copies a pointer, and `Display` renders
+    /// lazily — no owned `String` per event.
+    pub path: PathSym,
     /// Whether the (post-symlink) target existed before the write.
     pub existed_before: bool,
     /// Owner of the pre-existing target, if any.
@@ -80,8 +83,8 @@ pub struct WriteInfo {
 pub enum AuditEvent {
     /// A file's content was read.
     FileRead {
-        /// Physical path.
-        path: String,
+        /// Physical path (interned).
+        path: PathSym,
         /// Tags on the file.
         tags: BTreeSet<FileTag>,
         /// Taint carried by the path argument.
@@ -93,8 +96,8 @@ pub enum AuditEvent {
     FileWrite(WriteInfo),
     /// A directory entry was removed.
     FileDelete {
-        /// Physical path.
-        path: String,
+        /// Physical path (interned).
+        path: PathSym,
         /// Owner of the removed object.
         owner: Uid,
         /// Tags on the removed object.
@@ -108,8 +111,8 @@ pub enum AuditEvent {
     },
     /// The process changed its working directory.
     Chdir {
-        /// Physical path of the new cwd.
-        path: String,
+        /// Physical path of the new cwd (interned).
+        path: PathSym,
         /// Owner of the directory.
         owner: Uid,
         /// Taint carried by the path argument.
@@ -121,8 +124,8 @@ pub enum AuditEvent {
     Exec {
         /// The program as named by the application.
         requested: String,
-        /// The resolved binary's physical path.
-        resolved: String,
+        /// The resolved binary's physical path (interned).
+        resolved: PathSym,
         /// Owner of the resolved binary.
         owner: Uid,
         /// Whether the binary is world-writable.
@@ -280,14 +283,26 @@ impl AuditLog {
         idx
     }
 
+    /// Appends a batch of events from one syscall in a single call,
+    /// returning the index of the first. The attached oracle observes the
+    /// whole slice through [`crate::policy::OracleSet::observe_slice`] —
+    /// one dispatch per syscall instead of one per event.
+    pub fn push_batch(&mut self, batch: impl IntoIterator<Item = AuditEvent>) -> usize {
+        let start = self.events.len();
+        self.events.extend(batch);
+        if let Some(oracle) = &mut self.oracle {
+            oracle.observe_slice(start, &self.events[start..]);
+        }
+        start
+    }
+
     /// Subscribes an oracle set to this log. Events already recorded are
     /// replayed to the set first (so attachment order cannot lose
-    /// evidence); every subsequent [`AuditLog::push`] streams to it.
-    /// Replaces any previous subscription.
+    /// evidence), as one batched slice; every subsequent
+    /// [`AuditLog::push`] streams to it. Replaces any previous
+    /// subscription.
     pub fn attach_oracle(&mut self, mut oracle: crate::policy::OracleSet) {
-        for (idx, event) in self.events.iter().enumerate() {
-            oracle.observe(idx, event);
-        }
+        oracle.observe_slice(0, &self.events);
         self.oracle = Some(Box::new(oracle));
     }
 

@@ -37,6 +37,7 @@ use serde::{Deserialize, Serialize};
 use crate::cred::{Credentials, Gid, Uid};
 use crate::data::Data;
 use crate::error::{Errno, SysResult};
+use crate::intern::{self, PathSym};
 use crate::mode::{Access, Mode};
 use crate::path;
 use crate::syserr;
@@ -53,8 +54,10 @@ pub const NAME_MAX: usize = 255;
 pub struct Walked {
     /// The resolved inode.
     pub id: InodeId,
-    /// Physical absolute path of the resolved inode (symlinks expanded).
-    pub physical: String,
+    /// Physical absolute path of the resolved inode (symlinks expanded),
+    /// as an interned symbol — `Copy`, and allocation-free to propagate
+    /// into audit events.
+    pub physical: PathSym,
     /// The physical parent directory (root's parent is root).
     pub parent: InodeId,
 }
@@ -64,8 +67,8 @@ pub struct Walked {
 pub struct ParentWalk {
     /// Inode of the parent directory.
     pub dir: InodeId,
-    /// Physical path of the parent directory.
-    pub dir_physical: String,
+    /// Physical path of the parent directory (interned).
+    pub dir_physical: PathSym,
     /// The final path component, unresolved.
     pub name: String,
 }
@@ -76,11 +79,53 @@ pub struct ParentWalk {
 /// either copy mutates, and a mutation deep-copies only the touched inodes
 /// (plus one table of pointers). Use [`Vfs::deep_clone`] when a fully
 /// materialized copy is required.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vfs {
     inodes: Arc<BTreeMap<u64, Arc<Inode>>>,
     root: InodeId,
     next_id: u64,
+    /// Reverse index `child → (parent, entry name)`, maintained by the
+    /// [`Vfs::link_child`]/[`Vfs::unlink_child`] helpers so
+    /// [`Vfs::path_of`] is O(depth) instead of a full-tree search. Pure
+    /// derived data: excluded from equality and serialization (rebuilt
+    /// on deserialize).
+    parents: Arc<BTreeMap<u64, (InodeId, PathSym)>>,
+}
+
+impl PartialEq for Vfs {
+    fn eq(&self, other: &Vfs) -> bool {
+        // `parents` is derived from the tree; comparing it would only
+        // re-state what `inodes` already says.
+        self.inodes == other.inodes && self.root == other.root && self.next_id == other.next_id
+    }
+}
+
+impl Eq for Vfs {}
+
+impl Serialize for Vfs {
+    fn ser(&self) -> serde::Value {
+        // Mirrors the old derived layout exactly (three fields, in
+        // declaration order) so serialized worlds are byte-identical.
+        serde::Value::Map(vec![
+            (String::from("inodes"), self.inodes.ser()),
+            (String::from("root"), self.root.ser()),
+            (String::from("next_id"), self.next_id.ser()),
+        ])
+    }
+}
+
+impl Deserialize for Vfs {
+    fn de(v: &serde::Value) -> Result<Vfs, serde::DeError> {
+        let map = v.as_map().ok_or_else(|| serde::DeError::expected("map", "Vfs"))?;
+        let mut vfs = Vfs {
+            inodes: Deserialize::de(serde::field(map, "inodes", "Vfs")?)?,
+            root: Deserialize::de(serde::field(map, "root", "Vfs")?)?,
+            next_id: Deserialize::de(serde::field(map, "next_id", "Vfs")?)?,
+            parents: Arc::new(BTreeMap::new()),
+        };
+        vfs.rebuild_parents();
+        Ok(vfs)
+    }
 }
 
 impl Default for Vfs {
@@ -109,6 +154,7 @@ impl Vfs {
             inodes: Arc::new(inodes),
             root,
             next_id: 2,
+            parents: Arc::new(BTreeMap::new()),
         }
     }
 
@@ -152,7 +198,58 @@ impl Vfs {
             inodes: Arc::new(self.inodes.iter().map(|(k, v)| (*k, Arc::new((**v).clone()))).collect()),
             root: self.root,
             next_id: self.next_id,
+            parents: Arc::new((*self.parents).clone()),
         }
+    }
+
+    /// Recomputes the `child → (parent, name)` reverse index from the
+    /// tree (used after deserialization, where only the tree travels).
+    fn rebuild_parents(&mut self) {
+        let mut parents = BTreeMap::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id.0) {
+                continue;
+            }
+            if let Some(entries) = self.inodes.get(&id.0).and_then(|i| i.entries()) {
+                for (name, child) in entries {
+                    parents.insert(child.0, (id, intern::intern(name)));
+                    stack.push(*child);
+                }
+            }
+        }
+        self.parents = Arc::new(parents);
+    }
+
+    /// Inserts `child` under `dir` as `name`, keeping the reverse index
+    /// in sync. Returns the entry the insert displaced, if any.
+    fn link_child(&mut self, dir: InodeId, name: &str, child: InodeId) -> SysResult<Option<InodeId>> {
+        let replaced = self
+            .inode_mut(dir)?
+            .entries_mut()
+            .expect("link_child target is a directory")
+            .insert(name.to_string(), child);
+        let parents = Arc::make_mut(&mut self.parents);
+        if let Some(old) = replaced {
+            parents.remove(&old.0);
+        }
+        parents.insert(child.0, (dir, intern::intern(name)));
+        Ok(replaced)
+    }
+
+    /// Removes `name` from `dir`, keeping the reverse index in sync.
+    /// Returns the unlinked inode, if the entry existed.
+    fn unlink_child(&mut self, dir: InodeId, name: &str) -> SysResult<Option<InodeId>> {
+        let removed = self
+            .inode_mut(dir)?
+            .entries_mut()
+            .expect("unlink_child target is a directory")
+            .remove(name);
+        if let Some(id) = removed {
+            Arc::make_mut(&mut self.parents).remove(&id.0);
+        }
+        Ok(removed)
     }
 
     /// Number of inodes whose storage is physically shared with `other`
@@ -211,10 +308,13 @@ impl Vfs {
         if !path::is_absolute(abs_path) {
             return Err(syserr!(Einval, "walk requires absolute path, got {abs_path}"));
         }
-        let mut queue: VecDeque<String> = path::components(abs_path).map(str::to_string).collect();
-        // Parallel stacks of inodes and names from the root.
+        // Components are interned symbols: a re-walked path pays zero
+        // allocations — every name and every prefix is already in the
+        // symbol table from the first walk.
+        let mut queue: VecDeque<PathSym> = path::components(abs_path).map(intern::intern).collect();
+        // Parallel stacks of inodes and resolved-prefix symbols.
         let mut inode_stack: Vec<InodeId> = vec![self.root];
-        let mut name_stack: Vec<String> = Vec::new();
+        let mut path_stack: Vec<PathSym> = vec![PathSym::root()];
         let mut budget = SYMLINK_BUDGET;
 
         while let Some(comp) = queue.pop_front() {
@@ -226,29 +326,24 @@ impl Vfs {
                 ".." => {
                     if inode_stack.len() > 1 {
                         inode_stack.pop();
-                        name_stack.pop();
+                        path_stack.pop();
                     }
                     continue;
                 }
                 _ => {}
             }
             let cur = *inode_stack.last().expect("stack never empty");
+            let here = *path_stack.last().expect("stack never empty");
             let cur_ino = self.inode(cur)?;
-            let entries = cur_ino
-                .entries()
-                .ok_or_else(|| syserr!(Enotdir, "{}", self.render(&name_stack)))?;
+            let entries = cur_ino.entries().ok_or_else(|| syserr!(Enotdir, "{here}"))?;
             if let Some(c) = cred {
                 if !cur_ino.mode.grants(cur_ino.owner, cur_ino.group, c, Access::Exec) {
-                    return Err(syserr!(
-                        Eacces,
-                        "search permission denied in {}",
-                        self.render(&name_stack)
-                    ));
+                    return Err(syserr!(Eacces, "search permission denied in {here}"));
                 }
             }
             let child = *entries
-                .get(&comp)
-                .ok_or_else(|| syserr!(Enoent, "{}/{comp}", self.render(&name_stack)))?;
+                .get(comp.as_str())
+                .ok_or_else(|| syserr!(Enoent, "{here}/{comp}"))?;
             let child_ino = self.inode(child)?;
             let is_last = queue.is_empty();
             if child_ino.is_symlink() && (!is_last || follow_last) {
@@ -256,14 +351,16 @@ impl Vfs {
                     return Err(syserr!(Eloop, "{abs_path}"));
                 }
                 budget -= 1;
-                let target = match &child_ino.kind {
-                    FileKind::Symlink(t) => t.clone(),
+                let (target_comps, target_abs) = match &child_ino.kind {
+                    FileKind::Symlink(t) => (
+                        path::components(t).map(intern::intern).collect::<Vec<PathSym>>(),
+                        path::is_absolute(t),
+                    ),
                     _ => unreachable!(),
                 };
-                let target_comps: Vec<String> = path::components(&target).map(str::to_string).collect();
-                if path::is_absolute(&target) {
+                if target_abs {
                     inode_stack.truncate(1);
-                    name_stack.clear();
+                    path_stack.truncate(1);
                 }
                 for c in target_comps.into_iter().rev() {
                     queue.push_front(c);
@@ -271,7 +368,7 @@ impl Vfs {
                 continue;
             }
             inode_stack.push(child);
-            name_stack.push(comp);
+            path_stack.push(here.join(&comp));
         }
 
         let id = *inode_stack.last().expect("stack never empty");
@@ -282,17 +379,9 @@ impl Vfs {
         };
         Ok(Walked {
             id,
-            physical: self.render(&name_stack),
+            physical: *path_stack.last().expect("stack never empty"),
             parent,
         })
-    }
-
-    fn render(&self, names: &[String]) -> String {
-        if names.is_empty() {
-            "/".to_string()
-        } else {
-            format!("/{}", names.join("/"))
-        }
     }
 
     /// Resolves the parent directory of `abs_path`, leaving the final
@@ -331,30 +420,25 @@ impl Vfs {
         })
     }
 
-    /// Reconstructs a physical path for an inode by searching from the root.
-    /// Intended for audit messages; cost is linear in tree size.
-    pub fn path_of(&self, id: InodeId) -> Option<String> {
+    /// Reconstructs the physical path of an inode by following the
+    /// parent-link index upward — O(depth), not a tree search (the old
+    /// BFS cloned the full name trail per visited node).
+    pub fn path_of(&self, id: InodeId) -> Option<PathSym> {
         if id == self.root {
-            return Some("/".to_string());
+            return Some(PathSym::root());
         }
-        let mut stack: Vec<(InodeId, Vec<String>)> = vec![(self.root, Vec::new())];
-        while let Some((cur, trail)) = stack.pop() {
-            if let Ok(ino) = self.inode(cur) {
-                if let Some(entries) = ino.entries() {
-                    for (name, child) in entries {
-                        let mut t = trail.clone();
-                        t.push(name.clone());
-                        if *child == id {
-                            return Some(format!("/{}", t.join("/")));
-                        }
-                        if self.inode(*child).is_ok_and(Inode::is_dir) {
-                            stack.push((*child, t));
-                        }
-                    }
-                }
-            }
+        let mut names: Vec<PathSym> = Vec::new();
+        let mut cur = id;
+        while cur != self.root {
+            let (parent, name) = *self.parents.get(&cur.0)?;
+            names.push(name);
+            cur = parent;
         }
-        None
+        let mut p = PathSym::root();
+        for name in names.iter().rev() {
+            p = p.join(name);
+        }
+        Some(p)
     }
 
     // ------------------------------------------------------------------
@@ -481,15 +565,11 @@ impl Vfs {
             cred.egid,
             mode.apply_umask(umask),
         );
-        let dir = self.inode_mut(pw.dir)?;
-        dir.entries_mut()
-            .expect("parent checked to be a directory")
-            .insert(pw.name.clone(), id);
-        let physical = path::join(&pw.dir_physical, &pw.name);
+        self.link_child(pw.dir, &pw.name, id)?;
         Ok((
             Walked {
                 id,
-                physical,
+                physical: pw.dir_physical.join(&pw.name),
                 parent: pw.dir,
             },
             id,
@@ -550,10 +630,7 @@ impl Vfs {
             return Err(syserr!(Eperm, "sticky: {abs_path}"));
         }
         let st = Stat::of(target_ino);
-        self.inode_mut(pw.dir)?
-            .entries_mut()
-            .expect("parent is a directory")
-            .remove(&pw.name);
+        self.unlink_child(pw.dir, &pw.name)?;
         self.table_mut().remove(&target.0);
         Ok(st)
     }
@@ -574,13 +651,10 @@ impl Vfs {
             cred.egid,
             mode.apply_umask(umask),
         );
-        self.inode_mut(pw.dir)?
-            .entries_mut()
-            .expect("parent is a directory")
-            .insert(pw.name.clone(), id);
+        self.link_child(pw.dir, &pw.name, id)?;
         Ok(Walked {
             id,
-            physical: path::join(&pw.dir_physical, &pw.name),
+            physical: pw.dir_physical.join(&pw.name),
             parent: pw.dir,
         })
     }
@@ -601,13 +675,10 @@ impl Vfs {
             cred.egid,
             Mode::new(0o777),
         );
-        self.inode_mut(pw.dir)?
-            .entries_mut()
-            .expect("parent is a directory")
-            .insert(pw.name.clone(), id);
+        self.link_child(pw.dir, &pw.name, id)?;
         Ok(Walked {
             id,
-            physical: path::join(&pw.dir_physical, &pw.name),
+            physical: pw.dir_physical.join(&pw.name),
             parent: pw.dir,
         })
     }
@@ -638,14 +709,8 @@ impl Vfs {
                 .get(&from_pw.name)
                 .ok_or_else(|| syserr!(Enoent, "{from}"))?
         };
-        self.inode_mut(from_pw.dir)?
-            .entries_mut()
-            .expect("parent is a directory")
-            .remove(&from_pw.name);
-        self.inode_mut(to_pw.dir)?
-            .entries_mut()
-            .expect("parent is a directory")
-            .insert(to_pw.name, moving);
+        self.unlink_child(from_pw.dir, &from_pw.name)?;
+        self.link_child(to_pw.dir, &to_pw.name, moving)?;
         Ok(())
     }
 
@@ -723,10 +788,7 @@ impl Vfs {
                 Some(id) => id,
                 None => {
                     let id = self.alloc(FileKind::Directory(BTreeMap::new()), owner, group, mode);
-                    self.inode_mut(cur)?
-                        .entries_mut()
-                        .expect("checked directory")
-                        .insert(comp, id);
+                    self.link_child(cur, &comp, id)?;
                     id
                 }
             };
@@ -749,15 +811,13 @@ impl Vfs {
         let name = path::file_name(abs_path)
             .ok_or_else(|| syserr!(Einval, "{abs_path}"))?
             .to_string();
-        // Replace any existing entry.
+        // Replace any existing entry (link_child drops the displaced
+        // entry's parent link; the inode itself is dropped here).
         if let Some(old) = self.inode(dir)?.entries().and_then(|e| e.get(&name)).copied() {
             self.table_mut().remove(&old.0);
         }
         let id = self.alloc(FileKind::Regular(content.into()), owner, group, mode);
-        self.inode_mut(dir)?
-            .entries_mut()
-            .expect("checked directory")
-            .insert(name, id);
+        self.link_child(dir, &name, id)?;
         Ok(id)
     }
 
@@ -772,13 +832,11 @@ impl Vfs {
                 .get(&pw.name)
                 .ok_or_else(|| syserr!(Enoent, "{abs_path}"))?
         };
-        self.inode_mut(pw.dir)?
-            .entries_mut()
-            .expect("parent is a directory")
-            .remove(&pw.name);
-        // Recursively drop unreachable children.
+        self.unlink_child(pw.dir, &pw.name)?;
+        // Recursively drop unreachable children (and their parent links).
         let mut stack = vec![target];
         while let Some(id) = stack.pop() {
+            Arc::make_mut(&mut self.parents).remove(&id.0);
             if let Some(ino) = self.table_mut().remove(&id.0) {
                 if let FileKind::Directory(entries) = &ino.kind {
                     stack.extend(entries.values().copied());
@@ -805,10 +863,7 @@ impl Vfs {
             Gid::ROOT,
             Mode::new(0o777),
         );
-        self.inode_mut(dir)?
-            .entries_mut()
-            .expect("checked directory")
-            .insert(name, id);
+        self.link_child(dir, &name, id)?;
         Ok(id)
     }
 
@@ -854,7 +909,8 @@ impl Vfs {
     }
 
     /// Verifies internal consistency: every directory entry points at a
-    /// live inode and every non-root inode is reachable. Used by tests.
+    /// live inode, every non-root inode is reachable, and the parent-link
+    /// index mirrors the tree exactly. Used by tests.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut reachable: BTreeSet<u64> = BTreeSet::new();
         let mut stack = vec![self.root];
@@ -868,13 +924,26 @@ impl Vfs {
                 .map(Arc::as_ref)
                 .ok_or(format!("dangling entry to {id}"))?;
             if let Some(entries) = ino.entries() {
-                stack.extend(entries.values().copied());
+                for (name, child) in entries {
+                    match self.parents.get(&child.0) {
+                        Some((p, n)) if *p == id && n.as_str() == name => {}
+                        other => return Err(format!("parent link for {child} is {other:?}, expected ({id}, {name})")),
+                    }
+                    stack.push(*child);
+                }
             }
         }
         for id in self.inodes.keys() {
             if !reachable.contains(id) {
                 return Err(format!("orphan inode ino:{id}"));
             }
+        }
+        if self.parents.len() != reachable.len() - 1 {
+            return Err(format!(
+                "parent index has {} entries for {} non-root inodes",
+                self.parents.len(),
+                reachable.len() - 1
+            ));
         }
         Ok(())
     }
@@ -1074,8 +1143,21 @@ mod tests {
     fn path_of_reconstructs() {
         let fs = setup();
         let w = fs.walk("/etc/shadow", true, None).unwrap();
-        assert_eq!(fs.path_of(w.id).as_deref(), Some("/etc/shadow"));
-        assert_eq!(fs.path_of(fs.root()).as_deref(), Some("/"));
+        assert_eq!(fs.path_of(w.id).map(|p| p.as_str()), Some("/etc/shadow"));
+        assert_eq!(fs.path_of(fs.root()).map(|p| p.as_str()), Some("/"));
+    }
+
+    #[test]
+    fn path_of_tracks_rename_and_removal() {
+        let mut fs = setup();
+        fs.put_file("/tmp/a", "x", Uid(100), Gid(100), Mode::new(0o644))
+            .unwrap();
+        let id = fs.walk("/tmp/a", false, None).unwrap().id;
+        fs.rename("/tmp/a", "/tmp/b", &cred(100)).unwrap();
+        assert_eq!(fs.path_of(id).map(|p| p.as_str()), Some("/tmp/b"));
+        fs.unlink("/tmp/b", &cred(100)).unwrap();
+        assert_eq!(fs.path_of(id), None);
+        fs.check_invariants().unwrap();
     }
 
     #[test]

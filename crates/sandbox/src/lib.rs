@@ -60,6 +60,7 @@ pub mod cred;
 pub mod data;
 pub mod error;
 pub mod fs;
+pub mod intern;
 pub mod mode;
 pub mod net;
 pub mod os;
@@ -74,6 +75,7 @@ pub use app::Application;
 pub use cred::{Credentials, Gid, Uid};
 pub use data::{Data, Label, PathArg};
 pub use error::{Errno, SysError, SysResult};
+pub use intern::PathSym;
 pub use mode::{Access, Mode};
 pub use os::{Os, ScenarioMeta};
 pub use policy::{Detector, Evidence, InvariantSpec, OracleSet, PolicyEngine, Verdict, Violation, ViolationKind};

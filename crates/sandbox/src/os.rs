@@ -23,6 +23,7 @@ use crate::cred::{Credentials, Gid, Uid, UserDb};
 use crate::data::{Data, Label, PathArg};
 use crate::error::{SysError, SysResult};
 use crate::fs::{FileTag, Stat, Vfs};
+use crate::intern::PathSym;
 use crate::mode::{Access, Mode};
 use crate::net::{Message, Network};
 use crate::path;
@@ -104,7 +105,7 @@ pub struct Os {
     pub scenario: ScenarioMeta,
     /// Physical paths of files created by this run (oracle support: a
     /// program re-writing its own fresh files is not an integrity problem).
-    created_paths: BTreeSet<String>,
+    created_paths: BTreeSet<PathSym>,
     interceptor: Option<Box<dyn Interceptor>>,
 }
 
@@ -194,8 +195,8 @@ impl Os {
     /// integrity problem). A pristine world has none; world fingerprints
     /// include the set so a non-pristine world can never alias a pristine
     /// one.
-    pub fn created_paths(&self) -> impl Iterator<Item = &str> {
-        self.created_paths.iter().map(String::as_str)
+    pub fn created_paths(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.created_paths.iter().map(crate::intern::PathSym::as_str)
     }
 
     /// Installs the fault-injection hook for the next run.
@@ -264,7 +265,7 @@ impl Os {
         if !self.fs.inode(w.id)?.is_dir() {
             return Err(syserr!(Enotdir, "{cwd}"));
         }
-        Ok(self.procs.insert(cred, w.physical, w.id, 0o022, env, args))
+        Ok(self.procs.insert(cred, w.physical.to_string(), w.id, 0o022, env, args))
     }
 
     /// Records a process's exit status.
@@ -507,25 +508,25 @@ impl Os {
 
     fn push_write_event(
         &mut self,
-        physical: &str,
+        physical: PathSym,
         pre: (bool, Option<Uid>, bool, BTreeSet<FileTag>),
         path_taint: BTreeSet<Label>,
         data: &Data,
         cred: Credentials,
     ) {
         let (existed_before, owner_before, invoker_could_write, target_tags) = pre;
-        let created_by_self = self.created_paths.contains(physical);
+        let created_by_self = self.created_paths.contains(&physical);
         if !existed_before {
-            self.created_paths.insert(physical.to_string());
+            self.created_paths.insert(physical);
         }
-        let (parent_tags, invoker_could_write_parent) = self.parent_info(physical);
+        let (parent_tags, invoker_could_write_parent) = self.parent_info(&physical);
         let invoker = self.invoker_cred();
         let invoker_could_read_after = self
             .fs
-            .stat(physical, None)
+            .stat(&physical, None)
             .is_ok_and(|st| st.mode.grants(st.owner, st.group, &invoker, Access::Read));
         self.audit.push(AuditEvent::FileWrite(WriteInfo {
-            path: physical.to_string(),
+            path: physical,
             existed_before,
             owner_before,
             invoker_could_write,
@@ -548,7 +549,7 @@ impl Os {
         let pre = self.pre_write_state(&abs);
         let (w, _) = self.fs.creat(&abs, Mode::new(mode), &cred, umask)?;
         self.fs.write(w.id, data, false)?;
-        self.push_write_event(&w.physical.clone(), pre, taint, data, cred);
+        self.push_write_event(w.physical, pre, taint, data, cred);
         Ok(SysReturn::Unit)
     }
 
@@ -559,7 +560,7 @@ impl Os {
         let taint = self.effective_taint(pid, path);
         let w = self.fs.create_excl(&abs, Mode::new(mode), &cred, umask)?;
         let pre = (false, None, false, BTreeSet::new());
-        self.push_write_event(&w.physical.clone(), pre, taint, &Data::new(), cred);
+        self.push_write_event(w.physical, pre, taint, &Data::new(), cred);
         Ok(SysReturn::Unit)
     }
 
@@ -583,7 +584,7 @@ impl Os {
             self.fs.write(w.id, data, false)?;
             w.physical
         };
-        self.push_write_event(&physical, pre, taint, data, cred);
+        self.push_write_event(physical, pre, taint, data, cred);
         Ok(SysReturn::Unit)
     }
 
@@ -592,7 +593,7 @@ impl Os {
         let abs = self.abs(pid, &path.path)?;
         let st = self.fs.lstat(&abs, None)?;
         let pw = self.fs.walk_parent(&abs, None)?;
-        let physical = path::join(&pw.dir_physical, &pw.name);
+        let physical = pw.dir_physical.join(&pw.name);
         let invoker = self.invoker_cred();
         let dirst = Stat::of(self.fs.inode(pw.dir)?);
         let mut could = dirst.mode.grants(dirst.owner, dirst.group, &invoker, Access::Write);
@@ -641,7 +642,7 @@ impl Os {
         let taint = self.effective_taint(pid, path);
         {
             let p = self.procs.get_mut(pid)?;
-            p.cwd = w.physical.clone();
+            p.cwd = w.physical.to_string();
             p.cwd_inode = w.id;
             p.cwd_taint = taint.clone();
         }
@@ -756,7 +757,7 @@ impl Os {
         };
         self.audit.push(AuditEvent::Exec {
             requested: program.path.clone(),
-            resolved: w.physical.clone(),
+            resolved: w.physical,
             owner,
             world_writable,
             dir_untrusted,
@@ -765,7 +766,7 @@ impl Os {
             by: cred,
         });
         Ok(SysReturn::Launched(ExecOutcome {
-            resolved: w.physical,
+            resolved: w.physical.to_string(),
             owner,
         }))
     }

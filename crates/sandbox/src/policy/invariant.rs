@@ -14,6 +14,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::audit::AuditEvent;
+use crate::intern::{self, PathSym};
 
 use super::{Detector, Evidence, Verdict, Violation, ViolationKind};
 
@@ -76,10 +77,23 @@ impl InvariantSpec {
         }
     }
 
-    /// Compiles the spec into a detector for one run.
+    /// Compiles the spec into a detector for one run. The watched path or
+    /// prefix is resolved to interned symbols *here*, once — the per-event
+    /// [`Detector::observe`] path is then allocation-free on non-matching
+    /// events (symbol compares and a precomputed prefix probe).
     pub fn detector(&self) -> Box<dyn Detector> {
+        let (watched, exec_prefix) = match self {
+            InvariantSpec::FilePristine { path } => (Some(intern::intern(path)), None),
+            InvariantSpec::ForbidExec { prefix } => (
+                Some(intern::intern(prefix)),
+                Some(format!("{}/", prefix.trim_end_matches('/'))),
+            ),
+            InvariantSpec::RequireRule { .. } => (None, None),
+        };
         Box::new(InvariantDetector {
             spec: self.clone(),
+            watched,
+            exec_prefix,
             satisfied: false,
             events_seen: 0,
             found: Vec::new(),
@@ -96,6 +110,12 @@ impl fmt::Display for InvariantSpec {
 /// The runtime form of one [`InvariantSpec`].
 struct InvariantDetector {
     spec: InvariantSpec,
+    /// The constrained path/prefix, interned once at compile time so the
+    /// hot `observe` compares symbols instead of strings.
+    watched: Option<PathSym>,
+    /// For [`InvariantSpec::ForbidExec`]: the `"<prefix>/"` probe string,
+    /// built once instead of per `Exec` event.
+    exec_prefix: Option<String>,
     /// For [`InvariantSpec::RequireRule`]: whether the check ran.
     satisfied: bool,
     /// Events observed so far (= the audit-log length at finish time, used
@@ -127,14 +147,17 @@ impl Detector for InvariantDetector {
     fn observe(&mut self, idx: usize, event: &AuditEvent) {
         self.events_seen = self.events_seen.max(idx + 1);
         match (&self.spec, event) {
-            (InvariantSpec::FilePristine { path }, AuditEvent::FileWrite(w)) if &w.path == path => {
+            (InvariantSpec::FilePristine { path }, AuditEvent::FileWrite(w)) if Some(w.path) == self.watched => {
                 self.fire(format!("declared-pristine file {path} was written"), idx, event);
             }
-            (InvariantSpec::FilePristine { path }, AuditEvent::FileDelete { path: deleted, .. }) if deleted == path => {
+            (InvariantSpec::FilePristine { path }, AuditEvent::FileDelete { path: deleted, .. })
+                if Some(*deleted) == self.watched =>
+            {
                 self.fire(format!("declared-pristine file {path} was deleted"), idx, event);
             }
             (InvariantSpec::ForbidExec { prefix }, AuditEvent::Exec { resolved, .. })
-                if resolved == prefix || resolved.starts_with(&format!("{}/", prefix.trim_end_matches('/'))) =>
+                if Some(*resolved) == self.watched
+                    || self.exec_prefix.as_deref().is_some_and(|pre| resolved.starts_with(pre)) =>
             {
                 self.fire(format!("forbidden exec of {resolved} (under {prefix})"), idx, event);
             }

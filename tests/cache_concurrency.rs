@@ -39,6 +39,37 @@ fn build_suite(cache: &ResultCache) -> Suite {
     suite
 }
 
+/// The same registrations pinned to an explicit pooled worker count —
+/// what the sharded-queue determinism test drives at 1/4/8 workers.
+fn build_pooled_suite(workers: usize) -> Suite {
+    let mut suite = Suite::new().with_result_cache(ResultCache::new()).with_workers(workers);
+    for index in INDICES {
+        let scenario = synthesize_one(DEFAULT_CORPUS_SEED, index);
+        let setup = scenario.spec.materialize().expect("corpus worlds materialize");
+        suite.register_session(ScriptedApp::for_scenario(&scenario), Session::from_setup(setup));
+    }
+    suite
+}
+
+#[test]
+fn pinned_worker_pools_stay_byte_identical_to_sequential() {
+    // The sharded executor queue must reassemble plan order regardless of
+    // how many workers raced over the shards: the full report — records,
+    // replay flags, verdicts — serializes byte-identically to sequential.
+    let sequential = build_suite(&ResultCache::new()).execute();
+    let sequential_json = serde_json::to_string(&sequential).expect("serialize");
+    for workers in [1usize, 4, 8] {
+        let pooled = build_pooled_suite(workers).execute();
+        assert_eq!(pooled, sequential, "suite at {workers} pinned workers diverged");
+        let pooled_json = serde_json::to_string(&pooled).expect("serialize");
+        assert_eq!(
+            pooled_json.as_bytes(),
+            sequential_json.as_bytes(),
+            "suite at {workers} pinned workers must serialize byte-identically to sequential"
+        );
+    }
+}
+
 #[test]
 fn simultaneous_suites_share_one_cache_without_duplicate_executions() {
     // Exhaustive cache-free baseline: the verdict set every path must find.

@@ -51,6 +51,32 @@ fn pooled_suite_reports_are_byte_identical_to_sequential() {
 }
 
 #[test]
+fn pinned_worker_counts_reassemble_byte_identical_reports() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    // The sharded queue's determinism contract on the full workload: the
+    // standard suite pinned to 1, 4 and 8 workers must reproduce the
+    // sequential report byte-for-byte, and the pinned counts must bound
+    // the worker high-water regardless of the hardware.
+    let sequential = standard_suite().expect("valid specs").sequential().execute();
+    let sequential_json = serde_json::to_string(&sequential).expect("serialize");
+    for workers in [1usize, 4, 8] {
+        executor::reset_peak_live_workers();
+        let pooled = standard_suite().expect("valid specs").with_workers(workers).execute();
+        let peak = executor::peak_live_workers();
+        assert!(
+            peak <= workers,
+            "suite pinned to {workers} workers recorded a {peak} high-water"
+        );
+        assert_eq!(pooled, sequential, "suite at {workers} pinned workers diverged");
+        assert_eq!(
+            serde_json::to_string(&pooled).expect("serialize").as_bytes(),
+            sequential_json.as_bytes(),
+            "suite at {workers} pinned workers must serialize byte-identically to sequential"
+        );
+    }
+}
+
+#[test]
 fn a_forced_multi_worker_pool_still_reassembles_plan_order() {
     let _guard = POOL_LOCK.lock().unwrap();
     // Even above the hardware ceiling (this is the machinery test, not the

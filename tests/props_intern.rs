@@ -1,0 +1,77 @@
+//! Property tests: the path interner's load-bearing invariants.
+//!
+//! The hot loop replaced owned path `String`s with interned [`PathSym`]
+//! handles on the strength of two claims, pinned here over arbitrary
+//! messy path text: a symbol's text is exactly the [`path::clean`] of its
+//! input (round trip), and symbol equality coincides exactly with clean
+//! equality — including the PR 5 rule that `..` is *preserved* by
+//! cleaning (physical resolution happens in the VFS walk, never here).
+
+use epa::sandbox::intern::{intern, PathSym};
+use epa::sandbox::path;
+use proptest::prelude::*;
+
+/// Messy path text: repeated slashes, `.` and `..` segments, short
+/// names, relative and absolute shapes.
+fn raw_path_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/?((\\.|\\.\\.|[a-z]{1,4})/{1,3}){0,6}(\\.|\\.\\.|[a-z]{1,4})?").expect("regex")
+}
+
+/// Number of literal `..` components in a path.
+fn dotdot_components(p: &str) -> usize {
+    p.split('/').filter(|c| *c == "..").count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: a symbol's text is the cleaned input, and re-interning
+    /// a symbol's own text is a fixpoint yielding the same symbol.
+    #[test]
+    fn intern_round_trips_through_clean(p in raw_path_strategy()) {
+        let sym = intern(&p);
+        prop_assert_eq!(sym.as_str(), path::clean(&p).as_str());
+        prop_assert_eq!(intern(sym.as_str()), sym);
+        prop_assert_eq!(PathSym::from(p.as_str()), sym);
+    }
+
+    /// Symbol equality ≡ clean equality: two texts intern to the same
+    /// symbol exactly when they clean to the same text.
+    #[test]
+    fn symbol_equality_is_clean_equality(a in raw_path_strategy(), b in raw_path_strategy()) {
+        let same_symbol = intern(&a) == intern(&b);
+        let same_clean = path::clean(&a) == path::clean(&b);
+        prop_assert_eq!(
+            same_symbol, same_clean,
+            "intern({:?}) vs intern({:?}): symbol equality {} but clean equality {}",
+            a, b, same_symbol, same_clean
+        );
+    }
+
+    /// The PR 5 rule: cleaning collapses `//` and `.` but preserves every
+    /// `..` component for the physical walk, so interning never conflates
+    /// `/a/b/../c` with `/a/c` (the walk may cross a symlink at `b`).
+    #[test]
+    fn dotdot_survives_interning(p in raw_path_strategy()) {
+        let sym = intern(&p);
+        prop_assert_eq!(dotdot_components(sym.as_str()), dotdot_components(&p));
+    }
+
+    /// Join agrees with the lexical join: extending a symbol by one
+    /// component is the same symbol as interning the joined text (the
+    /// `(dir, name)` cache may serve it, but never changes the answer).
+    #[test]
+    fn join_matches_lexical_join(p in raw_path_strategy(), name in "[a-z]{1,6}") {
+        let dir = intern(&p);
+        prop_assert_eq!(dir.join(&name), intern(&path::join(dir.as_str(), &name)));
+    }
+
+    /// Content order and content hash stay consistent with equality:
+    /// equal symbols compare equal, unequal symbols order by text.
+    #[test]
+    fn ordering_is_by_symbol_text(a in raw_path_strategy(), b in raw_path_strategy()) {
+        let (sa, sb) = (intern(&a), intern(&b));
+        prop_assert_eq!(sa.cmp(&sb), sa.as_str().cmp(sb.as_str()));
+        prop_assert_eq!(sa == sb, sa.as_str() == sb.as_str());
+    }
+}
