@@ -1,0 +1,65 @@
+//! [`RaceCell`]: a shared cell whose accesses are *deliberately
+//! unsynchronized at the model level*. Under `model-check` every `get`
+//! and `set` is checked against the vector-clock happens-before
+//! relation, so two accesses from different threads with no
+//! synchronization between them are reported as a data race — this is
+//! the facade's analogue of loom's `UnsafeCell`, minus the `unsafe`
+//! (storage is a real `RwLock`, which keeps the memory model sound
+//! while the *model* treats accesses as bare reads and writes).
+//!
+//! Use it in fixtures to assert that a protocol's happens-before edges
+//! actually cover its data: put the payload in a `RaceCell` and let the
+//! checker prove every access is ordered.
+
+#[cfg(feature = "model-check")]
+use crate::model::ctx;
+use std::sync::{PoisonError, RwLock};
+
+/// A race-detected shared cell (see module docs).
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    #[cfg(feature = "model-check")]
+    handle: crate::model::Handle,
+    value: RwLock<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell.
+    pub const fn new(value: T) -> RaceCell<T> {
+        RaceCell {
+            #[cfg(feature = "model-check")]
+            handle: crate::model::Handle::new(),
+            value: RwLock::new(value),
+        }
+    }
+
+    fn track(&self, write: bool) {
+        #[cfg(feature = "model-check")]
+        if let Some(c) = ctx() {
+            c.exec.cell_access(c.tid, &self.handle, "RaceCell", write);
+        }
+        #[cfg(not(feature = "model-check"))]
+        let _ = write;
+    }
+
+    /// Reads the value (a model-level unsynchronized read).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.track(false);
+        self.value.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Writes the value (a model-level unsynchronized write).
+    pub fn set(&self, value: T) {
+        self.track(true);
+        *self.value.write().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+
+    /// Read-modify-write (a model-level unsynchronized write).
+    pub fn update(&self, f: impl FnOnce(&mut T)) {
+        self.track(true);
+        f(&mut self.value.write().unwrap_or_else(PoisonError::into_inner));
+    }
+}

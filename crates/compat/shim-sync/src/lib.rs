@@ -1,0 +1,47 @@
+//! # shim-sync — the engine's synchronization facade
+//!
+//! Every lock, condvar, atomic, channel, and thread the `epa` engine uses
+//! goes through this crate instead of `std::sync`/`std::thread` directly
+//! (a CI lint enforces it). The facade has two personalities:
+//!
+//! * **Normal builds** (no features): pure re-exports of `std`. Zero
+//!   wrappers, zero overhead — the tier-1 build is byte-for-byte the std
+//!   concurrency stack.
+//! * **`model-check` builds**: the same API names resolve to model types
+//!   that route every synchronization operation through the cooperative
+//!   scheduler in [`model`]. Inside a [`model::check`] execution exactly
+//!   one thread runs at a time and every operation is a scheduling
+//!   decision, which lets the checker:
+//!
+//!   - exhaustively enumerate interleavings (bounded-preemption DFS, in
+//!     the CHESS tradition) or sample them (seeded random walk);
+//!   - maintain vector clocks and report unsynchronized shared accesses
+//!     (via [`cell::RaceCell`]) as happens-before races;
+//!   - detect deadlocks, lost condvar wakeups (all live threads parked
+//!     on condvars), lock-order cycles, and livelocks (step bound).
+//!
+//!   Outside an active execution the model types forward to their inner
+//!   std primitives, so ordinary tests still pass when the feature is
+//!   enabled workspace-wide.
+//!
+//! The crate lives under `crates/compat` with the other offline stand-ins
+//! (see `crates/compat/README.md`): no crates.io dependencies, excluded
+//! from the workspace, consumed as a path dependency.
+//!
+//! ## Model limitations (documented, by design)
+//!
+//! * Exploration is exhaustive *within the configured preemption bound*
+//!   (unbounded forced switches — blocking and exit — are always fully
+//!   explored; voluntary preemptions are budgeted). Empirically small
+//!   bounds find almost all concurrency bugs; `Report::complete` says
+//!   whether the bounded space was fully enumerated.
+//! * Threads inside an execution must be joined before the checked
+//!   closure returns (scopes do this automatically, as does `std`).
+//! * `notify_one` wakes the longest-waiting thread deterministically;
+//!   the engine only uses `notify_all`, which wakes everyone.
+
+pub mod cell;
+#[cfg(feature = "model-check")]
+pub mod model;
+pub mod sync;
+pub mod thread;

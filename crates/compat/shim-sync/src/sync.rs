@@ -1,0 +1,14 @@
+//! The `std::sync` facade: plain re-exports in normal builds, model
+//! types (which forward to std outside an active execution) under the
+//! `model-check` feature. Either way the importable surface is the
+//! same: `Arc`, `Weak`, `Mutex`, `RwLock`, `Condvar`, `OnceLock`, the
+//! poison/lock result types, and the `atomic` and `mpsc` submodules.
+
+#[cfg(feature = "model-check")]
+#[path = "sync_model.rs"]
+mod imp;
+#[cfg(not(feature = "model-check"))]
+#[path = "sync_std.rs"]
+mod imp;
+
+pub use imp::*;

@@ -1,0 +1,7 @@
+//! Normal-build personality: the std primitives themselves. Nothing is
+//! wrapped — the facade costs exactly zero.
+
+pub use std::sync::{
+    atomic, mpsc, Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, TryLockError, TryLockResult, WaitTimeoutResult, Weak,
+};

@@ -1,0 +1,12 @@
+//! The `std::thread` facade: re-exports in normal builds; under
+//! `model-check`, spawn/scope/join/yield are scheduler events of the
+//! active execution (and plain std otherwise).
+
+#[cfg(feature = "model-check")]
+#[path = "thread_model.rs"]
+mod imp;
+#[cfg(not(feature = "model-check"))]
+#[path = "thread_std.rs"]
+mod imp;
+
+pub use imp::*;

@@ -1,0 +1,5 @@
+//! Normal-build personality: std threads, unwrapped.
+
+pub use std::thread::{
+    available_parallelism, panicking, scope, sleep, spawn, yield_now, JoinHandle, Result, Scope, ScopedJoinHandle,
+};

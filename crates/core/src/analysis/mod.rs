@@ -77,8 +77,8 @@ pub mod statics;
 pub use lint::{lint_scenario, lint_setup, Diagnostic, LintReport, Severity};
 pub use statics::{static_model, StaticModel, StaticSite};
 
+use shim_sync::sync::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 

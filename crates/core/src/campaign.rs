@@ -451,11 +451,11 @@ pub struct Campaign<'a> {
     options: CampaignOptions,
     /// The memoization scope (app identity + setup fingerprint), computed
     /// at most once per campaign — the world hash is cheap, but not free.
-    scope: std::sync::OnceLock<u64>,
+    scope: shim_sync::sync::OnceLock<u64>,
     /// The static analysis of this campaign's clean run, built at most once
     /// (by [`Campaign::plan`], or lazily by the scheduler) and only when
     /// [`CampaignOptions::static_prune`] is on.
-    analysis: std::sync::OnceLock<std::sync::Arc<crate::analysis::AppAnalysis>>,
+    analysis: shim_sync::sync::OnceLock<shim_sync::sync::Arc<crate::analysis::AppAnalysis>>,
 }
 
 impl<'a> Campaign<'a> {
@@ -469,8 +469,8 @@ impl<'a> Campaign<'a> {
             app,
             setup,
             options: CampaignOptions::default(),
-            scope: std::sync::OnceLock::new(),
-            analysis: std::sync::OnceLock::new(),
+            scope: shim_sync::sync::OnceLock::new(),
+            analysis: shim_sync::sync::OnceLock::new(),
         }
     }
 
@@ -481,8 +481,8 @@ impl<'a> Campaign<'a> {
             app,
             setup,
             options,
-            scope: std::sync::OnceLock::new(),
-            analysis: std::sync::OnceLock::new(),
+            scope: shim_sync::sync::OnceLock::new(),
+            analysis: shim_sync::sync::OnceLock::new(),
         }
     }
 
@@ -516,7 +516,7 @@ impl<'a> Campaign<'a> {
     /// plan's own clean run; a direct [`Campaign::schedule`] call (no plan)
     /// performs one clean run lazily — clean runs are deterministic, so
     /// both paths build identical analyses.
-    pub(crate) fn analysis(&self) -> Option<std::sync::Arc<crate::analysis::AppAnalysis>> {
+    pub(crate) fn analysis(&self) -> Option<shim_sync::sync::Arc<crate::analysis::AppAnalysis>> {
         if !self.options.static_prune {
             return None;
         }
@@ -524,7 +524,7 @@ impl<'a> Campaign<'a> {
             self.analysis
                 .get_or_init(|| {
                     let clean = run_once(self.setup, self.app, None);
-                    std::sync::Arc::new(crate::analysis::AppAnalysis::from_clean_run(self.setup, &clean))
+                    shim_sync::sync::Arc::new(crate::analysis::AppAnalysis::from_clean_run(self.setup, &clean))
                 })
                 .clone(),
         )
@@ -534,8 +534,9 @@ impl<'a> Campaign<'a> {
     pub fn plan(&self) -> CampaignPlan {
         let clean = run_once(self.setup, self.app, None);
         if self.options.static_prune {
-            self.analysis
-                .get_or_init(|| std::sync::Arc::new(crate::analysis::AppAnalysis::from_clean_run(self.setup, &clean)));
+            self.analysis.get_or_init(|| {
+                shim_sync::sync::Arc::new(crate::analysis::AppAnalysis::from_clean_run(self.setup, &clean))
+            });
         }
         let summaries = clean.os.trace.sites();
         let reaccessed = clean.os.trace.reaccessed_files();

@@ -19,8 +19,8 @@
 //! to a minimal world diff ([`mod@super::shrink`]), and rolls the results
 //! into a [`super::report::CorpusReport`].
 
+use shim_sync::sync::Arc;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

@@ -19,8 +19,10 @@
 //! pooled reports byte-identical to sequential ones.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+
+use shim_sync::sync::atomic::{AtomicUsize, Ordering};
+use shim_sync::sync::{mpsc, Condvar, Mutex};
+use shim_sync::thread;
 
 /// Live worker-thread gauge (process-wide, across all executors).
 static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
@@ -66,7 +68,7 @@ impl Drop for WorkerGauge {
 /// inside the owning shard's critical section, which orders every
 /// decrement before [`ShardedQueue::close`]'s final reset (close takes
 /// each shard lock while draining).
-struct ShardedQueue<J> {
+pub(crate) struct ShardedQueue<J> {
     shards: Vec<Mutex<VecDeque<J>>>,
     pending: AtomicUsize,
     /// `true` once the pool is closed; the mutex also anchors the condvar
@@ -76,7 +78,7 @@ struct ShardedQueue<J> {
 }
 
 impl<J> ShardedQueue<J> {
-    fn new(workers: usize) -> ShardedQueue<J> {
+    pub(crate) fn new(workers: usize) -> ShardedQueue<J> {
         ShardedQueue {
             shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
@@ -88,16 +90,27 @@ impl<J> ShardedQueue<J> {
     /// Distributes `jobs` round-robin across shards starting at `from`,
     /// then wakes every sleeping worker. Only the collector thread pushes,
     /// so distribution order is deterministic for a given completion order.
-    fn push_many(&self, from: usize, jobs: Vec<J>) {
+    ///
+    /// Each job is counted into `pending` **inside the shard critical
+    /// section that makes it poppable**. Counting after the push loop (as
+    /// this method originally did) leaves a window where a stealing
+    /// worker pops a not-yet-counted job while a sibling pops the counted
+    /// one — two decrements against one increment underflows `pending`,
+    /// and a worker whose `pending > 0` fast path short-circuits the
+    /// `closed` check then spins forever past `close`, hanging
+    /// [`Executor::run_expanding`] at scope join. Found by the
+    /// model checker (`engine::modelcheck::check_expanding_reassembly`).
+    pub(crate) fn push_many(&self, from: usize, jobs: Vec<J>) {
         if jobs.is_empty() {
             return;
         }
-        let n = jobs.len();
         for (k, job) in jobs.into_iter().enumerate() {
             let shard = (from + k) % self.shards.len();
-            self.shards[shard].lock().expect("shard lock").push_back(job);
+            let mut guard = self.shards[shard].lock().expect("shard lock");
+            guard.push_back(job);
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            drop(guard);
         }
-        self.pending.fetch_add(n, Ordering::SeqCst);
         // Empty critical section: pairs the wake-up with the sleep below
         // so a worker cannot check `pending`, miss this push, and then
         // sleep through the notify.
@@ -123,7 +136,7 @@ impl<J> ShardedQueue<J> {
     }
 
     /// The blocking pop workers loop on: `None` means closed and empty.
-    fn pop(&self, worker: usize) -> Option<J> {
+    pub(crate) fn pop(&self, worker: usize) -> Option<J> {
         loop {
             if self.pending.load(Ordering::SeqCst) > 0 {
                 if let Some(job) = self.try_pop(worker) {
@@ -148,7 +161,7 @@ impl<J> ShardedQueue<J> {
     /// Closes the pool (optionally discarding queued jobs) and wakes every
     /// sleeper. Only the collector thread calls this, so the drain cannot
     /// race a concurrent push.
-    fn close(&self, drain: bool) {
+    pub(crate) fn close(&self, drain: bool) {
         if drain {
             for shard in &self.shards {
                 shard.lock().expect("shard lock").clear();
@@ -186,15 +199,17 @@ impl Default for Executor {
 impl Executor {
     /// A pool sized to the hardware (`available_parallelism` workers),
     /// unless the `EPA_WORKERS` environment variable overrides the count
-    /// (any positive integer; benches and CI use it to measure fixed
-    /// worker counts on arbitrary hardware).
+    /// (benches and CI use it to measure fixed worker counts on arbitrary
+    /// hardware). Malformed or absurd overrides are clamped to
+    /// `1..=available_parallelism * 4` with a warning on stderr rather
+    /// than silently ignored.
     pub fn new() -> Executor {
-        let hw = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-        let workers = std::env::var("EPA_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|w| *w > 0)
-            .unwrap_or(hw);
+        let hw = thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        let raw = std::env::var("EPA_WORKERS").ok();
+        let (workers, warning) = parse_workers(raw.as_deref(), hw);
+        if let Some(warning) = warning {
+            eprintln!("epa: {warning}");
+        }
         Executor::with_workers(workers)
     }
 
@@ -236,7 +251,7 @@ impl Executor {
         }
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = (0..jobs.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, T)>();
             for _ in 0..workers {
                 let tx = tx.clone();
@@ -294,7 +309,7 @@ impl Executor {
         // Follow-up batches keep rotating through the shards so no worker
         // starves when completions cluster on one job's children.
         let mut next_shard = 0usize;
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             // Workers send caught panics instead of unwinding in place:
             // a silently dead worker would leave its siblings asleep on
             // the condvar and the collector blocked on `recv` forever.
@@ -347,6 +362,40 @@ impl Executor {
             }
             queue.close(false);
         });
+    }
+}
+
+/// Parses and validates an `EPA_WORKERS` override against the hardware.
+///
+/// Accepted values are integers in `1..=hw * 4` (the 4x headroom covers
+/// oversubscription experiments without letting a typo spawn thousands
+/// of threads). Out-of-range values clamp to the nearest bound and
+/// non-numeric values fall back to `hw`; both return a warning for the
+/// caller to surface.
+fn parse_workers(raw: Option<&str>, hw: usize) -> (usize, Option<String>) {
+    let ceiling = hw.saturating_mul(4).max(1);
+    let Some(raw) = raw else {
+        return (hw, None);
+    };
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => (
+            1,
+            Some("EPA_WORKERS=0 is not a usable worker count; clamped to 1".into()),
+        ),
+        Ok(n) if n > ceiling => (
+            ceiling,
+            Some(format!(
+                "EPA_WORKERS={n} exceeds 4x available parallelism ({hw}); clamped to {ceiling}"
+            )),
+        ),
+        Ok(n) => (n, None),
+        Err(_) => (
+            hw,
+            Some(format!(
+                "EPA_WORKERS={trimmed:?} is not a positive integer; using {hw} workers"
+            )),
+        ),
     }
 }
 
@@ -428,6 +477,38 @@ mod tests {
             });
         }));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn epa_workers_parsing_clamps_and_warns() {
+        // Unset: hardware count, no warning.
+        assert_eq!(parse_workers(None, 8), (8, None));
+        // Plain valid values pass through (whitespace tolerated).
+        assert_eq!(parse_workers(Some("4"), 8), (4, None));
+        assert_eq!(parse_workers(Some(" 32 "), 8), (32, None));
+        // Zero clamps up to one worker.
+        let (w, warn) = parse_workers(Some("0"), 8);
+        assert_eq!(w, 1);
+        assert!(warn.expect("warns").contains("clamped to 1"));
+        // Absurd values clamp down to 4x the hardware.
+        let (w, warn) = parse_workers(Some("1000000"), 8);
+        assert_eq!(w, 32);
+        assert!(warn.expect("warns").contains("clamped to 32"));
+        // Non-numeric (including negatives, which `usize` rejects) falls
+        // back to the hardware count with a warning.
+        for bad in ["bananas", "-3", "2.5", ""] {
+            let (w, warn) = parse_workers(Some(bad), 8);
+            assert_eq!(w, 8, "input {bad:?}");
+            assert!(warn.expect("warns").contains("not a positive integer"), "input {bad:?}");
+        }
+        // Degenerate hardware report still yields a sane ceiling.
+        assert_eq!(
+            parse_workers(Some("9"), 1),
+            (
+                4,
+                Some("EPA_WORKERS=9 exceeds 4x available parallelism (1); clamped to 4".into())
+            )
+        );
     }
 
     #[test]

@@ -71,6 +71,8 @@
 //! ```
 
 pub mod executor;
+#[cfg(feature = "model-check")]
+pub mod modelcheck;
 pub mod planner;
 pub mod session;
 pub mod spec;

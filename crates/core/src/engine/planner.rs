@@ -38,7 +38,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use shim_sync::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::inject::InjectionPlan;
 use crate::model::EaiCategory;
@@ -135,6 +136,18 @@ impl FaultKey {
         let repr = format!("{}#{occurrence}|{semantic}|{payload}", job.site);
         let digest = fnv1a(repr.as_bytes());
         FaultKey { repr, digest }
+    }
+
+    /// A key from raw canonical text — for concurrency test fixtures
+    /// only (the model-check protocol fixtures and the panicking-claimant
+    /// regression test), which exercise the claim protocol without
+    /// dragging the whole payload machinery into the explored state
+    /// space.
+    pub fn synthetic(repr: &str) -> FaultKey {
+        FaultKey {
+            repr: repr.to_string(),
+            digest: fnv1a(repr.as_bytes()),
+        }
     }
 
     /// The canonical text the key hashes.
@@ -330,7 +343,7 @@ impl ClaimToken {
     /// on this claim.
     pub fn fulfill(mut self, digest: RunDigest) {
         {
-            let mut state = self.shared.state.lock().expect("result cache lock");
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             state
                 .map
                 .entry(self.scope)
@@ -350,10 +363,7 @@ impl Drop for ClaimToken {
         // Abandon: clear the pending slot (unless someone already published
         // a digest over it) and wake waiters so one of them re-claims.
         // Recover from poison rather than panicking inside a panic.
-        let mut state = match self.shared.state.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(slots) = state.map.get_mut(&self.scope) {
             if matches!(slots.get(self.repr.as_str()), Some(CacheSlot::Pending)) {
                 slots.remove(self.repr.as_str());
@@ -370,8 +380,14 @@ impl ResultCache {
         ResultCache::default()
     }
 
+    /// The state lock, recovering from poison: a job that panics mid-run
+    /// unwinds through cache operations, and the cache's invariants hold
+    /// at every drop of the guard, so the racing suite must keep going —
+    /// a poisoned mutex here would turn one bad job into a suite-wide
+    /// liveness failure (every later `begin`/`lookup`/`fulfill` panicking
+    /// in turn).
     fn lock(&self) -> MutexGuard<'_, CacheInner> {
-        self.inner.state.lock().expect("result cache lock")
+        self.inner.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Looks up the digest of an identical prior run, counting the outcome.
@@ -414,7 +430,7 @@ impl ResultCache {
                     return Claim::Replay(d);
                 }
                 Some(CacheSlot::Pending) => {
-                    state = self.inner.settled.wait(state).expect("result cache lock");
+                    state = self.inner.settled.wait(state).unwrap_or_else(PoisonError::into_inner);
                 }
                 None => {
                     state
@@ -814,13 +830,13 @@ mod tests {
         let waiter = {
             let cache = cache.clone();
             let key = key.clone();
-            std::thread::spawn(move || match cache.begin(9, &key) {
+            shim_sync::thread::spawn(move || match cache.begin(9, &key) {
                 Claim::Replay(d) => d,
                 Claim::Execute(_) => panic!("claimed key must not re-execute"),
             })
         };
         // Give the waiter a moment to block, then publish.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        shim_sync::thread::sleep(std::time::Duration::from_millis(20));
         let digest = RunDigest {
             applied: true,
             exit: Some(0),
@@ -857,6 +873,45 @@ mod tests {
             Claim::Replay(_) => panic!("abandoned claim must be reclaimable"),
         }
         assert!(matches!(cache.begin(3, &key), Claim::Replay(_)));
+    }
+
+    #[test]
+    fn panicking_claim_holder_releases_blocked_waiters() {
+        // Liveness regression: a claim holder that panics mid-run (its
+        // unwinding drops the token) must wake a waiter already blocked in
+        // begin() on another thread and hand it the claim — and the panic
+        // must not poison the protocol for later callers.
+        let job = direct_job("a", "s", 0, "/tmp/f");
+        let key = FaultKey::of(&job);
+        let cache = ResultCache::new();
+        let Claim::Execute(token) = cache.begin(5, &key) else {
+            panic!("first claim must execute");
+        };
+        let waiter = {
+            let cache = cache.clone();
+            let key = key.clone();
+            shim_sync::thread::spawn(move || match cache.begin(5, &key) {
+                Claim::Execute(t) => {
+                    t.fulfill(RunDigest {
+                        applied: true,
+                        exit: Some(0),
+                        crashed: None,
+                        audit_events: 2,
+                        violations: Vec::new(),
+                    });
+                }
+                Claim::Replay(_) => panic!("nothing was published; waiter must reclaim"),
+            })
+        };
+        shim_sync::thread::sleep(std::time::Duration::from_millis(20));
+        let holder = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _token = token;
+            panic!("deliberate mid-run panic");
+        }));
+        assert!(holder.is_err());
+        waiter.join().expect("waiter completes after the holder panics");
+        // The waiter's digest landed; the cache still works.
+        assert!(matches!(cache.begin(5, &key), Claim::Replay(_)));
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //! as an Adequacy Testing Criterion"): the unit of adequacy is the whole
 //! scenario suite, not a single program.
 
+use shim_sync::sync::Arc;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

@@ -5,8 +5,8 @@
 //! an indirect fault fires in the `after` hook (the application's received
 //! value is perturbed before its internal entity sees it).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use shim_sync::sync::atomic::{AtomicBool, Ordering};
+use shim_sync::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

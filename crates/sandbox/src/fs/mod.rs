@@ -29,8 +29,8 @@ mod inode;
 
 pub use inode::{FileKind, FileTag, FileType, Inode, InodeId, Stat};
 
+use shim_sync::sync::Arc;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

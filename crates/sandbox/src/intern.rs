@@ -28,10 +28,10 @@
 //! `benches/hotpath.rs` (a counting global allocator is off the table:
 //! the workspace forbids `unsafe_code`).
 
+use shim_sync::sync::atomic::{AtomicU64, Ordering};
+use shim_sync::sync::{OnceLock, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
 
 use crate::path;
 

@@ -9,8 +9,8 @@
 //! claimed and an actual origin; perturbation helpers mutate the queues and
 //! the service table in exactly the ways Table 6 describes.
 
+use shim_sync::sync::Arc;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

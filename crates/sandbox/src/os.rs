@@ -1413,11 +1413,12 @@ mod tests {
     #[test]
     fn hook_before_and_after_fire() {
         struct Hook {
-            fired_before: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+            fired_before: shim_sync::sync::Arc<shim_sync::sync::atomic::AtomicUsize>,
         }
         impl Interceptor for Hook {
             fn before(&mut self, _os: &mut Os, _p: &InteractionRef, _c: &Syscall) {
-                self.fired_before.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                self.fired_before
+                    .fetch_add(1, shim_sync::sync::atomic::Ordering::SeqCst);
             }
             fn after(&mut self, _os: &mut Os, _p: &InteractionRef, result: &mut SysResult<SysReturn>) {
                 if let Ok(SysReturn::Payload(d)) = result {
@@ -1426,7 +1427,7 @@ mod tests {
             }
         }
         let mut os = world();
-        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = shim_sync::sync::Arc::new(shim_sync::sync::atomic::AtomicUsize::new(0));
         os.set_interceptor(Box::new(Hook {
             fired_before: counter.clone(),
         }));
@@ -1443,7 +1444,7 @@ mod tests {
             .sys_getenv(pid, "app:getenv", "USER", InputSemantic::EnvValue)
             .unwrap();
         assert_eq!(v.text(), "student-mutated");
-        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(counter.load(shim_sync::sync::atomic::Ordering::SeqCst), 1);
         assert!(os.is_hooked());
     }
 

@@ -8,8 +8,8 @@
 //! and an enumeration of unprotected keys matching the paper's "29
 //! unprotected keys" inventory.
 
+use shim_sync::sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,223 @@
+//! Repository automation tasks, invoked as `cargo xtask <task>` (the
+//! alias lives in `.cargo/config.toml`).
+//!
+//! # `lint-sync`
+//!
+//! The engine's concurrency layer goes through the `shim_sync` facade so
+//! that every lock, thread, channel, and atomic is model-checkable under
+//! `--features model-check` (see `crates/compat/shim-sync`). A direct
+//! `std::sync` or `std::thread` use in `epa-core` or `epa-sandbox`
+//! silently escapes the checker — the schedule explorer never sees the
+//! operation, so races through it are unreachable by construction. This
+//! task scans those crates' sources and fails CI on any direct use
+//! outside the allowlist. Comments are exempt (docs legitimately name
+//! the std types the facade mirrors).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The source roots that must route all synchronization through the
+/// facade. Tests and benches under `tests/`/`benches/` are exempt: they
+/// drive real OS threads on purpose.
+const SCAN_ROOTS: &[&str] = &["crates/core/src", "crates/sandbox/src"];
+
+/// Tokens that indicate a bypass of the facade.
+const FORBIDDEN: &[&str] = &["std::sync", "std::thread"];
+
+/// Sanctioned direct uses: `(path suffix, token)` pairs. An entry must
+/// carry a comment explaining why the facade cannot serve that site.
+/// Currently empty — the whole engine goes through the shim.
+const ALLOW: &[(&str, &str)] = &[];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-sync") => lint_sync(),
+        Some(task) => {
+            eprintln!("xtask: unknown task `{task}` (available: lint-sync)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint-sync  forbid direct std::sync/std::thread outside the shim_sync facade");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One direct-use hit: file, 1-based line, the token found.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    token: &'static str,
+}
+
+fn lint_sync() -> ExitCode {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    for root in SCAN_ROOTS {
+        let dir = repo.join(root);
+        assert!(
+            dir.is_dir(),
+            "scan root {} missing — tree layout changed?",
+            dir.display()
+        );
+        collect_rs_files(&dir, &mut files);
+    }
+    // A soundness floor: if a refactor moves the sources and the scan
+    // silently covers nothing, that must fail loudly, not pass.
+    assert!(
+        files.len() >= 10,
+        "lint-sync scanned only {} files — scan roots stale?",
+        files.len()
+    );
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let rel = file.strip_prefix(&repo).unwrap_or(file);
+        violations.extend(scan_source(rel, &text));
+    }
+
+    if violations.is_empty() {
+        println!(
+            "lint-sync OK: {} files in {} scanned, no direct std::sync/std::thread use",
+            files.len(),
+            SCAN_ROOTS.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!(
+                "lint-sync: {}:{}: direct `{}` use — route it through `shim_sync` so the \
+                 model checker can see it (or allowlist it in crates/xtask/src/main.rs with \
+                 a justification)",
+                v.file.display(),
+                v.line,
+                v.token
+            );
+        }
+        eprintln!("lint-sync: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("directory entry").path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one file's text, honoring comments and the allowlist.
+fn scan_source(rel: &Path, text: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut in_block_comment = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_comments(raw, &mut in_block_comment);
+        for &token in FORBIDDEN {
+            if !code.contains(token) {
+                continue;
+            }
+            let allowed = ALLOW
+                .iter()
+                .any(|(suffix, tok)| *tok == token && rel.to_string_lossy().ends_with(suffix));
+            if !allowed {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    token,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Returns `line` with `//` line comments and `/* ... */` block-comment
+/// spans removed, tracking block state across lines. String literals are
+/// not parsed — a forbidden token inside a string is still flagged, which
+/// errs on the loud side.
+fn strip_comments(line: &str, in_block: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    loop {
+        if *in_block {
+            match rest.find("*/") {
+                Some(end) => {
+                    *in_block = false;
+                    rest = &rest[end + 2..];
+                }
+                None => return out,
+            }
+        }
+        let line_at = rest.find("//");
+        let block_at = rest.find("/*");
+        match (line_at, block_at) {
+            (Some(l), None) => {
+                out.push_str(&rest[..l]);
+                return out;
+            }
+            (Some(l), Some(b)) if l < b => {
+                out.push_str(&rest[..l]);
+                return out;
+            }
+            (_, Some(b)) => {
+                out.push_str(&rest[..b]);
+                *in_block = true;
+                rest = &rest[b + 2..];
+            }
+            (None, None) => {
+                out.push_str(rest);
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(text: &str) -> Vec<(usize, &'static str)> {
+        scan_source(Path::new("crates/core/src/x.rs"), text)
+            .into_iter()
+            .map(|v| (v.line, v.token))
+            .collect()
+    }
+
+    #[test]
+    fn direct_uses_are_flagged_with_line_numbers() {
+        let text = "use std::sync::Mutex;\nfn f() {}\nstd::thread::spawn(|| {});\n";
+        assert_eq!(hits(text), vec![(1, "std::sync"), (3, "std::thread")]);
+    }
+
+    #[test]
+    fn comments_are_exempt() {
+        let text = "// std::sync is mirrored by the facade\n\
+                    /// docs may say std::thread\n\
+                    /* block std::sync\nspanning std::thread lines */ let x = 1;\n\
+                    let y = 2; // trailing std::sync note\n";
+        assert_eq!(hits(text), vec![]);
+    }
+
+    #[test]
+    fn code_after_a_block_comment_is_still_scanned() {
+        let text = "/* doc */ use std::sync::Arc;\n";
+        assert_eq!(hits(text), vec![(1, "std::sync")]);
+    }
+
+    #[test]
+    fn the_allowlist_is_keyed_by_path_suffix_and_token() {
+        // No current entries, so even the facade-adjacent names flag.
+        let text = "use std::sync::Mutex as StdMutex;\n";
+        assert_eq!(hits(text).len(), 1);
+    }
+}

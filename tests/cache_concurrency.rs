@@ -10,7 +10,7 @@
 use epa::apps::ScriptedApp;
 use epa::core::campaign::CampaignOptions;
 use epa::core::corpus::{synthesize_one, DEFAULT_CORPUS_SEED};
-use epa::core::engine::planner::ResultCache;
+use epa::core::engine::planner::{Claim, FaultKey, ResultCache, RunDigest};
 use epa::core::engine::{Session, Suite};
 use epa::core::report::CampaignReport;
 
@@ -67,6 +67,68 @@ fn pinned_worker_pools_stay_byte_identical_to_sequential() {
             sequential_json.as_bytes(),
             "suite at {workers} pinned workers must serialize byte-identically to sequential"
         );
+    }
+}
+
+#[test]
+fn panicking_job_neither_strands_waiters_nor_poisons_the_shared_cache() {
+    // Regression test for worker-panic liveness: a claimant whose job
+    // panics drops its token during the unwind, which both abandons the
+    // claim *and* poisons the cache's internal mutex (the token's drop
+    // holds the lock while the thread is panicking). Before the cache
+    // tolerated poisoning, every later suite sharing this cache died on
+    // `lock().unwrap()`; before abandoned claims woke waiters, a suite
+    // blocked on the same key hung forever.
+    let shared = ResultCache::new();
+    let key = FaultKey::synthetic("panicky-site#0|-|{}");
+    const SCOPE: u64 = 7;
+
+    let claimant = std::thread::spawn({
+        let shared = shared.clone();
+        let key = key.clone();
+        move || {
+            let Claim::Execute(_token) = shared.begin(SCOPE, &key) else {
+                panic!("the first claimant must win the claim");
+            };
+            panic!("injected job panic (expected; the token drops mid-unwind)");
+        }
+    });
+    assert!(claimant.join().is_err(), "the claimant thread must have panicked");
+
+    // Liveness: the abandoned claim is immediately reclaimable, and the
+    // reclaimed slot settles into a replayable digest as usual.
+    let Claim::Execute(token) = shared.begin(SCOPE, &key) else {
+        panic!("an abandoned claim must be reclaimable, not stuck Pending");
+    };
+    token.fulfill(RunDigest {
+        applied: true,
+        exit: Some(0),
+        crashed: None,
+        audit_events: 0,
+        violations: Vec::new(),
+    });
+    assert!(
+        matches!(shared.begin(SCOPE, &key), Claim::Replay(_)),
+        "the rescued slot must replay"
+    );
+
+    // The poisoned cache must still drive full racing suites to
+    // completion, with verdicts identical to a cold run's.
+    let cold = build_suite(&ResultCache::new()).execute();
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| build_suite(&shared).execute());
+        let tb = scope.spawn(|| build_suite(&shared).execute());
+        (ta.join().expect("suite thread A"), tb.join().expect("suite thread B"))
+    });
+    for (label, report) in [("A", &a), ("B", &b)] {
+        assert_eq!(report.reports.len(), cold.reports.len());
+        for (got, want) in report.reports.iter().zip(&cold.reports) {
+            assert_eq!(
+                executed_view(got),
+                executed_view(want),
+                "suite {label} over the poisoned cache diverged from the cold run"
+            );
+        }
     }
 }
 
