@@ -4,9 +4,14 @@
 //! cargo run -p epa-bench --bin reproduce -- all
 //! cargo run -p epa-bench --bin reproduce -- table1 turnin figure2
 //! cargo run -p epa-bench --bin reproduce -- suite --json   # + SUITE_report.json
+//! cargo run -p epa-bench --bin reproduce -- suite --store .epa-store   # warm-replayable
+//! cargo run -p epa-bench --bin reproduce -- store verify --store .epa-store
 //! cargo run -p epa-bench --bin reproduce -- corpus --json --seed 7 --count 32
 //! cargo run -p epa-bench --bin reproduce -- lint --json    # + LINT_report.json
 //! ```
+//!
+//! `EPA_CACHE_DIR` configures the persistent result store when `--store`
+//! is absent (the same flag-beats-environment contract as `EPA_WORKERS`).
 //!
 //! The subcommand table (names, flags, descriptions, dispatch) lives in
 //! [`epa_bench::cli`]; this binary only parses arguments.
@@ -31,35 +36,69 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String>
     parsed.map(Some).map_err(|_| format!("{flag}: `{raw}` is not a number"))
 }
 
+/// Parses a `--flag value` pair whose value is arbitrary text (a path),
+/// removing both tokens.
+fn take_string_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(raw))
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let (seed, count) =
-        match (|| Ok::<_, String>((take_value(&mut args, "--seed")?, take_value(&mut args, "--count")?)))() {
-            Ok(values) => values,
-            Err(e) => {
-                eprintln!("reproduce: {e}");
-                std::process::exit(2);
-            }
-        };
+    let parsed = (|| {
+        Ok::<_, String>((
+            take_value(&mut args, "--seed")?,
+            take_value(&mut args, "--count")?,
+            take_value(&mut args, "--ttl")?,
+            take_string_value(&mut args, "--store")?,
+        ))
+    })();
+    let (seed, count, ttl, store) = match parsed {
+        Ok(values) => values,
+        Err(e) => {
+            eprintln!("reproduce: {e}");
+            std::process::exit(2);
+        }
+    };
     let json = args.iter().any(|a| a == "--json");
-    let opts = RunOptions {
+    let mut opts = RunOptions {
         json,
         seed,
         count: count.map(|c| c as usize),
+        store,
+        store_op: None,
+        ttl,
     };
     if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
         print!("{}", cli::usage());
         return;
     }
-    let names: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--json").collect();
-    let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
+    let mut names: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
+    // The `store` subcommand takes a positional operation; capture it here
+    // so the dispatch loop below stays one-name-per-subcommand.
+    if let Some(pos) = names.iter().position(|n| n == "store") {
+        if let Some(op) = names.get(pos + 1) {
+            if ["stats", "prune", "verify"].contains(&op.as_str()) {
+                opts.store_op = Some(op.clone());
+                names.remove(pos + 1);
+            }
+        }
+    }
+    let selected: Vec<&str> = if names.is_empty() || names.iter().any(|n| n == "all") {
         cli::SUBCOMMANDS.iter().map(|s| s.name).collect()
     } else {
-        names
+        names.iter().map(String::as_str).collect()
     };
     let mut failed = false;
     for name in selected {
-        if let Err(e) = cli::run(name, opts) {
+        if let Err(e) = cli::run(name, opts.clone()) {
             eprintln!("reproduce: {e}");
             eprint!("{}", cli::usage());
             failed = true;

@@ -10,7 +10,7 @@
 use crate::experiments;
 
 /// Options shared by the experiments that take values.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 pub struct RunOptions {
     /// Also write the machine-readable artifact next to the workspace root.
     pub json: bool,
@@ -18,6 +18,13 @@ pub struct RunOptions {
     pub seed: Option<u64>,
     /// Corpus scenario-count override (`--count`).
     pub count: Option<usize>,
+    /// Persistent result-store directory (`--store`; `EPA_CACHE_DIR` when
+    /// absent). Validated by [`epa_core::store::resolve_store_dir`].
+    pub store: Option<String>,
+    /// The `store` subcommand's operation (`stats`, `prune`, `verify`).
+    pub store_op: Option<String>,
+    /// TTL in seconds for `store prune` (`--ttl`).
+    pub ttl: Option<u64>,
 }
 
 /// One `reproduce` subcommand: its name, extra-argument syntax, one-line
@@ -121,9 +128,15 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "suite",
-        args: "[--json]",
+        args: "[--json] [--store DIR]",
         about: "eight-application standard suite + class rollup",
         run: run_suite,
+    },
+    Subcommand {
+        name: "store",
+        args: "[stats|prune|verify] [--store DIR] [--count N] [--ttl SECS]",
+        about: "persistent result-store maintenance (default: stats)",
+        run: run_store,
     },
     Subcommand {
         name: "corpus",
@@ -173,7 +186,44 @@ fn write_artifact<T: serde::Serialize>(json: bool, name: &str, value: &T) -> Res
 }
 
 fn run_suite(opts: RunOptions) -> Result<(), String> {
-    let report = experiments::suite();
+    // A persistent store (from `--store` or `EPA_CACHE_DIR`) turns the
+    // suite into a warm-replayable run: every executed digest is written
+    // through, and the lockfile manifest pins the plan's store keys.
+    // Validation failures warn and fall back to in-memory memoization —
+    // they never fail the experiment (the `EPA_WORKERS` contract).
+    let resolution = epa_core::store::resolve_store_dir_env(opts.store.as_deref());
+    if let Some(warning) = &resolution.warning {
+        eprintln!("reproduce: {warning}");
+    }
+    let persistent = resolution
+        .dir
+        .and_then(|dir| match epa_core::engine::ResultCache::persistent(&dir) {
+            Ok(cache) => Some((dir, cache)),
+            Err(e) => {
+                eprintln!(
+                    "reproduce: store at {}: {e}; falling back to in-memory memoization",
+                    dir.display()
+                );
+                None
+            }
+        });
+    let report = match &persistent {
+        Some((dir, cache)) => {
+            let (report, manifest) = experiments::suite_with_cache(cache.clone());
+            let path = manifest
+                .write_to(dir)
+                .map_err(|e| format!("suite: writing manifest: {e}"))?;
+            let stats = cache.stats();
+            println!(
+                "store: {} ({} warm replays from disk this run)",
+                dir.display(),
+                stats.store_hits
+            );
+            println!("manifest: {} ({} store keys)", path.display(), manifest.store_keys());
+            report
+        }
+        None => experiments::suite(),
+    };
     print!("{}", report.render_text());
     // Roll the verdict stream up by vulnerability class: each verdict's
     // policy family crossed with its fault's EAI category, classified
@@ -183,6 +233,112 @@ fn run_suite(opts: RunOptions) -> Result<(), String> {
         epa_vulndb::render_class_rollup(&epa_vulndb::suite_class_rollup(&report))
     );
     write_artifact(opts.json, "SUITE_report.json", &report)
+}
+
+/// The `store` subcommand: maintenance operations on a persistent result
+/// store. Without a configured directory every operation is a no-op with a
+/// note (so the `all` sweep stays green on machines without a store).
+fn run_store(opts: RunOptions) -> Result<(), String> {
+    use epa_core::store::{DiskStore, PruneOptions, SuiteManifest};
+    let op = opts.store_op.as_deref().unwrap_or("stats");
+    let resolution = epa_core::store::resolve_store_dir_env(opts.store.as_deref());
+    if let Some(warning) = &resolution.warning {
+        eprintln!("reproduce: {warning}");
+    }
+    let Some(dir) = resolution.dir else {
+        println!("store: no store directory configured (pass --store DIR or set EPA_CACHE_DIR); nothing to {op}");
+        return Ok(());
+    };
+    let store = DiskStore::open(&dir).map_err(|e| format!("store: {e}"))?;
+    match op {
+        "stats" => {
+            let stats = store.stats();
+            println!("store: {}", dir.display());
+            println!(
+                "  entries: {}   bytes: {}   buckets: {}   quarantined buckets: {}",
+                stats.entries, stats.bytes, stats.buckets, stats.quarantined_buckets
+            );
+            match SuiteManifest::load_from(&dir).map_err(|e| format!("store: {e}"))? {
+                Some(manifest) => println!(
+                    "  manifest: {} application(s), {} store keys",
+                    manifest.apps.len(),
+                    manifest.store_keys()
+                ),
+                None => println!("  manifest: none (run `suite --store {}` to write one)", dir.display()),
+            }
+            Ok(())
+        }
+        "prune" => {
+            // Defaults: keep 4096 entries, expire after 30 days unused.
+            let options = PruneOptions {
+                max_entries: Some(opts.count.unwrap_or(4096)),
+                ttl: Some(std::time::Duration::from_secs(opts.ttl.unwrap_or(30 * 24 * 60 * 60))),
+            };
+            let report = store.prune(options);
+            println!(
+                "store: pruned {} — examined {}, expired {}, evicted {}, remaining {}",
+                dir.display(),
+                report.examined,
+                report.expired,
+                report.evicted,
+                report.remaining
+            );
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify();
+            println!(
+                "store: verify {} — {} entr{} ok, {} corrupt, {} quarantined bucket(s)",
+                dir.display(),
+                report.ok,
+                if report.ok == 1 { "y" } else { "ies" },
+                report.corrupt.len(),
+                report.quarantined.len()
+            );
+            for line in &report.corrupt {
+                println!("  corrupt: {line}");
+            }
+            for bucket in &report.quarantined {
+                println!("  quarantined: {bucket}");
+            }
+            let mut failures = Vec::new();
+            if !report.is_clean() {
+                failures.push(format!(
+                    "{} corrupt entr(ies), {} quarantined bucket(s)",
+                    report.corrupt.len(),
+                    report.quarantined.len()
+                ));
+            }
+            match SuiteManifest::load_from(&dir).map_err(|e| format!("store: {e}"))? {
+                Some(manifest) => {
+                    let check = manifest.verify(&store);
+                    println!(
+                        "  manifest: {} key(s) present, {} missing",
+                        check.present,
+                        check.missing.len()
+                    );
+                    for (app, digest) in &check.missing {
+                        println!("  missing: {app} {digest}");
+                    }
+                    if !check.is_complete() {
+                        failures.push(format!(
+                            "{} manifest key(s) missing from the store",
+                            check.missing.len()
+                        ));
+                    }
+                }
+                None => println!("  manifest: none"),
+            }
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("store: verify failed: {}", failures.join("; ")))
+            }
+        }
+        other => Err(format!(
+            "store: unknown operation `{other}` (expected stats, prune or verify)"
+        )),
+    }
 }
 
 fn run_corpus(opts: RunOptions) -> Result<(), String> {
@@ -284,9 +440,32 @@ mod tests {
                 assert!(help.contains(sub.args), "`{}` args missing from usage()", sub.name);
             }
         }
-        for expected in ["lint", "corpus", "suite", "clean", "table1", "figure2"] {
+        for expected in ["lint", "corpus", "suite", "store", "clean", "table1", "figure2"] {
             assert!(find(expected).is_some(), "`{expected}` not in SUBCOMMANDS");
         }
+    }
+
+    /// `store` without a configured directory is a no-op note, not a
+    /// failure — the `all` sweep must stay green on storeless machines.
+    /// Unknown operations are rejected with the operation menu.
+    #[test]
+    fn store_subcommand_is_vacuous_without_a_directory_and_rejects_bad_ops() {
+        // The environment is not consulted when an explicit blank wins.
+        let vacuous = RunOptions {
+            store: Some("   ".to_string()),
+            store_op: Some("verify".to_string()),
+            ..RunOptions::default()
+        };
+        assert_eq!(run("store", vacuous), Ok(()));
+        let dir = std::env::temp_dir().join(format!("epa-cli-store-{}", std::process::id()));
+        let bad = RunOptions {
+            store: Some(dir.to_string_lossy().to_string()),
+            store_op: Some("defragment".to_string()),
+            ..RunOptions::default()
+        };
+        let err = run("store", bad).unwrap_err();
+        assert!(err.contains("unknown operation"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Unknown names fail with the canonical error, so the binary's exit

@@ -697,6 +697,20 @@ pub fn suite() -> SuiteReport {
         .execute()
 }
 
+/// As [`suite`], layered over `cache` (typically
+/// [`epa_core::engine::ResultCache::persistent`]): executes the standard
+/// suite with every digest written through to the cache's backend, and
+/// returns the report together with the suite's lockfile manifest — the
+/// exact store keys a warm cross-process replay needs.
+pub fn suite_with_cache(cache: epa_core::engine::ResultCache) -> (SuiteReport, epa_core::store::SuiteManifest) {
+    let suite = epa_apps::standard_suite()
+        .expect("the case-study specs are valid")
+        .with_result_cache(cache);
+    let report = suite.execute();
+    let manifest = suite.manifest();
+    (report, manifest)
+}
+
 // ----------------------------------------------------------------------
 // The property-based scenario corpus
 // ----------------------------------------------------------------------

@@ -39,12 +39,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
 use shim_sync::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::inject::InjectionPlan;
 use crate::model::EaiCategory;
 use crate::perturb::{DirectFault, FaultPayload};
 use crate::report::FaultRecord;
+use crate::store::ResultStore;
 
 /// 64-bit FNV-1a over a byte string — the workspace's content-address hash
 /// (stable across runs and platforms, no external dependency).
@@ -171,7 +173,13 @@ impl fmt::Display for FaultKey {
 /// carries except the plan-side identity (site, occurrence, fault id,
 /// category, description), which each replayed record takes from its own
 /// job.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable: this is the payload of a persistent
+/// [`crate::store::DiskStore`] entry, wrapped in the versioned,
+/// checksummed wire format of [`crate::store::encode_entry`]. A field
+/// change here is a wire-format change — bump
+/// [`crate::store::STORE_FORMAT_VERSION`] with it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunDigest {
     /// Whether the fault fired during the run.
     pub applied: bool,
@@ -242,12 +250,15 @@ impl RunDigest {
 /// Observable counters of a [`ResultCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Distinct `(scope, key)` entries stored.
+    /// Distinct `(scope, key)` entries in the in-memory hot tier.
     pub entries: usize,
-    /// Lookups that found a digest.
+    /// Lookups that found a digest (hot tier or backend).
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// The subset of `hits` served by the persistent backend (and promoted
+    /// into the hot tier) rather than by process-local memory.
+    pub store_hits: u64,
 }
 
 /// One memo slot: either an in-flight claim or a completed digest.
@@ -270,6 +281,7 @@ struct CacheInner {
     map: BTreeMap<u64, BTreeMap<String, CacheSlot>>,
     hits: u64,
     misses: u64,
+    store_hits: u64,
 }
 
 #[derive(Default)]
@@ -278,6 +290,31 @@ struct CacheShared {
     /// Signalled whenever a slot changes state (fulfilled or abandoned),
     /// waking [`ResultCache::begin`] waiters.
     settled: Condvar,
+    /// The persistent tier, when configured. Consulted outside the state
+    /// lock (disk I/O must not stall waiters); hits are promoted into the
+    /// in-memory map, so each `(scope, key)` pays for the disk at most
+    /// once per process. `None` = memory-only, the pre-store behavior.
+    backend: Option<Arc<dyn ResultStore>>,
+}
+
+impl CacheShared {
+    /// Publishes `digest` into the in-memory map unless a completed digest
+    /// already occupies the slot (an in-flight claim is overwritten: by
+    /// the scope/key contract the claimant is computing this exact
+    /// digest). Returns with waiters still asleep; callers notify.
+    fn promote(state: &mut CacheInner, scope: u64, repr: &str, digest: &RunDigest) {
+        let slot = state.map.entry(scope).or_default().entry(repr.to_string());
+        match slot {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                if matches!(o.get(), CacheSlot::Pending) {
+                    o.insert(CacheSlot::Ready(digest.clone()));
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(CacheSlot::Ready(digest.clone()));
+            }
+        }
+    }
 }
 
 /// A suite-scoped memo of executed runs: `(scope, FaultKey) -> RunDigest`.
@@ -292,7 +329,12 @@ struct CacheShared {
 /// The handle is cheaply cloneable (`Arc`-backed) and thread-safe; a
 /// [`crate::engine::Suite`] installs one shared cache across all of its
 /// campaigns, and callers can hold onto it across suite executions for
-/// cross-run memoization.
+/// cross-run memoization. For cross-**process** memoization, layer the
+/// cache over a persistent [`crate::store::ResultStore`] backend
+/// ([`ResultCache::with_store`] / [`ResultCache::persistent`]): the
+/// in-memory map stays the hot tier — lock-cheap, claim-coordinating —
+/// and the backend serves first-touch hits and receives every completed
+/// digest.
 ///
 /// Beyond completed digests the cache tracks *in-flight claims*
 /// ([`ResultCache::begin`]): when two threads — parallel campaign workers,
@@ -340,7 +382,7 @@ impl fmt::Debug for ClaimToken {
 
 impl ClaimToken {
     /// Publishes the executed run's digest, releasing every waiter blocked
-    /// on this claim.
+    /// on this claim and writing through to the persistent backend.
     pub fn fulfill(mut self, digest: RunDigest) {
         {
             let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
@@ -348,10 +390,13 @@ impl ClaimToken {
                 .map
                 .entry(self.scope)
                 .or_default()
-                .insert(self.repr.clone(), CacheSlot::Ready(digest));
+                .insert(self.repr.clone(), CacheSlot::Ready(digest.clone()));
         }
         self.fulfilled = true;
         self.shared.settled.notify_all();
+        if let Some(backend) = &self.shared.backend {
+            backend.save(self.scope, &FaultKey::synthetic(&self.repr), &digest);
+        }
     }
 }
 
@@ -375,9 +420,38 @@ impl Drop for ClaimToken {
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> ResultCache {
         ResultCache::default()
+    }
+
+    /// A cache layered over a [`ResultStore`] backend: the in-memory map
+    /// stays the hot tier (and the claim-coordination layer — hot keys
+    /// never touch the backend), while every completed digest is written
+    /// through to `store` and backend hits are promoted on first touch.
+    pub fn with_store(store: Arc<dyn ResultStore>) -> ResultCache {
+        ResultCache {
+            inner: Arc::new(CacheShared {
+                backend: Some(store),
+                ..CacheShared::default()
+            }),
+        }
+    }
+
+    /// A cache backed by a persistent [`crate::store::DiskStore`] at
+    /// `dir` — the one-call setup for cross-process memoization.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::store::DiskStore::open`] failure (filesystem errors, a
+    /// foreign store version, a non-empty non-store directory).
+    pub fn persistent(dir: impl AsRef<std::path::Path>) -> std::io::Result<ResultCache> {
+        Ok(ResultCache::with_store(Arc::new(crate::store::DiskStore::open(dir)?)))
+    }
+
+    /// The persistent backend, when one is configured.
+    pub fn store(&self) -> Option<&Arc<dyn ResultStore>> {
+        self.inner.backend.as_ref()
     }
 
     /// The state lock, recovering from poison: a job that panics mid-run
@@ -392,10 +466,12 @@ impl ResultCache {
 
     /// Looks up the digest of an identical prior run, counting the outcome.
     ///
-    /// Never blocks: an in-flight claim reads as a miss, so schedule
-    /// construction (which runs on the suite's event-loop thread) stays
-    /// non-blocking; the executing path resolves the race in
-    /// [`ResultCache::begin`] instead.
+    /// Never blocks on other threads: an in-flight claim reads as a miss,
+    /// so schedule construction (which runs on the suite's event-loop
+    /// thread) stays non-blocking; the executing path resolves the race in
+    /// [`ResultCache::begin`] instead. A vacant slot consults the
+    /// persistent backend (outside the lock) and promotes a hit into the
+    /// hot tier, so the disk is read at most once per `(scope, key)`.
     pub fn lookup(&self, scope: u64, key: &FaultKey) -> Option<RunDigest> {
         let mut inner = self.lock();
         match inner.map.get(&scope).and_then(|m| m.get(key.repr())) {
@@ -404,9 +480,34 @@ impl ResultCache {
                 inner.hits += 1;
                 Some(d)
             }
-            Some(CacheSlot::Pending) | None => {
+            Some(CacheSlot::Pending) => {
                 inner.misses += 1;
                 None
+            }
+            None => {
+                let Some(backend) = &self.inner.backend else {
+                    inner.misses += 1;
+                    return None;
+                };
+                drop(inner);
+                let fetched = backend.load(scope, key);
+                let mut inner = self.lock();
+                match fetched {
+                    Some(d) => {
+                        CacheShared::promote(&mut inner, scope, key.repr(), &d);
+                        inner.hits += 1;
+                        inner.store_hits += 1;
+                        drop(inner);
+                        // The promotion may have settled a claim raced in
+                        // while the lock was down; wake its waiters.
+                        self.inner.settled.notify_all();
+                        Some(d)
+                    }
+                    None => {
+                        inner.misses += 1;
+                        None
+                    }
+                }
             }
         }
     }
@@ -422,6 +523,12 @@ impl ResultCache {
     /// deadlock in practice).
     pub fn begin(&self, scope: u64, key: &FaultKey) -> Claim {
         let mut state = self.lock();
+        // The backend is consulted at most once per call: on the first
+        // vacant sighting, outside the lock. A second vacant sighting
+        // (the entry was abandoned while we read the disk) claims
+        // directly — the disk answer cannot have changed, only this
+        // process writes it through.
+        let mut backend_checked = false;
         loop {
             match state.map.get(&scope).and_then(|m| m.get(key.repr())) {
                 Some(CacheSlot::Ready(d)) => {
@@ -433,6 +540,25 @@ impl ResultCache {
                     state = self.inner.settled.wait(state).unwrap_or_else(PoisonError::into_inner);
                 }
                 None => {
+                    if !backend_checked {
+                        if let Some(backend) = &self.inner.backend {
+                            drop(state);
+                            let fetched = backend.load(scope, key);
+                            backend_checked = true;
+                            state = self.lock();
+                            if let Some(d) = fetched {
+                                CacheShared::promote(&mut state, scope, key.repr(), &d);
+                                state.hits += 1;
+                                state.store_hits += 1;
+                                drop(state);
+                                self.inner.settled.notify_all();
+                                return Claim::Replay(d);
+                            }
+                            // Re-match: the slot may have changed while
+                            // the lock was down.
+                            continue;
+                        }
+                    }
                     state
                         .map
                         .entry(scope)
@@ -451,7 +577,7 @@ impl ResultCache {
     }
 
     /// Stores the digest of an executed run, settling any in-flight claim
-    /// for the same key.
+    /// for the same key and writing through to the persistent backend.
     pub fn insert(&self, scope: u64, key: &FaultKey, digest: RunDigest) {
         {
             let mut inner = self.lock();
@@ -459,13 +585,17 @@ impl ResultCache {
                 .map
                 .entry(scope)
                 .or_default()
-                .insert(key.repr.clone(), CacheSlot::Ready(digest));
+                .insert(key.repr.clone(), CacheSlot::Ready(digest.clone()));
         }
         self.inner.settled.notify_all();
+        if let Some(backend) = &self.inner.backend {
+            backend.save(scope, key, &digest);
+        }
     }
 
-    /// Current counters. `entries` counts completed digests only, not
-    /// in-flight claims.
+    /// Current counters. `entries` counts the in-memory hot tier's
+    /// completed digests only — not in-flight claims, and not backend
+    /// entries that were never touched this process.
     pub fn stats(&self) -> CacheStats {
         let inner = self.lock();
         CacheStats {
@@ -477,6 +607,7 @@ impl ResultCache {
                 .count(),
             hits: inner.hits,
             misses: inner.misses,
+            store_hits: inner.store_hits,
         }
     }
 }
@@ -488,6 +619,8 @@ impl fmt::Debug for ResultCache {
             .field("entries", &stats.entries)
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
+            .field("store_hits", &stats.store_hits)
+            .field("backend", &self.inner.backend.as_ref().map_or("none", |b| b.kind()))
             .finish()
     }
 }
@@ -912,6 +1045,76 @@ mod tests {
         waiter.join().expect("waiter completes after the holder panics");
         // The waiter's digest landed; the cache still works.
         assert!(matches!(cache.begin(5, &key), Claim::Replay(_)));
+    }
+
+    #[test]
+    fn a_backend_serves_first_touch_hits_and_receives_write_through() {
+        use crate::store::{MemoryStore, ResultStore};
+        let job = direct_job("a", "s", 0, "/tmp/f");
+        let key = FaultKey::of(&job);
+        let digest = RunDigest {
+            applied: true,
+            exit: Some(0),
+            crashed: None,
+            audit_events: 4,
+            violations: Vec::new(),
+        };
+        // Pre-populate the backend as a previous process would have.
+        let store = Arc::new(MemoryStore::new());
+        store.save(11, &key, &digest);
+        let cache = ResultCache::with_store(store.clone());
+        // First touch: served from the backend, promoted, counted.
+        assert_eq!(cache.lookup(11, &key), Some(digest.clone()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.store_hits, stats.entries), (1, 1, 1));
+        // Second touch: hot tier only; store_hits does not move.
+        assert_eq!(cache.lookup(11, &key), Some(digest.clone()));
+        assert_eq!(cache.stats().store_hits, 1);
+        // begin() replays from the backend instead of claiming.
+        let other = direct_job("b", "s", 0, "/tmp/g");
+        let other_key = FaultKey::of(&other);
+        store.save(11, &other_key, &digest);
+        assert!(matches!(cache.begin(11, &other_key), Claim::Replay(_)));
+        // A fulfilled claim writes through to the backend.
+        let fresh = direct_job("c", "s", 0, "/tmp/h");
+        let fresh_key = FaultKey::of(&fresh);
+        let Claim::Execute(token) = cache.begin(11, &fresh_key) else {
+            panic!("backend miss must hand out the claim");
+        };
+        token.fulfill(digest.clone());
+        assert_eq!(store.load(11, &fresh_key), Some(digest.clone()));
+        // insert() writes through too.
+        let ins = direct_job("d", "s", 0, "/tmp/i");
+        let ins_key = FaultKey::of(&ins);
+        cache.insert(11, &ins_key, digest.clone());
+        assert_eq!(store.load(11, &ins_key), Some(digest));
+    }
+
+    #[test]
+    fn a_fresh_cache_over_a_shared_backend_replays_cross_process_style() {
+        use crate::store::MemoryStore;
+        let job = direct_job("a", "s", 0, "/tmp/f");
+        let key = FaultKey::of(&job);
+        let digest = RunDigest {
+            applied: true,
+            exit: Some(1),
+            crashed: None,
+            audit_events: 2,
+            violations: Vec::new(),
+        };
+        let store = Arc::new(MemoryStore::new());
+        // "Process one": execute and fulfill through a claim.
+        {
+            let cache = ResultCache::with_store(store.clone());
+            let Claim::Execute(token) = cache.begin(21, &key) else {
+                panic!("cold backend must hand out the claim");
+            };
+            token.fulfill(digest.clone());
+        }
+        // "Process two": a brand-new cache, same backend — pure replay.
+        let cache = ResultCache::with_store(store);
+        assert!(matches!(cache.begin(21, &key), Claim::Replay(d) if d == digest));
+        assert_eq!(cache.stats().store_hits, 1);
     }
 
     #[test]

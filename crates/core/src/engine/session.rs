@@ -65,6 +65,14 @@ impl Session {
         self
     }
 
+    /// Installs a result cache layered over a persistent
+    /// [`crate::store::ResultStore`] backend — the session-level analogue
+    /// of [`crate::engine::Suite::with_store`].
+    #[must_use]
+    pub fn with_store(self, store: shim_sync::sync::Arc<dyn crate::store::ResultStore>) -> Session {
+        self.with_result_cache(crate::engine::planner::ResultCache::with_store(store))
+    }
+
     /// The frozen setup.
     pub fn setup(&self) -> &TestSetup {
         &self.setup

@@ -99,6 +99,56 @@ impl Suite {
         &self.cache
     }
 
+    /// Layers the suite's result cache over a persistent
+    /// [`crate::store::ResultStore`] backend: shorthand for
+    /// [`Suite::with_result_cache`] with
+    /// [`ResultCache::with_store`]. A warm backend turns the whole suite
+    /// run into replays — zero executed jobs.
+    #[must_use]
+    pub fn with_store(self, store: Arc<dyn crate::store::ResultStore>) -> Suite {
+        self.with_result_cache(ResultCache::with_store(store))
+    }
+
+    /// The lockfile-style manifest of this suite: per application, the
+    /// memoization scope, the plan size, and every canonical executable
+    /// store key — the exact entries a complete warm run needs (see
+    /// [`crate::store::SuiteManifest::verify`]). Statically pruned jobs
+    /// are excluded: they replay from synthesized digests and never touch
+    /// the store. Planning is deterministic, so the manifest of a suite
+    /// equals the manifest of its execution.
+    pub fn manifest(&self) -> crate::store::SuiteManifest {
+        use crate::store::{AppManifest, ManifestKey, SuiteManifest, MANIFEST_VERSION};
+        let apps = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut campaign = e.session.campaign(e.app.as_ref() as &dyn Application);
+                campaign.ensure_cache(self.cache.clone());
+                let plan = campaign.plan();
+                let jobs = plan.jobs();
+                let schedule = campaign.schedule(&jobs);
+                let pruned: std::collections::BTreeSet<usize> = schedule.pruned.iter().map(|(i, _)| *i).collect();
+                let keys = (0..schedule.len())
+                    .filter(|&i| schedule.canonical_of(i) == i && !pruned.contains(&i))
+                    .map(|i| ManifestKey {
+                        digest: format!("{}", schedule.key(i)),
+                        key: schedule.key(i).repr().to_string(),
+                    })
+                    .collect();
+                AppManifest {
+                    app: e.app.name().to_string(),
+                    scope: format!("{:016x}", campaign.scope()),
+                    jobs: schedule.len(),
+                    keys,
+                }
+            })
+            .collect();
+        SuiteManifest {
+            version: MANIFEST_VERSION,
+            apps,
+        }
+    }
+
     /// Registers an application with a declarative world.
     ///
     /// # Errors

@@ -26,6 +26,10 @@
 //!   world synthesis, the differential harness holding every execution
 //!   path to byte-identical verdicts, divergence shrinking, and the
 //!   corpus adequacy dashboard;
+//! * [`store`] — the pluggable result-store layer: the [`store::ResultStore`]
+//!   trait behind the planner's memo cache, the persistent content-addressed
+//!   [`store::DiskStore`] backend (checksummed, versioned, atomic writes,
+//!   LRU/TTL pruning), and the lockfile-style [`store::SuiteManifest`];
 //! * [`baselines`] — Fuzz and AVA comparators (paper §5).
 //!
 //! # Example: the paper's §3.4 `lpr` experiment, declaratively
@@ -81,6 +85,7 @@ pub mod inject;
 pub mod model;
 pub mod perturb;
 pub mod report;
+pub mod store;
 
 pub use analysis::{lint_scenario, lint_setup, AppAnalysis, Diagnostic, LintReport, Relevance, Severity};
 pub use campaign::{run_once, run_once_batch_oracle, Campaign, CampaignOptions, CampaignPlan, RunOutcome, TestSetup};
@@ -91,3 +96,4 @@ pub use inject::{InjectionHook, InjectionPlan};
 pub use model::{DirectKind, EaiCategory, FsAttribute, IndirectKind, NetAttribute, ProcAttribute};
 pub use perturb::{ConcreteFault, DirectFault, FaultPayload, IndirectFault};
 pub use report::{CampaignReport, FaultRecord};
+pub use store::{DiskStore, MemoryStore, ResultStore, SuiteManifest};

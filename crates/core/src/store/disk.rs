@@ -1,0 +1,781 @@
+//! The persistent content-addressed [`ResultStore`] backend.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   HEADER                        "epa-result-store v1"
+//!   MANIFEST.json                 lockfile-style suite manifest (optional)
+//!   v1/
+//!     <scope:016x>/               one bucket per (application, fingerprint)
+//!       BUCKET                    "epa-store-bucket v1 scope=<scope:016x>"
+//!       <shard:02x>/              fanout on the key digest's high byte
+//!         <digest:016x>.entry     one checksummed record per FaultKey
+//! ```
+//!
+//! # Entry wire format
+//!
+//! Three lines — a versioned header, a checksum, a JSON body:
+//!
+//! ```text
+//! epa-store-entry v1
+//! checksum <fnv1a(body):016x>
+//! {"scope":"<scope:016x>","key":"<canonical FaultKey text>","digest":{...}}
+//! ```
+//!
+//! The body carries the **full canonical key text**, not just its 64-bit
+//! digest, and [`DiskStore::load`] verifies it against the requested key:
+//! a digest collision reads as a miss, never as the wrong run. The
+//! checksum covers the body bytes exactly, so a truncated or bit-flipped
+//! entry (a crash mid-write, a disk fault) is detected, logged, deleted,
+//! and treated as a miss. Writes go to a same-directory temp file first
+//! and `rename(2)` into place, so a reader never observes a partial
+//! entry under POSIX rename atomicity.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+use serde::{Deserialize, Serialize};
+use shim_sync::sync::atomic::{AtomicU64, Ordering};
+
+use crate::engine::planner::{fnv1a, FaultKey, RunDigest};
+use crate::store::ResultStore;
+
+/// Version of the on-disk record format (store header, bucket headers and
+/// entry headers all carry it). Bump on any incompatible change; readers
+/// treat foreign versions as misses, never as parseable data.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// The store-root header file name.
+const STORE_HEADER_FILE: &str = "HEADER";
+
+/// The per-bucket header file name.
+const BUCKET_HEADER_FILE: &str = "BUCKET";
+
+/// The first line of every entry.
+fn entry_header() -> String {
+    format!("epa-store-entry v{STORE_FORMAT_VERSION}")
+}
+
+/// The store-root header content.
+fn store_header() -> String {
+    format!("epa-result-store v{STORE_FORMAT_VERSION}\n")
+}
+
+/// The bucket header content for `scope`.
+fn bucket_header(scope: u64) -> String {
+    format!("epa-store-bucket v{STORE_FORMAT_VERSION} scope={scope:016x}\n")
+}
+
+/// The serialized body of one entry. `scope` is hex text (JSON numbers are
+/// f64-lossy above 2^53; a fingerprint is a full 64-bit hash).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EntryBody {
+    scope: String,
+    key: String,
+    digest: RunDigest,
+}
+
+/// A parsed store entry, as returned by [`decode_entry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedEntry {
+    /// The memoization scope the entry belongs to.
+    pub scope: u64,
+    /// The canonical [`FaultKey`] text.
+    pub key: String,
+    /// The memoized run outcome.
+    pub digest: RunDigest,
+}
+
+/// Why an entry failed to decode. Every variant is handled as a cache
+/// miss by [`DiskStore::load`]; the distinction matters for logging and
+/// for [`DiskStore::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryError {
+    /// The entry was written by a different (or unrecognizable) format
+    /// version.
+    Version {
+        /// The header line actually found.
+        found: String,
+    },
+    /// The body bytes do not match the recorded checksum — a truncated or
+    /// bit-flipped entry (for example, a crash mid-write).
+    Checksum,
+    /// The entry is structurally unparseable (missing lines, bad hex,
+    /// undeserializable body).
+    Malformed(String),
+}
+
+impl std::fmt::Display for EntryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntryError::Version { found } => {
+                write!(f, "version mismatch (found `{found}`, want `{}`)", entry_header())
+            }
+            EntryError::Checksum => write!(f, "checksum mismatch (truncated or corrupted entry)"),
+            EntryError::Malformed(why) => write!(f, "malformed entry: {why}"),
+        }
+    }
+}
+
+/// Serializes one `(scope, key, digest)` record into the entry wire
+/// format. Deterministic: equal inputs produce byte-identical text.
+pub fn encode_entry(scope: u64, key: &FaultKey, digest: &RunDigest) -> String {
+    let body = serde_json::to_string(&EntryBody {
+        scope: format!("{scope:016x}"),
+        key: key.repr().to_string(),
+        digest: digest.clone(),
+    })
+    .expect("store entries serialize infallibly");
+    format!("{}\nchecksum {:016x}\n{body}\n", entry_header(), fnv1a(body.as_bytes()))
+}
+
+/// Parses entry text back into its record, verifying the version header
+/// and the body checksum.
+///
+/// # Errors
+///
+/// [`EntryError::Version`] on a foreign format version,
+/// [`EntryError::Checksum`] when the body fails its checksum, and
+/// [`EntryError::Malformed`] for structural damage.
+pub fn decode_entry(text: &str) -> Result<DecodedEntry, EntryError> {
+    let mut parts = text.splitn(3, '\n');
+    let header = parts.next().unwrap_or("");
+    if header != entry_header() {
+        if header.starts_with("epa-store-entry v") {
+            return Err(EntryError::Version {
+                found: header.to_string(),
+            });
+        }
+        return Err(EntryError::Malformed(format!("unrecognized header `{header}`")));
+    }
+    let checksum_line = parts
+        .next()
+        .ok_or_else(|| EntryError::Malformed("missing checksum line".to_string()))?;
+    let recorded = checksum_line
+        .strip_prefix("checksum ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| EntryError::Malformed(format!("bad checksum line `{checksum_line}`")))?;
+    let rest = parts
+        .next()
+        .ok_or_else(|| EntryError::Malformed("missing body".to_string()))?;
+    let body = rest.strip_suffix('\n').unwrap_or(rest);
+    if fnv1a(body.as_bytes()) != recorded {
+        return Err(EntryError::Checksum);
+    }
+    let parsed: EntryBody =
+        serde_json::from_str(body).map_err(|e| EntryError::Malformed(format!("body does not parse: {e}")))?;
+    let scope = u64::from_str_radix(&parsed.scope, 16)
+        .map_err(|_| EntryError::Malformed(format!("bad scope `{}`", parsed.scope)))?;
+    Ok(DecodedEntry {
+        scope,
+        key: parsed.key,
+        digest: parsed.digest,
+    })
+}
+
+/// Aggregate facts about a store directory, from [`DiskStore::stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Readable entries on disk.
+    pub entries: usize,
+    /// Total entry bytes.
+    pub bytes: u64,
+    /// Distinct scope buckets.
+    pub buckets: usize,
+    /// Buckets quarantined at open time (foreign or missing bucket header).
+    pub quarantined_buckets: usize,
+}
+
+/// Retention policy for [`DiskStore::prune`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneOptions {
+    /// Keep at most this many entries, evicting the least recently used
+    /// (reads refresh an entry's timestamp best-effort). `None` = no cap.
+    pub max_entries: Option<usize>,
+    /// Drop entries unused for longer than this. `None` = no TTL.
+    pub ttl: Option<Duration>,
+}
+
+/// What [`DiskStore::prune`] did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Entries examined.
+    pub examined: usize,
+    /// Entries removed because their age exceeded the TTL.
+    pub expired: usize,
+    /// Entries evicted (least recently used first) to satisfy the cap.
+    pub evicted: usize,
+    /// Entries remaining after the prune.
+    pub remaining: usize,
+}
+
+/// What [`DiskStore::verify`] found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Entries that decoded cleanly and live where their content says.
+    pub ok: usize,
+    /// Per-file damage descriptions (path: reason).
+    pub corrupt: Vec<String>,
+    /// Buckets quarantined at open time.
+    pub quarantined: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when nothing is damaged or quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.quarantined.is_empty()
+    }
+}
+
+/// The persistent content-addressed [`ResultStore`]. See the module docs
+/// for the layout and wire format.
+///
+/// All filesystem failures on the hot path degrade to misses or skipped
+/// writes (with a stderr note): a broken disk slows the suite down, it
+/// never breaks correctness.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    /// Scope-bucket directory names refused at open time (missing or
+    /// foreign bucket header). Read-only after open.
+    quarantined: BTreeSet<String>,
+    /// Temp-file uniquifier for rename-into-place writes.
+    seq: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// A fresh or empty directory is initialized with the store header. An
+    /// existing store is validated: the root header must carry the current
+    /// format version, and every scope bucket's header is checked — buckets
+    /// with a missing or foreign header are quarantined (their entries read
+    /// as misses and are never written through) rather than trusted.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, a root header of a different version, or a
+    /// non-empty directory that is not a store (refused rather than
+    /// adopted: the pruner deletes files, and it must never delete a
+    /// directory the user did not dedicate to the store).
+    pub fn open(root: impl AsRef<Path>) -> io::Result<DiskStore> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let header_path = root.join(STORE_HEADER_FILE);
+        match std::fs::read_to_string(&header_path) {
+            Ok(found) => {
+                if found != store_header() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{} is a v`{}` store, this build reads {}",
+                            root.display(),
+                            found.trim(),
+                            store_header().trim()
+                        ),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                if std::fs::read_dir(&root)?.next().is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{} is non-empty and carries no store header; refusing to adopt it",
+                            root.display()
+                        ),
+                    ));
+                }
+                std::fs::write(&header_path, store_header())?;
+            }
+            Err(e) => return Err(e),
+        }
+        let mut quarantined = BTreeSet::new();
+        let buckets_root = root.join(format!("v{STORE_FORMAT_VERSION}"));
+        if buckets_root.is_dir() {
+            for bucket in std::fs::read_dir(&buckets_root)? {
+                let bucket = bucket?.path();
+                if !bucket.is_dir() {
+                    continue;
+                }
+                let name = bucket.file_name().unwrap_or_default().to_string_lossy().to_string();
+                let expected = u64::from_str_radix(&name, 16).map(bucket_header);
+                let found = std::fs::read_to_string(bucket.join(BUCKET_HEADER_FILE)).ok();
+                if expected.ok() != found {
+                    eprintln!(
+                        "epa-store: bucket {} has a missing or foreign header; quarantining it (entries read as misses)",
+                        bucket.display()
+                    );
+                    quarantined.insert(name);
+                }
+            }
+        }
+        Ok(DiskStore {
+            root,
+            quarantined,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The bucket directory of `scope`.
+    fn bucket_dir(&self, scope: u64) -> PathBuf {
+        self.root
+            .join(format!("v{STORE_FORMAT_VERSION}"))
+            .join(format!("{scope:016x}"))
+    }
+
+    /// The entry path of `(scope, key)`: bucket, then a fanout shard on
+    /// the key digest's high byte, then the digest-named entry file.
+    fn entry_path(&self, scope: u64, key: &FaultKey) -> PathBuf {
+        let digest = key.digest();
+        self.bucket_dir(scope)
+            .join(format!("{:02x}", (digest >> 56) as u8))
+            .join(format!("{digest:016x}.entry"))
+    }
+
+    /// Whether `scope`'s bucket was quarantined at open time.
+    fn is_quarantined(&self, scope: u64) -> bool {
+        self.quarantined.contains(&format!("{scope:016x}"))
+    }
+
+    /// Writes `text` to `path` atomically: a same-directory temp file,
+    /// then rename into place. Returns any filesystem error for the
+    /// caller to downgrade.
+    fn write_atomic(&self, path: &Path, text: &str) -> io::Result<()> {
+        let parent = path.parent().expect("entry paths always have a parent");
+        std::fs::create_dir_all(parent)?;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = parent.join(format!(
+            ".{}.{}.{seq}.tmp",
+            path.file_name().unwrap_or_default().to_string_lossy(),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, text)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Walks every entry file in non-quarantined buckets.
+    fn walk_entries(&self, f: &mut dyn FnMut(&Path, &std::fs::Metadata)) {
+        let buckets_root = self.root.join(format!("v{STORE_FORMAT_VERSION}"));
+        let Ok(buckets) = std::fs::read_dir(&buckets_root) else {
+            return;
+        };
+        for bucket in buckets.flatten() {
+            let bucket = bucket.path();
+            let name = bucket.file_name().unwrap_or_default().to_string_lossy().to_string();
+            if !bucket.is_dir() || self.quarantined.contains(&name) {
+                continue;
+            }
+            let Ok(shards) = std::fs::read_dir(&bucket) else {
+                continue;
+            };
+            for shard in shards.flatten() {
+                let shard = shard.path();
+                if !shard.is_dir() {
+                    continue;
+                }
+                let Ok(entries) = std::fs::read_dir(&shard) else {
+                    continue;
+                };
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|e| e == "entry") {
+                        if let Ok(meta) = entry.metadata() {
+                            f(&path, &meta);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregate store facts (walks the directory).
+    pub fn stats(&self) -> DiskStats {
+        let mut stats = DiskStats {
+            quarantined_buckets: self.quarantined.len(),
+            ..DiskStats::default()
+        };
+        let mut buckets = BTreeSet::new();
+        self.walk_entries(&mut |path, meta| {
+            stats.entries += 1;
+            stats.bytes += meta.len();
+            if let Some(bucket) = path.parent().and_then(Path::parent) {
+                buckets.insert(bucket.to_path_buf());
+            }
+        });
+        stats.buckets = buckets.len();
+        stats
+    }
+
+    /// Applies a retention policy: TTL expiry first, then LRU eviction
+    /// down to the cap. Reads refresh entry timestamps (best-effort), so
+    /// recently replayed entries survive.
+    pub fn prune(&self, options: PruneOptions) -> PruneReport {
+        let now = SystemTime::now();
+        let mut entries: Vec<(PathBuf, SystemTime)> = Vec::new();
+        self.walk_entries(&mut |path, meta| {
+            let mtime = meta.modified().unwrap_or(now);
+            entries.push((path.to_path_buf(), mtime));
+        });
+        let mut report = PruneReport {
+            examined: entries.len(),
+            ..PruneReport::default()
+        };
+        if let Some(ttl) = options.ttl {
+            entries.retain(|(path, mtime)| {
+                let expired = now.duration_since(*mtime).is_ok_and(|age| age > ttl);
+                if expired && std::fs::remove_file(path).is_ok() {
+                    report.expired += 1;
+                    return false;
+                }
+                true
+            });
+        }
+        if let Some(cap) = options.max_entries {
+            if entries.len() > cap {
+                // Oldest first; evict until the cap holds.
+                entries.sort_by_key(|(_, mtime)| *mtime);
+                let excess = entries.len() - cap;
+                for (path, _) in entries.drain(..excess) {
+                    if std::fs::remove_file(&path).is_ok() {
+                        report.evicted += 1;
+                    }
+                }
+            }
+        }
+        report.remaining = report.examined - report.expired - report.evicted;
+        report
+    }
+
+    /// Decodes and cross-checks every entry: version header, checksum,
+    /// and that each entry lives in the bucket and under the file name
+    /// its own content addresses.
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport {
+            quarantined: self.quarantined.iter().cloned().collect(),
+            ..VerifyReport::default()
+        };
+        self.walk_entries(&mut |path, _| match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| decode_entry(&text).map_err(|e| e.to_string()))
+        {
+            Ok(decoded) => {
+                let expected = self.entry_path(decoded.scope, &FaultKey::synthetic(&decoded.key));
+                if expected == path {
+                    report.ok += 1;
+                } else {
+                    report
+                        .corrupt
+                        .push(format!("{}: content addresses {}", path.display(), expected.display()));
+                }
+            }
+            Err(e) => report.corrupt.push(format!("{}: {e}", path.display())),
+        });
+        report
+    }
+}
+
+impl ResultStore for DiskStore {
+    fn load(&self, scope: u64, key: &FaultKey) -> Option<RunDigest> {
+        if self.is_quarantined(scope) {
+            return None;
+        }
+        let path = self.entry_path(scope, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!("epa-store: {}: unreadable ({e}); treating as a miss", path.display());
+                return None;
+            }
+        };
+        let decoded = match decode_entry(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                // Corruption (or version skew) is logged, the entry is
+                // removed so a fresh execution can heal it, and the load
+                // reads as a miss — never as a wrong digest.
+                eprintln!(
+                    "epa-store: {}: {e}; removing entry and treating as a miss",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                return None;
+            }
+        };
+        if decoded.scope != scope || decoded.key != key.repr() {
+            // A 64-bit digest collision: the entry belongs to a different
+            // key. Leave it in place, miss conservatively.
+            eprintln!(
+                "epa-store: {}: key text mismatch (digest collision); treating as a miss",
+                path.display()
+            );
+            return None;
+        }
+        // Best-effort LRU touch: refresh the timestamp so the pruner sees
+        // this entry as recently used.
+        if let Ok(file) = std::fs::File::options().write(true).open(&path) {
+            let _ = file.set_modified(SystemTime::now());
+        }
+        Some(decoded.digest)
+    }
+
+    fn save(&self, scope: u64, key: &FaultKey, digest: &RunDigest) {
+        if self.is_quarantined(scope) {
+            return;
+        }
+        let path = self.entry_path(scope, key);
+        if path.exists() {
+            // Content-addressed and idempotent: an existing entry is this
+            // entry (corrupt entries are removed at load time).
+            return;
+        }
+        let bucket = self.bucket_dir(scope);
+        let bucket_marker = bucket.join(BUCKET_HEADER_FILE);
+        if !bucket_marker.exists() {
+            if let Err(e) = self.write_atomic(&bucket_marker, &bucket_header(scope)) {
+                eprintln!(
+                    "epa-store: {}: bucket header write failed ({e}); skipping save",
+                    bucket.display()
+                );
+                return;
+            }
+        }
+        if let Err(e) = self.write_atomic(&path, &encode_entry(scope, key, digest)) {
+            eprintln!("epa-store: {}: write failed ({e}); entry not persisted", path.display());
+        }
+    }
+
+    fn entries(&self) -> usize {
+        let mut n = 0;
+        self.walk_entries(&mut |_, _| n += 1);
+        n
+    }
+
+    fn kind(&self) -> &'static str {
+        "disk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (PathBuf, DiskStore) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("epa-disk-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).expect("fresh store opens");
+        (dir, store)
+    }
+
+    fn key(text: &str) -> FaultKey {
+        FaultKey::synthetic(text)
+    }
+
+    fn digest(exit: i32, events: usize) -> RunDigest {
+        RunDigest {
+            applied: true,
+            exit: Some(exit),
+            crashed: None,
+            audit_events: events,
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_wire_format() {
+        let k = key("site#1|-|{\"payload\":true}");
+        let d = digest(3, 17);
+        let text = encode_entry(0xdead_beef, &k, &d);
+        let decoded = decode_entry(&text).expect("own encoding decodes");
+        assert_eq!(decoded.scope, 0xdead_beef);
+        assert_eq!(decoded.key, k.repr());
+        assert_eq!(decoded.digest, d);
+        // Deterministic: re-encoding the decoded record is byte-identical.
+        assert_eq!(encode_entry(decoded.scope, &key(&decoded.key), &decoded.digest), text);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_misses_are_clean() {
+        let (dir, store) = temp_store("roundtrip");
+        let k = key("a#0|-|{}");
+        assert_eq!(store.load(7, &k), None);
+        store.save(7, &k, &digest(0, 2));
+        assert_eq!(store.load(7, &k), Some(digest(0, 2)));
+        assert_eq!(store.load(8, &k), None, "scopes are separate buckets");
+        assert_eq!(store.entries(), 1);
+        assert_eq!(store.kind(), "disk");
+        let stats = store.stats();
+        assert_eq!((stats.entries, stats.buckets), (1, 1));
+        assert!(stats.bytes > 0);
+        assert!(store.verify().is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_second_handle_sees_the_first_handles_entries() {
+        // The cross-process contract, in-process: a fresh DiskStore over
+        // the same directory serves everything a dropped one wrote.
+        let (dir, store) = temp_store("reopen");
+        let k = key("b#0|-|{}");
+        store.save(1, &k, &digest(1, 5));
+        drop(store);
+        let reopened = DiskStore::open(&dir).expect("existing store reopens");
+        assert_eq!(reopened.load(1, &k), Some(digest(1, 5)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entries_are_detected_removed_and_miss() {
+        // Simulates a crash mid-write that somehow bypassed the atomic
+        // rename (e.g. a torn sector): the checksum catches it.
+        let (dir, store) = temp_store("truncate");
+        let k = key("c#0|-|{}");
+        store.save(2, &k, &digest(0, 9));
+        let path = store.entry_path(2, &k);
+        let full = std::fs::read_to_string(&path).expect("entry exists");
+        std::fs::write(&path, &full[..full.len() - 10]).expect("truncate");
+        assert_eq!(store.load(2, &k), None, "truncation must read as a miss");
+        assert!(!path.exists(), "the damaged entry is removed so re-execution heals it");
+        // The next save repopulates.
+        store.save(2, &k, &digest(0, 9));
+        assert_eq!(store.load(2, &k), Some(digest(0, 9)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_entries_are_detected_and_miss() {
+        let (dir, store) = temp_store("bitflip");
+        let k = key("d#0|-|{}");
+        store.save(3, &k, &digest(0, 1));
+        let path = store.entry_path(3, &k);
+        let mut bytes = std::fs::read(&path).expect("entry exists");
+        // Flip one bit inside the JSON body (after the two header lines).
+        let body_start = bytes.iter().position(|&b| b == b'{').expect("body starts");
+        bytes[body_start + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("mangle");
+        assert_eq!(store.load(3, &k), None, "a flipped bit must read as a miss");
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_version_entries_are_rejected_not_parsed() {
+        let (dir, store) = temp_store("version");
+        let k = key("e#0|-|{}");
+        store.save(4, &k, &digest(0, 1));
+        let path = store.entry_path(4, &k);
+        let text = std::fs::read_to_string(&path).expect("entry exists");
+        let forged = text.replace("epa-store-entry v1", "epa-store-entry v2");
+        assert!(matches!(decode_entry(&forged), Err(EntryError::Version { .. })));
+        std::fs::write(&path, forged).expect("forge");
+        assert_eq!(store.load(4, &k), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digest_collisions_miss_instead_of_replaying_the_wrong_run() {
+        // Forge an entry whose file name matches the probe key's digest
+        // but whose body names a different canonical key: the full-text
+        // comparison must refuse it (and leave the file alone).
+        let (dir, store) = temp_store("collision");
+        let probe = key("f#0|-|{}");
+        let other = "g#0|-|{}";
+        let path = store.entry_path(5, &probe);
+        let body = serde_json::to_string(&EntryBody {
+            scope: format!("{:016x}", 5u64),
+            key: other.to_string(),
+            digest: digest(0, 1),
+        })
+        .expect("serializes");
+        let forged = format!("{}\nchecksum {:016x}\n{body}\n", entry_header(), fnv1a(body.as_bytes()));
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("shard dir");
+        std::fs::write(&path, forged).expect("forge");
+        assert_eq!(store.load(5, &probe), None);
+        assert!(path.exists(), "a collision victim is not deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_refuses_foreign_headers_and_nonstore_directories() {
+        let (dir, store) = temp_store("header");
+        drop(store);
+        std::fs::write(dir.join(STORE_HEADER_FILE), "epa-result-store v99\n").expect("forge header");
+        let err = DiskStore::open(&dir).expect_err("foreign store version must not open");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A non-empty directory without a header is not adopted.
+        let plain = std::env::temp_dir().join(format!("epa-disk-nonstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&plain);
+        std::fs::create_dir_all(&plain).expect("dir");
+        std::fs::write(plain.join("precious.txt"), "user data").expect("file");
+        let err = DiskStore::open(&plain).expect_err("must not adopt a foreign directory");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&plain);
+    }
+
+    #[test]
+    fn foreign_buckets_are_quarantined_for_loads_and_saves() {
+        let (dir, store) = temp_store("bucket");
+        let k = key("h#0|-|{}");
+        store.save(6, &k, &digest(0, 1));
+        // Forge the bucket header to a foreign version and reopen.
+        let marker = store.bucket_dir(6).join(BUCKET_HEADER_FILE);
+        std::fs::write(&marker, "epa-store-bucket v9 scope=0000000000000006\n").expect("forge");
+        drop(store);
+        let reopened = DiskStore::open(&dir).expect("store reopens");
+        assert_eq!(reopened.load(6, &k), None, "quarantined buckets read as misses");
+        reopened.save(6, &k, &digest(0, 1));
+        assert_eq!(reopened.load(6, &k), None, "quarantined buckets refuse writes");
+        assert_eq!(reopened.stats().quarantined_buckets, 1);
+        assert!(!reopened.verify().is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_applies_ttl_then_lru_cap() {
+        let (dir, store) = temp_store("prune");
+        for i in 0..6u64 {
+            store.save(9, &key(&format!("k{i}#0|-|{{}}")), &digest(0, 1));
+        }
+        assert_eq!(store.entries(), 6);
+        // Age two entries far into the past.
+        let mut aged = 0;
+        store.walk_entries(&mut |path, _| {
+            if aged < 2 {
+                let old = SystemTime::now() - Duration::from_secs(60 * 60 * 24 * 365);
+                let f = std::fs::File::options().write(true).open(path).expect("open entry");
+                f.set_modified(old).expect("age entry");
+                aged += 1;
+            }
+        });
+        let report = store.prune(PruneOptions {
+            max_entries: Some(3),
+            ttl: Some(Duration::from_secs(60 * 60)),
+        });
+        assert_eq!(report.examined, 6);
+        assert_eq!(report.expired, 2, "both aged entries expire");
+        assert_eq!(report.evicted, 1, "one more eviction reaches the cap");
+        assert_eq!(report.remaining, 3);
+        assert_eq!(store.entries(), 3);
+        assert!(store.verify().is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -29,6 +29,19 @@ const FORBIDDEN: &[&str] = &["std::sync", "std::thread"];
 /// Currently empty — the whole engine goes through the shim.
 const ALLOW: &[(&str, &str)] = &[];
 
+/// Repo-relative paths that MUST be among the scanned files: modules that
+/// do real synchronization, whose silent move out of [`SCAN_ROOTS`] would
+/// drop facade coverage without failing anything. The result-store layer
+/// is here because its backends are called from suite workers — its
+/// `MemoryStore` mutex and the cache's claim handoff must stay visible to
+/// the model checker.
+const REQUIRED_COVERED: &[&str] = &[
+    "crates/core/src/engine/planner.rs",
+    "crates/core/src/store/mod.rs",
+    "crates/core/src/store/disk.rs",
+    "crates/core/src/store/manifest.rs",
+];
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -72,6 +85,12 @@ fn lint_sync() -> ExitCode {
         files.len()
     );
     files.sort();
+    let missing = missing_required(&files);
+    assert!(
+        missing.is_empty(),
+        "lint-sync lost coverage of required module(s) {} — moved out of the scan roots?",
+        missing.join(", ")
+    );
 
     let mut violations = Vec::new();
     for file in &files {
@@ -101,6 +120,20 @@ fn lint_sync() -> ExitCode {
         eprintln!("lint-sync: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
+}
+
+/// The [`REQUIRED_COVERED`] entries not present in `files` (compared by
+/// `/`-normalized path suffix; `files` holds absolute scan results).
+fn missing_required(files: &[PathBuf]) -> Vec<&'static str> {
+    REQUIRED_COVERED
+        .iter()
+        .copied()
+        .filter(|req| {
+            !files
+                .iter()
+                .any(|f| f.to_string_lossy().replace('\\', "/").ends_with(req))
+        })
+        .collect()
 }
 
 /// Recursively collects `.rs` files under `dir`.
@@ -219,5 +252,30 @@ mod tests {
         // No current entries, so even the facade-adjacent names flag.
         let text = "use std::sync::Mutex as StdMutex;\n";
         assert_eq!(hits(text).len(), 1);
+    }
+
+    #[test]
+    fn required_coverage_is_reported_by_suffix_match() {
+        let scanned = vec![
+            PathBuf::from("/repo/crates/core/src/engine/planner.rs"),
+            PathBuf::from("/repo/crates/core/src/store/mod.rs"),
+            PathBuf::from("/repo/crates/core/src/store/disk.rs"),
+        ];
+        let missing = missing_required(&scanned);
+        assert_eq!(missing, vec!["crates/core/src/store/manifest.rs"]);
+        assert!(missing_required(&[]).len() == REQUIRED_COVERED.len());
+    }
+
+    #[test]
+    fn required_modules_live_under_the_scan_roots() {
+        // If a required module moves to a crate outside the scan roots,
+        // this list must move with it — the assertion in `lint_sync` would
+        // otherwise fail every CI run without explaining the layout shift.
+        for req in REQUIRED_COVERED {
+            assert!(
+                SCAN_ROOTS.iter().any(|root| req.starts_with(root)),
+                "{req} is not under any scan root"
+            );
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! Schema regression: the machine-readable artifacts (`SUITE_report.json`,
-//! `CORPUS_report.json`) must round-trip — serialize → parse → re-serialize
-//! byte-identical, and the parsed value must equal the original — so a
-//! field rename or representation change in either report breaks CI here
-//! instead of silently breaking dashboard consumers.
+//! `CORPUS_report.json`, and the persistent store's on-disk records) must
+//! round-trip — serialize → parse → re-serialize byte-identical, and the
+//! parsed value must equal the original — so a field rename or
+//! representation change in any artifact breaks CI here instead of
+//! silently breaking dashboard consumers or warm store replays.
 
 use epa::apps::ScriptedApp;
 use epa::core::corpus::{run_corpus, synthesize_one, CorpusConfig, CorpusReport, DEFAULT_CORPUS_SEED};
@@ -37,6 +38,42 @@ fn suite_report_schema_roundtrips() {
     let report: SuiteReport = suite.execute();
     assert_eq!(report.reports.len(), 2);
     assert_roundtrips("SUITE_report.json", &report);
+}
+
+/// The persistent store's on-disk record format: encode → decode →
+/// re-encode must be byte-identical (the content address is the entry
+/// text), and a record stamped with a foreign format version must be
+/// rejected outright — never half-parsed into a wrong digest.
+#[test]
+fn store_entry_wire_format_roundtrips_and_rejects_version_skew() {
+    use epa::core::engine::{FaultKey, RunDigest};
+    use epa::core::store::{decode_entry, encode_entry, EntryError};
+
+    let scope = 0xdead_beef_cafe_f00d_u64;
+    let key = FaultKey::synthetic("site=lpr:create occ=1 fault=F-E-7");
+    let digest = RunDigest {
+        applied: true,
+        exit: Some(1),
+        crashed: None,
+        audit_events: 42,
+        violations: Vec::new(),
+    };
+    let first = encode_entry(scope, &key, &digest);
+    let parsed = decode_entry(&first).expect("store entry: the emitted record no longer parses");
+    assert_eq!(parsed.scope, scope, "store entry: parsing mangled the scope");
+    assert_eq!(parsed.key, key.repr(), "store entry: parsing mangled the key text");
+    assert_eq!(
+        parsed.digest, digest,
+        "store entry: parsing lost or mangled a digest field"
+    );
+    let second = encode_entry(parsed.scope, &FaultKey::synthetic(&parsed.key), &parsed.digest);
+    assert_eq!(first, second, "store entry: re-serialization is not byte-identical");
+
+    let skewed = first.replacen("epa-store-entry v1", "epa-store-entry v999", 1);
+    assert!(
+        matches!(decode_entry(&skewed), Err(EntryError::Version { .. })),
+        "store entry: a foreign format version must be rejected as version skew"
+    );
 }
 
 /// The corpus artifact, including the nested adequacy points, histograms
